@@ -1,0 +1,101 @@
+"""Ablation A5 — hot-set capacity: how much memory do hot keys need?
+
+Sweeps the frequent-key cache's capacity from 1% to 100% of the distinct
+keys on a skewed stream.  The design claim: because the Zipf mass
+concentrates, a small capacity already absorbs most updates — the
+hit-rate curve saturates long before capacity reaches the key count, and
+spill falls off correspondingly.  This is the quantitative case for
+"memory for important groups" over "memory for all groups".
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.analysis.report import ExperimentReport
+from repro.analysis.tables import format_table, human_bytes
+from repro.core.aggregates import SUM
+from repro.core.hotset import HotSetIncrementalHash
+from repro.io.disk import LocalDisk
+from repro.mapreduce.counters import C, Counters
+from repro.workloads.zipf import ZipfSampler
+
+N_UPDATES = 100_000
+N_KEYS = 10_000
+SKEW = 1.3
+CAPACITIES = (100, 500, 1_000, 2_500, 10_000)
+
+
+def _run(stream, capacity):
+    counters = Counters()
+    hs = HotSetIncrementalHash(
+        SUM, LocalDisk(), "hot", capacity=capacity, counters=counters
+    )
+    for key in stream:
+        hs.update(key, 1)
+    list(hs.results())
+    hits = counters[C.HOT_HITS]
+    misses = counters[C.HOT_MISSES]
+    return {
+        "hit_rate": hits / (hits + misses),
+        "spill": counters[C.REDUCE_SPILL_BYTES],
+    }
+
+
+def test_hotset_capacity_sweep(benchmark, reports):
+    stream = [int(k) for k in ZipfSampler(N_KEYS, SKEW, seed=19).draw(N_UPDATES)]
+
+    def experiment():
+        return {cap: _run(stream, cap) for cap in CAPACITIES}
+
+    rows = run_once(benchmark, experiment)
+    hit = {c: rows[c]["hit_rate"] for c in CAPACITIES}
+    spill = {c: rows[c]["spill"] for c in CAPACITIES}
+
+    report = ExperimentReport(
+        "A5",
+        "Ablation: hot-set capacity vs hit rate and spill",
+        setup=f"{N_UPDATES} updates over {N_KEYS} keys, Zipf {SKEW}",
+    )
+    report.observe(
+        "hit rate monotone in capacity",
+        "more resident states never hurt",
+        {c: f"{h:.0%}" for c, h in hit.items()},
+        all(hit[a] <= hit[b] + 1e-9 for a, b in zip(CAPACITIES, CAPACITIES[1:])),
+    )
+    report.observe(
+        "1% capacity already absorbs most of the stream",
+        "Zipf mass concentrates on hot keys",
+        f"{hit[100]:.0%} hit rate at capacity 100",
+        hit[100] > 0.5,
+    )
+    report.observe(
+        "saturation well before full capacity",
+        "diminishing returns past the hot mass",
+        f"{hit[2_500]:.0%} at 25% capacity vs {hit[10_000]:.0%} at 100%",
+        hit[2_500] > 0.95 * hit[10_000],
+    )
+    report.observe(
+        "full capacity eliminates spill",
+        "in-memory processing when states fit",
+        human_bytes(spill[10_000]),
+        spill[10_000] == 0,
+    )
+    report.observe(
+        "spill falls monotonically with capacity",
+        "graceful memory/IO trade",
+        {c: human_bytes(s) for c, s in spill.items()},
+        all(
+            spill[a] >= spill[b] for a, b in zip(CAPACITIES, CAPACITIES[1:])
+        ),
+    )
+    report.note(
+        format_table(
+            ("capacity", "% of keys", "hit rate", "spill"),
+            [
+                (c, f"{100 * c / N_KEYS:.0f}%", f"{hit[c]:.1%}", human_bytes(spill[c]))
+                for c in CAPACITIES
+            ],
+        )
+    )
+    reports(report)
+    assert report.all_hold

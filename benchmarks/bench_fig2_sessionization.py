@@ -1,0 +1,270 @@
+"""Fig. 2 — the sessionization workload at paper scale (simulator).
+
+Six panels:
+
+(a) task timeline         — map/shuffle/merge/reduce running-task counts;
+(b) CPU utilisation       — busy in map phase, valley during the merge;
+(c) CPU iowait            — spikes in the merge window;
+(d) bytes read            — large read burst in the same window;
+(e) CPU utilisation, HDD+SSD architecture — faster, valley persists;
+(f) CPU utilisation, separate storage     — faster, valley persists.
+
+The shape assertions are the paper's observations turned into predicates;
+sparklines of each series are attached to the report so ``bench_output``
+shows the curves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.report import ExperimentReport
+from repro.analysis.series import find_valley, peak_time, sparkline, window_mean
+from repro.analysis.tables import human_time
+from repro.simulator import (
+    CLUSTER_2011,
+    GB,
+    SESSIONIZATION,
+    ClusterSpec,
+    HadoopPipeline,
+)
+
+BUCKET = 30.0
+
+
+@pytest.fixture(scope="module")
+def baseline_run():
+    return HadoopPipeline(CLUSTER_2011, SESSIONIZATION, metric_bucket=BUCKET).run()
+
+
+def merge_window(result):
+    """The post-map, pre-reduce window where only merging is active."""
+    map_end = result.phase_window("map")[1]
+    reduce_start = result.phase_window("reduce")[0]
+    return map_end, max(reduce_start, map_end + 2 * BUCKET)
+
+
+def test_fig2a_task_timeline(benchmark, reports, baseline_run):
+    result = run_once(benchmark, lambda: baseline_run)
+    times, series = result.task_log.counts_series(BUCKET)
+
+    report = ExperimentReport(
+        "F2a",
+        "Fig 2(a): task timeline, sessionization",
+        setup="simulator, 10 nodes, 256 GB, sort-merge",
+    )
+    map_end = result.phase_window("map")[1]
+    reduce_start = result.phase_window("reduce")[0]
+    merge_spans = result.task_log.phase_spans("merge")
+    report.observe(
+        "time roughly split between map and reduce phases",
+        "about even",
+        f"map ends {human_time(map_end)}, job ends {human_time(result.makespan)}",
+        0.35 <= map_end / result.makespan <= 0.75,
+    )
+    report.observe(
+        "substantial merge activity between the phases",
+        "extended merge window",
+        f"{len(merge_spans)} merge operations",
+        len(merge_spans) > 0
+        and any(s.end > map_end for s in merge_spans),
+    )
+    report.observe(
+        "background merges before all maps complete",
+        "periodic merges during map phase",
+        f"earliest merge at {human_time(min(s.start for s in merge_spans))}",
+        min(s.start for s in merge_spans) < map_end,
+    )
+    report.observe(
+        "reduce blocked until merge completes",
+        "no reduce output before final merge",
+        f"first reduce at {human_time(reduce_start)}",
+        reduce_start >= map_end,
+    )
+    for phase in ("map", "merge", "reduce"):
+        report.note(f"{phase:7s} {sparkline(series[phase])}")
+    reports(report)
+    assert report.all_hold
+
+
+def test_fig2b_cpu_utilization(benchmark, reports, baseline_run):
+    result = run_once(benchmark, lambda: baseline_run)
+    s = result.series
+    map_end, reduce_start = merge_window(result)
+
+    report = ExperimentReport(
+        "F2b",
+        "Fig 2(b): CPU utilisation vs time",
+        setup="cluster-average busy-core fraction, 30 s buckets",
+    )
+    map_cpu = window_mean(s.times, s.cpu_utilization, 0, map_end * 0.9)
+    valley_t, valley_v = find_valley(s.times, s.cpu_utilization)
+    report.observe(
+        "CPUs busy in the map phase",
+        "high utilisation",
+        f"{map_cpu:.0%} average",
+        map_cpu > 0.4,
+    )
+    report.observe(
+        "extended low-CPU period mid-job",
+        "utilisation collapses during merge",
+        f"valley {valley_v:.0%} at {human_time(valley_t)}",
+        valley_v < 0.25 * map_cpu,
+    )
+    report.observe(
+        "valley sits between map end and reduce",
+        "merge window",
+        f"valley at {human_time(valley_t)}, window "
+        f"[{human_time(map_end * 0.8)}, {human_time(reduce_start + 10 * BUCKET)}]",
+        map_end * 0.8 <= valley_t <= reduce_start + 10 * BUCKET,
+    )
+    report.note("cpu " + sparkline(s.cpu_utilization))
+    reports(report)
+    assert report.all_hold
+
+
+def test_fig2c_cpu_iowait(benchmark, reports, baseline_run):
+    result = run_once(benchmark, lambda: baseline_run)
+    s = result.series
+    map_end, reduce_start = merge_window(result)
+
+    report = ExperimentReport(
+        "F2c",
+        "Fig 2(c): CPU iowait vs time",
+        setup="idle-while-disk-busy fraction",
+    )
+    map_iowait = window_mean(s.times, s.cpu_iowait, 0, map_end * 0.9)
+    merge_iowait = window_mean(
+        s.times, s.cpu_iowait, map_end, reduce_start + 2 * BUCKET
+    )
+    report.observe(
+        "iowait spikes in the merge window",
+        "CPUs idle on outstanding disk I/O",
+        f"map-phase {map_iowait:.0%} vs merge-window {merge_iowait:.0%}",
+        merge_iowait > map_iowait + 0.25 and merge_iowait > 0.8,
+    )
+    report.note("iowait " + sparkline(s.cpu_iowait))
+    report.note(
+        "map-phase iowait runs higher than the paper's because the shared "
+        "spindle is already near saturation during the map phase in this "
+        "calibration; the merge-window spike on top of it is the shape "
+        "Fig 2(c) shows"
+    )
+    reports(report)
+    assert report.all_hold
+
+
+def test_fig2d_bytes_read(benchmark, reports, baseline_run):
+    result = run_once(benchmark, lambda: baseline_run)
+    s = result.series
+    map_end, reduce_start = merge_window(result)
+
+    report = ExperimentReport(
+        "F2d",
+        "Fig 2(d): bytes read from disk vs time",
+        setup="cluster-total disk read rate",
+    )
+    map_rate = window_mean(s.times, s.disk_read_bytes_per_s, 0, map_end * 0.9)
+    merge_rate = window_mean(
+        s.times, s.disk_read_bytes_per_s, map_end, reduce_start + 2 * BUCKET
+    )
+    report.observe(
+        "large read burst in the merge window",
+        "merge re-reads spilled data",
+        f"{merge_rate / (1024 ** 2):.0f} MB/s vs map-phase "
+        f"{map_rate / (1024 ** 2):.0f} MB/s",
+        merge_rate > 1.5 * map_rate,
+    )
+    total_read = float(np.trapezoid(s.disk_read_bytes_per_s, s.times))
+    report.observe(
+        "reduce-side spill comparable to input size",
+        "370 GB spill for 256 GB input",
+        f"{(result.totals.reduce_spill_bytes + result.totals.merge_write_bytes) / GB:.0f} GB "
+        "written reduce-side",
+        result.totals.reduce_spill_bytes + result.totals.merge_write_bytes
+        > SESSIONIZATION.input_bytes,
+    )
+    report.note("reads " + sparkline(s.disk_read_bytes_per_s))
+    report.note(f"total bytes read across the job: {total_read / GB:.0f} GB")
+    reports(report)
+    assert report.all_hold
+
+
+def _architecture_run(spec: ClusterSpec, profile=SESSIONIZATION):
+    return HadoopPipeline(spec, profile, metric_bucket=BUCKET).run()
+
+
+def test_fig2e_hdd_ssd_architecture(benchmark, reports, baseline_run):
+    ssd_run = run_once(
+        benchmark, _architecture_run, ClusterSpec(with_ssd=True)
+    )
+    report = ExperimentReport(
+        "F2e",
+        "Fig 2(e): CPU utilisation with HDD+SSD",
+        setup="intermediate data on a per-node SSD",
+    )
+    saving = 1 - ssd_run.makespan / baseline_run.makespan
+    report.observe(
+        "total running time drops",
+        "76 -> 43 min (-43%)",
+        f"{baseline_run.completion_minutes:.0f} -> "
+        f"{ssd_run.completion_minutes:.0f} min ({saving:.0%} saved)",
+        0.25 <= saving <= 0.60,
+    )
+    s = ssd_run.series
+    map_end = ssd_run.phase_window("map")[1]
+    map_cpu = window_mean(s.times, s.cpu_utilization, 0, map_end * 0.9)
+    _t, valley_v = find_valley(s.times, s.cpu_utilization)
+    report.observe(
+        "low-CPU period persists",
+        "blocking merge remains",
+        f"valley {valley_v:.0%} vs map-phase {map_cpu:.0%}",
+        valley_v < 0.5 * map_cpu,
+    )
+    report.note("cpu(ssd) " + sparkline(s.cpu_utilization))
+    reports(report)
+    assert report.all_hold
+
+
+def test_fig2f_separate_storage(benchmark, reports, baseline_run):
+    # The paper's comparison: 256 GB on the 10-node colocated cluster vs
+    # 128 GB on 5 storage + 5 compute nodes ("we reduce the input data
+    # size accordingly to keep the running time comparable") — separation
+    # came out faster, 76 -> 55 min.
+    half = SESSIONIZATION.scaled(128 * GB)
+    sep_run = run_once(
+        benchmark, _architecture_run, ClusterSpec(storage_nodes=5), half
+    )
+    report = ExperimentReport(
+        "F2f",
+        "Fig 2(f): CPU utilisation, separate storage cluster",
+        setup="5 storage + 5 compute nodes, 128 GB input vs 256 GB colocated",
+    )
+    report.observe(
+        "separation reduces running time",
+        "76 -> 55 min",
+        f"{baseline_run.completion_minutes:.0f} -> "
+        f"{sep_run.completion_minutes:.0f} min",
+        sep_run.makespan < baseline_run.makespan,
+    )
+    s = sep_run.series
+    map_end = sep_run.phase_window("map")[1]
+    map_cpu = window_mean(s.times, s.cpu_utilization, 0, map_end * 0.9)
+    _t, valley_v = find_valley(s.times, s.cpu_utilization)
+    report.observe(
+        "blocking and intensive I/O remain",
+        "valley persists",
+        f"valley {valley_v:.0%} vs map-phase {map_cpu:.0%}",
+        valley_v < 0.5 * map_cpu,
+    )
+    report.observe(
+        "all input crosses the network",
+        "no data locality",
+        f"{sep_run.totals.remote_input_bytes / GB:.0f} GB remote reads",
+        sep_run.totals.remote_input_bytes >= half.input_bytes * 0.99,
+    )
+    report.note("cpu(sep) " + sparkline(s.cpu_utilization))
+    reports(report)
+    assert report.all_hold

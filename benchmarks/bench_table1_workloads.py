@@ -1,0 +1,192 @@
+"""Table I — workloads, data volumes and completion times.
+
+Two halves, as in the design document:
+
+* **data-volume rows** (map output, reduce spill, intermediate/input,
+  output) measured on the *real* engine at laptop scale — ratios are
+  scale-free, so they must land near the paper's;
+* **completion-time rows** from the calibrated simulator at the paper's
+  full input sizes on the 10-node cluster model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.report import ExperimentReport
+from repro.analysis.tables import format_table, human_time
+from repro.mapreduce.counters import C
+from repro.mapreduce.runtime import HadoopEngine, LocalCluster
+from repro.simulator import (
+    CLUSTER_2011,
+    INVERTED_INDEX,
+    PAGE_FREQUENCY,
+    PER_USER_COUNT,
+    SESSIONIZATION,
+    HadoopPipeline,
+)
+from repro.workloads.clickstream import ClickStreamConfig, generate_clicks
+from repro.workloads.documents import DocumentConfig, generate_documents
+from repro.workloads.inverted_index import inverted_index_job
+from repro.workloads.page_frequency import page_frequency_job
+from repro.workloads.per_user_count import per_user_count_job
+from repro.workloads.sessionization import sessionization_job
+
+#: Paper rows: (workload, intermediate/input %, completion minutes).
+PAPER_ROWS = {
+    "sessionization": (250.0, 76),
+    "page-frequency": (0.4, 40),
+    "per-user-count": (1.0, 24),
+    "inverted-index": (70.0, 118),
+}
+
+
+def _run_real_engine(job_builder, records):
+    cluster = LocalCluster(num_nodes=3, block_size=256 * 1024)
+    cluster.hdfs.write_records("in", records)
+    job = job_builder("in", "out").with_config(reduce_buffer_bytes=256 * 1024)
+    result = HadoopEngine(cluster).run(job)
+    c = result.counters
+    input_bytes = c[C.MAP_INPUT_BYTES]
+    intermediate = c[C.MAP_OUTPUT_BYTES] + c[C.REDUCE_SPILL_BYTES]
+    return {
+        "input": input_bytes,
+        "map_output": c[C.MAP_OUTPUT_BYTES],
+        "reduce_spill": c[C.REDUCE_SPILL_BYTES],
+        "intermediate_ratio": 100.0 * intermediate / input_bytes,
+        "output": c[C.OUTPUT_BYTES],
+        "map_tasks": int(c[C.MAP_TASKS]),
+        "reduce_tasks": int(c[C.REDUCE_TASKS]),
+    }
+
+
+@pytest.fixture(scope="module")
+def click_records():
+    return list(
+        generate_clicks(
+            ClickStreamConfig(num_clicks=60_000, num_users=1_000, num_urls=600)
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def document_records():
+    # markup_per_word models GOV2's HTML boilerplate: bytes in, no postings out.
+    return list(
+        generate_documents(
+            DocumentConfig(
+                num_docs=800, vocab_size=6_000, mean_doc_words=80, markup_per_word=8.0
+            )
+        )
+    )
+
+
+def test_table1_data_volumes(benchmark, reports, click_records, document_records):
+    def experiment():
+        return {
+            "sessionization": _run_real_engine(
+                lambda i, o: sessionization_job(i, o, gap=5.0), click_records
+            ),
+            "page-frequency": _run_real_engine(page_frequency_job, click_records),
+            "per-user-count": _run_real_engine(per_user_count_job, click_records),
+            "inverted-index": _run_real_engine(inverted_index_job, document_records),
+        }
+
+    rows = run_once(benchmark, experiment)
+
+    report = ExperimentReport(
+        "T1a",
+        "Table I data volumes (real engine, laptop scale)",
+        setup="3 nodes, 256 KB blocks, 60k clicks / 800 HTML-like docs",
+    )
+    # Sessionization: intermediate far exceeds input (paper: 250%).
+    report.observe(
+        "sessionization intermediate/input",
+        "250% (dominant)",
+        f"{rows['sessionization']['intermediate_ratio']:.0f}%",
+        rows["sessionization"]["intermediate_ratio"] > 100,
+    )
+    # Counting workloads: combiner collapses intermediate data (<2%... paper
+    # 0.4% / 1.0%; at laptop scale blocks are tiny so a few % is the bound).
+    for name, bound in (("page-frequency", 15), ("per-user-count", 15)):
+        report.observe(
+            f"{name} intermediate/input",
+            f"{PAPER_ROWS[name][0]}% (tiny)",
+            f"{rows[name]['intermediate_ratio']:.1f}%",
+            rows[name]["intermediate_ratio"] < bound,
+        )
+    # Inverted index: substantial intermediate data, well below
+    # sessionization's.  (Our per-pair pickle framing carries more overhead
+    # than the paper's byte-array runtime, so the absolute ratio runs above
+    # the paper's 70%; the shape — substantial but far below sessionization
+    # — is what we check.)
+    ratio = rows["inverted-index"]["intermediate_ratio"]
+    report.observe(
+        "inverted-index intermediate/input",
+        "70% (substantial, below sessionization)",
+        f"{ratio:.0f}%",
+        20 < ratio < 160,
+    )
+    # Ordering: sessionization >> inverted index >> counting workloads.
+    report.observe(
+        "intermediate-ratio ordering",
+        "sessionization > inverted-index > counting",
+        "measured ordering",
+        rows["sessionization"]["intermediate_ratio"]
+        > rows["inverted-index"]["intermediate_ratio"]
+        > rows["page-frequency"]["intermediate_ratio"],
+    )
+    report.note(
+        format_table(
+            ("workload", "interm/input %", "map tasks", "reduce tasks"),
+            [
+                (n, f"{r['intermediate_ratio']:.1f}", r["map_tasks"], r["reduce_tasks"])
+                for n, r in rows.items()
+            ],
+        )
+    )
+    reports(report)
+    assert report.all_hold
+
+
+def test_table1_completion_times(benchmark, reports):
+    profiles = {
+        "sessionization": SESSIONIZATION,
+        "page-frequency": PAGE_FREQUENCY,
+        "per-user-count": PER_USER_COUNT,
+        "inverted-index": INVERTED_INDEX,
+    }
+
+    def experiment():
+        return {
+            name: HadoopPipeline(CLUSTER_2011, profile, metric_bucket=60.0).run()
+            for name, profile in profiles.items()
+        }
+
+    results = run_once(benchmark, experiment)
+
+    report = ExperimentReport(
+        "T1b",
+        "Table I completion times (simulator, paper scale)",
+        setup="10 nodes, 64 MB blocks, 40 reducers, full input sizes",
+    )
+    for name, result in results.items():
+        paper_min = PAPER_ROWS[name][1]
+        measured_min = result.completion_minutes
+        report.observe(
+            f"{name} completion",
+            f"{paper_min} min",
+            human_time(result.makespan),
+            0.6 * paper_min <= measured_min <= 1.4 * paper_min,
+        )
+    ordering = sorted(results, key=lambda n: results[n].makespan)
+    report.observe(
+        "completion ordering",
+        "per-user < page-freq < sessionization < inverted-index",
+        " < ".join(ordering),
+        ordering
+        == ["per-user-count", "page-frequency", "sessionization", "inverted-index"],
+    )
+    reports(report)
+    assert report.all_hold

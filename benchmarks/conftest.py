@@ -1,0 +1,49 @@
+"""Benchmark-harness plumbing.
+
+Every benchmark builds an :class:`repro.analysis.report.ExperimentReport`
+(paper claim vs measured value per metric) and registers it with the
+``reports`` fixture; the terminal summary prints them all, so the file
+produced by ``pytest benchmarks/ --benchmark-only | tee bench_output.txt``
+contains the full paper-vs-measured record alongside pytest-benchmark's
+timing table.
+
+Benchmarked bodies run exactly once (``benchmark.pedantic`` with one
+round): the experiments are deterministic simulations or full engine runs,
+not microbenchmarks, and repeating a 30-second cluster simulation to
+reduce timer noise would add nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import ExperimentReport
+
+_REPORTS: list[ExperimentReport] = []
+
+
+@pytest.fixture
+def reports():
+    """Register experiment reports for the terminal summary."""
+
+    def register(report: ExperimentReport) -> ExperimentReport:
+        _REPORTS.append(report)
+        return report
+
+    return register
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    tr = terminalreporter
+    tr.section("paper-vs-measured experiment reports")
+    for report in _REPORTS:
+        tr.write_line("")
+        for line in report.render().splitlines():
+            tr.write_line(line)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Replay the paper's Fig. 2 at full scale in the cluster simulator.
+
+Runs sessionization over 256 GB on the simulated 10-node 2011 cluster
+under all three execution pipelines and prints terminal renderings of the
+paper's figures: task timelines, CPU utilisation, iowait and disk reads.
+
+Run:  python examples/cluster_simulation.py
+"""
+
+from repro.analysis.series import sparkline
+from repro.analysis.tables import format_table, human_time
+from repro.simulator import (
+    CLUSTER_2011,
+    GB,
+    SESSIONIZATION,
+    ClusterSpec,
+    HadoopPipeline,
+    HOPPipeline,
+    HOPSimConfig,
+    OnePassPipeline,
+)
+
+BUCKET = 60.0
+
+
+def show(result, label: str) -> None:
+    print(f"\n--- {label}: {human_time(result.makespan)} total ---")
+    _times, series = result.task_log.counts_series(BUCKET)
+    for phase in ("map", "shuffle", "merge", "reduce"):
+        if series[phase].max() > 0:
+            print(f"  {phase:7s} tasks {sparkline(series[phase], width=60)}")
+    s = result.series
+    print(f"  cpu util      {sparkline(s.cpu_utilization, width=60)}")
+    print(f"  cpu iowait    {sparkline(s.cpu_iowait, width=60)}")
+    print(f"  disk reads    {sparkline(s.disk_read_bytes_per_s, width=60)}")
+    print(
+        f"  reduce-side writes: "
+        f"{(result.totals.reduce_spill_bytes + result.totals.merge_write_bytes) / GB:.0f} GB, "
+        f"merge passes: {result.totals.merge_passes}"
+    )
+
+
+def main() -> None:
+    print(
+        "simulating sessionization over "
+        f"{SESSIONIZATION.input_bytes / GB:.0f} GB on "
+        f"{CLUSTER_2011.nodes} nodes ({CLUSTER_2011.reducers} reducers)..."
+    )
+
+    stock = HadoopPipeline(CLUSTER_2011, SESSIONIZATION, metric_bucket=BUCKET).run()
+    show(stock, "stock Hadoop (sort-merge)  [Fig 2(a)-(d)]")
+
+    ssd = HadoopPipeline(
+        ClusterSpec(with_ssd=True), SESSIONIZATION, metric_bucket=BUCKET
+    ).run()
+    show(ssd, "HDD + SSD architecture  [Fig 2(e)]")
+
+    hop = HOPPipeline(
+        CLUSTER_2011,
+        SESSIONIZATION,
+        hop=HOPSimConfig(granularity_bytes=4 * 1024 * 1024),
+        metric_bucket=BUCKET,
+    ).run()
+    show(hop, "MapReduce Online  [Fig 4]")
+
+    onepass = OnePassPipeline(CLUSTER_2011, SESSIONIZATION, metric_bucket=BUCKET).run()
+    show(onepass, "one-pass hash engine  [paper's proposal]")
+
+    print()
+    print(
+        format_table(
+            ("pipeline", "completion", "vs stock"),
+            [
+                (
+                    label,
+                    human_time(r.makespan),
+                    f"{(1 - r.makespan / stock.makespan):+.0%}",
+                )
+                for label, r in (
+                    ("stock hadoop", stock),
+                    ("hdd+ssd", ssd),
+                    ("mapreduce online", hop),
+                    ("one-pass hash", onepass),
+                )
+            ],
+            title="sessionization, 256 GB, 10 nodes",
+        )
+    )
+    print(
+        "\nthe paper's observations, visible above: the merge valley in the "
+        "CPU rows of every sort-merge run (including SSD and HOP), the "
+        "iowait spike beneath it, and the one-pass engine's flat profile."
+    )
+
+
+if __name__ == "__main__":
+    main()

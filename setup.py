@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that ``pip install -e .`` works in offline environments without the
+``wheel`` package (pip then uses the legacy ``setup.py develop`` path).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Towards Scalable One-Pass Analytics Using "
+        "MapReduce' (IPDPS Workshops 2011)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23"],
+)

@@ -1,0 +1,107 @@
+"""Export simulation series and task timelines for external plotting.
+
+The benchmark harness asserts figure *shapes*; anyone who wants the actual
+curves (to plot Fig. 2 with matplotlib, gnuplot, a spreadsheet...) can dump
+them with these helpers: plain CSV for the time series, one row per task
+span for timelines, and a JSON bundle combining both with the run's
+metadata.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any
+
+from repro.simulator.tasks import SimRunResult
+from repro.simulator.timeline import TaskLog
+
+__all__ = ["series_csv", "timeline_csv", "run_to_json", "write_run_bundle"]
+
+
+def series_csv(result: SimRunResult) -> str:
+    """The run's metric series as CSV (one row per sample bucket)."""
+    s = result.series
+    out = io.StringIO()
+    out.write("time_s,cpu_utilization,cpu_iowait,disk_read_Bps,disk_write_Bps\n")
+    for i in range(len(s.times)):
+        out.write(
+            f"{s.times[i]:.1f},{s.cpu_utilization[i]:.4f},"
+            f"{s.cpu_iowait[i]:.4f},{s.disk_read_bytes_per_s[i]:.0f},"
+            f"{s.disk_write_bytes_per_s[i]:.0f}\n"
+        )
+    return out.getvalue()
+
+
+def timeline_csv(log: TaskLog) -> str:
+    """Every task span as CSV (phase, start, end, node, task id)."""
+    out = io.StringIO()
+    out.write("phase,start_s,end_s,node,task_id\n")
+    for span in sorted(log.spans, key=lambda s: (s.start, s.phase, s.task_id)):
+        out.write(
+            f"{span.phase},{span.start:.3f},{span.end:.3f},{span.node},{span.task_id}\n"
+        )
+    return out.getvalue()
+
+
+def run_to_json(result: SimRunResult) -> dict[str, Any]:
+    """A self-describing JSON bundle for one simulated run."""
+    totals = result.totals
+    return {
+        "engine": result.engine,
+        "workload": result.workload,
+        "makespan_s": result.makespan,
+        "spec": {
+            "nodes": result.spec.nodes,
+            "reducers": result.spec.reducers,
+            "block_bytes": result.spec.block_bytes,
+            "merge_factor": result.spec.merge_factor,
+            "with_ssd": result.spec.with_ssd,
+            "storage_nodes": result.spec.storage_nodes,
+        },
+        "profile": {
+            "input_bytes": result.profile.input_bytes,
+            "map_output_ratio": result.profile.map_output_ratio,
+        },
+        "totals": {
+            "map_output_bytes": totals.map_output_bytes,
+            "shuffle_bytes": totals.shuffle_bytes,
+            "reduce_spill_bytes": totals.reduce_spill_bytes,
+            "merge_read_bytes": totals.merge_read_bytes,
+            "merge_write_bytes": totals.merge_write_bytes,
+            "merge_passes": totals.merge_passes,
+            "snapshot_read_bytes": totals.snapshot_read_bytes,
+            "output_bytes": totals.output_bytes,
+            "network_messages": totals.network_messages,
+            "remote_input_bytes": totals.remote_input_bytes,
+        },
+        "series": result.series.as_dict(),
+        "phase_windows": {
+            phase: result.phase_window(phase)
+            for phase in ("map", "shuffle", "merge", "reduce")
+            if result.task_log.phase_spans(phase)
+        },
+    }
+
+
+def write_run_bundle(result: SimRunResult, directory: str, *, stem: str | None = None) -> list[str]:
+    """Write ``<stem>.series.csv``, ``<stem>.timeline.csv``, ``<stem>.json``.
+
+    Returns the paths written.  ``stem`` defaults to
+    ``"<workload>-<engine>"``.
+    """
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    stem = stem or f"{result.workload}-{result.engine}"
+    paths = []
+    for suffix, content in (
+        (".series.csv", series_csv(result)),
+        (".timeline.csv", timeline_csv(result.task_log)),
+        (".json", json.dumps(run_to_json(result), indent=2)),
+    ):
+        path = os.path.join(directory, stem + suffix)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(content)
+        paths.append(path)
+    return paths

@@ -1,0 +1,72 @@
+"""Experiment reports: paper-vs-measured records for EXPERIMENTS.md.
+
+Each benchmark builds an :class:`ExperimentReport` carrying the paper's
+claim, the measured value, and whether the qualitative shape held; the
+harness prints them uniformly so `bench_output.txt` doubles as the raw
+material of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analysis.tables import format_table
+
+__all__ = ["Observation", "ExperimentReport"]
+
+
+@dataclass(frozen=True, slots=True)
+class Observation:
+    """One paper-vs-measured comparison line."""
+
+    metric: str
+    paper: str
+    measured: str
+    holds: bool
+
+    def row(self) -> tuple[str, str, str, str]:
+        return (self.metric, self.paper, self.measured, "yes" if self.holds else "NO")
+
+
+@dataclass(slots=True)
+class ExperimentReport:
+    """A full experiment's record: id, setup and its observations."""
+
+    experiment_id: str
+    title: str
+    setup: str
+    observations: list[Observation] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def observe(
+        self, metric: str, paper: str, measured: Any, holds: bool
+    ) -> Observation:
+        obs = Observation(metric=metric, paper=paper, measured=str(measured), holds=holds)
+        self.observations.append(obs)
+        return obs
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    @property
+    def all_hold(self) -> bool:
+        return all(o.holds for o in self.observations)
+
+    def render(self) -> str:
+        lines = [
+            f"=== {self.experiment_id}: {self.title} ===",
+            f"setup: {self.setup}",
+            format_table(
+                ("metric", "paper", "measured", "holds"),
+                [o.row() for o in self.observations],
+            ),
+        ]
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        lines.append(f"result: {'ALL SHAPES HOLD' if self.all_hold else 'SHAPE MISMATCH'}")
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print()
+        print(self.render())

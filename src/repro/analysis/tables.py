@@ -1,0 +1,72 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmarks print the same rows the paper's tables report; this module
+keeps the formatting in one place so every bench emits uniform output that
+is easy to diff across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_kv", "human_bytes", "human_time"]
+
+
+def human_bytes(n: float) -> str:
+    """1234567 → ``'1.18 MB'`` (binary units, two significant decimals)."""
+    value = float(n)
+    for unit in ("B", "KB", "MB", "GB", "TB", "PB"):
+        if abs(value) < 1024 or unit == "PB":
+            if unit == "B":
+                return f"{value:.0f} {unit}"
+            return f"{value:.2f} {unit}"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def human_time(seconds: float) -> str:
+    """90.5 → ``'1.5 min'``; 5405 → ``'90.1 min'``; 12 → ``'12.0 s'``."""
+    if seconds < 60:
+        return f"{seconds:.1f} s"
+    return f"{seconds / 60:.1f} min"
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_kv(pairs: dict[str, Any], *, title: str = "") -> str:
+    """Render a two-column key/value block."""
+    rows = [(k, v) for k, v in pairs.items()]
+    return format_table(("metric", "value"), rows, title=title)

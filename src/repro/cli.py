@@ -1,0 +1,258 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Three commands cover the repository's everyday uses without writing code:
+
+* ``run``      — execute one of the paper's workloads on a real engine at
+  laptop scale and print its counters;
+* ``simulate`` — replay a workload at paper scale in the cluster simulator,
+  print the figure sparklines, optionally export the series for plotting;
+* ``compare``  — run the same workload on the sort-merge baseline and the
+  one-pass engine and print the §V-style comparison.
+
+Examples::
+
+    python -m repro run --workload page-frequency --engine onepass --records 50000
+    python -m repro simulate --workload sessionization --engine hadoop --ssd
+    python -m repro compare --workload per-user-count --records 100000
+    python -m repro simulate --workload inverted-index --engine onepass \
+        --export-dir out/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Sequence
+
+from repro.analysis.series import sparkline
+from repro.analysis.tables import format_table, human_bytes, human_time
+
+WORKLOADS = ("sessionization", "page-frequency", "per-user-count", "inverted-index")
+ENGINES = ("hadoop", "hop", "onepass")
+
+
+def _click_records(n: int):
+    from repro.workloads.clickstream import ClickStreamConfig, generate_clicks
+
+    return list(
+        generate_clicks(
+            ClickStreamConfig(num_clicks=n, num_users=max(10, n // 20), num_urls=max(10, n // 50))
+        )
+    )
+
+
+def _document_records(n: int):
+    from repro.workloads.documents import DocumentConfig, generate_documents
+
+    return list(
+        generate_documents(
+            DocumentConfig(num_docs=max(1, n // 60), vocab_size=5_000, markup_per_word=2.0)
+        )
+    )
+
+
+def _build_jobs(workload: str):
+    """Return (records_fn, sortmerge_job_fn, onepass_job_fn)."""
+    from repro.workloads import (
+        inverted_index_job,
+        inverted_index_onepass_job,
+        page_frequency_job,
+        page_frequency_onepass_job,
+        per_user_count_job,
+        per_user_count_onepass_job,
+        sessionization_job,
+        sessionization_onepass_job,
+    )
+
+    if workload == "sessionization":
+        return (
+            _click_records,
+            lambda i, o: sessionization_job(i, o, gap=5.0),
+            lambda i, o: sessionization_onepass_job(i, o, gap=5.0),
+        )
+    if workload == "page-frequency":
+        return _click_records, page_frequency_job, page_frequency_onepass_job
+    if workload == "per-user-count":
+        return _click_records, per_user_count_job, per_user_count_onepass_job
+    if workload == "inverted-index":
+        return _document_records, inverted_index_job, inverted_index_onepass_job
+    raise SystemExit(f"unknown workload {workload!r}")
+
+
+def _run_real(workload: str, engine: str, records: int, nodes: int) -> Any:
+    from repro.core.engine import OnePassEngine
+    from repro.mapreduce.hop import HOPEngine
+    from repro.mapreduce.runtime import HadoopEngine, LocalCluster
+
+    records_fn, sm_job, op_job = _build_jobs(workload)
+    cluster = LocalCluster(num_nodes=nodes, block_size=256 * 1024)
+    cluster.hdfs.write_records("in", records_fn(records))
+    if engine == "hadoop":
+        return HadoopEngine(cluster).run(sm_job("in", "out"))
+    if engine == "hop":
+        return HOPEngine(cluster).run(sm_job("in", "out"))
+    return OnePassEngine(cluster).run(op_job("in", "out"))
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    result = _run_real(args.workload, args.engine, args.records, args.nodes)
+    c = result.counters
+    print(
+        format_table(
+            ("counter", "value"),
+            [
+                ("wall time", human_time(result.wall_time)),
+                ("map input records", int(c["map.input.records"])),
+                ("map output records", int(c["map.output.records"])),
+                ("sorted records", int(c["sort.records"])),
+                ("hash probes", int(c["hash.probes"])),
+                ("shuffle", human_bytes(c["shuffle.bytes"])),
+                ("reduce spill", human_bytes(c["reduce.spill.bytes"])),
+                ("merge reads", human_bytes(c["merge.read.bytes"])),
+                ("output records", result.output_records),
+            ],
+            title=f"{args.workload} on {args.engine} ({args.records} records)",
+        )
+    )
+    return 0
+
+
+def _spec_from_args(args: argparse.Namespace):
+    from repro.simulator.calibration import ClusterSpec
+
+    return ClusterSpec(
+        with_ssd=args.ssd,
+        storage_nodes=5 if args.separate_storage else 0,
+    )
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.simulator.calibration import GB, PAPER_WORKLOADS
+    from repro.simulator.pipelines import HadoopPipeline, HOPPipeline, OnePassPipeline
+
+    profile = PAPER_WORKLOADS[args.workload]
+    if args.input_gb:
+        profile = profile.scaled(int(args.input_gb * GB))
+    spec = _spec_from_args(args)
+    pipeline_cls = {
+        "hadoop": HadoopPipeline,
+        "hop": HOPPipeline,
+        "onepass": OnePassPipeline,
+    }[args.engine]
+    result = pipeline_cls(spec, profile, metric_bucket=args.bucket).run()
+
+    print(
+        f"{args.workload} on {args.engine}: "
+        f"{human_time(result.makespan)} over {spec.nodes} nodes "
+        f"({profile.input_bytes / GB:.0f} GB input)"
+    )
+    _times, series = result.task_log.counts_series(args.bucket)
+    for phase in ("map", "shuffle", "merge", "reduce"):
+        if series[phase].max() > 0:
+            print(f"  {phase:7s} tasks {sparkline(series[phase], width=60)}")
+    s = result.series
+    print(f"  cpu util      {sparkline(s.cpu_utilization, width=60)}")
+    print(f"  cpu iowait    {sparkline(s.cpu_iowait, width=60)}")
+    print(f"  disk reads    {sparkline(s.disk_read_bytes_per_s, width=60)}")
+    t = result.totals
+    print(
+        f"  reduce-side writes {human_bytes(t.reduce_spill_bytes + t.merge_write_bytes)}, "
+        f"merge passes {t.merge_passes}, shuffle {human_bytes(t.shuffle_bytes)}"
+    )
+    if args.export_dir:
+        from repro.analysis.export import write_run_bundle
+
+        for path in write_run_bundle(result, args.export_dir):
+            print(f"  wrote {path}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    import time
+
+    records_fn, sm_job, op_job = _build_jobs(args.workload)
+    from repro.core.engine import OnePassEngine
+    from repro.mapreduce.runtime import HadoopEngine, LocalCluster
+
+    data = records_fn(args.records)
+    rows = []
+    results = {}
+    for engine in ("sort-merge", "one-pass"):
+        cluster = LocalCluster(num_nodes=args.nodes, block_size=256 * 1024)
+        cluster.hdfs.write_records("in", data)
+        t0 = time.process_time()
+        if engine == "sort-merge":
+            result = HadoopEngine(cluster).run(sm_job("in", "out"))
+        else:
+            result = OnePassEngine(cluster).run(op_job("in", "out"))
+        cpu = time.process_time() - t0
+        results[engine] = (result, cpu)
+        c = result.counters
+        rows.append(
+            (
+                engine,
+                f"{cpu:.2f}s",
+                human_time(result.wall_time),
+                int(c["sort.records"]),
+                human_bytes(c["reduce.spill.bytes"] + c["merge.write.bytes"]),
+            )
+        )
+    print(
+        format_table(
+            ("engine", "process CPU", "wall", "sorted recs", "reduce-side writes"),
+            rows,
+            title=f"{args.workload}, {args.records} records",
+        )
+    )
+    (sm, sm_cpu), (op, op_cpu) = results["sort-merge"], results["one-pass"]
+    if sm_cpu > 0:
+        print(
+            f"\none-pass saves {1 - op_cpu / sm_cpu:.0%} CPU and "
+            f"{1 - op.wall_time / sm.wall_time:.0%} wall time"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="One-pass analytics reproduction: run workloads, "
+        "simulate the paper's cluster, compare engines.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run a workload on a real engine")
+    p_run.add_argument("--workload", choices=WORKLOADS, required=True)
+    p_run.add_argument("--engine", choices=ENGINES, default="onepass")
+    p_run.add_argument("--records", type=int, default=50_000)
+    p_run.add_argument("--nodes", type=int, default=3)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_sim = sub.add_parser("simulate", help="simulate at paper scale")
+    p_sim.add_argument("--workload", choices=WORKLOADS, required=True)
+    p_sim.add_argument("--engine", choices=ENGINES, default="hadoop")
+    p_sim.add_argument("--input-gb", type=float, default=None, help="override input size")
+    p_sim.add_argument("--ssd", action="store_true", help="HDD+SSD architecture")
+    p_sim.add_argument(
+        "--separate-storage", action="store_true", help="5 storage + 5 compute nodes"
+    )
+    p_sim.add_argument("--bucket", type=float, default=60.0, help="metric bucket (s)")
+    p_sim.add_argument("--export-dir", default=None, help="dump CSV/JSON series here")
+    p_sim.set_defaults(fn=cmd_simulate)
+
+    p_cmp = sub.add_parser("compare", help="sort-merge vs one-pass on real engines")
+    p_cmp.add_argument("--workload", choices=WORKLOADS, required=True)
+    p_cmp.add_argument("--records", type=int, default=100_000)
+    p_cmp.add_argument("--nodes", type=int, default=3)
+    p_cmp.set_defaults(fn=cmd_compare)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

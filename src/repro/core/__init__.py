@@ -1,0 +1,119 @@
+"""The paper's contribution: hash-based incremental one-pass analytics.
+
+The package layers up exactly as §V's architecture figure does:
+
+* hash + memory substrates — :mod:`~repro.core.hash_tables`,
+  :mod:`~repro.core.aggregates`;
+* map module — :mod:`~repro.core.partitioner` (scan-only partitioning,
+  map-side hybrid hash with combiner);
+* reduce module — :mod:`~repro.core.hybrid_hash` (blocking baseline),
+  :mod:`~repro.core.incremental` (per-key states, early emission),
+  :mod:`~repro.core.frequent` + :mod:`~repro.core.hotset` (hot keys in
+  memory when states exceed memory);
+* the engine — :mod:`~repro.core.engine` wires them under the MapReduce
+  programming model with push-based shuffling;
+* online aggregation — :mod:`~repro.core.online_agg` for early
+  approximate answers with confidence intervals.
+"""
+
+from repro.core.aggregates import (
+    AVG,
+    COLLECT,
+    COUNT,
+    MAX,
+    MIN,
+    SUM,
+    AggregateState,
+    Aggregator,
+    AvgState,
+    CollectState,
+    CountState,
+    MaxState,
+    MinState,
+    SessionState,
+    SumCountState,
+    SumState,
+    TopByCountState,
+    TopKState,
+    fold,
+    sessionize,
+    top_by_count,
+    top_k,
+)
+from repro.core.engine import OnePassConfig, OnePassEngine, OnePassJob, OnePassReduceTask
+from repro.core.frequent import SpaceSaving, TrackedKey
+from repro.core.hash_tables import AccountedStateTable, HashFamily
+from repro.core.hotset import ApproximateResult, HotSetIncrementalHash
+from repro.core.hybrid_hash import HybridHashGrouper, SpilledState
+from repro.core.incremental import EmitPolicy, IncrementalHash, count_threshold_policy
+from repro.core.online_agg import (
+    Estimate,
+    GroupedOnlineAggregator,
+    OnlineCount,
+    OnlineMean,
+    OnlineSum,
+    z_for_confidence,
+)
+from repro.core.partitioner import MapSideHashCombiner, ScanPartitionBuffer
+from repro.core.queries import ThresholdQuery, TopKSelector, global_top_k
+from repro.core.streaming import StreamProcessor, TumblingWindowProcessor
+
+__all__ = [
+    # aggregates
+    "AggregateState",
+    "Aggregator",
+    "CountState",
+    "SumState",
+    "SumCountState",
+    "AvgState",
+    "MinState",
+    "MaxState",
+    "TopKState",
+    "TopByCountState",
+    "CollectState",
+    "SessionState",
+    "COUNT",
+    "SUM",
+    "AVG",
+    "MIN",
+    "MAX",
+    "COLLECT",
+    "top_k",
+    "top_by_count",
+    "sessionize",
+    "fold",
+    # hash substrates
+    "AccountedStateTable",
+    "HashFamily",
+    "HybridHashGrouper",
+    "SpilledState",
+    "IncrementalHash",
+    "EmitPolicy",
+    "count_threshold_policy",
+    "SpaceSaving",
+    "TrackedKey",
+    "HotSetIncrementalHash",
+    "ApproximateResult",
+    # map side
+    "ScanPartitionBuffer",
+    "MapSideHashCombiner",
+    # engine
+    "OnePassConfig",
+    "OnePassJob",
+    "OnePassReduceTask",
+    "OnePassEngine",
+    # online aggregation
+    "Estimate",
+    "OnlineSum",
+    "OnlineCount",
+    "OnlineMean",
+    "GroupedOnlineAggregator",
+    "z_for_confidence",
+    # queries
+    "ThresholdQuery",
+    "TopKSelector",
+    "global_top_k",
+    # streaming
+    "StreamProcessor",
+    "TumblingWindowProcessor",
+]

@@ -1,0 +1,383 @@
+"""Aggregate states for incremental (one-pass) processing.
+
+The paper's incremental hash technique "maintains a state for each key, and
+updates it incrementally"; its memory argument rests on the observation
+that "the size of a state is usually sublinear in the number of values
+aggregated".  This module supplies that state abstraction:
+
+* :class:`AggregateState` — update / merge / result / size protocol;
+* constant-size states (:class:`CountState`, :class:`SumState`,
+  :class:`AvgState`, :class:`MinState`, :class:`MaxState`,
+  :class:`SumCountState`);
+* bounded states (:class:`TopKState`);
+* linear states (:class:`CollectState`, :class:`SessionState`) for tasks
+  like sessionization whose reduce function genuinely needs all values.
+
+States must satisfy the combiner algebra: ``merge`` is commutative and
+associative, and interleaving ``update``/``merge`` in any order over the
+same multiset of values yields the same ``result()``.  The property-based
+tests exercise exactly that invariant.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generic, Iterable, Protocol, TypeVar
+
+from repro.io.serialization import estimate_size
+
+__all__ = [
+    "AggregateState",
+    "Aggregator",
+    "CountState",
+    "SumState",
+    "SumCountState",
+    "AvgState",
+    "MinState",
+    "MaxState",
+    "TopKState",
+    "TopByCountState",
+    "CollectState",
+    "SessionState",
+    "COUNT",
+    "SUM",
+    "AVG",
+    "MIN",
+    "MAX",
+    "COLLECT",
+    "top_k",
+    "top_by_count",
+    "sessionize",
+    "fold",
+]
+
+T = TypeVar("T")
+
+
+class AggregateState(Protocol):
+    """One key's running aggregate."""
+
+    def update(self, value: Any) -> None:
+        """Fold one new value into the state."""
+        ...
+
+    def merge(self, other: "AggregateState") -> None:
+        """Fold another state for the same key into this one."""
+        ...
+
+    def result(self) -> Any:
+        """The current (possibly early) answer for this key."""
+        ...
+
+    def size_bytes(self) -> int:
+        """Approximate in-memory footprint, for memory budgeting."""
+        ...
+
+
+class Aggregator(Generic[T]):
+    """Factory bundling a state constructor with a descriptive name."""
+
+    def __init__(self, name: str, make: Callable[[], AggregateState]) -> None:
+        self.name = name
+        self._make = make
+
+    def initial(self) -> AggregateState:
+        return self._make()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Aggregator({self.name!r})"
+
+
+class CountState:
+    """COUNT(*): one integer."""
+
+    __slots__ = ("n",)
+
+    def __init__(self) -> None:
+        self.n = 0
+
+    def update(self, value: Any) -> None:
+        self.n += 1
+
+    def merge(self, other: "CountState") -> None:
+        self.n += other.n
+
+    def result(self) -> int:
+        return self.n
+
+    def size_bytes(self) -> int:
+        return 64
+
+
+class SumState:
+    """SUM(value): one accumulator.
+
+    For counting jobs whose map emits ``(key, 1)`` and whose combiner emits
+    partial counts, SUM is the right reduce-side state (each incoming value
+    may itself be a partial sum).
+    """
+
+    __slots__ = ("total",)
+
+    def __init__(self) -> None:
+        self.total = 0
+
+    def update(self, value: Any) -> None:
+        self.total += value
+
+    def merge(self, other: "SumState") -> None:
+        self.total += other.total
+
+    def result(self) -> Any:
+        return self.total
+
+    def size_bytes(self) -> int:
+        return 64
+
+
+class SumCountState:
+    """(sum, count) pair — the building block of AVG."""
+
+    __slots__ = ("total", "n")
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.n = 0
+
+    def update(self, value: Any) -> None:
+        self.total += value
+        self.n += 1
+
+    def merge(self, other: "SumCountState") -> None:
+        self.total += other.total
+        self.n += other.n
+
+    def result(self) -> tuple[Any, int]:
+        return (self.total, self.n)
+
+    def size_bytes(self) -> int:
+        return 96
+
+
+class AvgState(SumCountState):
+    """AVG(value); ``result`` is the running mean."""
+
+    __slots__ = ()
+
+    def result(self) -> float:
+        if self.n == 0:
+            raise ValueError("average of empty state")
+        return self.total / self.n
+
+
+class MinState:
+    """MIN(value)."""
+
+    __slots__ = ("best",)
+
+    def __init__(self) -> None:
+        self.best: Any = None
+
+    def update(self, value: Any) -> None:
+        if self.best is None or value < self.best:
+            self.best = value
+
+    def merge(self, other: "MinState") -> None:
+        if other.best is not None:
+            self.update(other.best)
+
+    def result(self) -> Any:
+        if self.best is None:
+            raise ValueError("min of empty state")
+        return self.best
+
+    def size_bytes(self) -> int:
+        return 64 + (estimate_size(self.best) if self.best is not None else 0)
+
+
+class MaxState:
+    """MAX(value)."""
+
+    __slots__ = ("best",)
+
+    def __init__(self) -> None:
+        self.best: Any = None
+
+    def update(self, value: Any) -> None:
+        if self.best is None or value > self.best:
+            self.best = value
+
+    def merge(self, other: "MaxState") -> None:
+        if other.best is not None:
+            self.update(other.best)
+
+    def result(self) -> Any:
+        if self.best is None:
+            raise ValueError("max of empty state")
+        return self.best
+
+    def size_bytes(self) -> int:
+        return 64 + (estimate_size(self.best) if self.best is not None else 0)
+
+
+class TopKState:
+    """Largest ``k`` values (a bounded state; §IV's open question of
+    combiners for complex tasks like top-k has a clean answer for
+    per-key top-k: a size-k heap merges associatively)."""
+
+    __slots__ = ("k", "_heap")
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self._heap: list[Any] = []
+
+    def update(self, value: Any) -> None:
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, value)
+        elif value > self._heap[0]:
+            heapq.heapreplace(self._heap, value)
+
+    def merge(self, other: "TopKState") -> None:
+        for value in other._heap:
+            self.update(value)
+
+    def result(self) -> list[Any]:
+        return sorted(self._heap, reverse=True)
+
+    def size_bytes(self) -> int:
+        return 64 + 32 * len(self._heap)
+
+
+class TopByCountState:
+    """Most-frequent ``k`` values of a key (a nested group-by count).
+
+    This is the combiner the paper's §IV.3 open question asks about for
+    top-k queries: the state is a value→count table, which merges
+    associatively (counter addition), and ``result()`` ranks by count with
+    a deterministic tiebreak.  Memory is linear in the key's *distinct*
+    values, not its occurrences.
+    """
+
+    __slots__ = ("k", "counts", "_bytes")
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.counts: dict[Any, int] = {}
+        self._bytes = 64
+
+    def update(self, value: Any) -> None:
+        if value not in self.counts:
+            self._bytes += estimate_size(value) + 64
+            self.counts[value] = 1
+        else:
+            self.counts[value] += 1
+
+    def merge(self, other: "TopByCountState") -> None:
+        for value, count in other.counts.items():
+            if value not in self.counts:
+                self._bytes += estimate_size(value) + 64
+                self.counts[value] = count
+            else:
+                self.counts[value] += count
+
+    def result(self) -> list[tuple[Any, int]]:
+        ranked = sorted(self.counts.items(), key=lambda vc: (-vc[1], repr(vc[0])))
+        return ranked[: self.k]
+
+    def size_bytes(self) -> int:
+        return self._bytes
+
+
+class CollectState:
+    """Collect every value — a linear-size state.
+
+    Needed when the reduce function is holistic (sessionization, inverted
+    index posting lists).  Its footprint grows with the data, which is what
+    makes memory management interesting for these workloads.
+    """
+
+    __slots__ = ("values", "_bytes")
+
+    def __init__(self) -> None:
+        self.values: list[Any] = []
+        self._bytes = 64
+
+    def update(self, value: Any) -> None:
+        self.values.append(value)
+        self._bytes += estimate_size(value) + 8
+
+    def merge(self, other: "CollectState") -> None:
+        self.values.extend(other.values)
+        self._bytes += other._bytes - 64
+
+    def result(self) -> list[Any]:
+        return list(self.values)
+
+    def size_bytes(self) -> int:
+        return self._bytes
+
+
+class SessionState(CollectState):
+    """Collects ``(timestamp, payload)`` clicks; ``result`` returns sessions.
+
+    A session is a maximal run of clicks (ordered by timestamp) with
+    inter-click gaps below ``gap``.  The final sort makes this state
+    holistic, but it still merges associatively because ``result`` sorts.
+    """
+
+    __slots__ = ("gap",)
+
+    def __init__(self, gap: float = 1800.0) -> None:
+        super().__init__()
+        if gap <= 0:
+            raise ValueError("session gap must be positive")
+        self.gap = gap
+
+    def result(self) -> list[list[Any]]:
+        if not self.values:
+            return []
+        ordered = sorted(self.values, key=lambda click: click[0])
+        sessions: list[list[Any]] = [[ordered[0]]]
+        for click in ordered[1:]:
+            if click[0] - sessions[-1][-1][0] > self.gap:
+                sessions.append([click])
+            else:
+                sessions[-1].append(click)
+        return sessions
+
+
+# -- ready-made aggregators ---------------------------------------------------
+
+COUNT: Aggregator[int] = Aggregator("count", CountState)
+SUM: Aggregator[Any] = Aggregator("sum", SumState)
+AVG: Aggregator[float] = Aggregator("avg", AvgState)
+MIN: Aggregator[Any] = Aggregator("min", MinState)
+MAX: Aggregator[Any] = Aggregator("max", MaxState)
+COLLECT: Aggregator[list] = Aggregator("collect", CollectState)
+
+
+def top_k(k: int) -> Aggregator[list]:
+    """Aggregator producing each key's ``k`` largest values."""
+    return Aggregator(f"top{k}", lambda: TopKState(k))
+
+
+def top_by_count(k: int) -> Aggregator[list]:
+    """Aggregator producing each key's ``k`` most frequent values."""
+    return Aggregator(f"topcount{k}", lambda: TopByCountState(k))
+
+
+def sessionize(gap: float = 1800.0) -> Aggregator[list]:
+    """Aggregator producing each user's click sessions (gap in seconds)."""
+    return Aggregator(f"session(gap={gap:g})", lambda: SessionState(gap))
+
+
+def fold(aggregator: Aggregator, values: Iterable[Any]) -> Any:
+    """Convenience: run ``values`` through a fresh state and return result."""
+    state = aggregator.initial()
+    for value in values:
+        state.update(value)
+    return state.result()

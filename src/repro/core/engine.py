@@ -1,0 +1,456 @@
+"""The one-pass analytics engine — the platform sketched in §V of the paper.
+
+The engine keeps the MapReduce programming model but replaces every
+sort-merge component with hash-based ones:
+
+* map side: scan-only partitioning, or in-memory hash aggregation when the
+  job has a combiner algebra (an :class:`~repro.core.aggregates.Aggregator`);
+* shuffle: push-based — mappers deliver chunks to reducers as they are
+  produced (Table III's "Push / Pull" row);
+* reduce side, by :attr:`OnePassConfig.mode`:
+
+  - ``"hybrid"``       — hybrid hash grouping (blocking; baseline),
+  - ``"incremental"``  — per-key states updated on arrival, early emission,
+  - ``"hotset"``       — incremental + Space-Saving hot-key cache when
+    memory is smaller than the total state size.
+
+Jobs with no aggregator (holistic reduces such as sessionization) run the
+grouping path: hybrid hash collects each key's values without ever sorting,
+then the reduce function is applied per group.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.core.aggregates import COLLECT, Aggregator
+from repro.core.hotset import ApproximateResult, HotSetIncrementalHash
+from repro.core.hybrid_hash import HybridHashGrouper
+from repro.core.incremental import EmitPolicy, IncrementalHash
+from repro.core.partitioner import MapSideHashCombiner, ScanPartitionBuffer
+from repro.hdfs.filesystem import InputSplit
+from repro.io.disk import LocalDisk
+from repro.mapreduce.api import ReduceFn
+from repro.mapreduce.counters import C, Counters
+from repro.mapreduce.faults import FaultPlan
+from repro.mapreduce.runtime import JobResult, LocalCluster
+from repro.mapreduce.scheduler import WaveScheduler
+
+__all__ = ["OnePassConfig", "OnePassJob", "OnePassReduceTask", "OnePassEngine"]
+
+FinalizeFn = Callable[[Any, Any], Iterable[Any]]
+
+_MODES = ("hybrid", "incremental", "hotset")
+
+
+@dataclass(slots=True)
+class OnePassConfig:
+    """Tuning knobs of the one-pass engine."""
+
+    num_reducers: int = 2
+    map_buffer_bytes: int = 2 * 1024 * 1024
+    map_memory_bytes: int = 8 * 1024 * 1024
+    reduce_memory_bytes: int = 64 * 1024 * 1024
+    mode: str = "incremental"
+    hotset_capacity: int = 1024
+    spill_partitions: int = 8
+    map_side_combine: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_reducers < 1:
+            raise ValueError("num_reducers must be >= 1")
+        if self.mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {self.mode!r}")
+        if self.hotset_capacity < 1:
+            raise ValueError("hotset_capacity must be >= 1")
+        for name in ("map_buffer_bytes", "map_memory_bytes", "reduce_memory_bytes"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+@dataclass(slots=True)
+class OnePassJob:
+    """A job for the one-pass engine.
+
+    Exactly one of two shapes:
+
+    * **aggregate job** — ``aggregator`` set: the reduce is the aggregate's
+      algebra; ``finalize(key, result)`` (default: yield ``(key, result)``)
+      shapes output records.  Supports incremental/hotset modes and early
+      emission via ``emit_policy``.
+    * **grouping job** — ``reduce_fn`` set: each key's collected values are
+      passed to the reduce function, as in classic MapReduce.  Runs on the
+      (blocking) hybrid-hash path; no sorting anywhere.
+    """
+
+    name: str
+    map_fn: Callable[[Any], Iterable[tuple[Any, Any]]]
+    aggregator: Aggregator | None = None
+    reduce_fn: ReduceFn | None = None
+    finalize: FinalizeFn | None = None
+    emit_policy: EmitPolicy | None = None
+    config: OnePassConfig = field(default_factory=OnePassConfig)
+    input_path: str = ""
+    output_path: str = ""
+
+    def __post_init__(self) -> None:
+        if (self.aggregator is None) == (self.reduce_fn is None):
+            raise ValueError("set exactly one of aggregator / reduce_fn")
+        if self.reduce_fn is not None and self.config.mode != "hybrid":
+            # Holistic jobs cannot run incrementally; fall back silently is
+            # worse than being explicit.
+            raise ValueError(
+                "grouping jobs (reduce_fn) require mode='hybrid'; "
+                f"got mode={self.config.mode!r}"
+            )
+        if self.emit_policy is not None and self.aggregator is None:
+            raise ValueError("emit_policy requires an aggregator")
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.aggregator is not None
+
+
+class OnePassReduceTask:
+    """One reduce partition's hash backend, fed by pushed chunks."""
+
+    def __init__(
+        self,
+        job: OnePassJob,
+        partition: int,
+        node: str,
+        disk: LocalDisk,
+    ) -> None:
+        self.job = job
+        self.partition = partition
+        self.node = node
+        self.disk = disk
+        self.counters = Counters()
+        cfg = job.config
+        namespace = f"onepass/{partition:03d}"
+        self._incremental: IncrementalHash | None = None
+        self._hotset: HotSetIncrementalHash | None = None
+        self._grouper: HybridHashGrouper | None = None
+        if job.is_aggregate and cfg.mode == "incremental":
+            self._incremental = IncrementalHash(
+                job.aggregator,
+                memory_bytes=cfg.reduce_memory_bytes,
+                disk=disk,
+                namespace=namespace,
+                emit_policy=job.emit_policy,
+                counters=self.counters,
+            )
+        elif job.is_aggregate and cfg.mode == "hotset":
+            self._hotset = HotSetIncrementalHash(
+                job.aggregator,
+                disk,
+                namespace,
+                capacity=cfg.hotset_capacity,
+                spill_partitions=cfg.spill_partitions,
+                counters=self.counters,
+            )
+        else:
+            self._grouper = HybridHashGrouper(
+                disk,
+                namespace,
+                cfg.reduce_memory_bytes,
+                aggregator=job.aggregator or COLLECT,
+                spill_partitions=cfg.spill_partitions,
+                counters=self.counters,
+            )
+
+    # -- ingestion (push target) ----------------------------------------------
+
+    def accept(self, pairs: list[tuple[Any, Any]], nbytes: int) -> None:
+        counters = self.counters
+        counters.inc(C.SHUFFLE_BYTES, nbytes)
+        counters.inc(C.REDUCE_INPUT_RECORDS, len(pairs))
+        perf = time.perf_counter
+        t0 = perf()
+        if self._incremental is not None:
+            update = self._incremental.update
+            for key, value in pairs:
+                update(key, value)
+        elif self._hotset is not None:
+            update = self._hotset.update
+            for key, value in pairs:
+                update(key, value)
+        else:
+            assert self._grouper is not None
+            add = self._grouper.add
+            for key, value in pairs:
+                add(key, value)
+        counters.inc(C.T_HASH, perf() - t0)
+
+    # -- early answers -----------------------------------------------------------
+
+    @property
+    def early_emitted(self) -> list[tuple[Any, Any]]:
+        if self._incremental is not None:
+            return self._incremental.early_emitted
+        return []
+
+    def approximate_results(self) -> list[ApproximateResult]:
+        if self._hotset is not None:
+            return list(self._hotset.approximate_results())
+        return []
+
+    # -- finish ---------------------------------------------------------------------
+
+    def finish(self) -> list[Any]:
+        """Drain the backend and produce this partition's output records."""
+        counters = self.counters
+        counters.inc(C.REDUCE_TASKS)
+        job = self.job
+        output: list[Any] = []
+        groups = 0
+        if job.is_aggregate:
+            finalize = job.finalize or _default_finalize
+            for key, result in self._aggregate_results():
+                groups += 1
+                output.extend(finalize(key, result))
+        else:
+            assert self._grouper is not None and job.reduce_fn is not None
+            perf = time.perf_counter
+            t_reduce = 0.0
+            for key, values in self._grouper.finish():
+                groups += 1
+                t0 = perf()
+                output.extend(job.reduce_fn(key, iter(values)))
+                t_reduce += perf() - t0
+            counters.inc(C.T_REDUCE_FN, t_reduce)
+        counters.inc(C.REDUCE_INPUT_GROUPS, groups)
+        counters.inc(C.REDUCE_OUTPUT_RECORDS, len(output))
+        return output
+
+    def _aggregate_results(self) -> Iterator[tuple[Any, Any]]:
+        if self._incremental is not None:
+            return self._incremental.results()
+        if self._hotset is not None:
+            return self._hotset.results()
+        assert self._grouper is not None
+        return self._grouper.finish()
+
+
+def _default_finalize(key: Any, result: Any) -> Iterable[Any]:
+    yield (key, result)
+
+
+class OnePassEngine:
+    """Runs :class:`OnePassJob` programs over a :class:`LocalCluster`.
+
+    With a ``fault_plan``, map output is *staged* per task and delivered to
+    reducers only when the task completes; a killed attempt's staged chunks
+    are discarded and the task re-runs on another node.  This is the
+    fault-tolerance overhead the paper alludes to when it excludes infinite
+    streams: push-based pipelining and recoverability pull in opposite
+    directions, and recovery costs one task's worth of buffering latency.
+    """
+
+    name = "onepass"
+
+    def __init__(
+        self,
+        cluster: LocalCluster,
+        *,
+        map_slots: int = 2,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.scheduler = WaveScheduler(cluster.compute_node_names, map_slots=map_slots)
+        self.fault_plan = fault_plan
+
+    def _read_split(
+        self, split: InputSplit, node: str, counters: Counters
+    ) -> tuple[Iterator[Any], int, bool]:
+        hdfs = self.cluster.hdfs
+        local = node in split.preferred_nodes
+        data = hdfs.read_block_bytes(split.block_id, from_node=node if local else None)
+        info = hdfs.namenode.file_info(split.block_id.path)
+        codec = hdfs.codec(info.codec_name)
+
+        def timed() -> Iterator[Any]:
+            perf = time.perf_counter
+            it = codec.decode(data)
+            while True:
+                t0 = perf()
+                try:
+                    record = next(it)
+                except StopIteration:
+                    counters.inc(C.T_PARSE, perf() - t0)
+                    return
+                counters.inc(C.T_PARSE, perf() - t0)
+                yield record
+
+        return timed(), len(data), local
+
+    def _run_map_attempt(
+        self,
+        job: OnePassJob,
+        cfg: OnePassConfig,
+        assignment: Any,
+        node: str,
+        sink: Any,
+        counters: Counters,
+    ) -> int:
+        """One map-task attempt; returns remote-read network bytes."""
+        task_counters = Counters()
+        task_counters.inc(C.MAP_TASKS)
+        records, nbytes, local = self._read_split(
+            assignment.split, node, task_counters
+        )
+        task_counters.inc(C.MAP_INPUT_BYTES, nbytes)
+
+        if job.is_aggregate and cfg.map_side_combine:
+            buffer: Any = MapSideHashCombiner(
+                cfg.num_reducers,
+                job.aggregator,
+                sink,
+                memory_bytes=cfg.map_memory_bytes,
+                counters=task_counters,
+            )
+        else:
+            buffer = ScanPartitionBuffer(
+                cfg.num_reducers,
+                sink,
+                buffer_bytes=cfg.map_buffer_bytes,
+                counters=task_counters,
+            )
+
+        map_fn = job.map_fn
+        perf = time.perf_counter
+        t_map_fn = 0.0
+        t_hash = 0.0
+        n_in = 0
+        for record in records:
+            n_in += 1
+            t0 = perf()
+            emitted = list(map_fn(record))
+            t1 = perf()
+            for key, value in emitted:
+                buffer.add(key, value)
+            t_hash += perf() - t1
+            t_map_fn += t1 - t0
+        t0 = perf()
+        buffer.finish()
+        t_hash += perf() - t0
+        task_counters.inc(C.MAP_INPUT_RECORDS, n_in)
+        task_counters.inc(C.T_MAP_FN, t_map_fn)
+        task_counters.inc(C.T_HASH, t_hash)
+        counters.merge(task_counters)
+        return 0 if local else nbytes
+
+    def _run_map_with_retries(
+        self,
+        job: OnePassJob,
+        cfg: OnePassConfig,
+        assignment: Any,
+        deliver: Any,
+        counters: Counters,
+    ) -> int:
+        """Run one map task; with a fault plan, stage output until success."""
+        if self.fault_plan is None:
+            return self._run_map_attempt(
+                job, cfg, assignment, assignment.node, deliver, counters
+            )
+
+        from repro.mapreduce.faults import TaskFailure  # local: avoid cycle confusion
+
+        candidates = [assignment.node] + [
+            n for n in self.cluster.compute_node_names if n != assignment.node
+        ]
+        task_id = assignment.task_id
+        for attempt_idx in range(self.fault_plan.max_attempts):
+            node = candidates[attempt_idx % len(candidates)]
+            dies = False
+            try:
+                self.fault_plan.start_map_attempt(task_id)
+            except TaskFailure:
+                dies = True
+            staged: list[tuple[int, list, int]] = []
+            net = self._run_map_attempt(
+                job,
+                cfg,
+                assignment,
+                node,
+                lambda p, pairs, b: staged.append((p, pairs, b)),
+                counters,
+            )
+            if dies:
+                # Attempt lost before completion: staged output discarded.
+                counters.inc(C.MAP_TASK_RETRIES)
+                continue
+            for partition, pairs, nbytes in staged:
+                counters.inc(C.STAGED_OUTPUT_BYTES, nbytes)
+                deliver(partition, pairs, nbytes)
+            return net
+        raise RuntimeError(
+            f"map task {task_id} exhausted {self.fault_plan.max_attempts} attempts"
+        )
+
+    def run(self, job: OnePassJob) -> JobResult:
+        if not job.input_path or not job.output_path:
+            raise ValueError("job must set input_path and output_path")
+        cluster = self.cluster
+        hdfs = cluster.hdfs
+        cfg = job.config
+        counters = Counters()
+        t_start = time.perf_counter()
+
+        splits = hdfs.input_splits(job.input_path)
+        assignments, sched_stats = self.scheduler.schedule(splits)
+        reducer_nodes = self.scheduler.assign_reducers(cfg.num_reducers)
+        reduce_tasks = {
+            p: OnePassReduceTask(job, p, node, cluster.nodes[node].intermediate_disk)
+            for p, node in reducer_nodes.items()
+        }
+        network_bytes = 0
+
+        def sink(partition: int, pairs: list[tuple[Any, Any]], nbytes: int) -> None:
+            nonlocal network_bytes
+            network_bytes += nbytes
+            reduce_tasks[partition].accept(pairs, nbytes)
+
+        t_map_start = time.perf_counter()
+        for assignment in assignments:
+            network_bytes += self._run_map_with_retries(
+                job, cfg, assignment, sink, counters
+            )
+        t_map = time.perf_counter() - t_map_start
+
+        t_reduce_start = time.perf_counter()
+        hdfs.namenode.create_file(job.output_path, codec_name="binary")
+        output_records = 0
+        early: list[tuple[Any, Any]] = []
+        approx: list[ApproximateResult] = []
+        for partition, rtask in sorted(reduce_tasks.items()):
+            approx.extend(rtask.approximate_results())
+            output = rtask.finish()
+            early.extend(rtask.early_emitted)
+            output_records += len(output)
+            if output:
+                hdfs.append_block(
+                    job.output_path, output, writer_node=reducer_nodes[partition]
+                )
+            counters.merge(rtask.counters)
+        t_reduce = time.perf_counter() - t_reduce_start
+
+        counters.inc(C.OUTPUT_BYTES, hdfs.file_bytes(job.output_path))
+        return JobResult(
+            job_name=job.name,
+            engine=self.name,
+            output_path=job.output_path,
+            counters=counters,
+            wall_time=time.perf_counter() - t_start,
+            phase_times={"map": t_map, "reduce": t_reduce},
+            schedule=sched_stats,
+            network_bytes=network_bytes,
+            output_records=output_records,
+            extras={
+                "early_emitted": early,
+                "approximate_results": approx,
+                "mode": cfg.mode,
+            },
+        )

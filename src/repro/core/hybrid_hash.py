@@ -1,0 +1,222 @@
+"""Hybrid hash grouping (Shapiro 1986), adapted to MapReduce group-by.
+
+This is technique (1) of the paper's reduce module: replace sort-merge
+grouping with hashing.  Keys that arrive while memory is available build an
+in-memory table and never touch disk; once the memory budget is exhausted
+the resident key set is *frozen* — resident keys keep aggregating in memory
+— and pairs for non-resident keys are hashed into ``B`` disk partitions.
+At :meth:`finish`, resident groups are emitted directly and each disk
+partition is processed recursively with the next hash function of a
+pairwise-independent family.
+
+Properties the benchmarks verify:
+
+* **No sorting** — zero CPU spent ordering keys (Table II's 39–48% map-CPU
+  and the equivalent reduce-side cost disappear).
+* **Still blocking and I/O-bound when memory is short** — the paper is
+  explicit that plain hybrid hash has "I/O cost comparable to the
+  sort-merge based implementation"; incremental hash (technique 2) and the
+  hot-key optimisation (technique 3) are what remove it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.core.aggregates import COLLECT, Aggregator
+from repro.core.hash_tables import AccountedStateTable, HashFamily
+from repro.io.disk import LocalDisk
+from repro.io.runio import RunWriter, stream_run
+from repro.mapreduce.counters import C, Counters
+
+__all__ = ["HybridHashGrouper", "SpilledState"]
+
+
+class SpilledState:
+    """Wrapper marking a spilled partial *state* (vs. a raw value).
+
+    Evicting a resident key writes its accumulated state to the key's disk
+    partition; the recursive pass merges it back via ``AggregateState.merge``
+    instead of ``update``.  The wrapper disambiguates states from user
+    values that might themselves be state-like objects.
+    """
+
+    __slots__ = ("state",)
+
+    def __init__(self, state: Any) -> None:
+        self.state = state
+
+
+class HybridHashGrouper:
+    """Group ``(key, value)`` pairs by key under a memory budget.
+
+    Parameters
+    ----------
+    disk:
+        Local disk receiving overflow partitions.
+    namespace:
+        Prefix for this grouper's spill files.
+    memory_bytes:
+        Budget for the in-memory table (per recursion level).
+    aggregator:
+        State per key; :data:`~repro.core.aggregates.COLLECT` reproduces
+        plain grouping (emit the full value list per key).
+    spill_partitions:
+        ``B``, the fan-out of disk partitioning on overflow.
+    max_levels:
+        Recursion cap; beyond it a partition is processed without a budget
+        (only reachable under adversarial hash collisions).
+    """
+
+    def __init__(
+        self,
+        disk: LocalDisk,
+        namespace: str,
+        memory_bytes: int,
+        *,
+        aggregator: Aggregator = COLLECT,
+        spill_partitions: int = 8,
+        hash_family: HashFamily | None = None,
+        level: int = 0,
+        max_levels: int = 10,
+        counters: Counters | None = None,
+    ) -> None:
+        if memory_bytes <= 0:
+            raise ValueError("memory_bytes must be positive")
+        if spill_partitions < 2:
+            raise ValueError("spill_partitions must be >= 2")
+        self.disk = disk
+        self.namespace = namespace.rstrip("/")
+        self.memory_bytes = memory_bytes
+        self.aggregator = aggregator
+        self.spill_partitions = spill_partitions
+        self.hash_family = hash_family or HashFamily()
+        self.level = level
+        self.max_levels = max_levels
+        self.counters = counters if counters is not None else Counters()
+        self._hash: Callable[[Any], int] = self.hash_family.member(level)
+        self._table = AccountedStateTable(aggregator)
+        self._frozen = False
+        self._writers: list[RunWriter | None] = [None] * spill_partitions
+        self._spilled_pairs = [0] * spill_partitions
+        self._finished = False
+
+    # -- ingestion -----------------------------------------------------------
+
+    @property
+    def frozen(self) -> bool:
+        """True once the resident key set stopped admitting new keys."""
+        return self._frozen
+
+    @property
+    def resident_keys(self) -> int:
+        return len(self._table)
+
+    @property
+    def spilled_records(self) -> int:
+        return sum(self._spilled_pairs)
+
+    def add(self, key: Any, value: Any) -> None:
+        """Route one pair to the in-memory table or a disk partition.
+
+        ``value`` may be a :class:`SpilledState` produced by an eviction at
+        an outer recursion level; it is merged rather than folded.
+        """
+        if self._finished:
+            raise RuntimeError("grouper already finished")
+        if not self._frozen:
+            self._absorb(key, value)
+            if self._table.used_bytes > self.memory_bytes:
+                self._frozen = True
+                self.counters.set_max(C.HASH_STATE_BYTES_PEAK, self._table.used_bytes)
+            return
+        if key in self._table:
+            # Resident keys continue to aggregate in memory for free.
+            self._absorb(key, value)
+            # Linear states (collect/session) can outgrow the budget even
+            # with a frozen key set; shed the largest states to disk.
+            if self._table.used_bytes > 2 * self.memory_bytes:
+                self._evict_largest()
+            return
+        self._spill(key, value)
+
+    def _absorb(self, key: Any, value: Any) -> None:
+        if isinstance(value, SpilledState):
+            self._table.merge_state(key, value.state)
+        else:
+            self._table.update(key, value)
+
+    def _evict_largest(self) -> None:
+        """Spill the biggest resident states until back under budget."""
+        by_size = sorted(
+            self._table.items(), key=lambda kv: kv[1].size_bytes(), reverse=True
+        )
+        for key, _state in by_size:
+            if self._table.used_bytes <= self.memory_bytes:
+                break
+            state = self._table.pop(key)
+            self._spill(key, SpilledState(state))
+
+    def _spill(self, key: Any, value: Any) -> None:
+        bucket = self._hash(key) % self.spill_partitions
+        writer = self._writers[bucket]
+        if writer is None:
+            path = f"{self.namespace}/hh-l{self.level}-b{bucket:03d}"
+            writer = RunWriter(self.disk, path)
+            self._writers[bucket] = writer
+        writer.write((key, value))
+        self._spilled_pairs[bucket] += 1
+
+    # -- results ----------------------------------------------------------------
+
+    def finish(self) -> Iterator[tuple[Any, Any]]:
+        """Emit every ``(key, aggregated result)``; recurse into overflow.
+
+        Blocking by construction: nothing is emitted until the caller has
+        added the last pair.
+        """
+        if self._finished:
+            raise RuntimeError("grouper already finished")
+        self._finished = True
+        self.counters.set_max(C.HASH_STATE_BYTES_PEAK, self._table.used_bytes)
+        self.counters.inc(C.HASH_PROBES, self._table.probes)
+        yield from self._table.results()
+        self._table.clear()
+
+        for bucket, writer in enumerate(self._writers):
+            if writer is None:
+                continue
+            writer.close()
+            self.counters.inc(C.REDUCE_SPILL_BYTES, writer.bytes_written)
+            self.counters.inc(C.REDUCE_SPILLS)
+            yield from self._process_partition(writer.path, bucket)
+
+    def _process_partition(self, path: str, bucket: int) -> Iterator[tuple[Any, Any]]:
+        pairs = stream_run(self.disk, path)
+        if self.level + 1 >= self.max_levels:
+            # Pathological recursion (hash collisions): finish without a
+            # budget rather than loop forever.
+            table = AccountedStateTable(self.aggregator)
+            for key, value in pairs:
+                if isinstance(value, SpilledState):
+                    table.merge_state(key, value.state)
+                else:
+                    table.update(key, value)
+            self.disk.delete(path)
+            yield from table.results()
+            return
+        child = HybridHashGrouper(
+            self.disk,
+            f"{self.namespace}/b{bucket:03d}",
+            self.memory_bytes,
+            aggregator=self.aggregator,
+            spill_partitions=self.spill_partitions,
+            hash_family=self.hash_family,
+            level=self.level + 1,
+            max_levels=self.max_levels,
+            counters=self.counters,
+        )
+        for key, value in pairs:
+            child.add(key, value)
+        self.disk.delete(path)
+        yield from child.finish()

@@ -1,0 +1,254 @@
+"""Online aggregation: early approximate answers with confidence bounds.
+
+The paper frames one-pass analytics as "stream processing and online
+aggregation with early approximate answers".  This module supplies the
+estimator layer: given records consumed in (assumed) random order and the
+known population size, it maintains running estimates of COUNT / SUM / AVG
+— globally and per group — with CLT-based confidence intervals scaled by
+the finite-population correction (the variance shrinks to zero as the scan
+approaches completion, so the interval collapses onto the exact answer).
+
+The estimators are deliberately engine-agnostic: the one-pass engine's
+incremental hash can call :meth:`GroupedOnlineAggregator.observe` from an
+emit hook, and the examples drive them directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterator
+
+__all__ = [
+    "z_for_confidence",
+    "Estimate",
+    "OnlineSum",
+    "OnlineCount",
+    "OnlineMean",
+    "GroupedOnlineAggregator",
+]
+
+
+def z_for_confidence(confidence: float) -> float:
+    """Two-sided standard-normal quantile for a confidence level.
+
+    Uses Acklam's rational approximation of the inverse normal CDF
+    (relative error < 1.15e-9), so no SciPy dependency is needed.
+    """
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must lie in (0, 1)")
+    p = 1 - (1 - confidence) / 2
+    # Acklam's algorithm.
+    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
+    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    if p <= 1 - p_low:
+        q = p - 0.5
+        r = q * q
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+            ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1
+        )
+    q = math.sqrt(-2 * math.log(1 - p))
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+        (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class Estimate:
+    """A running estimate with its symmetric confidence interval."""
+
+    value: float
+    half_width: float
+    confidence: float
+    fraction_seen: float
+    n_seen: int
+
+    @property
+    def low(self) -> float:
+        return self.value - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.value + self.half_width
+
+    def contains(self, truth: float) -> bool:
+        return self.low <= truth <= self.high
+
+
+class _RunningMoments:
+    """Welford-style running mean and variance."""
+
+    __slots__ = ("n", "mean", "m2")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+
+    def push(self, x: float) -> None:
+        self.n += 1
+        delta = x - self.mean
+        self.mean += delta / self.n
+        self.m2 += delta * (x - self.mean)
+
+    @property
+    def variance(self) -> float:
+        return self.m2 / (self.n - 1) if self.n > 1 else 0.0
+
+
+class OnlineSum:
+    """Estimate the population SUM from a random-order prefix.
+
+    With ``n`` of ``N`` records seen and sample mean ``x̄``, the estimator
+    is ``N·x̄``; its standard error carries the finite-population
+    correction ``sqrt((N-n)/N)``, so certainty is reached at ``n = N``.
+    """
+
+    def __init__(self, population: int, *, confidence: float = 0.95) -> None:
+        if population < 1:
+            raise ValueError("population must be >= 1")
+        self.population = population
+        self.confidence = confidence
+        self._z = z_for_confidence(confidence)
+        self._moments = _RunningMoments()
+
+    def observe(self, value: float) -> None:
+        if self._moments.n >= self.population:
+            raise ValueError("observed more records than the population size")
+        self._moments.push(float(value))
+
+    @property
+    def n_seen(self) -> int:
+        return self._moments.n
+
+    def estimate(self) -> Estimate:
+        m = self._moments
+        if m.n == 0:
+            raise ValueError("no observations yet")
+        N = self.population
+        value = N * m.mean
+        fpc = (N - m.n) / N
+        se = N * math.sqrt(m.variance / m.n * fpc) if m.n > 1 else float("inf")
+        return Estimate(
+            value=value,
+            half_width=self._z * se,
+            confidence=self.confidence,
+            fraction_seen=m.n / N,
+            n_seen=m.n,
+        )
+
+
+class OnlineCount(OnlineSum):
+    """Estimate the COUNT of records satisfying a predicate.
+
+    Observe 1.0 for matching records and 0.0 otherwise; the SUM of the
+    indicator is the count.
+    """
+
+    def observe_match(self, matches: bool) -> None:
+        self.observe(1.0 if matches else 0.0)
+
+
+class OnlineMean:
+    """Estimate the population AVG (ratio of sums) with a CLT interval."""
+
+    def __init__(self, population: int, *, confidence: float = 0.95) -> None:
+        self.population = population
+        self.confidence = confidence
+        self._z = z_for_confidence(confidence)
+        self._moments = _RunningMoments()
+
+    def observe(self, value: float) -> None:
+        self._moments.push(float(value))
+
+    @property
+    def n_seen(self) -> int:
+        return self._moments.n
+
+    def estimate(self) -> Estimate:
+        m = self._moments
+        if m.n == 0:
+            raise ValueError("no observations yet")
+        N = self.population
+        fpc = (N - m.n) / N if N > m.n else 0.0
+        se = math.sqrt(m.variance / m.n * fpc) if m.n > 1 else float("inf")
+        return Estimate(
+            value=m.mean,
+            half_width=self._z * se,
+            confidence=self.confidence,
+            fraction_seen=m.n / N,
+            n_seen=m.n,
+        )
+
+
+class GroupedOnlineAggregator:
+    """Per-group SUM/COUNT estimates over a random-order record stream.
+
+    Every record contributes to every group's indicator variable (zero for
+    groups it does not belong to), which makes the group-total estimator
+    ``N · s_g / n`` unbiased under random order and gives each group an
+    honest variance even before its first member is seen.
+    """
+
+    def __init__(self, population: int, *, confidence: float = 0.95) -> None:
+        if population < 1:
+            raise ValueError("population must be >= 1")
+        self.population = population
+        self.confidence = confidence
+        self._z = z_for_confidence(confidence)
+        self.n_seen = 0
+        self._sums: dict[Hashable, float] = {}
+        self._sumsq: dict[Hashable, float] = {}
+
+    def observe(self, group: Hashable, value: float = 1.0) -> None:
+        """Record one stream record belonging to ``group``."""
+        if self.n_seen >= self.population:
+            raise ValueError("observed more records than the population size")
+        self.n_seen += 1
+        v = float(value)
+        self._sums[group] = self._sums.get(group, 0.0) + v
+        self._sumsq[group] = self._sumsq.get(group, 0.0) + v * v
+
+    def groups(self) -> list[Hashable]:
+        return list(self._sums)
+
+    def estimate(self, group: Hashable) -> Estimate:
+        """Estimated population total of ``value`` for ``group``."""
+        if self.n_seen == 0:
+            raise ValueError("no observations yet")
+        n = self.n_seen
+        N = self.population
+        s = self._sums.get(group, 0.0)
+        ssq = self._sumsq.get(group, 0.0)
+        mean = s / n
+        var = max(ssq / n - mean * mean, 0.0) * (n / (n - 1)) if n > 1 else 0.0
+        fpc = (N - n) / N
+        se = N * math.sqrt(var / n * fpc) if n > 1 else float("inf")
+        return Estimate(
+            value=N * mean,
+            half_width=self._z * se,
+            confidence=self.confidence,
+            fraction_seen=n / N,
+            n_seen=n,
+        )
+
+    def estimates(self) -> Iterator[tuple[Hashable, Estimate]]:
+        for group in self._sums:
+            yield group, self.estimate(group)
+
+    def top_groups(self, k: int) -> list[tuple[Hashable, Estimate]]:
+        """The ``k`` groups with the largest estimated totals."""
+        ranked = sorted(self.estimates(), key=lambda ge: ge[1].value, reverse=True)
+        return ranked[:k]

@@ -1,0 +1,112 @@
+"""Query helpers over the one-pass engine's results.
+
+Two query shapes from the paper's discussion of incremental processing:
+
+* **threshold queries** — "a query that returns all the groups where the
+  count of items exceeds a threshold ... a group needs to be output as
+  soon as the count of its items has reached the threshold";
+* **top-k queries** — listed among the "complex queries" the combiner
+  question (§IV.3) worries about; per-key aggregation plus a global
+  selection makes them one-pass friendly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.core.aggregates import AggregateState
+from repro.core.incremental import EmitPolicy, count_threshold_policy
+
+__all__ = ["ThresholdQuery", "global_top_k", "TopKSelector"]
+
+
+class ThresholdQuery:
+    """Groups whose aggregate reaches a threshold, emitted incrementally.
+
+    ``emit_policy`` plugs into :class:`~repro.core.incremental.IncrementalHash`
+    (or :class:`~repro.core.engine.OnePassJob`); :meth:`filter_final`
+    applies the same predicate to final results for engines that cannot
+    emit early (the baselines), so answers stay comparable.
+    """
+
+    def __init__(
+        self,
+        threshold: float,
+        *,
+        measure: Callable[[Any], float] | None = None,
+    ) -> None:
+        self.threshold = threshold
+        self.measure = measure or (lambda result: float(result))
+
+    @property
+    def emit_policy(self) -> EmitPolicy:
+        measure = self.measure
+        threshold = self.threshold
+
+        def policy(_key: Any, state: AggregateState) -> bool:
+            return measure(state.result()) >= threshold
+
+        return policy
+
+    def filter_final(
+        self, results: Iterable[tuple[Any, Any]]
+    ) -> Iterator[tuple[Any, Any]]:
+        for key, result in results:
+            if self.measure(result) >= self.threshold:
+                yield key, result
+
+
+def global_top_k(
+    results: Iterable[tuple[Any, Any]],
+    k: int,
+    *,
+    measure: Callable[[Any], float] | None = None,
+) -> list[tuple[Any, Any]]:
+    """The ``k`` keys with the largest aggregate, best first.
+
+    Ties break deterministically on the key's repr so runs are stable
+    across hash orderings.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    measure = measure or (lambda result: float(result))
+    return heapq.nlargest(
+        k, results, key=lambda kr: (measure(kr[1]), repr(kr[0]))
+    )
+
+
+class TopKSelector:
+    """Streaming global top-k over ``(key, result)`` pairs.
+
+    A reducer can feed results as they finalise; memory stays O(k).
+    """
+
+    def __init__(
+        self, k: int, *, measure: Callable[[Any], float] | None = None
+    ) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.measure = measure or (lambda result: float(result))
+        self._heap: list[tuple[float, str, Any, Any]] = []
+
+    def offer(self, key: Any, result: Any) -> None:
+        entry = (self.measure(result), repr(key), key, result)
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, entry)
+        elif entry > self._heap[0]:
+            heapq.heapreplace(self._heap, entry)
+
+    def offer_all(self, results: Iterable[tuple[Any, Any]]) -> None:
+        for key, result in results:
+            self.offer(key, result)
+
+    def best(self) -> list[tuple[Any, Any]]:
+        """Current top-k, best first."""
+        return [
+            (key, result)
+            for _m, _r, key, result in sorted(self._heap, reverse=True)
+        ]
+
+__all__.append("count_threshold_policy")

@@ -1,0 +1,277 @@
+"""Stream processing over the one-pass core — the paper's end goal.
+
+§IV closes with the platform the hash techniques are built for: "near
+real-time stream processing that obviates the need for data loading and
+returns pipelined answers as data arrives".  This module provides that
+interface over the same reduce-side backends the batch engine uses:
+
+* :class:`StreamProcessor` — push records as they arrive (no HDFS, no
+  job submission); the map function and hash partitioning run inline and
+  per-key aggregate states update immediately.  Running answers are
+  queryable at any moment; an emit policy streams out groups the instant
+  their state satisfies it.
+* :class:`TumblingWindowProcessor` — time-windowed streaming: records
+  land in fixed-width windows by timestamp, each window aggregates
+  incrementally, and a window's final answers are delivered through a
+  callback once the watermark passes its end (plus allowed lateness).
+
+Consistent with the paper's scoping, streams are *unbounded but
+finite-state*: fault tolerance across pushes is out of scope here (§I:
+"we do not consider an infinite sequence due to the overhead of fault
+tolerance") — the batch engines own that story.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.core.aggregates import Aggregator
+from repro.core.hotset import HotSetIncrementalHash
+from repro.core.incremental import EmitPolicy, IncrementalHash
+from repro.io.disk import LocalDisk
+from repro.mapreduce.api import MapFn
+from repro.mapreduce.counters import C, Counters
+from repro.mapreduce.partition import Partitioner, hash_partitioner
+
+__all__ = ["StreamProcessor", "TumblingWindowProcessor"]
+
+EmitCallback = Callable[[Any, Any], None]
+
+
+class StreamProcessor:
+    """Incremental analytics over a pushed record stream.
+
+    Parameters
+    ----------
+    map_fn:
+        The MapReduce map function, applied to each pushed record.
+    aggregator:
+        Per-key state algebra (the combine function's algebra).
+    num_partitions:
+        Parallelism of the reduce side; keys hash-partition across
+        independent backends exactly as in the cluster engine.
+    mode:
+        ``"incremental"`` (default, exact) or ``"hotset"`` (bounded
+        memory, approximate early answers, exact on :meth:`finish`).
+    on_emit:
+        Called with ``(key, result)`` the first time ``emit_policy``
+        holds for a key — the pipelined-answer channel.
+    """
+
+    def __init__(
+        self,
+        map_fn: MapFn,
+        aggregator: Aggregator,
+        *,
+        num_partitions: int = 2,
+        mode: str = "incremental",
+        memory_bytes: int | None = None,
+        hotset_capacity: int = 1024,
+        emit_policy: EmitPolicy | None = None,
+        on_emit: EmitCallback | None = None,
+        partitioner: Partitioner = hash_partitioner,
+        disk: LocalDisk | None = None,
+    ) -> None:
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        if mode not in ("incremental", "hotset"):
+            raise ValueError(f"mode must be incremental or hotset, got {mode!r}")
+        self.map_fn = map_fn
+        self.aggregator = aggregator
+        self.num_partitions = num_partitions
+        self.mode = mode
+        self.partitioner = partitioner
+        self.on_emit = on_emit
+        self.counters = Counters()
+        self._disk = disk or LocalDisk(name="stream")
+        self._emitted_log: list[tuple[Any, Any]] = []
+        self._closed = False
+        self.records_seen = 0
+
+        wrapped_policy = emit_policy
+        if emit_policy is not None and on_emit is not None:
+            wrapped_policy = self._wrap_policy(emit_policy)
+
+        self._backends: list[Any] = []
+        for p in range(num_partitions):
+            if mode == "incremental":
+                self._backends.append(
+                    IncrementalHash(
+                        aggregator,
+                        memory_bytes=memory_bytes,
+                        disk=self._disk if memory_bytes else None,
+                        namespace=f"stream/{p:03d}",
+                        emit_policy=wrapped_policy,
+                        counters=self.counters,
+                    )
+                )
+            else:
+                self._backends.append(
+                    HotSetIncrementalHash(
+                        aggregator,
+                        self._disk,
+                        f"stream/{p:03d}",
+                        capacity=hotset_capacity,
+                        counters=self.counters,
+                    )
+                )
+
+    def _wrap_policy(self, policy: EmitPolicy) -> EmitPolicy:
+        on_emit = self.on_emit
+
+        def wrapped(key: Any, state: Any) -> bool:
+            hit = policy(key, state)
+            if hit and on_emit is not None:
+                on_emit(key, state.result())
+            return hit
+
+        return wrapped
+
+    # -- ingestion -----------------------------------------------------------
+
+    def push(self, record: Any) -> None:
+        """Feed one record; states update before this call returns."""
+        if self._closed:
+            raise RuntimeError("stream already finished")
+        self.records_seen += 1
+        for key, value in self.map_fn(record):
+            partition = self.partitioner(key, self.num_partitions)
+            self._backends[partition].update(key, value)
+
+    def push_many(self, records: Iterable[Any]) -> None:
+        for record in records:
+            self.push(record)
+
+    # -- queries ---------------------------------------------------------------
+
+    def current(self, key: Any) -> Any | None:
+        """The key's running answer right now (``None`` if unseen/cold)."""
+        partition = self.partitioner(key, self.num_partitions)
+        backend = self._backends[partition]
+        if isinstance(backend, IncrementalHash):
+            return backend.current(key)
+        for approx in backend.approximate_results():
+            if approx.key == key:
+                return approx.result
+        return None
+
+    def snapshot(self) -> dict[Any, Any]:
+        """Running answers for every in-memory key — zero extra I/O."""
+        out: dict[Any, Any] = {}
+        for backend in self._backends:
+            if isinstance(backend, IncrementalHash):
+                out.update(backend.snapshot_results())
+            else:
+                for approx in backend.approximate_results():
+                    out[approx.key] = approx.result
+        return out
+
+    @property
+    def early_emitted(self) -> list[tuple[Any, Any]]:
+        out: list[tuple[Any, Any]] = []
+        for backend in self._backends:
+            if isinstance(backend, IncrementalHash):
+                out.extend(backend.early_emitted)
+        return out
+
+    # -- finalisation ------------------------------------------------------------
+
+    def finish(self) -> dict[Any, Any]:
+        """Close the stream and return exact final answers for all keys."""
+        if self._closed:
+            raise RuntimeError("stream already finished")
+        self._closed = True
+        out: dict[Any, Any] = {}
+        for backend in self._backends:
+            out.update(backend.results())
+        return out
+
+
+class TumblingWindowProcessor:
+    """Fixed-width time windows over a timestamped stream.
+
+    Records are assigned to window ``floor(ts / width)``; each window runs
+    its own incremental hash.  When the watermark (the largest timestamp
+    seen) passes a window's end plus ``allowed_lateness``, the window is
+    finalised and ``on_window(window_start, {key: result})`` fires.
+    Records older than an already-finalised window are counted as
+    ``late_records`` and dropped, as stream processors do.
+    """
+
+    def __init__(
+        self,
+        map_fn: MapFn,
+        aggregator: Aggregator,
+        *,
+        width: float,
+        ts_of: Callable[[Any], float],
+        on_window: Callable[[float, dict[Any, Any]], None],
+        allowed_lateness: float = 0.0,
+    ) -> None:
+        if width <= 0:
+            raise ValueError("width must be positive")
+        if allowed_lateness < 0:
+            raise ValueError("allowed_lateness must be non-negative")
+        self.map_fn = map_fn
+        self.aggregator = aggregator
+        self.width = width
+        self.ts_of = ts_of
+        self.on_window = on_window
+        self.allowed_lateness = allowed_lateness
+        self._windows: dict[int, IncrementalHash] = {}
+        self._watermark = float("-inf")
+        self._finalised_below = float("-inf")
+        self.late_records = 0
+        self.windows_emitted = 0
+
+    def _window_of(self, ts: float) -> int:
+        return int(ts // self.width)
+
+    def push(self, record: Any) -> None:
+        ts = self.ts_of(record)
+        window = self._window_of(ts)
+        window_start = window * self.width
+        if window_start < self._finalised_below:
+            self.late_records += 1
+            return
+        table = self._windows.get(window)
+        if table is None:
+            table = IncrementalHash(self.aggregator)
+            self._windows[window] = table
+        for key, value in self.map_fn(record):
+            table.update(key, value)
+        if ts > self._watermark:
+            self._watermark = ts
+            self._drain()
+
+    def push_many(self, records: Iterable[Any]) -> None:
+        for record in records:
+            self.push(record)
+
+    def _drain(self) -> None:
+        """Finalise every window whose end passed the watermark."""
+        horizon = self._watermark - self.allowed_lateness
+        ready = sorted(
+            w for w in self._windows if (w + 1) * self.width <= horizon
+        )
+        for window in ready:
+            table = self._windows.pop(window)
+            self.on_window(window * self.width, dict(table.results()))
+            self.windows_emitted += 1
+        # Advance the lateness boundary past *every* closed window, empty
+        # ones included — otherwise a straggler could resurrect a window
+        # that the watermark already passed and emit it out of order.
+        if horizon > float("-inf"):
+            boundary = (horizon // self.width) * self.width
+            self._finalised_below = max(self._finalised_below, boundary)
+
+    def flush(self) -> None:
+        """End of stream: finalise all remaining windows in time order."""
+        for window in sorted(self._windows):
+            table = self._windows.pop(window)
+            self.on_window(window * self.width, dict(table.results()))
+            self.windows_emitted += 1
+
+    @property
+    def open_windows(self) -> int:
+        return len(self._windows)

@@ -1,0 +1,22 @@
+"""HDFS-like block storage substrate.
+
+Files are split into fixed-size blocks, replicated across per-node
+DataNodes, and exposed to engines as locality-annotated input splits —
+the same structure Hadoop's task scheduling is built on.
+"""
+
+from repro.hdfs.blocks import DEFAULT_BLOCK_SIZE, BlockId, BlockInfo
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.filesystem import HDFS, InputSplit
+from repro.hdfs.namenode import FileInfo, NameNode
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "BlockId",
+    "BlockInfo",
+    "DataNode",
+    "NameNode",
+    "FileInfo",
+    "HDFS",
+    "InputSplit",
+]

@@ -1,0 +1,123 @@
+"""NameNode: file namespace, block placement and locality lookup.
+
+Placement follows HDFS's spirit without its rack-awareness: the first
+replica goes to a preferred (writer-local) node when given, the rest
+round-robin across the remaining nodes.  The paper's setup runs with
+``replication = 1``, which the default mirrors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hdfs.blocks import BlockId, BlockInfo
+
+__all__ = ["FileInfo", "NameNode"]
+
+
+@dataclass(slots=True)
+class FileInfo:
+    """Namespace entry for one file: ordered block metadata plus codec tag."""
+
+    path: str
+    blocks: list[BlockInfo] = field(default_factory=list)
+    codec_name: str = "binary"
+
+    @property
+    def nbytes(self) -> int:
+        return sum(b.nbytes for b in self.blocks)
+
+    @property
+    def records(self) -> int:
+        return sum(b.records for b in self.blocks)
+
+
+class NameNode:
+    """Tracks files, their blocks and replica placement."""
+
+    def __init__(self, node_names: list[str], *, replication: int = 1) -> None:
+        if not node_names:
+            raise ValueError("NameNode needs at least one DataNode")
+        if not 1 <= replication <= len(node_names):
+            raise ValueError(
+                f"replication {replication} invalid for {len(node_names)} nodes"
+            )
+        self.node_names = list(node_names)
+        self.replication = replication
+        self._files: dict[str, FileInfo] = {}
+        self._placement_cursor = 0
+
+    # -- namespace ---------------------------------------------------------
+
+    def create_file(self, path: str, *, codec_name: str = "binary") -> FileInfo:
+        if path in self._files:
+            raise FileExistsError(path)
+        info = FileInfo(path=path, codec_name=codec_name)
+        self._files[path] = info
+        return info
+
+    def file_info(self, path: str) -> FileInfo:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFoundError(path) from None
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def delete_file(self, path: str) -> FileInfo:
+        """Drop the namespace entry; the caller deletes replicas."""
+        return self._files.pop(path)
+
+    def list_files(self, prefix: str = "") -> list[str]:
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    # -- placement -----------------------------------------------------------
+
+    def place_block(
+        self,
+        path: str,
+        nbytes: int,
+        records: int,
+        *,
+        preferred: str | None = None,
+    ) -> BlockInfo:
+        """Choose replica nodes for the next block of ``path``.
+
+        The first replica lands on ``preferred`` when given (writer
+        locality); remaining replicas round-robin over the other nodes.
+        A preferred node outside the storage set is ignored — that is a
+        client writing from a compute-only node (the separate-storage
+        architecture), which gets no write locality, as in HDFS.
+        """
+        info = self.file_info(path)
+        block_id = BlockId(path=path, index=len(info.blocks))
+        replicas: list[str] = []
+        if preferred is not None and preferred in self.node_names:
+            replicas.append(preferred)
+        while len(replicas) < self.replication:
+            candidate = self.node_names[self._placement_cursor % len(self.node_names)]
+            self._placement_cursor += 1
+            if candidate not in replicas:
+                replicas.append(candidate)
+        block = BlockInfo(
+            block_id=block_id, nbytes=nbytes, records=records, replicas=replicas
+        )
+        info.blocks.append(block)
+        return block
+
+    # -- locality ------------------------------------------------------------
+
+    def locate(self, block_id: BlockId) -> list[str]:
+        """Nodes holding replicas of ``block_id``."""
+        info = self.file_info(block_id.path)
+        try:
+            return list(info.blocks[block_id.index].replicas)
+        except IndexError:
+            raise KeyError(f"no such block: {block_id}") from None
+
+    def blocks_of(self, path: str) -> list[BlockInfo]:
+        return list(self.file_info(path).blocks)
+
+    def total_bytes(self) -> int:
+        return sum(f.nbytes for f in self._files.values())

@@ -1,0 +1,90 @@
+"""Spill-file lifecycle management.
+
+Map tasks, shuffle buffers and hash tables all spill data to local disk
+under memory pressure.  :class:`SpillManager` centralises naming, tracking
+and cleanup of those files for one task, and accumulates the spill-volume
+counters that Table I and the §V comparison report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.io.disk import LocalDisk
+from repro.io.runio import stream_run, write_run
+
+__all__ = ["SpillFile", "SpillManager"]
+
+
+@dataclass(frozen=True, slots=True)
+class SpillFile:
+    """One spill on disk: its path, byte size and record count."""
+
+    path: str
+    nbytes: int
+    records: int
+    tag: str = ""
+
+
+class SpillManager:
+    """Creates, tracks and deletes spill files for one logical owner.
+
+    Parameters
+    ----------
+    disk:
+        The local disk that receives the spills.
+    namespace:
+        Prefix for every file this manager creates, e.g. ``"map-0042"``.
+    """
+
+    def __init__(self, disk: LocalDisk, namespace: str) -> None:
+        self.disk = disk
+        self.namespace = namespace.rstrip("/")
+        self._seq = 0
+        self.spills: list[SpillFile] = []
+        self.total_spilled_bytes = 0
+        self.total_spilled_records = 0
+
+    def _next_path(self, tag: str) -> str:
+        path = f"{self.namespace}/spill-{self._seq:05d}{('.' + tag) if tag else ''}"
+        self._seq += 1
+        return path
+
+    def spill(self, items: Iterable[Any], *, tag: str = "", count: int | None = None) -> SpillFile:
+        """Write ``items`` as a new spill file and record its size.
+
+        ``count`` may be supplied when the caller already knows the record
+        count (avoids forcing a second pass over a generator).
+        """
+        path = self._next_path(tag)
+        if count is None:
+            items = list(items)
+            count = len(items)
+        nbytes = write_run(self.disk, path, items)
+        sf = SpillFile(path=path, nbytes=nbytes, records=count, tag=tag)
+        self.spills.append(sf)
+        self.total_spilled_bytes += nbytes
+        self.total_spilled_records += count
+        return sf
+
+    def stream(self, spill: SpillFile) -> Iterable[Any]:
+        """Stream back the contents of one spill file."""
+        return stream_run(self.disk, spill.path)
+
+    def remove(self, spill: SpillFile) -> None:
+        """Delete one spill file (it stays in the historical totals)."""
+        self.disk.delete(spill.path)
+        self.spills.remove(spill)
+
+    def clear(self) -> None:
+        """Delete every live spill file."""
+        for spill in list(self.spills):
+            self.remove(spill)
+
+    @property
+    def live_bytes(self) -> int:
+        return sum(s.nbytes for s in self.spills)
+
+    def __len__(self) -> int:
+        return len(self.spills)

@@ -1,0 +1,125 @@
+"""The MapReduce programming model: user-facing job specification.
+
+This mirrors the two-function API the paper describes in §II:
+
+* ``map(record) -> iterable of (key, value)``
+* ``reduce(key, values) -> iterable of output records``
+
+plus the optional ``combine`` function applied after map (and, in the
+baseline, again when reduce-side buffers fill).  A combine function must be
+algebraically safe: commutative and associative over values of the same
+key, emitting ``(key, value)`` pairs of the same value type it consumes.
+
+The same :class:`MapReduceJob` object runs unmodified on every engine in
+this repository — the sort-merge baseline, MapReduce Online, and the
+hash-based one-pass engine — which is exactly the portability argument the
+paper makes for keeping the MapReduce API while replacing its
+implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+__all__ = ["MapFn", "ReduceFn", "CombineFn", "JobConfig", "MapReduceJob"]
+
+MapFn = Callable[[Any], Iterable[tuple[Any, Any]]]
+ReduceFn = Callable[[Any, Iterator[Any]], Iterable[Any]]
+CombineFn = Callable[[Any, Iterator[Any]], Iterable[tuple[Any, Any]]]
+
+
+@dataclass(slots=True)
+class JobConfig:
+    """Engine tuning knobs, named after their Hadoop equivalents.
+
+    Parameters
+    ----------
+    num_reducers:
+        Number of reduce tasks (``r`` in the paper; 40 in its cluster runs).
+    map_buffer_bytes:
+        Map-side output buffer (``io.sort.mb``); a full buffer triggers a
+        sort-and-spill in the baseline or a hash-partition flush in the
+        one-pass engine.
+    merge_factor:
+        ``F``, the fan-in of the multi-pass merge (``io.sort.factor``).
+    reduce_buffer_bytes:
+        Shuffle buffer on each reducer; overflow spills sorted runs (or
+        hash partitions) to the reducer's local disk.
+    combine_on_spill:
+        Apply the combiner when spilling, as Hadoop does.
+    """
+
+    num_reducers: int = 2
+    map_buffer_bytes: int = 8 * 1024 * 1024
+    merge_factor: int = 10
+    reduce_buffer_bytes: int = 32 * 1024 * 1024
+    combine_on_spill: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_reducers < 1:
+            raise ValueError("num_reducers must be >= 1")
+        if self.merge_factor < 2:
+            raise ValueError("merge_factor must be >= 2")
+        if self.map_buffer_bytes <= 0 or self.reduce_buffer_bytes <= 0:
+            raise ValueError("buffer sizes must be positive")
+
+
+@dataclass(slots=True)
+class MapReduceJob:
+    """A complete analytical job: functions plus configuration.
+
+    ``sort_comparable_keys`` must be True for the sort-merge baseline (its
+    group-by orders keys); the hash engines only require hashable keys.
+    """
+
+    name: str
+    map_fn: MapFn
+    reduce_fn: ReduceFn
+    combine_fn: CombineFn | None = None
+    config: JobConfig = field(default_factory=JobConfig)
+    input_path: str = ""
+    output_path: str = ""
+
+    def __post_init__(self) -> None:
+        if not callable(self.map_fn) or not callable(self.reduce_fn):
+            raise TypeError("map_fn and reduce_fn must be callable")
+        if self.combine_fn is not None and not callable(self.combine_fn):
+            raise TypeError("combine_fn must be callable or None")
+        if not self.name:
+            raise ValueError("job must have a name")
+
+    @property
+    def has_combiner(self) -> bool:
+        return self.combine_fn is not None
+
+    def with_config(self, **overrides: Any) -> "MapReduceJob":
+        """Return a copy of the job with config fields replaced."""
+        cfg = JobConfig(
+            num_reducers=self.config.num_reducers,
+            map_buffer_bytes=self.config.map_buffer_bytes,
+            merge_factor=self.config.merge_factor,
+            reduce_buffer_bytes=self.config.reduce_buffer_bytes,
+            combine_on_spill=self.config.combine_on_spill,
+        )
+        for key, value in overrides.items():
+            if not hasattr(cfg, key):
+                raise AttributeError(f"JobConfig has no field {key!r}")
+            setattr(cfg, key, value)
+        return MapReduceJob(
+            name=self.name,
+            map_fn=self.map_fn,
+            reduce_fn=self.reduce_fn,
+            combine_fn=self.combine_fn,
+            config=cfg,
+            input_path=self.input_path,
+            output_path=self.output_path,
+        )
+
+
+def run_combiner(
+    combine_fn: CombineFn, grouped: Iterable[tuple[Any, list[Any]]]
+) -> Iterator[tuple[Any, Any]]:
+    """Apply a combiner to pre-grouped pairs, flattening its emissions."""
+    for key, values in grouped:
+        yield from combine_fn(key, iter(values))

@@ -1,0 +1,141 @@
+"""Job counters and CPU-time attribution.
+
+The paper's Table II splits map-phase CPU between the user map function and
+the framework's sorting; its Table I reports intermediate-data volumes.
+:class:`Counters` is the single accounting object every engine in this
+repository fills in: integer/float counters (records, bytes, spills) plus
+named wall-clock timers attributed with :meth:`Counters.timer`.
+
+Counters merge associatively, so per-task counter sets roll up into job
+totals regardless of scheduling order.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["Counters", "C"]
+
+
+class C:
+    """Canonical counter names shared by all engines.
+
+    Keeping the names in one place lets the analysis layer compare the
+    sort-merge baseline against the hash engine field by field.
+    """
+
+    # record flow
+    MAP_INPUT_RECORDS = "map.input.records"
+    MAP_OUTPUT_RECORDS = "map.output.records"
+    COMBINE_INPUT_RECORDS = "combine.input.records"
+    COMBINE_OUTPUT_RECORDS = "combine.output.records"
+    REDUCE_INPUT_RECORDS = "reduce.input.records"
+    REDUCE_INPUT_GROUPS = "reduce.input.groups"
+    REDUCE_OUTPUT_RECORDS = "reduce.output.records"
+
+    # byte flow
+    MAP_INPUT_BYTES = "map.input.bytes"
+    MAP_OUTPUT_BYTES = "map.output.bytes"
+    MAP_SPILL_BYTES = "map.spill.bytes"
+    SHUFFLE_BYTES = "shuffle.bytes"
+    REDUCE_SPILL_BYTES = "reduce.spill.bytes"
+    MERGE_READ_BYTES = "merge.read.bytes"
+    MERGE_WRITE_BYTES = "merge.write.bytes"
+    OUTPUT_BYTES = "output.bytes"
+
+    # structure
+    MAP_TASKS = "map.tasks"
+    REDUCE_TASKS = "reduce.tasks"
+    MAP_SPILLS = "map.spills"
+    REDUCE_SPILLS = "reduce.spills"
+    MERGE_PASSES = "merge.passes"
+    SNAPSHOTS = "snapshots"
+    MAP_TASK_RETRIES = "map.task.retries"
+    STAGED_OUTPUT_BYTES = "fault.staged.bytes"
+
+    # CPU attribution (seconds)
+    T_MAP_FN = "time.map_fn"
+    T_SORT = "time.sort"
+    T_COMBINE = "time.combine"
+    T_MERGE = "time.merge"
+    T_REDUCE_FN = "time.reduce_fn"
+    T_HASH = "time.hash"
+    T_PARSE = "time.parse"
+    T_SHUFFLE = "time.shuffle"
+
+    # hash-engine specifics
+    HASH_PROBES = "hash.probes"
+    HASH_STATE_BYTES_PEAK = "hash.state.bytes.peak"
+    HOT_HITS = "hotset.hits"
+    HOT_MISSES = "hotset.misses"
+    HOT_EVICTIONS = "hotset.evictions"
+    EARLY_EMITS = "incremental.early_emits"
+
+    # sort detail
+    SORT_RECORDS = "sort.records"
+
+
+class Counters:
+    """A mergeable bag of named numeric counters and timers."""
+
+    def __init__(self) -> None:
+        self._values: dict[str, float] = defaultdict(float)
+
+    # -- basic operations ---------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        self._values[name] += amount
+
+    def set_max(self, name: str, value: float) -> None:
+        """Record ``value`` if it exceeds the current counter (peaks)."""
+        if value > self._values[name]:
+            self._values[name] = value
+
+    def get(self, name: str) -> float:
+        return self._values.get(name, 0)
+
+    def __getitem__(self, name: str) -> float:
+        return self.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self._values)
+
+    def names(self) -> list[str]:
+        return sorted(self._values)
+
+    # -- timers -----------------------------------------------------------
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Accumulate the wall-clock duration of the block into ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._values[name] += time.perf_counter() - start
+
+    # -- composition ---------------------------------------------------------
+
+    def merge(self, other: "Counters") -> "Counters":
+        """Fold ``other``'s counters into this one (peaks take the max)."""
+        for name, value in other._values.items():
+            if name.endswith(".peak"):
+                self.set_max(name, value)
+            else:
+                self._values[name] += value
+        return self
+
+    def copy(self) -> "Counters":
+        c = Counters()
+        c._values = defaultdict(float, self._values)
+        return c
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        interesting = {k: round(v, 4) for k, v in sorted(self._values.items())}
+        return f"Counters({interesting})"

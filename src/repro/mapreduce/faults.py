@@ -1,0 +1,76 @@
+"""Fault injection and task re-execution.
+
+The paper leans on MapReduce's fault-tolerance story twice: map output is
+written synchronously *because* "a mapper completes after its output has
+been persisted for fault tolerance", and the one-pass design explicitly
+excludes infinite streams "due to the overhead of fault tolerance".  This
+module makes that story executable: a :class:`FaultPlan` schedules task
+attempts to fail, and the engines re-execute failed map tasks (on the next
+candidate node, as Hadoop's JobTracker does), cleaning up the partial
+output of the failed attempt.
+
+Failures are deterministic — tests inject exact attempt counts and verify
+both that answers are unaffected and that the rework is visible in the
+counters.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["TaskFailure", "FaultPlan"]
+
+
+class TaskFailure(RuntimeError):
+    """Raised inside a task attempt that the fault plan kills."""
+
+    def __init__(self, kind: str, task_id: int, attempt: int) -> None:
+        super().__init__(f"{kind} task {task_id} failed (attempt {attempt})")
+        self.kind = kind
+        self.task_id = task_id
+        self.attempt = attempt
+
+
+@dataclass(slots=True)
+class FaultPlan:
+    """Which task attempts die.
+
+    ``map_failures[task_id] = n`` kills the first ``n`` attempts of that
+    map task; the (n+1)-th attempt succeeds.  ``max_attempts`` bounds
+    re-execution (Hadoop's ``mapred.map.max.attempts``, default 4): a task
+    that would exceed it aborts the job.
+    """
+
+    map_failures: dict[int, int] = field(default_factory=dict)
+    max_attempts: int = 4
+    _attempts: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        for task_id, n in self.map_failures.items():
+            if n < 0:
+                raise ValueError(f"negative failure count for task {task_id}")
+
+    def start_map_attempt(self, task_id: int) -> int:
+        """Register an attempt; raise :class:`TaskFailure` if it must die.
+
+        Returns the attempt number (1-based) on success.
+        """
+        self._attempts[task_id] += 1
+        attempt = self._attempts[task_id]
+        if attempt > self.max_attempts:
+            raise RuntimeError(
+                f"map task {task_id} exceeded max_attempts={self.max_attempts}"
+            )
+        if attempt <= self.map_failures.get(task_id, 0):
+            raise TaskFailure("map", task_id, attempt)
+        return attempt
+
+    def attempts_of(self, task_id: int) -> int:
+        return self._attempts[task_id]
+
+    @property
+    def total_failures_injected(self) -> int:
+        return sum(self.map_failures.values())

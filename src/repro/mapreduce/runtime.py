@@ -1,0 +1,345 @@
+"""The in-process cluster and the Hadoop-baseline job runner.
+
+:class:`LocalCluster` assembles N simulated nodes — each with one or two
+accounted local disks and a DataNode — plus an HDFS namespace over them.
+:class:`HadoopEngine` executes a :class:`~repro.mapreduce.api.MapReduceJob`
+on that cluster exactly the way the paper describes Hadoop doing it:
+block-level map tasks with locality-aware scheduling, sort-spill map
+output, pull shuffle after each map completion, multi-pass merge, blocking
+reduce.
+
+Everything runs in one Python process (task "parallelism" is logical), but
+all data movement is real: records are really mapped, sorted, spilled,
+merged and reduced, and every byte is accounted on the node disks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.filesystem import HDFS, InputSplit
+from repro.io.device import HDD_7200RPM, SSD_SATA, DeviceProfile
+from repro.io.disk import DiskStats, LocalDisk
+from repro.mapreduce.api import MapReduceJob
+from repro.mapreduce.counters import C, Counters
+from repro.mapreduce.faults import FaultPlan, TaskFailure
+from repro.mapreduce.scheduler import ScheduleStats, WaveScheduler
+from repro.mapreduce.shuffle import ShuffleService
+from repro.mapreduce.sortmerge import SortMergeMapTask, SortMergeReduceTask
+
+__all__ = ["ClusterNode", "LocalCluster", "JobResult", "HadoopEngine"]
+
+
+@dataclass(slots=True)
+class ClusterNode:
+    """One simulated machine: a name and its storage devices.
+
+    ``intermediate`` names the disk that receives map output, spills and
+    merge traffic.  In the default architecture it is the same device as
+    HDFS data (``"hdd"``) — the contention the paper measures; in the
+    HDD+SSD architecture it is the SSD.
+    """
+
+    name: str
+    disks: dict[str, LocalDisk]
+    intermediate: str = "hdd"
+
+    @property
+    def hdfs_disk(self) -> LocalDisk:
+        return self.disks["hdd"]
+
+    @property
+    def intermediate_disk(self) -> LocalDisk:
+        return self.disks[self.intermediate]
+
+
+class LocalCluster:
+    """A set of nodes plus the HDFS namespace spanning them.
+
+    Parameters
+    ----------
+    num_nodes:
+        Total machines.  With ``storage_nodes`` set, the first
+        ``storage_nodes`` machines host HDFS only and the rest compute only
+        (the paper's "separate distributed storage" architecture);
+        otherwise every node does both (colocated, the default).
+    with_ssd:
+        Give each compute node an SSD and direct intermediate data to it
+        (the paper's "separate storage devices" architecture).
+    block_size:
+        HDFS block size in bytes.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int = 4,
+        *,
+        with_ssd: bool = False,
+        storage_nodes: int = 0,
+        block_size: int = 1 * 1024 * 1024,
+        replication: int = 1,
+        hdd_profile: DeviceProfile = HDD_7200RPM,
+        ssd_profile: DeviceProfile = SSD_SATA,
+    ) -> None:
+        if num_nodes < 1:
+            raise ValueError("need at least one node")
+        if storage_nodes >= num_nodes:
+            raise ValueError("storage_nodes must leave at least one compute node")
+        self.nodes: dict[str, ClusterNode] = {}
+        names = [f"node{i:02d}" for i in range(num_nodes)]
+        for name in names:
+            disks = {"hdd": LocalDisk(hdd_profile, name=f"{name}.hdd")}
+            intermediate = "hdd"
+            if with_ssd:
+                disks["ssd"] = LocalDisk(ssd_profile, name=f"{name}.ssd")
+                intermediate = "ssd"
+            self.nodes[name] = ClusterNode(name=name, disks=disks, intermediate=intermediate)
+
+        if storage_nodes > 0:
+            self.storage_node_names = names[:storage_nodes]
+            self.compute_node_names = names[storage_nodes:]
+        else:
+            self.storage_node_names = names
+            self.compute_node_names = names
+
+        datanodes = {
+            name: DataNode(name, self.nodes[name].hdfs_disk)
+            for name in self.storage_node_names
+        }
+        self.hdfs = HDFS(datanodes, replication=replication, block_size=block_size)
+
+    @property
+    def separate_storage(self) -> bool:
+        return self.storage_node_names != self.compute_node_names
+
+    def node(self, name: str) -> ClusterNode:
+        return self.nodes[name]
+
+    def intermediate_disks(self) -> dict[str, LocalDisk]:
+        """Map from compute-node name to its intermediate-data disk."""
+        return {
+            name: self.nodes[name].intermediate_disk
+            for name in self.compute_node_names
+        }
+
+    def disk_stats(self) -> dict[str, DiskStats]:
+        """Snapshot of every disk's counters, keyed ``node.device``."""
+        out: dict[str, DiskStats] = {}
+        for node in self.nodes.values():
+            for dev, disk in node.disks.items():
+                out[f"{node.name}.{dev}"] = disk.stats.snapshot()
+        return out
+
+    def total_disk_stats(self) -> DiskStats:
+        total = DiskStats()
+        for node in self.nodes.values():
+            for disk in node.disks.values():
+                s = disk.stats
+                total.bytes_read += s.bytes_read
+                total.bytes_written += s.bytes_written
+                total.read_ops += s.read_ops
+                total.write_ops += s.write_ops
+                total.random_ops += s.random_ops
+                total.sequential_ops += s.sequential_ops
+                total.deletes += s.deletes
+                total.busy_time += s.busy_time
+        return total
+
+
+@dataclass(slots=True)
+class JobResult:
+    """Outcome of one engine run: counters, timings and output location."""
+
+    job_name: str
+    engine: str
+    output_path: str
+    counters: Counters
+    wall_time: float
+    phase_times: dict[str, float] = field(default_factory=dict)
+    schedule: ScheduleStats | None = None
+    network_bytes: int = 0
+    output_records: int = 0
+    snapshots: list[Any] = field(default_factory=list)
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def summary(self) -> dict[str, float]:
+        """The headline numbers for reports."""
+        c = self.counters
+        return {
+            "wall_time": self.wall_time,
+            "map_input_bytes": c[C.MAP_INPUT_BYTES],
+            "map_output_bytes": c[C.MAP_OUTPUT_BYTES],
+            "reduce_spill_bytes": c[C.REDUCE_SPILL_BYTES],
+            "merge_read_bytes": c[C.MERGE_READ_BYTES],
+            "output_records": self.output_records,
+            "network_bytes": self.network_bytes,
+        }
+
+
+class HadoopEngine:
+    """The sort-merge baseline: stock Hadoop's execution model.
+
+    ``fault_plan`` injects deterministic map-task failures: a killed
+    attempt runs (its work is charged to the job's counters — re-execution
+    is not free), its output files are discarded, and the task is retried
+    on the next candidate node, as Hadoop's JobTracker does.  The
+    synchronous map-output write is what makes this recovery possible —
+    the fault-tolerance rationale the paper cites for that write.
+    """
+
+    name = "hadoop"
+
+    def __init__(
+        self,
+        cluster: LocalCluster,
+        *,
+        map_slots: int = 2,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.scheduler = WaveScheduler(
+            cluster.compute_node_names, map_slots=map_slots
+        )
+        self.fault_plan = fault_plan
+
+    # -- input ------------------------------------------------------------
+
+    def _read_split(
+        self, split: InputSplit, node: str, counters: Counters
+    ) -> tuple[Iterator[Any], int, bool]:
+        """Read a split's records, preferring the local replica."""
+        hdfs = self.cluster.hdfs
+        local = node in split.preferred_nodes
+        data = hdfs.read_block_bytes(split.block_id, from_node=node if local else None)
+        info = hdfs.namenode.file_info(split.block_id.path)
+        codec = hdfs.codec(info.codec_name)
+
+        def timed_decode() -> Iterator[Any]:
+            perf = time.perf_counter
+            it = codec.decode(data)
+            while True:
+                t0 = perf()
+                try:
+                    record = next(it)
+                except StopIteration:
+                    counters.inc(C.T_PARSE, perf() - t0)
+                    return
+                counters.inc(C.T_PARSE, perf() - t0)
+                yield record
+
+        return timed_decode(), len(data), local
+
+    # -- execution -----------------------------------------------------------
+
+    def _run_map_with_retries(self, job, assignment, counters):
+        """Execute one map task, re-running killed attempts.
+
+        Returns ``(MapOutput, network_bytes)``.  A killed attempt's work
+        (read, map, sort, spill writes) is charged to the job before its
+        files are discarded — recovery costs real resources.
+        """
+        cluster = self.cluster
+        task_id = assignment.task_id
+        candidates = [assignment.node] + [
+            n for n in cluster.compute_node_names if n != assignment.node
+        ]
+        network_bytes = 0
+        for attempt_idx in range(
+            self.fault_plan.max_attempts if self.fault_plan else 1
+        ):
+            node = candidates[attempt_idx % len(candidates)]
+            dies = False
+            if self.fault_plan is not None:
+                try:
+                    self.fault_plan.start_map_attempt(task_id)
+                except TaskFailure:
+                    dies = True
+            task = SortMergeMapTask(
+                job, task_id, node, cluster.nodes[node].intermediate_disk
+            )
+            records, nbytes, local = self._read_split(
+                assignment.split, node, task.counters
+            )
+            if not local:
+                network_bytes += nbytes
+            output = task.run(records, input_bytes=nbytes)
+            counters.merge(task.counters)
+            if not dies:
+                return output, network_bytes
+            # The node died before the completion report: its output files
+            # are gone; the JobTracker reschedules elsewhere.
+            disk = cluster.nodes[node].intermediate_disk
+            disk.delete_prefix(f"mapout/{task_id:05d}")
+            disk.delete_prefix(f"mapspill/{task_id:05d}")
+            counters.inc(C.MAP_TASK_RETRIES)
+        raise RuntimeError(
+            f"map task {task_id} exhausted "
+            f"{self.fault_plan.max_attempts if self.fault_plan else 1} attempts"
+        )
+
+    def run(self, job: MapReduceJob) -> JobResult:
+        """Execute ``job``; returns the merged counters and output path."""
+        if not job.input_path or not job.output_path:
+            raise ValueError("job must set input_path and output_path")
+        cluster = self.cluster
+        hdfs = cluster.hdfs
+        counters = Counters()
+        t_start = time.perf_counter()
+
+        splits = hdfs.input_splits(job.input_path)
+        assignments, sched_stats = self.scheduler.schedule(splits)
+        reducer_nodes = self.scheduler.assign_reducers(job.config.num_reducers)
+
+        shuffle = ShuffleService(cluster.intermediate_disks())
+        reduce_tasks = {
+            p: SortMergeReduceTask(
+                job, p, node, cluster.nodes[node].intermediate_disk
+            )
+            for p, node in reducer_nodes.items()
+        }
+        network_bytes = 0
+
+        # ---- map phase (with eager shuffle after each completion) ----
+        t_map_start = time.perf_counter()
+        for assignment in assignments:
+            output, extra_net = self._run_map_with_retries(job, assignment, counters)
+            network_bytes += extra_net
+            shuffle.register(output)
+            # Reducers poll and pull freshly completed output.
+            for partition, rtask in reduce_tasks.items():
+                for seg in shuffle.fetch_all(partition):
+                    rtask.accept_segment(list(seg.pairs), seg.nbytes)
+        t_map = time.perf_counter() - t_map_start
+
+        # ---- reduce phase (blocking merge + reduce + output write) ----
+        t_reduce_start = time.perf_counter()
+        hdfs.namenode.create_file(job.output_path, codec_name="binary")
+        output_records = 0
+        for partition, rtask in sorted(reduce_tasks.items()):
+            output, _groups = rtask.run()
+            output_records += len(output)
+            if output:
+                hdfs.append_block(
+                    job.output_path, output, writer_node=reducer_nodes[partition]
+                )
+            counters.merge(rtask.counters)
+        t_reduce = time.perf_counter() - t_reduce_start
+
+        shuffle.cleanup()
+        network_bytes += shuffle.network_bytes
+        counters.inc(C.OUTPUT_BYTES, hdfs.file_bytes(job.output_path))
+        wall = time.perf_counter() - t_start
+        return JobResult(
+            job_name=job.name,
+            engine=self.name,
+            output_path=job.output_path,
+            counters=counters,
+            wall_time=wall,
+            phase_times={"map": t_map, "reduce": t_reduce},
+            schedule=sched_stats,
+            network_bytes=network_bytes,
+            output_records=output_records,
+        )

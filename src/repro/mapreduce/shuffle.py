@@ -1,0 +1,116 @@
+"""Pull-based shuffle: reducers fetch completed map outputs.
+
+Hadoop's reducers periodically poll a central service for completed map
+tasks and then pull their partition's segment directly from each mapper's
+local disk.  :class:`ShuffleService` is that central registry; fetching a
+segment reads the mapper's disk (accounted there) and charges the network
+transfer to the fetching task's counters.
+
+The paper notes that under normal circumstances a segment is fetched "soon
+after a mapper completes and so this data is often available in the
+mapper's memory"; the ``serve_from_page_cache`` flag models that by
+skipping the mapper-side disk read for fresh segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.io.disk import LocalDisk
+from repro.io.runio import read_run
+from repro.io.serialization import iter_frames
+from repro.mapreduce.counters import C, Counters
+from repro.mapreduce.sortmerge import MapOutput, MapOutputSegment
+
+__all__ = ["FetchedSegment", "ShuffleService"]
+
+
+@dataclass(frozen=True, slots=True)
+class FetchedSegment:
+    """One segment delivered to a reducer."""
+
+    map_task: int
+    partition: int
+    pairs: tuple[tuple[Any, Any], ...]
+    nbytes: int
+
+
+class ShuffleService:
+    """Registry of completed map outputs, keyed by map task id."""
+
+    def __init__(
+        self,
+        mapper_disks: dict[str, LocalDisk],
+        *,
+        serve_from_page_cache: bool = True,
+    ) -> None:
+        self.mapper_disks = mapper_disks
+        self.serve_from_page_cache = serve_from_page_cache
+        self._completed: dict[int, MapOutput] = {}
+        self._fetched: set[tuple[int, int]] = set()
+        self.network_bytes = 0
+
+    # -- mapper side ------------------------------------------------------
+
+    def register(self, output: MapOutput) -> None:
+        """A map task announces completion (the 'completed mappers' poll)."""
+        if output.task_id in self._completed:
+            raise ValueError(f"map task {output.task_id} already registered")
+        self._completed[output.task_id] = output
+
+    @property
+    def completed_maps(self) -> list[int]:
+        return sorted(self._completed)
+
+    # -- reducer side -------------------------------------------------------
+
+    def pending_fetches(self, partition: int) -> list[int]:
+        """Map tasks with an unfetched segment for ``partition``."""
+        return [
+            task_id
+            for task_id, out in sorted(self._completed.items())
+            if partition in out.segments and (task_id, partition) not in self._fetched
+        ]
+
+    def fetch(
+        self, map_task: int, partition: int, counters: Counters | None = None
+    ) -> FetchedSegment:
+        """Pull one segment from the mapper that produced it."""
+        key = (map_task, partition)
+        if key in self._fetched:
+            raise ValueError(f"segment {key} already fetched")
+        output = self._completed[map_task]
+        segment: MapOutputSegment = output.segments[partition]
+        disk = self.mapper_disks[output.node]
+        if self.serve_from_page_cache:
+            # Fresh output is still in the mapper's page cache; no disk read,
+            # but the bytes still cross the network.
+            pairs = tuple(iter_frames(disk.peek(segment.path)))
+        else:
+            pairs = tuple(read_run(disk, segment.path))
+        self._fetched.add(key)
+        self.network_bytes += segment.nbytes
+        if counters is not None:
+            counters.inc(C.SHUFFLE_BYTES, 0)  # reducer adds on accept
+        return FetchedSegment(
+            map_task=map_task,
+            partition=partition,
+            pairs=pairs,
+            nbytes=segment.nbytes,
+        )
+
+    def fetch_all(self, partition: int, counters: Counters | None = None) -> list[FetchedSegment]:
+        """Pull every currently pending segment for ``partition``."""
+        return [
+            self.fetch(task_id, partition, counters)
+            for task_id in self.pending_fetches(partition)
+        ]
+
+    def cleanup(self) -> None:
+        """Delete served map-output files from the mapper disks."""
+        for output in self._completed.values():
+            disk = self.mapper_disks[output.node]
+            for segment in output.segments.values():
+                if disk.exists(segment.path):
+                    disk.delete(segment.path)

@@ -1,0 +1,348 @@
+"""Sort-merge map and reduce tasks — the Hadoop baseline of the paper.
+
+Map side (Fig. 1 of the paper): each map task reads one block, applies the
+map function, partitions key-value pairs by reducer, and **sorts the output
+buffer on the compound (partition, key)**.  A full buffer sorts and spills;
+at task end the spills are merged into one sorted segment per partition.
+The sorting step is the CPU cost the paper quantifies in Table II; the
+final segment write is the synchronous map-output write of §III.B.2.
+
+Reduce side: fetched segments accumulate through a
+:class:`~repro.mapreduce.merge.MultiPassMerger`; after the last segment the
+blocking final merge produces a single sorted run, which is grouped and fed
+to the reduce function.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.io.disk import LocalDisk
+from repro.io.runio import stream_run, write_run
+from repro.io.serialization import estimate_size
+from repro.mapreduce.api import MapReduceJob
+from repro.mapreduce.counters import C, Counters
+from repro.mapreduce.merge import MultiPassMerger, group_sorted, merge_sorted
+from repro.mapreduce.partition import Partitioner, hash_partitioner
+
+__all__ = ["MapOutputSegment", "MapOutput", "SortMergeMapTask", "SortMergeReduceTask"]
+
+_RECORD_OVERHEAD = 32
+
+
+@dataclass(frozen=True, slots=True)
+class MapOutputSegment:
+    """One partition's sorted segment of one map task's output."""
+
+    path: str
+    nbytes: int
+    records: int
+
+
+@dataclass(slots=True)
+class MapOutput:
+    """Everything a completed map task leaves behind for the shuffle."""
+
+    task_id: int
+    node: str
+    segments: dict[int, MapOutputSegment] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(s.nbytes for s in self.segments.values())
+
+    @property
+    def total_records(self) -> int:
+        return sum(s.records for s in self.segments.values())
+
+
+class _SortSpillBuffer:
+    """Map-side output buffer with Hadoop's sort-and-spill behaviour."""
+
+    def __init__(
+        self,
+        job: MapReduceJob,
+        disk: LocalDisk,
+        task_id: int,
+        counters: Counters,
+        partitioner: Partitioner,
+    ) -> None:
+        self.job = job
+        self.disk = disk
+        self.task_id = task_id
+        self.counters = counters
+        self.partitioner = partitioner
+        self._entries: list[tuple[int, Any, Any]] = []
+        self._bytes = 0
+        self._spill_seq = 0
+        # spill_segments[s][p] -> (path, nbytes, records)
+        self.spill_segments: list[dict[int, tuple[str, int, int]]] = []
+
+    def add(self, key: Any, value: Any) -> None:
+        partition = self.partitioner(key, self.job.config.num_reducers)
+        self._entries.append((partition, key, value))
+        self._bytes += estimate_size(key) + estimate_size(value) + _RECORD_OVERHEAD
+        self.counters.inc(C.MAP_OUTPUT_RECORDS)
+        if self._bytes >= self.job.config.map_buffer_bytes:
+            self.spill()
+
+    def spill(self) -> None:
+        """Sort the buffer on (partition, key), combine, write one spill."""
+        if not self._entries:
+            return
+        entries = self._entries
+        self._entries = []
+        self._bytes = 0
+
+        with self.counters.timer(C.T_SORT):
+            entries.sort(key=lambda e: (e[0], e[1]))
+        self.counters.inc(C.SORT_RECORDS, len(entries))
+
+        if self.job.has_combiner and self.job.config.combine_on_spill:
+            entries = self._combine_sorted(entries)
+
+        segments: dict[int, tuple[str, int, int]] = {}
+        start = 0
+        n = len(entries)
+        while start < n:
+            partition = entries[start][0]
+            end = start
+            while end < n and entries[end][0] == partition:
+                end += 1
+            path = f"mapspill/{self.task_id:05d}/s{self._spill_seq:03d}-p{partition:03d}"
+            pairs = [(k, v) for _, k, v in entries[start:end]]
+            nbytes = write_run(self.disk, path, pairs)
+            segments[partition] = (path, nbytes, len(pairs))
+            self.counters.inc(C.MAP_SPILL_BYTES, nbytes)
+            start = end
+        self.spill_segments.append(segments)
+        self.counters.inc(C.MAP_SPILLS)
+        self._spill_seq += 1
+
+    def _combine_sorted(
+        self, entries: list[tuple[int, Any, Any]]
+    ) -> list[tuple[int, Any, Any]]:
+        """Run the combiner over consecutive equal (partition, key) groups."""
+        combine_fn = self.job.combine_fn
+        assert combine_fn is not None
+        out: list[tuple[int, Any, Any]] = []
+        with self.counters.timer(C.T_COMBINE):
+            i = 0
+            n = len(entries)
+            while i < n:
+                partition, key = entries[i][0], entries[i][1]
+                values = []
+                while i < n and entries[i][0] == partition and entries[i][1] == key:
+                    values.append(entries[i][2])
+                    i += 1
+                self.counters.inc(C.COMBINE_INPUT_RECORDS, len(values))
+                for out_key, out_value in combine_fn(key, iter(values)):
+                    out.append((partition, out_key, out_value))
+                    self.counters.inc(C.COMBINE_OUTPUT_RECORDS)
+        return out
+
+    def finish(self) -> dict[int, MapOutputSegment]:
+        """Flush the last buffer and merge spills into final segments.
+
+        A single spill's segments *are* the final output (no extra I/O), as
+        in a well-tuned Hadoop job; multiple spills pay a per-partition
+        merge read+write.
+        """
+        self.spill()
+        if not self.spill_segments:
+            return {}
+        if len(self.spill_segments) == 1:
+            final: dict[int, MapOutputSegment] = {}
+            for partition, (path, nbytes, records) in self.spill_segments[0].items():
+                out_path = f"mapout/{self.task_id:05d}/p{partition:03d}"
+                self.disk.rename(path, out_path)
+                final[partition] = MapOutputSegment(out_path, nbytes, records)
+                self.counters.inc(C.MAP_OUTPUT_BYTES, nbytes)
+            return final
+
+        final = {}
+        partitions = sorted({p for seg in self.spill_segments for p in seg})
+        with self.counters.timer(C.T_MERGE):
+            for partition in partitions:
+                sources = [
+                    seg[partition] for seg in self.spill_segments if partition in seg
+                ]
+                streams = [stream_run(self.disk, path) for path, _, _ in sources]
+                self.counters.inc(
+                    C.MERGE_READ_BYTES, sum(nbytes for _, nbytes, _ in sources)
+                )
+                out_path = f"mapout/{self.task_id:05d}/p{partition:03d}"
+                records = sum(r for _, _, r in sources)
+                merged: Iterable[tuple[Any, Any]] = merge_sorted(streams)
+                if self.job.has_combiner and self.job.config.combine_on_spill:
+                    merged = self._combine_stream(merged)
+                    nbytes = write_run(self.disk, out_path, merged)
+                    records = -1  # recomputed below from the written run
+                else:
+                    nbytes = write_run(self.disk, out_path, merged)
+                if records < 0:
+                    records = sum(1 for _ in stream_run(self.disk, out_path))
+                for path, _, _ in sources:
+                    self.disk.delete(path)
+                final[partition] = MapOutputSegment(out_path, nbytes, records)
+                self.counters.inc(C.MAP_OUTPUT_BYTES, nbytes)
+                self.counters.inc(C.MERGE_WRITE_BYTES, nbytes)
+        return final
+
+    def _combine_stream(
+        self, pairs: Iterator[tuple[Any, Any]]
+    ) -> Iterator[tuple[Any, Any]]:
+        combine_fn = self.job.combine_fn
+        assert combine_fn is not None
+        for key, values in group_sorted(pairs):
+            vals = list(values)
+            self.counters.inc(C.COMBINE_INPUT_RECORDS, len(vals))
+            for out in combine_fn(key, iter(vals)):
+                self.counters.inc(C.COMBINE_OUTPUT_RECORDS)
+                yield out
+
+
+class SortMergeMapTask:
+    """Executes one map task over one input split (one HDFS block)."""
+
+    def __init__(
+        self,
+        job: MapReduceJob,
+        task_id: int,
+        node: str,
+        disk: LocalDisk,
+        *,
+        partitioner: Partitioner = hash_partitioner,
+    ) -> None:
+        self.job = job
+        self.task_id = task_id
+        self.node = node
+        self.disk = disk
+        self.partitioner = partitioner
+        self.counters = Counters()
+
+    def run(self, records: Iterable[Any], *, input_bytes: int = 0) -> MapOutput:
+        """Apply the map function to every record; sort, spill, finalise."""
+        counters = self.counters
+        counters.inc(C.MAP_TASKS)
+        counters.inc(C.MAP_INPUT_BYTES, input_bytes)
+        buffer = _SortSpillBuffer(
+            self.job, self.disk, self.task_id, counters, self.partitioner
+        )
+        map_fn = self.job.map_fn
+        perf = time.perf_counter
+        t_map = 0.0
+        n_in = 0
+        for record in records:
+            n_in += 1
+            t0 = perf()
+            emitted = list(map_fn(record))
+            t_map += perf() - t0
+            for key, value in emitted:
+                buffer.add(key, value)
+        counters.inc(C.MAP_INPUT_RECORDS, n_in)
+        counters.inc(C.T_MAP_FN, t_map)
+        segments = buffer.finish()
+        return MapOutput(task_id=self.task_id, node=self.node, segments=segments)
+
+
+class SortMergeReduceTask:
+    """Executes one reduce task: multi-pass merge, then grouped reduce."""
+
+    def __init__(
+        self,
+        job: MapReduceJob,
+        partition: int,
+        node: str,
+        disk: LocalDisk,
+    ) -> None:
+        self.job = job
+        self.partition = partition
+        self.node = node
+        self.disk = disk
+        self.counters = Counters()
+        self._merger = MultiPassMerger(
+            disk,
+            f"reduce/{partition:03d}",
+            factor=job.config.merge_factor,
+            counters=self.counters,
+        )
+        self._memory: list[list[tuple[Any, Any]]] = []
+        self._memory_bytes = 0
+
+    # -- shuffle ingestion -----------------------------------------------------
+
+    def accept_segment(self, pairs: list[tuple[Any, Any]], nbytes: int) -> None:
+        """Receive one fetched (already sorted) map-output segment.
+
+        Segments buffer in memory; when the reduce buffer fills, the
+        in-memory segments are merged into one sorted run and spilled into
+        the multi-pass merger (Hadoop's in-memory merge).
+        """
+        self._memory.append(pairs)
+        self._memory_bytes += nbytes
+        self.counters.inc(C.SHUFFLE_BYTES, nbytes)
+        if self._memory_bytes >= self.job.config.reduce_buffer_bytes:
+            self._spill_memory()
+
+    def _spill_memory(self) -> None:
+        if not self._memory:
+            return
+        segments, self._memory = self._memory, []
+        self._memory_bytes = 0
+        merged: Iterable[tuple[Any, Any]] = merge_sorted([iter(s) for s in segments])
+        if self.job.has_combiner and self.job.config.combine_on_spill:
+            merged = _combine_sorted_stream(self.job, merged, self.counters)
+        self._merger.add_run(merged)
+
+    # -- reduce ------------------------------------------------------------------
+
+    def run(self) -> tuple[list[Any], int]:
+        """Blocking final merge + reduce; returns (output records, groups)."""
+        counters = self.counters
+        counters.inc(C.REDUCE_TASKS)
+        if self._merger.run_count == 0:
+            # Everything fits in memory: final merge happens purely in RAM.
+            stream: Iterator[tuple[Any, Any]] = merge_sorted(
+                [iter(s) for s in self._memory]
+            )
+        else:
+            self._spill_memory()
+            stream = self._merger.final_merge()
+
+        reduce_fn = self.job.reduce_fn
+        output: list[Any] = []
+        groups = 0
+        perf = time.perf_counter
+        t_reduce = 0.0
+        for key, values in group_sorted(stream):
+            groups += 1
+            vals = list(values)
+            counters.inc(C.REDUCE_INPUT_RECORDS, len(vals))
+            t0 = perf()
+            output.extend(reduce_fn(key, iter(vals)))
+            t_reduce += perf() - t0
+        counters.inc(C.T_REDUCE_FN, t_reduce)
+        counters.inc(C.REDUCE_INPUT_GROUPS, groups)
+        counters.inc(C.REDUCE_OUTPUT_RECORDS, len(output))
+        self._merger.cleanup()
+        return output, groups
+
+
+def _combine_sorted_stream(
+    job: MapReduceJob,
+    pairs: Iterable[tuple[Any, Any]],
+    counters: Counters,
+) -> Iterator[tuple[Any, Any]]:
+    """Apply the job's combiner to a key-sorted stream (reduce-side)."""
+    combine_fn = job.combine_fn
+    assert combine_fn is not None
+    for key, values in group_sorted(pairs):
+        vals = list(values)
+        counters.inc(C.COMBINE_INPUT_RECORDS, len(vals))
+        with counters.timer(C.T_COMBINE):
+            combined = list(combine_fn(key, iter(vals)))
+        counters.inc(C.COMBINE_OUTPUT_RECORDS, len(combined))
+        yield from combined

@@ -1,0 +1,72 @@
+"""Discrete-event cluster simulator for paper-scale experiments.
+
+The executable engines in :mod:`repro.mapreduce` and :mod:`repro.core`
+process real records at laptop scale; this package replays the same three
+pipelines over a calibrated 10-node, 256–508 GB cluster model to reproduce
+the paper's time-series figures (task timelines, CPU utilisation, iowait,
+bytes read) and Table I completion times.
+"""
+
+from repro.simulator.calibration import (
+    CLUSTER_2011,
+    GB,
+    INVERTED_INDEX,
+    MB,
+    PAGE_FREQUENCY,
+    PAPER_WORKLOADS,
+    PER_USER_COUNT,
+    SESSIONIZATION,
+    ClusterSpec,
+    WorkloadProfile,
+)
+from repro.simulator.cluster import SimCluster
+from repro.simulator.events import Gate, Mailbox, Simulator, Timeout
+from repro.simulator.metrics import MetricSampler, SeriesBundle, bin_busy_fraction, bin_bytes
+from repro.simulator.node import SimNode
+from repro.simulator.pipelines import (
+    HadoopPipeline,
+    HOPPipeline,
+    HOPSimConfig,
+    OnePassPipeline,
+)
+from repro.simulator.resources import CpuBank, Disk, Interval, Nic, ServiceBank, Use
+from repro.simulator.tasks import SimRunResult, SimTotals
+from repro.simulator.timeline import PHASES, TaskLog, TaskSpan
+
+__all__ = [
+    "Simulator",
+    "Timeout",
+    "Gate",
+    "Mailbox",
+    "ServiceBank",
+    "CpuBank",
+    "Disk",
+    "Nic",
+    "Use",
+    "Interval",
+    "SimNode",
+    "SimCluster",
+    "ClusterSpec",
+    "WorkloadProfile",
+    "CLUSTER_2011",
+    "SESSIONIZATION",
+    "PAGE_FREQUENCY",
+    "PER_USER_COUNT",
+    "INVERTED_INDEX",
+    "PAPER_WORKLOADS",
+    "MB",
+    "GB",
+    "HadoopPipeline",
+    "HOPPipeline",
+    "HOPSimConfig",
+    "OnePassPipeline",
+    "SimRunResult",
+    "SimTotals",
+    "TaskLog",
+    "TaskSpan",
+    "PHASES",
+    "MetricSampler",
+    "SeriesBundle",
+    "bin_busy_fraction",
+    "bin_bytes",
+]

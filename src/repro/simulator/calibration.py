@@ -1,0 +1,201 @@
+"""Calibration constants: the paper's cluster and workload parameters.
+
+The simulator reproduces the *shapes* of the paper's figures at the
+paper's data scale; these dataclasses hold every constant that shapes
+them.  Cluster constants follow the hardware class of a 2010/11
+commodity node (one SATA HDD, gigabit Ethernet, two quad-core CPUs);
+workload constants are derived from the paper's own tables:
+
+* Table I gives input sizes, map-output and reduce-spill volumes, task
+  counts and completion times per workload;
+* Table II gives the map-phase CPU split between the map function and
+  sorting (sessionization 61/39, per-user count 52/48);
+* §III.B.2 gives the map-output write at ~6% of a 21.6 s average map task.
+
+CPU rates are expressed in CPU-seconds per MB so they scale with block
+size.  Absolute rates are set so that average task durations and phase
+lengths land near the paper's (map tasks ≈ 21.6 s for sessionization,
+completion times near Table I); the *ratios* between map-function and
+sorting CPU follow Table II (sessionization ≈ 61/39, per-user count
+≈ 52/48).  Nodes are modelled with 4 cores and 4 map slots so that a
+CPU-bound map phase shows high utilisation, as in Fig. 2(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "MB",
+    "GB",
+    "ClusterSpec",
+    "WorkloadProfile",
+    "CLUSTER_2011",
+    "SESSIONIZATION",
+    "PAGE_FREQUENCY",
+    "PER_USER_COUNT",
+    "INVERTED_INDEX",
+    "PAPER_WORKLOADS",
+]
+
+MB = 1024 * 1024
+GB = 1024 * MB
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterSpec:
+    """Hardware and Hadoop-configuration constants of the simulated cluster."""
+
+    nodes: int = 10
+    cores_per_node: int = 4
+    map_slots: int = 4
+    reduce_slots: int = 4  # descriptive: reducers/nodes in the paper's config
+    hdd_bandwidth: float = 90 * MB
+    hdd_seek: float = 0.012
+    ssd_bandwidth: float = 250 * MB
+    ssd_seek: float = 0.0001
+    net_bandwidth: float = 110 * MB  # ~1 GbE payload rate
+    block_bytes: int = 64 * MB
+    reducers: int = 40
+    merge_factor: int = 10
+    reduce_buffer_bytes: int = 256 * MB
+    with_ssd: bool = False
+    storage_nodes: int = 0  # >0 → separate storage/compute architecture
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        if self.storage_nodes >= self.nodes:
+            raise ValueError("storage_nodes must leave compute nodes")
+        if self.merge_factor < 2:
+            raise ValueError("merge_factor must be >= 2")
+
+    @property
+    def compute_nodes(self) -> int:
+        return self.nodes - self.storage_nodes if self.storage_nodes else self.nodes
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadProfile:
+    """Per-workload cost model, units of CPU-seconds per MB unless noted.
+
+    ``map_output_ratio`` is map-output bytes per input byte *after* any
+    combiner; ``reduce_output_ratio`` is job output per input byte.
+    ``state_fit_fraction`` is the share of reduce-side aggregate state that
+    fits in reducer memory for the one-pass engine (1.0 → no spills).
+    """
+
+    name: str
+    input_bytes: int
+    map_cpu_per_mb: float
+    sort_cpu_per_mb: float
+    combine_cpu_per_mb: float
+    map_output_ratio: float
+    reduce_cpu_per_mb: float
+    merge_cpu_per_mb: float
+    reduce_output_ratio: float
+    hash_cpu_per_mb: float
+    state_fit_fraction: float = 1.0
+    parse_cpu_per_mb: float = 0.003
+
+    def __post_init__(self) -> None:
+        if self.input_bytes <= 0:
+            raise ValueError("input_bytes must be positive")
+        if not 0 <= self.state_fit_fraction <= 1:
+            raise ValueError("state_fit_fraction must lie in [0, 1]")
+
+    def scaled(self, input_bytes: int) -> "WorkloadProfile":
+        """The same workload at a different input size."""
+        return WorkloadProfile(
+            name=self.name,
+            input_bytes=input_bytes,
+            map_cpu_per_mb=self.map_cpu_per_mb,
+            sort_cpu_per_mb=self.sort_cpu_per_mb,
+            combine_cpu_per_mb=self.combine_cpu_per_mb,
+            map_output_ratio=self.map_output_ratio,
+            reduce_cpu_per_mb=self.reduce_cpu_per_mb,
+            merge_cpu_per_mb=self.merge_cpu_per_mb,
+            reduce_output_ratio=self.reduce_output_ratio,
+            hash_cpu_per_mb=self.hash_cpu_per_mb,
+            state_fit_fraction=self.state_fit_fraction,
+            parse_cpu_per_mb=self.parse_cpu_per_mb,
+        )
+
+
+#: The paper's 10-node benchmark cluster (1 head node not modelled; the
+#: NameNode/JobTracker overheads are negligible at this scale).
+CLUSTER_2011 = ClusterSpec()
+
+#: Sessionization over 256 GB of click logs: map output ≈ 1.05× input
+#: (269 GB / 256 GB), no combiner, CPU split 61/39 between map fn and sort.
+SESSIONIZATION = WorkloadProfile(
+    name="sessionization",
+    input_bytes=256 * GB,
+    map_cpu_per_mb=0.109,
+    sort_cpu_per_mb=0.070,
+    combine_cpu_per_mb=0.0,
+    map_output_ratio=269 / 256,
+    reduce_cpu_per_mb=0.100,
+    merge_cpu_per_mb=0.008,
+    reduce_output_ratio=1.0,
+    hash_cpu_per_mb=0.020,
+    state_fit_fraction=0.0,  # holistic states ≈ data size: nothing "fits"
+    parse_cpu_per_mb=0.005,
+)
+
+#: Page-frequency counting over 508 GB: the combiner collapses map output
+#: to 1.8 GB (0.4% of input); reduce work is trivial.
+PAGE_FREQUENCY = WorkloadProfile(
+    name="page-frequency",
+    input_bytes=508 * GB,
+    map_cpu_per_mb=0.085,
+    sort_cpu_per_mb=0.075,
+    combine_cpu_per_mb=0.004,
+    map_output_ratio=1.8 / 508,
+    reduce_cpu_per_mb=0.020,
+    merge_cpu_per_mb=0.010,
+    reduce_output_ratio=0.02 / 508,
+    hash_cpu_per_mb=0.022,
+    state_fit_fraction=1.0,
+    parse_cpu_per_mb=0.005,
+)
+
+#: Per-user click counting over 256 GB: map fn is so light that sorting is
+#: ~48% of map CPU (Table II: 440 s vs 406 s).
+PER_USER_COUNT = WorkloadProfile(
+    name="per-user-count",
+    input_bytes=256 * GB,
+    map_cpu_per_mb=0.090,
+    sort_cpu_per_mb=0.095,
+    combine_cpu_per_mb=0.004,
+    map_output_ratio=2.6 / 256,
+    reduce_cpu_per_mb=0.020,
+    merge_cpu_per_mb=0.010,
+    reduce_output_ratio=0.6 / 256,
+    hash_cpu_per_mb=0.025,
+    state_fit_fraction=1.0,
+    parse_cpu_per_mb=0.005,
+)
+
+#: Inverted-index construction over 427 GB of documents: map output 150 GB
+#: (~0.35× raw; the paper reports intermediate/input 70% counting both map
+#: output and reduce spill), heavier reduce (posting-list building).
+INVERTED_INDEX = WorkloadProfile(
+    name="inverted-index",
+    input_bytes=427 * GB,
+    map_cpu_per_mb=0.300,
+    sort_cpu_per_mb=0.120,
+    combine_cpu_per_mb=0.0,
+    map_output_ratio=150 / 427,
+    reduce_cpu_per_mb=0.450,
+    merge_cpu_per_mb=0.010,
+    reduce_output_ratio=103 / 427,
+    hash_cpu_per_mb=0.040,
+    state_fit_fraction=0.0,
+    parse_cpu_per_mb=0.005,
+)
+
+PAPER_WORKLOADS: dict[str, WorkloadProfile] = {
+    w.name: w
+    for w in (SESSIONIZATION, PAGE_FREQUENCY, PER_USER_COUNT, INVERTED_INDEX)
+}

@@ -1,0 +1,62 @@
+"""Simulated cluster topologies.
+
+Three architectures from the paper's §III.C:
+
+* **colocated** (default) — every node stores HDFS data *and* runs tasks;
+  one spindle carries input, output and intermediate traffic;
+* **HDD+SSD** (``with_ssd=True``) — intermediate data moves to a per-node
+  SSD, decoupling it from HDFS traffic;
+* **separate storage** (``storage_nodes=k``) — the first ``k`` nodes hold
+  HDFS only and the rest compute only (the Elastic-MapReduce-style split);
+  every block read then crosses the network.
+"""
+
+from __future__ import annotations
+
+from repro.simulator.calibration import ClusterSpec
+from repro.simulator.events import Simulator
+from repro.simulator.node import SimNode
+
+__all__ = ["SimCluster"]
+
+
+class SimCluster:
+    """All nodes of one simulated run, plus placement helpers."""
+
+    def __init__(self, sim: Simulator, spec: ClusterSpec) -> None:
+        self.sim = sim
+        self.spec = spec
+        self.nodes: list[SimNode] = []
+        for i in range(spec.nodes):
+            is_storage = spec.storage_nodes == 0 or i < spec.storage_nodes
+            is_compute = spec.storage_nodes == 0 or i >= spec.storage_nodes
+            self.nodes.append(
+                SimNode(
+                    sim,
+                    f"node{i:02d}",
+                    spec,
+                    is_compute=is_compute,
+                    is_storage=is_storage,
+                )
+            )
+
+    @property
+    def compute_nodes(self) -> list[SimNode]:
+        return [n for n in self.nodes if n.is_compute]
+
+    @property
+    def storage_nodes(self) -> list[SimNode]:
+        return [n for n in self.nodes if n.is_storage]
+
+    @property
+    def separate_storage(self) -> bool:
+        return self.spec.storage_nodes > 0
+
+    def storage_node_for_block(self, block_index: int) -> SimNode:
+        """Round-robin block placement over storage nodes (replication 1)."""
+        storage = self.storage_nodes
+        return storage[block_index % len(storage)]
+
+    def reducer_node(self, reducer_index: int) -> SimNode:
+        compute = self.compute_nodes
+        return compute[reducer_index % len(compute)]

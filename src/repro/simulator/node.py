@@ -1,0 +1,65 @@
+"""A simulated cluster node: cores, devices and network interfaces."""
+
+from __future__ import annotations
+
+from repro.simulator.calibration import ClusterSpec
+from repro.simulator.events import Simulator
+from repro.simulator.resources import CpuBank, Disk, Nic
+
+__all__ = ["SimNode"]
+
+
+class SimNode:
+    """One machine of the simulated cluster.
+
+    ``hdfs_disk`` serves HDFS block reads and job-output writes;
+    ``intermediate_disk`` receives map output, shuffle spill and merge
+    traffic.  In the default architecture both names point at the same
+    spindle (the paper's contention case); with an SSD they differ.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        spec: ClusterSpec,
+        *,
+        is_compute: bool = True,
+        is_storage: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.spec = spec
+        self.is_compute = is_compute
+        self.is_storage = is_storage
+        self.cpu = CpuBank(sim, f"{name}.cpu", servers=spec.cores_per_node)
+        self.hdd = Disk(
+            sim,
+            f"{name}.hdd",
+            bandwidth=spec.hdd_bandwidth,
+            seek_time=spec.hdd_seek,
+        )
+        self.ssd: Disk | None = None
+        if spec.with_ssd and is_compute:
+            self.ssd = Disk(
+                sim,
+                f"{name}.ssd",
+                bandwidth=spec.ssd_bandwidth,
+                seek_time=spec.ssd_seek,
+            )
+        self.nic_in = Nic(sim, f"{name}.nic_in", bandwidth=spec.net_bandwidth)
+        self.nic_out = Nic(sim, f"{name}.nic_out", bandwidth=spec.net_bandwidth)
+
+    @property
+    def hdfs_disk(self) -> Disk:
+        return self.hdd
+
+    @property
+    def intermediate_disk(self) -> Disk:
+        return self.ssd if self.ssd is not None else self.hdd
+
+    def disks(self) -> list[Disk]:
+        return [self.hdd] + ([self.ssd] if self.ssd is not None else [])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimNode({self.name!r})"

@@ -1,0 +1,203 @@
+"""Contended resources: CPUs, disks and NICs with busy-interval tracking.
+
+Each resource is a bank of FCFS servers.  A process yields
+:class:`Use`; the request queues, occupies one server for its service
+time, then resumes the process.  Every service records a busy interval
+``(start, end, stream, nbytes)`` — the raw material for the utilisation,
+iowait and bytes-read series of the paper's Fig. 2/3/4.
+
+The disk adds the positioning model that drives the paper's contention
+story: consecutive services from *different* streams (a map read vs. a
+merge write on the same spindle) pay a seek, so a disk shared by many
+activities delivers far less than its sequential bandwidth.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.simulator.events import Simulator
+
+__all__ = ["Interval", "ServiceBank", "CpuBank", "Disk", "Nic", "Use"]
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """One completed service on one server."""
+
+    start: float
+    end: float
+    stream: str
+    nbytes: int = 0
+    tag: str = ""
+
+
+class ServiceBank:
+    """``servers`` FCFS servers with a shared queue.
+
+    Subclasses define :meth:`service_time`.  ``submit`` is the low-level
+    entry; processes normally go through :class:`Use`.
+    """
+
+    def __init__(self, sim: Simulator, name: str, servers: int = 1) -> None:
+        if servers < 1:
+            raise ValueError("servers must be >= 1")
+        self.sim = sim
+        self.name = name
+        self.servers = servers
+        self.busy = 0
+        self._queue: deque[tuple[Any, str, str, Callable[[Any], None]]] = deque()
+        self.intervals: list[Interval] = []
+        self.total_busy_time = 0.0
+        self.served = 0
+
+    def service_time(self, amount: Any, stream: str) -> float:
+        raise NotImplementedError
+
+    def _bytes_of(self, amount: Any) -> int:
+        return 0
+
+    def submit(
+        self,
+        amount: Any,
+        resume: Callable[[Any], None],
+        *,
+        stream: str = "",
+        tag: str = "",
+    ) -> None:
+        if self.busy < self.servers:
+            self._serve(amount, stream, tag, resume)
+        else:
+            self._queue.append((amount, stream, tag, resume))
+
+    def _serve(
+        self, amount: Any, stream: str, tag: str, resume: Callable[[Any], None]
+    ) -> None:
+        self.busy += 1
+        start = self.sim.now
+        duration = self.service_time(amount, stream)
+        end = start + duration
+
+        def finish() -> None:
+            self.busy -= 1
+            interval = Interval(
+                start=start,
+                end=end,
+                stream=stream,
+                nbytes=self._bytes_of(amount),
+                tag=tag,
+            )
+            self.intervals.append(interval)
+            self.total_busy_time += duration
+            self.served += 1
+            if self._queue:
+                self._serve(*self._queue.popleft())
+            resume(interval)
+
+        self.sim.at(end, finish)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+
+class CpuBank(ServiceBank):
+    """A node's cores; amounts are CPU-seconds."""
+
+    def service_time(self, amount: Any, stream: str) -> float:
+        return float(amount)
+
+
+class Disk(ServiceBank):
+    """One spindle/device; amounts are bytes.
+
+    The positioning model captures why a shared MapReduce disk is "often
+    maxed out and subject to random I/Os": a transfer that runs while
+    other streams contend for the device (a queue exists, or the previous
+    service belonged to a different stream) is served as interleaved
+    ``io_chunk``-sized extents, paying one positioning delay per extent.
+    A lone sequential stream gets full bandwidth.
+
+    For a 90 MB/s spindle with 12 ms positioning and 1 MB extents, the
+    interleaved effective rate is ~43 MB/s — the regime the paper's HDD
+    experiments live in — while an SSD (0.1 ms) barely degrades.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        *,
+        bandwidth: float,
+        seek_time: float,
+        io_chunk: int = 1024 * 1024,
+    ) -> None:
+        super().__init__(sim, name, servers=1)
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if io_chunk <= 0:
+            raise ValueError("io_chunk must be positive")
+        self.bandwidth = bandwidth
+        self.seek_time = seek_time
+        self.io_chunk = io_chunk
+        self._last_stream: str | None = None
+
+    def service_time(self, amount: Any, stream: str) -> float:
+        nbytes = float(amount)
+        t = nbytes / self.bandwidth
+        interleaved = self.queue_length > 0 or stream != self._last_stream
+        if interleaved:
+            extents = max(1, int(-(-nbytes // self.io_chunk)))
+            t += self.seek_time * extents
+        self._last_stream = stream
+        return t
+
+    def _bytes_of(self, amount: Any) -> int:
+        return int(amount)
+
+
+class Nic(ServiceBank):
+    """A node's network interface (one direction); amounts are bytes.
+
+    ``per_message_overhead`` models the fixed cost of each transfer — the
+    knob behind MapReduce Online's fine-granularity pipelining penalty.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        *,
+        bandwidth: float,
+        per_message_overhead: float = 0.0005,
+    ) -> None:
+        super().__init__(sim, name, servers=1)
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.bandwidth = bandwidth
+        self.per_message_overhead = per_message_overhead
+
+    def service_time(self, amount: Any, stream: str) -> float:
+        return float(amount) / self.bandwidth + self.per_message_overhead
+
+    def _bytes_of(self, amount: Any) -> int:
+        return int(amount)
+
+
+class Use:
+    """Process request: occupy ``resource`` for ``amount`` of work."""
+
+    __slots__ = ("resource", "amount", "stream", "tag")
+
+    def __init__(
+        self, resource: ServiceBank, amount: Any, *, stream: str = "", tag: str = ""
+    ) -> None:
+        self.resource = resource
+        self.amount = amount
+        self.stream = stream
+        self.tag = tag
+
+    def start(self, sim: Simulator, resume: Callable[[Any], None]) -> None:
+        self.resource.submit(self.amount, resume, stream=self.stream, tag=self.tag)

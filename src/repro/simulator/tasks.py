@@ -1,0 +1,106 @@
+"""Shared task building blocks and run-result types for the pipelines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator
+
+from repro.simulator.calibration import MB, ClusterSpec, WorkloadProfile
+from repro.simulator.metrics import MetricSampler, SeriesBundle
+from repro.simulator.node import SimNode
+from repro.simulator.resources import Use
+from repro.simulator.timeline import TaskLog
+
+__all__ = ["SimTotals", "SimRunResult", "read_block", "write_remote", "mb"]
+
+
+def mb(nbytes: float) -> float:
+    """Bytes → MB, the unit of the CPU-rate constants."""
+    return nbytes / MB
+
+
+@dataclass(slots=True)
+class SimTotals:
+    """Aggregate byte counters for one simulated run."""
+
+    map_output_bytes: float = 0.0
+    shuffle_bytes: float = 0.0
+    reduce_spill_bytes: float = 0.0
+    merge_read_bytes: float = 0.0
+    merge_write_bytes: float = 0.0
+    merge_passes: int = 0
+    snapshot_read_bytes: float = 0.0
+    output_bytes: float = 0.0
+    network_messages: int = 0
+    remote_input_bytes: float = 0.0
+
+
+@dataclass(slots=True)
+class SimRunResult:
+    """Everything a figure or table needs from one simulated run."""
+
+    engine: str
+    workload: str
+    spec: ClusterSpec
+    profile: WorkloadProfile
+    makespan: float
+    task_log: TaskLog
+    series: SeriesBundle
+    totals: SimTotals
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def completion_minutes(self) -> float:
+        return self.makespan / 60.0
+
+    def phase_window(self, phase: str) -> tuple[float, float]:
+        return self.task_log.phase_window(phase)
+
+
+def read_block(
+    node: SimNode,
+    storage_node: SimNode,
+    nbytes: float,
+    totals: SimTotals,
+    *,
+    stream: str,
+) -> Generator[Any, Any, None]:
+    """Read one HDFS block, local or across the network."""
+    if storage_node is node:
+        yield Use(node.hdfs_disk, nbytes, stream=stream, tag="read")
+        return
+    yield Use(storage_node.hdfs_disk, nbytes, stream=stream, tag="read")
+    yield Use(storage_node.nic_out, nbytes, stream=stream)
+    yield Use(node.nic_in, nbytes, stream=stream)
+    totals.remote_input_bytes += nbytes
+    totals.network_messages += 1
+
+
+def write_remote(
+    node: SimNode,
+    storage_node: SimNode,
+    nbytes: float,
+    totals: SimTotals,
+    *,
+    stream: str,
+) -> Generator[Any, Any, None]:
+    """Write job output to HDFS, local or across the network."""
+    if storage_node is node:
+        yield Use(node.hdfs_disk, nbytes, stream=stream, tag="write")
+        return
+    yield Use(node.nic_out, nbytes, stream=stream)
+    yield Use(storage_node.nic_in, nbytes, stream=stream)
+    yield Use(storage_node.hdfs_disk, nbytes, stream=stream, tag="write")
+    totals.network_messages += 1
+
+
+def metric_bundle(
+    cluster_nodes: list[SimNode], horizon: float, bucket: float
+) -> SeriesBundle:
+    """Cluster-average series over the run's compute nodes."""
+    sampler = MetricSampler(bucket=bucket)
+    pairs = [
+        (n.cpu, list(n.disks()))
+        for n in cluster_nodes
+    ]
+    return sampler.cluster_series(pairs, horizon)

@@ -1,0 +1,135 @@
+"""Workload generators and the paper's four benchmark jobs.
+
+Click-stream analysis (sessionization, page frequency, per-user count)
+and web-document analysis (inverted index), each available in sort-merge
+(:class:`~repro.mapreduce.api.MapReduceJob`) and one-pass
+(:class:`~repro.core.engine.OnePassJob`) form, plus reference
+implementations for correctness checks.
+"""
+
+from repro.workloads.clickstream import (
+    ClickStreamConfig,
+    click_text_codec,
+    generate_clicks,
+    url_of,
+)
+from repro.workloads.counting import (
+    count_map_fn,
+    counting_job,
+    counting_onepass_job,
+    reference_counts,
+    sum_combine,
+    sum_reduce,
+)
+from repro.workloads.documents import (
+    DocumentConfig,
+    document_text_codec,
+    generate_documents,
+    word_of,
+)
+from repro.workloads.inverted_index import (
+    index_map,
+    index_reduce,
+    inverted_index_job,
+    inverted_index_onepass_job,
+    reference_index,
+)
+from repro.workloads.page_frequency import (
+    page_frequency_job,
+    page_frequency_onepass_job,
+    reference_page_counts,
+    url_of_click,
+)
+from repro.workloads.per_user_count import (
+    per_user_count_job,
+    per_user_count_onepass_job,
+    reference_user_counts,
+    user_of_click,
+)
+from repro.workloads.sessionization import (
+    reference_sessions,
+    session_map,
+    session_reduce,
+    sessionization_job,
+    sessionization_onepass_job,
+)
+from repro.workloads.graph import (
+    GraphConfig,
+    adjacency_onepass_job,
+    count_triangles,
+    degree_count_job,
+    degree_count_onepass_job,
+    generate_edges,
+    reference_degrees,
+    reference_triangles,
+)
+from repro.workloads.twitter import (
+    TweetConfig,
+    generate_tweets,
+    hashtag_cooccurrence_job,
+    hashtag_cooccurrence_onepass_job,
+    hashtag_count_job,
+    hashtag_count_onepass_job,
+    hashtag_of,
+    reference_cooccurrence,
+    reference_hashtag_counts,
+    reference_user_top_hashtags,
+    user_top_hashtags_onepass_job,
+)
+from repro.workloads.zipf import ZipfSampler, zipf_pmf
+
+__all__ = [
+    "ZipfSampler",
+    "zipf_pmf",
+    "ClickStreamConfig",
+    "generate_clicks",
+    "click_text_codec",
+    "url_of",
+    "DocumentConfig",
+    "generate_documents",
+    "document_text_codec",
+    "word_of",
+    "count_map_fn",
+    "sum_combine",
+    "sum_reduce",
+    "counting_job",
+    "counting_onepass_job",
+    "reference_counts",
+    "sessionization_job",
+    "sessionization_onepass_job",
+    "session_map",
+    "session_reduce",
+    "reference_sessions",
+    "page_frequency_job",
+    "page_frequency_onepass_job",
+    "reference_page_counts",
+    "url_of_click",
+    "per_user_count_job",
+    "per_user_count_onepass_job",
+    "reference_user_counts",
+    "user_of_click",
+    "inverted_index_job",
+    "inverted_index_onepass_job",
+    "index_map",
+    "index_reduce",
+    "reference_index",
+    "TweetConfig",
+    "generate_tweets",
+    "hashtag_of",
+    "hashtag_count_job",
+    "hashtag_count_onepass_job",
+    "user_top_hashtags_onepass_job",
+    "hashtag_cooccurrence_job",
+    "hashtag_cooccurrence_onepass_job",
+    "reference_hashtag_counts",
+    "reference_user_top_hashtags",
+    "reference_cooccurrence",
+    "GraphConfig",
+    "generate_edges",
+    "degree_count_job",
+    "degree_count_onepass_job",
+    "adjacency_onepass_job",
+    "count_triangles",
+    "reference_degrees",
+    "reference_triangles",
+]

@@ -1,0 +1,231 @@
+"""Twitter-feed analysis — the paper's "ongoing work" benchmark extension.
+
+§III.A: "In ongoing work, we are extending our benchmark to Twitter feed
+analysis and complex queries such as top-k."  This module supplies that
+extension:
+
+* a synthetic tweet generator (timestamped, Zipf-skewed authors and
+  hashtags, several hashtags per tweet);
+* **hashtag counting** (the streaming-trend primitive) in sort-merge and
+  one-pass form;
+* **per-user top hashtags** — a top-k query answered with the
+  :func:`~repro.core.aggregates.top_by_count` combiner, the paper's §IV.3
+  open question made concrete;
+* **hashtag co-occurrence** — pairs of hashtags appearing in the same
+  tweet, a quadratic-fanout map that stresses intermediate data the way
+  graph-edge workloads do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.core.aggregates import SUM, top_by_count
+from repro.core.engine import OnePassConfig, OnePassJob
+from repro.mapreduce.api import JobConfig, MapReduceJob
+from repro.workloads.counting import sum_combine, sum_reduce
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = [
+    "TweetConfig",
+    "generate_tweets",
+    "hashtag_of",
+    "hashtag_map",
+    "hashtag_count_job",
+    "hashtag_count_onepass_job",
+    "user_top_hashtags_onepass_job",
+    "cooccurrence_map",
+    "hashtag_cooccurrence_job",
+    "hashtag_cooccurrence_onepass_job",
+    "reference_hashtag_counts",
+    "reference_user_top_hashtags",
+    "reference_cooccurrence",
+]
+
+TweetRecord = tuple[float, int, str]
+
+
+@dataclass(frozen=True, slots=True)
+class TweetConfig:
+    """Shape of the synthetic feed."""
+
+    num_tweets: int = 20_000
+    num_users: int = 2_000
+    num_hashtags: int = 500
+    user_skew: float = 1.1
+    hashtag_skew: float = 1.2
+    mean_hashtags: float = 2.0
+    mean_interarrival: float = 0.02
+    seed: int = 13
+
+    def __post_init__(self) -> None:
+        if min(self.num_tweets, self.num_users, self.num_hashtags) < 1:
+            raise ValueError("counts must be >= 1")
+        if self.mean_hashtags <= 0 or self.mean_interarrival <= 0:
+            raise ValueError("means must be positive")
+
+
+def hashtag_of(rank: int) -> str:
+    return f"#tag{rank:05d}"
+
+
+_FILLER = ("just", "saw", "the", "match", "so", "good", "cant", "believe", "it")
+
+
+def generate_tweets(config: TweetConfig) -> Iterator[TweetRecord]:
+    """Yield ``(timestamp, user, text)`` in timestamp order.
+
+    Each tweet carries 1+Poisson hashtags drawn from the Zipf sampler
+    (deduplicated within the tweet) mixed into filler words.
+    """
+    users = ZipfSampler(config.num_users, config.user_skew, seed=config.seed)
+    tags = ZipfSampler(config.num_hashtags, config.hashtag_skew, seed=config.seed + 1)
+    rng = np.random.default_rng(config.seed + 2)
+    now = 0.0
+    for _ in range(config.num_tweets):
+        now += float(rng.exponential(config.mean_interarrival))
+        user = int(users.draw_one())
+        n_tags = 1 + int(rng.poisson(max(config.mean_hashtags - 1, 0.0)))
+        tag_ranks = sorted({int(r) for r in tags.draw(n_tags)})
+        words = list(rng.choice(_FILLER, size=3))
+        words.extend(hashtag_of(r) for r in tag_ranks)
+        yield (now, user, " ".join(words))
+
+
+def hashtags_in(text: str) -> list[str]:
+    """The hashtags of one tweet (order preserved, already unique)."""
+    return [w for w in text.split() if w.startswith("#")]
+
+
+def hashtag_map(tweet: TweetRecord) -> Iterator[tuple[str, int]]:
+    """Emit ``(hashtag, 1)`` per hashtag occurrence."""
+    for tag in hashtags_in(tweet[2]):
+        yield (tag, 1)
+
+
+def hashtag_count_job(
+    input_path: str, output_path: str, *, config: JobConfig | None = None
+) -> MapReduceJob:
+    return MapReduceJob(
+        "hashtag-count",
+        hashtag_map,
+        sum_reduce,
+        combine_fn=sum_combine,
+        config=config or JobConfig(),
+        input_path=input_path,
+        output_path=output_path,
+    )
+
+
+def hashtag_count_onepass_job(
+    input_path: str, output_path: str, *, config: OnePassConfig | None = None
+) -> OnePassJob:
+    return OnePassJob(
+        "hashtag-count-onepass",
+        hashtag_map,
+        aggregator=SUM,
+        config=config or OnePassConfig(),
+        input_path=input_path,
+        output_path=output_path,
+    )
+
+
+def _user_tag_map(tweet: TweetRecord) -> Iterator[tuple[int, str]]:
+    _ts, user, text = tweet
+    for tag in hashtags_in(text):
+        yield (user, tag)
+
+
+def user_top_hashtags_onepass_job(
+    input_path: str,
+    output_path: str,
+    *,
+    k: int = 3,
+    config: OnePassConfig | None = None,
+) -> OnePassJob:
+    """Per-user top-``k`` hashtags: the §IV.3 top-k combiner in action.
+
+    The per-user state is a value→count table (sublinear in the user's
+    tweet volume), so incremental and hot-set modes both apply.
+    """
+    return OnePassJob(
+        f"user-top{k}-hashtags",
+        _user_tag_map,
+        aggregator=top_by_count(k),
+        config=config or OnePassConfig(map_side_combine=False),
+        input_path=input_path,
+        output_path=output_path,
+    )
+
+
+def cooccurrence_map(tweet: TweetRecord) -> Iterator[tuple[tuple[str, str], int]]:
+    """Emit one pair per unordered hashtag pair in the tweet."""
+    tags = sorted(set(hashtags_in(tweet[2])))
+    for a, b in combinations(tags, 2):
+        yield ((a, b), 1)
+
+
+def hashtag_cooccurrence_job(
+    input_path: str, output_path: str, *, config: JobConfig | None = None
+) -> MapReduceJob:
+    return MapReduceJob(
+        "hashtag-cooccurrence",
+        cooccurrence_map,
+        sum_reduce,
+        combine_fn=sum_combine,
+        config=config or JobConfig(),
+        input_path=input_path,
+        output_path=output_path,
+    )
+
+
+def hashtag_cooccurrence_onepass_job(
+    input_path: str, output_path: str, *, config: OnePassConfig | None = None
+) -> OnePassJob:
+    return OnePassJob(
+        "hashtag-cooccurrence-onepass",
+        cooccurrence_map,
+        aggregator=SUM,
+        config=config or OnePassConfig(),
+        input_path=input_path,
+        output_path=output_path,
+    )
+
+
+# -- references -----------------------------------------------------------------
+
+
+def reference_hashtag_counts(tweets: Iterable[TweetRecord]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for tweet in tweets:
+        for tag, _one in hashtag_map(tweet):
+            counts[tag] = counts.get(tag, 0) + 1
+    return counts
+
+
+def reference_user_top_hashtags(
+    tweets: Iterable[TweetRecord], k: int = 3
+) -> dict[int, list[tuple[str, int]]]:
+    per_user: dict[int, dict[str, int]] = {}
+    for tweet in tweets:
+        for user, tag in _user_tag_map(tweet):
+            bucket = per_user.setdefault(user, {})
+            bucket[tag] = bucket.get(tag, 0) + 1
+    return {
+        user: sorted(tags.items(), key=lambda tc: (-tc[1], repr(tc[0])))[:k]
+        for user, tags in per_user.items()
+    }
+
+
+def reference_cooccurrence(
+    tweets: Iterable[TweetRecord],
+) -> dict[tuple[str, str], int]:
+    counts: dict[tuple[str, str], int] = {}
+    for tweet in tweets:
+        for pair, _one in cooccurrence_map(tweet):
+            counts[pair] = counts.get(pair, 0) + 1
+    return counts

@@ -1,0 +1,71 @@
+"""Series/timeline export for external plotting."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import run_to_json, series_csv, timeline_csv, write_run_bundle
+from repro.simulator.calibration import GB, SESSIONIZATION, ClusterSpec
+from repro.simulator.pipelines import HadoopPipeline
+
+
+@pytest.fixture(scope="module")
+def run():
+    return HadoopPipeline(
+        ClusterSpec(reducers=4), SESSIONIZATION.scaled(4 * GB), metric_bucket=5.0
+    ).run()
+
+
+class TestCsv:
+    def test_series_csv_shape(self, run):
+        lines = series_csv(run).strip().splitlines()
+        assert lines[0].startswith("time_s,")
+        assert len(lines) == len(run.series.times) + 1
+        first = lines[1].split(",")
+        assert len(first) == 5
+        float(first[0])  # parseable
+
+    def test_timeline_csv_counts_spans(self, run):
+        lines = timeline_csv(run.task_log).strip().splitlines()
+        assert len(lines) == len(run.task_log.spans) + 1
+        assert lines[0] == "phase,start_s,end_s,node,task_id"
+
+    def test_timeline_sorted_by_start(self, run):
+        lines = timeline_csv(run.task_log).strip().splitlines()[1:]
+        starts = [float(line.split(",")[1]) for line in lines]
+        assert starts == sorted(starts)
+
+
+class TestJson:
+    def test_bundle_fields(self, run):
+        bundle = run_to_json(run)
+        assert bundle["engine"] == "hadoop"
+        assert bundle["workload"] == "sessionization"
+        assert bundle["makespan_s"] == run.makespan
+        assert bundle["spec"]["reducers"] == 4
+        assert "map" in bundle["phase_windows"]
+        assert len(bundle["series"]["times"]) == len(run.series.times)
+        # must be JSON-serialisable end to end
+        json.dumps(bundle)
+
+    def test_totals_roundtrip(self, run):
+        bundle = run_to_json(run)
+        assert bundle["totals"]["shuffle_bytes"] == run.totals.shuffle_bytes
+
+
+class TestWriteBundle:
+    def test_writes_three_files(self, run, tmp_path):
+        paths = write_run_bundle(run, str(tmp_path))
+        assert len(paths) == 3
+        names = sorted(p.rsplit("/", 1)[-1] for p in paths)
+        assert names == [
+            "sessionization-hadoop.json",
+            "sessionization-hadoop.series.csv",
+            "sessionization-hadoop.timeline.csv",
+        ]
+        with open(paths[2], encoding="utf-8") as fh:
+            json.load(fh)
+
+    def test_custom_stem(self, run, tmp_path):
+        paths = write_run_bundle(run, str(tmp_path), stem="fig2")
+        assert all("fig2" in p for p in paths)

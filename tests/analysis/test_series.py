@@ -1,0 +1,75 @@
+"""Series shape helpers: sparkline, valley finding, window means."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.series import (
+    find_valley,
+    peak_time,
+    sparkline,
+    valley_depth,
+    window_mean,
+)
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        assert sparkline([3, 3, 3]) == "▁▁▁"
+
+    def test_monotone_ramp(self):
+        s = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_downsampling_to_width(self):
+        s = sparkline(list(range(1000)), width=50)
+        assert len(s) == 50
+
+
+class TestWindowMean:
+    def test_basic(self):
+        times = np.arange(10.0)
+        values = np.arange(10.0)
+        assert window_mean(times, values, 2, 5) == pytest.approx(3.0)
+
+    def test_empty_window_raises(self):
+        with pytest.raises(ValueError):
+            window_mean(np.arange(5.0), np.arange(5.0), 100, 200)
+
+
+class TestValley:
+    def test_finds_interior_minimum(self):
+        times = np.arange(100.0)
+        values = np.ones(100)
+        values[40:60] = 0.1  # the merge valley
+        t, v = find_valley(times, values)
+        assert 35 <= t <= 65
+        assert v < 0.3
+
+    def test_margin_excludes_edges(self):
+        times = np.arange(100.0)
+        values = np.ones(100)
+        values[0] = 0.0  # startup ramp, not a valley
+        values[50] = 0.5
+        t, _ = find_valley(times, values, smooth=1)
+        assert 45 <= t <= 55
+
+    def test_valley_depth_zero_for_flat(self):
+        times = np.arange(50.0)
+        assert valley_depth(times, np.ones(50)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_valley_depth_positive_for_dip(self):
+        times = np.arange(100.0)
+        values = np.ones(100)
+        values[45:55] = 0.0
+        assert valley_depth(times, values) > 0.5
+
+
+class TestPeak:
+    def test_peak_time(self):
+        times = np.arange(10.0) * 5
+        values = np.zeros(10)
+        values[7] = 3.0
+        assert peak_time(times, values) == 35.0

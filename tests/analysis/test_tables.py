@@ -1,0 +1,55 @@
+"""Table rendering and humanised units."""
+
+import pytest
+
+from repro.analysis.tables import format_kv, format_table, human_bytes, human_time
+
+
+class TestHumanUnits:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (0, "0 B"),
+            (512, "512 B"),
+            (1024, "1.00 KB"),
+            (1536, "1.50 KB"),
+            (1024**2, "1.00 MB"),
+            (370 * 1024**3, "370.00 GB"),
+        ],
+    )
+    def test_human_bytes(self, n, expected):
+        assert human_bytes(n) == expected
+
+    @pytest.mark.parametrize(
+        "s,expected", [(12, "12.0 s"), (59.9, "59.9 s"), (90, "1.5 min"), (4560, "76.0 min")]
+    )
+    def test_human_time(self, s, expected):
+        assert human_time(s) == expected
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        out = format_table(("name", "value"), [("a", 1), ("long-name", 22)])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", "+"}
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_title(self):
+        out = format_table(("a",), [(1,)], title="Table I")
+        assert out.splitlines()[0] == "Table I"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1,)])
+
+    def test_float_formatting(self):
+        out = format_table(("x",), [(0.123456,), (1234567.0,), (0.0,)])
+        assert "0.123" in out
+        assert "1.23e+06" in out
+
+    def test_kv_block(self):
+        out = format_kv({"wall": 1.5, "bytes": 42})
+        assert "wall" in out and "bytes" in out

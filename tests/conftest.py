@@ -1,0 +1,39 @@
+"""Shared fixtures: small clusters and workload samples."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.io.device import RAMDISK
+from repro.io.disk import LocalDisk
+from repro.mapreduce.runtime import LocalCluster
+from repro.workloads.clickstream import ClickStreamConfig, generate_clicks
+from repro.workloads.documents import DocumentConfig, generate_documents
+
+
+@pytest.fixture
+def disk() -> LocalDisk:
+    """A fresh accounted RAM-backed disk."""
+    return LocalDisk(RAMDISK, name="testdisk")
+
+
+@pytest.fixture
+def cluster() -> LocalCluster:
+    """A 3-node cluster with small blocks (fast, multi-wave scheduling)."""
+    return LocalCluster(num_nodes=3, block_size=64 * 1024)
+
+
+@pytest.fixture(scope="session")
+def clicks() -> list[tuple[float, int, str]]:
+    """A deterministic small click log: 8k clicks, 400 users, 150 urls."""
+    cfg = ClickStreamConfig(
+        num_clicks=8_000, num_users=400, num_urls=150, user_skew=1.1, seed=11
+    )
+    return list(generate_clicks(cfg))
+
+
+@pytest.fixture(scope="session")
+def documents() -> list[tuple[int, str]]:
+    """A deterministic small document collection."""
+    cfg = DocumentConfig(num_docs=120, vocab_size=800, mean_doc_words=40, seed=5)
+    return list(generate_documents(cfg))

@@ -1,0 +1,159 @@
+"""Aggregate states: unit behaviour per state type."""
+
+import pytest
+
+from repro.core.aggregates import (
+    AVG,
+    COLLECT,
+    COUNT,
+    MAX,
+    MIN,
+    SUM,
+    AvgState,
+    CollectState,
+    CountState,
+    MaxState,
+    MinState,
+    SessionState,
+    SumCountState,
+    SumState,
+    TopKState,
+    fold,
+    sessionize,
+    top_k,
+)
+
+
+class TestScalarStates:
+    def test_count(self):
+        assert fold(COUNT, ["a", "b", "c"]) == 3
+        assert fold(COUNT, []) == 0
+
+    def test_sum(self):
+        assert fold(SUM, [1, 2, 3.5]) == 6.5
+        assert fold(SUM, []) == 0
+
+    def test_avg(self):
+        assert fold(AVG, [2, 4, 6]) == 4
+        with pytest.raises(ValueError):
+            AvgState().result()
+
+    def test_sum_count(self):
+        s = SumCountState()
+        for v in (1, 2, 3):
+            s.update(v)
+        assert s.result() == (6, 3)
+
+    def test_min_max(self):
+        assert fold(MIN, [5, 2, 9]) == 2
+        assert fold(MAX, [5, 2, 9]) == 9
+        with pytest.raises(ValueError):
+            MinState().result()
+        with pytest.raises(ValueError):
+            MaxState().result()
+
+    def test_min_max_merge_with_empty(self):
+        a = MinState()
+        a.update(4)
+        a.merge(MinState())  # empty other
+        assert a.result() == 4
+        b = MaxState()
+        b.merge(MaxState())
+        with pytest.raises(ValueError):
+            b.result()
+
+    def test_constant_size(self):
+        c = CountState()
+        before = c.size_bytes()
+        for _ in range(1000):
+            c.update(None)
+        assert c.size_bytes() == before
+
+
+class TestTopK:
+    def test_keeps_largest(self):
+        assert fold(top_k(3), [5, 1, 9, 7, 3]) == [9, 7, 5]
+
+    def test_fewer_than_k(self):
+        assert fold(top_k(10), [2, 1]) == [2, 1]
+
+    def test_merge(self):
+        a = TopKState(2)
+        b = TopKState(2)
+        for v in (1, 5):
+            a.update(v)
+        for v in (3, 9):
+            b.update(v)
+        a.merge(b)
+        assert a.result() == [9, 5]
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            TopKState(0)
+
+    def test_size_bounded(self):
+        s = TopKState(4)
+        for v in range(1000):
+            s.update(v)
+        assert s.size_bytes() <= 64 + 32 * 4
+
+
+class TestCollect:
+    def test_collects_in_order(self):
+        assert fold(COLLECT, [3, 1, 2]) == [3, 1, 2]
+
+    def test_merge_concatenates(self):
+        a = CollectState()
+        b = CollectState()
+        a.update(1)
+        b.update(2)
+        a.merge(b)
+        assert a.result() == [1, 2]
+
+    def test_size_grows_linearly(self):
+        s = CollectState()
+        s.update("x" * 100)
+        small = s.size_bytes()
+        for _ in range(100):
+            s.update("x" * 100)
+        assert s.size_bytes() > small + 100 * 100
+
+    def test_result_is_a_copy(self):
+        s = CollectState()
+        s.update(1)
+        out = s.result()
+        out.append(99)
+        assert s.result() == [1]
+
+
+class TestSessionState:
+    def test_splits_on_gap(self):
+        s = SessionState(gap=10.0)
+        for click in [(0.0, "/a"), (5.0, "/b"), (100.0, "/c"), (104.0, "/d")]:
+            s.update(click)
+        sessions = s.result()
+        assert len(sessions) == 2
+        assert [u for _t, u in sessions[0]] == ["/a", "/b"]
+        assert [u for _t, u in sessions[1]] == ["/c", "/d"]
+
+    def test_orders_out_of_order_clicks(self):
+        s = SessionState(gap=10.0)
+        s.update((5.0, "/b"))
+        s.update((0.0, "/a"))
+        assert [u for _t, u in s.result()[0]] == ["/a", "/b"]
+
+    def test_empty(self):
+        assert SessionState().result() == []
+
+    def test_boundary_gap_is_same_session(self):
+        s = SessionState(gap=10.0)
+        s.update((0.0, "/a"))
+        s.update((10.0, "/b"))  # exactly the gap: not "> gap", same session
+        assert len(s.result()) == 1
+
+    def test_invalid_gap(self):
+        with pytest.raises(ValueError):
+            SessionState(gap=0)
+
+    def test_factory_name(self):
+        assert "session" in sessionize(60).name

@@ -1,0 +1,109 @@
+"""Property-based tests: the combiner algebra every state must satisfy.
+
+The one-pass engine's correctness rests on states being *mergeable*: any
+split of the value multiset into update/merge sequences must produce the
+same final result.  Hypothesis explores those splits.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregates import (
+    AVG,
+    COLLECT,
+    COUNT,
+    MAX,
+    MIN,
+    SUM,
+    Aggregator,
+    sessionize,
+    top_k,
+)
+
+numbers = st.integers(-(10**6), 10**6)
+clicks = st.tuples(
+    st.floats(0, 10_000, allow_nan=False), st.text(min_size=1, max_size=5)
+)
+
+
+def build(agg: Aggregator, values: list[Any]):
+    state = agg.initial()
+    for v in values:
+        state.update(v)
+    return state
+
+
+def canonical(agg_name: str, result: Any) -> Any:
+    """Order-insensitive comparison key for order-free aggregates."""
+    if agg_name == "collect":
+        return sorted(map(repr, result))
+    return result
+
+
+CASES: list[tuple[Aggregator, Any]] = [
+    (COUNT, numbers),
+    (SUM, numbers),
+    (MIN, numbers),
+    (MAX, numbers),
+    (AVG, numbers),
+    (COLLECT, numbers),
+    (top_k(3), numbers),
+    (sessionize(50.0), clicks),
+]
+
+
+@pytest.mark.parametrize("agg,strategy", CASES, ids=lambda c: getattr(c, "name", ""))
+class TestMergeAlgebra:
+    @given(data=st.data())
+    @settings(max_examples=40)
+    def test_split_merge_equals_sequential(self, agg, strategy, data):
+        values = data.draw(st.lists(strategy, min_size=1, max_size=30))
+        cut = data.draw(st.integers(0, len(values)))
+        left = build(agg, values[:cut])
+        right = build(agg, values[cut:])
+        left.merge(right)
+        sequential = build(agg, values)
+        assert canonical(agg.name, left.result()) == canonical(
+            agg.name, sequential.result()
+        )
+
+    @given(data=st.data())
+    @settings(max_examples=30)
+    def test_merge_with_empty_is_identity(self, agg, strategy, data):
+        values = data.draw(st.lists(strategy, min_size=1, max_size=20))
+        state = build(agg, values)
+        expected = canonical(agg.name, build(agg, values).result())
+        state.merge(agg.initial())
+        assert canonical(agg.name, state.result()) == expected
+
+    @given(data=st.data())
+    @settings(max_examples=30)
+    def test_three_way_merge_associative(self, agg, strategy, data):
+        chunks = [
+            data.draw(st.lists(strategy, min_size=1, max_size=10)) for _ in range(3)
+        ]
+        # (a + b) + c
+        left = build(agg, chunks[0])
+        mid = build(agg, chunks[1])
+        left.merge(mid)
+        left.merge(build(agg, chunks[2]))
+        # a + (b + c)
+        right_tail = build(agg, chunks[1])
+        right_tail.merge(build(agg, chunks[2]))
+        right = build(agg, chunks[0])
+        right.merge(right_tail)
+        assert canonical(agg.name, left.result()) == canonical(
+            agg.name, right.result()
+        )
+
+    @given(data=st.data())
+    @settings(max_examples=30)
+    def test_size_bytes_positive(self, agg, strategy, data):
+        values = data.draw(st.lists(strategy, max_size=20))
+        state = build(agg, values)
+        assert state.size_bytes() > 0

@@ -1,0 +1,111 @@
+"""HashFamily and the accounted state table."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregates import COLLECT, COUNT, SUM, CountState
+from repro.core.hash_tables import AccountedStateTable, HashFamily
+
+
+class TestHashFamily:
+    def test_members_deterministic(self):
+        fam = HashFamily(seed=1)
+        h = fam.member(0)
+        assert h("key") == h("key")
+        assert fam.member(0)("key") == h("key")
+
+    def test_members_differ_across_indices(self):
+        fam = HashFamily(seed=1)
+        h0, h1 = fam.member(0), fam.member(1)
+        keys = [f"k{i}" for i in range(200)]
+        same = sum(1 for k in keys if h0(k) % 16 == h1(k) % 16)
+        # Independent functions agree on a 16-bucket assignment ~1/16th
+        # of the time; identical ones would agree always.
+        assert same < 50
+
+    def test_seeds_differ(self):
+        a = HashFamily(seed=1).member(0)
+        b = HashFamily(seed=2).member(0)
+        keys = [f"k{i}" for i in range(100)]
+        assert any(a(k) != b(k) for k in keys)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            HashFamily().member(-1)
+
+    @given(st.integers(0, 5), st.text(max_size=20))
+    @settings(max_examples=50)
+    def test_output_in_field(self, index, key):
+        h = HashFamily(seed=7).member(index)
+        assert 0 <= h(key) < (1 << 61) - 1
+
+    def test_bucket_distribution_roughly_uniform(self):
+        h = HashFamily(seed=3).member(2)
+        buckets = [0] * 8
+        for i in range(8000):
+            buckets[h(i) % 8] += 1
+        assert min(buckets) > 8000 / 8 / 2
+
+
+class TestAccountedStateTable:
+    def test_update_creates_and_folds(self):
+        t = AccountedStateTable(COUNT)
+        t.update("a", None)
+        t.update("a", None)
+        t.update("b", None)
+        assert len(t) == 2
+        assert dict(t.results()) == {"a": 2, "b": 1}
+
+    def test_contains_and_get(self):
+        t = AccountedStateTable(SUM)
+        t.update("a", 5)
+        assert "a" in t and "b" not in t
+        assert t.get("a").result() == 5
+        assert t.get("b") is None
+
+    def test_merge_state(self):
+        t = AccountedStateTable(COUNT)
+        other = CountState()
+        other.n = 10
+        t.merge_state("a", other)
+        t.update("a", None)
+        assert t.get("a").result() == 11
+
+    def test_used_bytes_grows_with_keys(self):
+        t = AccountedStateTable(COUNT)
+        empty = t.used_bytes
+        for i in range(100):
+            t.update(f"key-{i}", None)
+        assert t.used_bytes > empty + 100 * 50
+
+    def test_used_bytes_grows_with_collect_values(self):
+        t = AccountedStateTable(COLLECT)
+        t.update("k", "x")
+        one = t.used_bytes
+        for _ in range(50):
+            t.update("k", "y" * 50)
+        assert t.used_bytes > one + 50 * 50
+
+    def test_pop_releases_budget(self):
+        t = AccountedStateTable(COLLECT)
+        t.update("a", "x" * 100)
+        t.update("b", "y")
+        before = t.used_bytes
+        state = t.pop("a")
+        assert state.result() == ["x" * 100]
+        assert t.used_bytes < before
+        assert "a" not in t
+
+    def test_clear(self):
+        t = AccountedStateTable(COUNT)
+        t.update("a", None)
+        t.clear()
+        assert len(t) == 0
+        assert t.used_bytes == 0
+
+    def test_probes_counted(self):
+        t = AccountedStateTable(COUNT)
+        for i in range(7):
+            t.update(i % 3, None)
+        assert t.probes == 7

@@ -1,0 +1,141 @@
+"""Incremental hash: per-key states, early emission, overflow."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregates import COUNT, SUM
+from repro.core.incremental import IncrementalHash, count_threshold_policy
+from repro.io.disk import LocalDisk
+from repro.mapreduce.counters import C
+
+
+class TestInMemory:
+    def test_counts(self):
+        ih = IncrementalHash(COUNT)
+        for key in "aabbba":
+            ih.update(key, 1)
+        assert dict(ih.results()) == {"a": 3, "b": 3}
+
+    def test_current_is_queryable_anytime(self):
+        ih = IncrementalHash(SUM)
+        assert ih.current("a") is None
+        ih.update("a", 5)
+        assert ih.current("a") == 5
+        ih.update("a", 2)
+        assert ih.current("a") == 7
+
+    def test_snapshot_results_nondestructive(self):
+        ih = IncrementalHash(COUNT)
+        ih.update("a", 1)
+        snap1 = dict(ih.snapshot_results())
+        ih.update("a", 1)
+        snap2 = dict(ih.snapshot_results())
+        assert snap1 == {"a": 1}
+        assert snap2 == {"a": 2}
+        assert dict(ih.results()) == {"a": 2}
+
+    def test_results_twice_raises(self):
+        ih = IncrementalHash(COUNT)
+        ih.update("a", 1)
+        list(ih.results())
+        with pytest.raises(RuntimeError):
+            list(ih.results())
+        with pytest.raises(RuntimeError):
+            ih.update("b", 1)
+
+    def test_merge_state(self):
+        ih = IncrementalHash(COUNT)
+        partial = COUNT.initial()
+        for _ in range(5):
+            partial.update(None)
+        ih.merge_state("a", partial)
+        ih.update("a", 1)
+        assert ih.current("a") == 6
+
+
+class TestEarlyEmission:
+    def test_threshold_emits_once_at_crossing(self):
+        ih = IncrementalHash(COUNT, emit_policy=count_threshold_policy(3))
+        for _ in range(10):
+            ih.update("hot", 1)
+        ih.update("cold", 1)
+        assert ih.early_emitted == [("hot", 3)]
+        assert ih.counters[C.EARLY_EMITS] == 1
+
+    def test_multiple_keys_emit_in_crossing_order(self):
+        ih = IncrementalHash(COUNT, emit_policy=count_threshold_policy(2))
+        for key in ["a", "b", "b", "a", "c"]:
+            ih.update(key, 1)
+        assert [k for k, _ in ih.early_emitted] == ["b", "a"]
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            count_threshold_policy(0)
+
+    def test_custom_policy(self):
+        ih = IncrementalHash(SUM, emit_policy=lambda k, s: s.result() >= 100)
+        ih.update("x", 60)
+        assert ih.early_emitted == []
+        ih.update("x", 60)
+        assert ih.early_emitted == [("x", 120)]
+
+
+class TestOverflow:
+    def test_requires_disk_when_bounded(self):
+        with pytest.raises(ValueError):
+            IncrementalHash(COUNT, memory_bytes=1024)
+        with pytest.raises(ValueError):
+            IncrementalHash(COUNT, memory_bytes=0, disk=LocalDisk())
+
+    def test_overflow_exact_results(self):
+        disk = LocalDisk()
+        ih = IncrementalHash(COUNT, memory_bytes=2048, disk=disk)
+        keys = [f"k{i % 101}" for i in range(3000)]
+        for key in keys:
+            ih.update(key, 1)
+        assert ih.overflowed
+        assert dict(ih.results()) == dict(Counter(keys))
+        assert ih.counters[C.REDUCE_SPILL_BYTES] > 0
+
+    def test_resident_keys_stay_incremental_after_overflow(self):
+        disk = LocalDisk()
+        ih = IncrementalHash(COUNT, memory_bytes=2048, disk=disk)
+        ih.update("first", 1)
+        for i in range(2000):
+            ih.update(f"filler{i}", 1)
+        assert ih.overflowed
+        ih.update("first", 1)
+        assert ih.current("first") == 2  # still live in memory
+
+    def test_cold_keys_not_queryable(self):
+        disk = LocalDisk()
+        ih = IncrementalHash(COUNT, memory_bytes=1024, disk=disk)
+        for i in range(2000):
+            ih.update(f"k{i}", 1)
+        assert ih.overflowed
+        assert ih.current("k1999") is None  # overflowed to disk
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 25), st.integers(1, 3)), max_size=300),
+        st.sampled_from([512, 4096, 1 << 20]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_reference(self, pairs, memory):
+        disk = LocalDisk()
+        ih = IncrementalHash(SUM, memory_bytes=memory, disk=disk)
+        expected: dict[int, int] = {}
+        for k, v in pairs:
+            ih.update(k, v)
+            expected[k] = expected.get(k, 0) + v
+        assert dict(ih.results()) == expected
+
+    def test_peak_state_counter(self):
+        disk = LocalDisk()
+        ih = IncrementalHash(COUNT, memory_bytes=1 << 20, disk=disk)
+        for i in range(500):
+            ih.update(i, 1)
+        list(ih.results())
+        assert ih.counters[C.HASH_STATE_BYTES_PEAK] > 0

@@ -1,0 +1,157 @@
+"""Online aggregation estimators: unbiasedness, coverage, convergence."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.online_agg import (
+    GroupedOnlineAggregator,
+    OnlineCount,
+    OnlineMean,
+    OnlineSum,
+    z_for_confidence,
+)
+
+
+class TestZQuantile:
+    @pytest.mark.parametrize(
+        "confidence,expected",
+        [(0.6827, 1.0), (0.90, 1.6449), (0.95, 1.9600), (0.99, 2.5758)],
+    )
+    def test_known_quantiles(self, confidence, expected):
+        assert z_for_confidence(confidence) == pytest.approx(expected, abs=2e-3)
+
+    def test_monotone_in_confidence(self):
+        zs = [z_for_confidence(c) for c in (0.5, 0.8, 0.9, 0.99, 0.999)]
+        assert zs == sorted(zs)
+
+    def test_extreme_tails(self):
+        assert z_for_confidence(0.9999) > 3.8
+        assert 0 < z_for_confidence(0.01) < 0.02
+
+    def test_validation(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                z_for_confidence(bad)
+
+
+class TestOnlineSum:
+    def test_exact_at_full_scan(self):
+        values = [float(v) for v in range(100)]
+        est = OnlineSum(population=100)
+        for v in values:
+            est.observe(v)
+        e = est.estimate()
+        assert e.value == pytest.approx(sum(values))
+        assert e.half_width == pytest.approx(0.0)
+        assert e.fraction_seen == 1.0
+
+    def test_interval_shrinks_with_data(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(10, 3, 10_000)
+        est = OnlineSum(population=10_000)
+        widths = []
+        for i, v in enumerate(values):
+            est.observe(v)
+            if i in (99, 999, 9_999):
+                widths.append(est.estimate().half_width)
+        assert widths[0] > widths[1] > widths[2]
+
+    def test_coverage_on_random_orderings(self):
+        rng = np.random.default_rng(42)
+        population = rng.exponential(5.0, 2_000)
+        truth = population.sum()
+        hits = 0
+        trials = 120
+        for t in range(trials):
+            order = rng.permutation(population)
+            est = OnlineSum(population=len(population), confidence=0.95)
+            for v in order[:300]:
+                est.observe(v)
+            if est.estimate().contains(truth):
+                hits += 1
+        # 95% nominal; allow generous slack for 120 trials.
+        assert hits / trials >= 0.85
+
+    def test_single_observation_infinite_width(self):
+        est = OnlineSum(population=10)
+        est.observe(5)
+        assert math.isinf(est.estimate().half_width)
+
+    def test_cannot_exceed_population(self):
+        est = OnlineSum(population=2)
+        est.observe(1)
+        est.observe(1)
+        with pytest.raises(ValueError):
+            est.observe(1)
+
+    def test_no_observations_raises(self):
+        with pytest.raises(ValueError):
+            OnlineSum(population=5).estimate()
+        with pytest.raises(ValueError):
+            OnlineSum(population=0)
+
+
+class TestOnlineCountAndMean:
+    def test_count_estimates_selectivity(self):
+        rng = np.random.default_rng(1)
+        flags = rng.random(5_000) < 0.3
+        est = OnlineCount(population=5_000)
+        for f in flags[:1_000]:
+            est.observe_match(bool(f))
+        e = est.estimate()
+        assert abs(e.value - flags.sum()) < 5 * e.half_width + 1
+
+    def test_mean_converges(self):
+        rng = np.random.default_rng(2)
+        values = rng.normal(7.0, 2.0, 4_000)
+        est = OnlineMean(population=4_000)
+        for v in values:
+            est.observe(v)
+        e = est.estimate()
+        assert e.value == pytest.approx(values.mean())
+        assert e.half_width == pytest.approx(0.0)
+
+
+class TestGroupedOnlineAggregator:
+    def test_group_totals_exact_at_full_scan(self):
+        records = [("a", 1.0)] * 30 + [("b", 2.0)] * 20
+        agg = GroupedOnlineAggregator(population=50)
+        for g, v in records:
+            agg.observe(g, v)
+        assert agg.estimate("a").value == pytest.approx(30.0)
+        assert agg.estimate("b").value == pytest.approx(40.0)
+
+    def test_unseen_group_estimates_zero(self):
+        agg = GroupedOnlineAggregator(population=10)
+        agg.observe("a")
+        assert agg.estimate("ghost").value == 0.0
+
+    def test_top_groups_ranked_by_estimate(self):
+        agg = GroupedOnlineAggregator(population=100)
+        for g, n in (("big", 50), ("mid", 30), ("small", 20)):
+            for _ in range(n):
+                agg.observe(g)
+        top = agg.top_groups(2)
+        assert [g for g, _ in top] == ["big", "mid"]
+
+    def test_estimates_unbiased_on_prefix(self):
+        rng = np.random.default_rng(3)
+        groups = rng.choice(["x", "y", "z"], size=3_000, p=[0.5, 0.3, 0.2])
+        agg = GroupedOnlineAggregator(population=3_000)
+        for g in groups[:600]:
+            agg.observe(g)
+        est = agg.estimate("x")
+        truth = float((groups == "x").sum())
+        assert est.contains(truth)
+
+    def test_population_guard(self):
+        agg = GroupedOnlineAggregator(population=1)
+        agg.observe("a")
+        with pytest.raises(ValueError):
+            agg.observe("a")
+
+    def test_estimate_requires_observations(self):
+        with pytest.raises(ValueError):
+            GroupedOnlineAggregator(population=5).estimate("a")

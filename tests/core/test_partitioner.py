@@ -1,0 +1,131 @@
+"""Map-side scan partitioning and hash combining."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.aggregates import COUNT, SUM
+from repro.core.hybrid_hash import SpilledState
+from repro.core.partitioner import MapSideHashCombiner, ScanPartitionBuffer
+from repro.mapreduce.counters import C, Counters
+
+
+class Sink:
+    def __init__(self):
+        self.chunks: list[tuple[int, list, int]] = []
+
+    def __call__(self, partition, pairs, nbytes):
+        self.chunks.append((partition, list(pairs), nbytes))
+
+    def pairs_for(self, partition):
+        return [p for part, pairs, _ in self.chunks if part == partition for p in pairs]
+
+    def all_pairs(self):
+        return [p for _, pairs, _ in self.chunks for p in pairs]
+
+
+class TestScanPartitionBuffer:
+    def test_all_pairs_delivered_once(self):
+        sink = Sink()
+        buf = ScanPartitionBuffer(3, sink, buffer_bytes=256)
+        pairs = [(f"k{i}", i) for i in range(100)]
+        for k, v in pairs:
+            buf.add(k, v)
+        buf.finish()
+        assert sorted(sink.all_pairs()) == sorted(pairs)
+
+    def test_partitioning_consistent_per_key(self):
+        sink = Sink()
+        buf = ScanPartitionBuffer(4, sink, buffer_bytes=128)
+        for i in range(200):
+            buf.add(f"k{i % 10}", i)
+        buf.finish()
+        seen: dict[str, int] = {}
+        for partition, pairs, _ in sink.chunks:
+            for k, _v in pairs:
+                assert seen.setdefault(k, partition) == partition
+
+    def test_no_grouping_no_ordering(self):
+        # Scan-only: pairs arrive downstream in arrival order per partition.
+        sink = Sink()
+        buf = ScanPartitionBuffer(1, sink, buffer_bytes=1 << 20)
+        buf.add("b", 1)
+        buf.add("a", 2)
+        buf.add("b", 3)
+        buf.finish()
+        assert sink.pairs_for(0) == [("b", 1), ("a", 2), ("b", 3)]
+
+    def test_flush_at_buffer_boundary(self):
+        sink = Sink()
+        buf = ScanPartitionBuffer(1, sink, buffer_bytes=200)
+        for i in range(50):
+            buf.add("k", "x" * 20)
+        assert len(sink.chunks) > 1  # flushed before finish
+
+    def test_counters(self):
+        counters = Counters()
+        buf = ScanPartitionBuffer(2, Sink(), counters=counters)
+        for i in range(10):
+            buf.add(i, i)
+        assert counters[C.MAP_OUTPUT_RECORDS] == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScanPartitionBuffer(0, Sink())
+
+
+class TestMapSideHashCombiner:
+    def unwrap(self, pairs):
+        return {k: v.state.result() for k, v in pairs}
+
+    def test_emits_partial_states(self):
+        sink = Sink()
+        comb = MapSideHashCombiner(2, COUNT, sink, memory_bytes=1 << 20)
+        for key in "aabbbc":
+            comb.add(key, 1)
+        comb.finish()
+        merged: Counter = Counter()
+        for _, pairs, _ in sink.chunks:
+            for k, v in pairs:
+                assert isinstance(v, SpilledState)
+                merged[k] += v.state.result()
+        assert merged == Counter("aabbbc")
+
+    def test_combining_shrinks_records(self):
+        sink = Sink()
+        comb = MapSideHashCombiner(1, COUNT, sink, memory_bytes=1 << 20)
+        for _ in range(1000):
+            comb.add("same", 1)
+        comb.finish()
+        assert len(sink.all_pairs()) == 1
+
+    def test_memory_pressure_flushes(self):
+        sink = Sink()
+        comb = MapSideHashCombiner(1, SUM, sink, memory_bytes=4096)
+        for i in range(2000):
+            comb.add(f"key-{i}", 1)
+        assert comb.flushes >= 1
+        comb.finish()
+        total = sum(v.state.result() for _, pairs, _ in sink.chunks for _k, v in pairs)
+        assert total == 2000
+
+    def test_partial_sums_recombine_exactly(self):
+        sink = Sink()
+        comb = MapSideHashCombiner(3, SUM, sink, memory_bytes=2048)
+        expected: dict[str, int] = {}
+        for i in range(3000):
+            key, value = f"k{i % 40}", i % 5
+            comb.add(key, value)
+            expected[key] = expected.get(key, 0) + value
+        comb.finish()
+        merged: dict[str, int] = {}
+        for _, pairs, _ in sink.chunks:
+            for k, v in pairs:
+                merged[k] = merged.get(k, 0) + v.state.result()
+        assert merged == expected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MapSideHashCombiner(0, COUNT, Sink())
+        with pytest.raises(ValueError):
+            MapSideHashCombiner(1, COUNT, Sink(), memory_bytes=0)

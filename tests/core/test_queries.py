@@ -1,0 +1,69 @@
+"""Threshold and top-k query helpers."""
+
+import pytest
+
+from repro.core.aggregates import COUNT
+from repro.core.queries import ThresholdQuery, TopKSelector, global_top_k
+
+
+class TestThresholdQuery:
+    def test_filter_final(self):
+        q = ThresholdQuery(3)
+        results = [("a", 5), ("b", 2), ("c", 3)]
+        assert dict(q.filter_final(results)) == {"a": 5, "c": 3}
+
+    def test_emit_policy_matches_filter(self):
+        q = ThresholdQuery(2)
+        state = COUNT.initial()
+        state.update(None)
+        assert not q.emit_policy("k", state)
+        state.update(None)
+        assert q.emit_policy("k", state)
+
+    def test_custom_measure(self):
+        q = ThresholdQuery(10, measure=lambda r: r["n"])
+        assert list(q.filter_final([("a", {"n": 12}), ("b", {"n": 3})])) == [
+            ("a", {"n": 12})
+        ]
+
+
+class TestGlobalTopK:
+    def test_basic(self):
+        results = [("a", 1), ("b", 9), ("c", 5)]
+        assert global_top_k(results, 2) == [("b", 9), ("c", 5)]
+
+    def test_k_larger_than_input(self):
+        assert global_top_k([("a", 1)], 10) == [("a", 1)]
+
+    def test_deterministic_tiebreak(self):
+        results = [("b", 5), ("a", 5), ("c", 5)]
+        assert global_top_k(results, 2) == global_top_k(list(reversed(results)), 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            global_top_k([], 0)
+
+
+class TestTopKSelector:
+    def test_streaming_matches_batch(self):
+        results = [(f"k{i}", (i * 37) % 101) for i in range(200)]
+        sel = TopKSelector(5)
+        sel.offer_all(results)
+        assert sel.best() == global_top_k(results, 5)
+
+    def test_memory_bounded(self):
+        sel = TopKSelector(3)
+        for i in range(10_000):
+            sel.offer(i, i)
+        assert len(sel.best()) == 3
+        assert sel.best()[0] == (9999, 9999)
+
+    def test_best_is_sorted_desc(self):
+        sel = TopKSelector(4)
+        sel.offer_all([("a", 2), ("b", 7), ("c", 4), ("d", 1)])
+        values = [v for _, v in sel.best()]
+        assert values == sorted(values, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TopKSelector(0)

@@ -1,0 +1,202 @@
+"""StreamProcessor and tumbling windows."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.aggregates import COUNT, SUM
+from repro.core.incremental import count_threshold_policy
+from repro.core.streaming import StreamProcessor, TumblingWindowProcessor
+
+
+def count_map(record):
+    yield (record, 1)
+
+
+def click_map(click):
+    _ts, _user, url = click
+    yield (url, 1)
+
+
+class TestStreamProcessor:
+    def test_push_and_finish_exact(self):
+        sp = StreamProcessor(count_map, COUNT, num_partitions=3)
+        keys = ["a", "b", "a", "c", "a", "b"]
+        sp.push_many(keys)
+        assert sp.records_seen == 6
+        assert sp.finish() == dict(Counter(keys))
+
+    def test_current_answers_anytime(self):
+        sp = StreamProcessor(count_map, COUNT)
+        sp.push("x")
+        assert sp.current("x") == 1
+        sp.push("x")
+        assert sp.current("x") == 2
+        assert sp.current("never") is None
+
+    def test_snapshot_is_live(self):
+        sp = StreamProcessor(count_map, SUM)
+        sp.push_many([1, 1, 2])
+        snap = sp.snapshot()
+        assert snap == {1: 2, 2: 1}
+        sp.push(2)
+        assert sp.snapshot()[2] == 2
+
+    def test_emit_policy_fires_callback_immediately(self):
+        fired = []
+        sp = StreamProcessor(
+            count_map,
+            COUNT,
+            emit_policy=count_threshold_policy(3),
+            on_emit=lambda k, r: fired.append((k, r, sp.records_seen)),
+        )
+        sp.push_many(["hot"] * 5 + ["cold"])
+        assert fired == [("hot", 3, 3)]  # fired at the third push, not later
+        assert sp.early_emitted == [("hot", 3)]
+
+    def test_push_after_finish_raises(self):
+        sp = StreamProcessor(count_map, COUNT)
+        sp.push("a")
+        sp.finish()
+        with pytest.raises(RuntimeError):
+            sp.push("b")
+        with pytest.raises(RuntimeError):
+            sp.finish()
+
+    def test_hotset_mode_exact_at_finish(self):
+        sp = StreamProcessor(
+            count_map, COUNT, mode="hotset", hotset_capacity=8, num_partitions=2
+        )
+        keys = [f"k{i % 100}" for i in range(3000)]
+        sp.push_many(keys)
+        assert sp.finish() == dict(Counter(keys))
+
+    def test_hotset_current_for_hot_keys(self):
+        sp = StreamProcessor(count_map, COUNT, mode="hotset", hotset_capacity=4)
+        sp.push_many(["hot"] * 50 + [f"cold{i}" for i in range(2)])
+        assert sp.current("hot") is not None
+
+    def test_bounded_memory_incremental(self):
+        sp = StreamProcessor(
+            count_map, COUNT, memory_bytes=4096, num_partitions=1
+        )
+        keys = [f"k{i % 500}" for i in range(5000)]
+        sp.push_many(keys)
+        assert sp.finish() == dict(Counter(keys))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamProcessor(count_map, COUNT, num_partitions=0)
+        with pytest.raises(ValueError):
+            StreamProcessor(count_map, COUNT, mode="bogus")
+
+    def test_partitioning_is_transparent(self):
+        for parts in (1, 2, 7):
+            sp = StreamProcessor(count_map, COUNT, num_partitions=parts)
+            sp.push_many(["a", "b", "c"] * 10)
+            assert sp.finish() == {"a": 10, "b": 10, "c": 10}
+
+
+class TestTumblingWindows:
+    def make(self, width=10.0, lateness=0.0):
+        emitted = []
+        twp = TumblingWindowProcessor(
+            click_map,
+            COUNT,
+            width=width,
+            ts_of=lambda click: click[0],
+            on_window=lambda start, results: emitted.append((start, results)),
+            allowed_lateness=lateness,
+        )
+        return twp, emitted
+
+    def click(self, ts, url="/a"):
+        return (ts, 0, url)
+
+    def test_window_emitted_when_watermark_passes(self):
+        twp, emitted = self.make(width=10.0)
+        twp.push(self.click(1.0))
+        twp.push(self.click(5.0))
+        assert emitted == []  # window [0,10) still open
+        twp.push(self.click(12.0))
+        assert emitted == [(0.0, {"/a": 2})]
+
+    def test_flush_emits_remaining_in_order(self):
+        twp, emitted = self.make(width=10.0, lateness=30.0)
+        twp.push(self.click(25.0))
+        twp.push(self.click(3.0))  # within the 30 s lateness allowance
+        twp.flush()
+        assert [start for start, _ in emitted] == [0.0, 20.0]
+        assert twp.open_windows == 0
+        assert twp.late_records == 0
+
+    def test_counts_per_window(self):
+        twp, emitted = self.make(width=10.0)
+        for ts, url in [(1, "/a"), (2, "/a"), (11, "/a"), (12, "/b"), (21, "/a")]:
+            twp.push(self.click(float(ts), url))
+        twp.flush()
+        assert emitted == [
+            (0.0, {"/a": 2}),
+            (10.0, {"/a": 1, "/b": 1}),
+            (20.0, {"/a": 1}),
+        ]
+
+    def test_late_records_dropped_and_counted(self):
+        twp, emitted = self.make(width=10.0)
+        twp.push(self.click(15.0))  # finalises [0,10) implicitly? no records
+        twp.push(self.click(25.0))  # finalises [10,20)
+        twp.push(self.click(11.0))  # late: window [10,20) already emitted
+        assert twp.late_records == 1
+        twp.flush()
+        totals = Counter()
+        for _start, results in emitted:
+            totals.update(results)
+        assert totals["/a"] == 2  # the late click is not double-counted
+
+    def test_allowed_lateness_keeps_window_open(self):
+        twp, emitted = self.make(width=10.0, lateness=5.0)
+        twp.push(self.click(1.0))
+        twp.push(self.click(12.0))
+        assert emitted == []  # watermark 12 < 10 + lateness 5
+        twp.push(self.click(16.0))
+        assert emitted and emitted[0][0] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TumblingWindowProcessor(
+                click_map, COUNT, width=0, ts_of=lambda c: c[0], on_window=print
+            )
+        with pytest.raises(ValueError):
+            TumblingWindowProcessor(
+                click_map,
+                COUNT,
+                width=1,
+                ts_of=lambda c: c[0],
+                on_window=print,
+                allowed_lateness=-1,
+            )
+
+    def test_straggler_cannot_resurrect_an_empty_closed_window(self):
+        twp, emitted = self.make(width=10.0)
+        twp.push(self.click(35.0))  # watermark 35: windows below 30 closed
+        twp.push(self.click(5.0))  # straggler for the (empty) window [0,10)
+        assert twp.late_records == 1
+        twp.flush()
+        assert [start for start, _ in emitted] == [30.0]
+
+    def test_stream_of_generated_clicks(self):
+        from repro.workloads.clickstream import ClickStreamConfig, generate_clicks
+
+        clicks = list(
+            generate_clicks(ClickStreamConfig(num_clicks=5_000, num_urls=50))
+        )
+        twp, emitted = self.make(width=20.0)
+        twp.push_many(clicks)
+        twp.flush()
+        total = Counter()
+        for _start, results in emitted:
+            total.update(results)
+        from repro.workloads.page_frequency import reference_page_counts
+
+        assert dict(total) == reference_page_counts(clicks)
+        assert twp.late_records == 0  # generator is time-ordered

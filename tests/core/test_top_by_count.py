@@ -1,0 +1,64 @@
+"""TopByCountState: the §IV.3 top-k combiner."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregates import TopByCountState, fold, top_by_count
+
+
+class TestTopByCount:
+    def test_ranks_by_frequency(self):
+        values = ["a"] * 5 + ["b"] * 3 + ["c"]
+        assert fold(top_by_count(2), values) == [("a", 5), ("b", 3)]
+
+    def test_deterministic_tiebreak(self):
+        assert fold(top_by_count(2), ["b", "a"]) == fold(top_by_count(2), ["a", "b"])
+
+    def test_fewer_distinct_than_k(self):
+        assert fold(top_by_count(10), ["x", "x"]) == [("x", 2)]
+
+    def test_merge_adds_counts(self):
+        a = TopByCountState(3)
+        b = TopByCountState(3)
+        for v in ["x", "x", "y"]:
+            a.update(v)
+        for v in ["x", "z"]:
+            b.update(v)
+        a.merge(b)
+        assert a.result() == [("x", 3), ("y", 1), ("z", 1)]
+
+    def test_size_grows_with_distinct_values_only(self):
+        s = TopByCountState(3)
+        s.update("v")
+        one = s.size_bytes()
+        for _ in range(100):
+            s.update("v")
+        assert s.size_bytes() == one  # same distinct value
+        s.update("w")
+        assert s.size_bytes() > one
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TopByCountState(0)
+
+    @given(st.lists(st.integers(0, 15), max_size=100), st.integers(0, 50))
+    @settings(max_examples=40)
+    def test_split_merge_equals_sequential(self, values, cut_raw):
+        cut = cut_raw % (len(values) + 1)
+        left = TopByCountState(4)
+        for v in values[:cut]:
+            left.update(v)
+        right = TopByCountState(4)
+        for v in values[cut:]:
+            right.update(v)
+        left.merge(right)
+        assert left.result() == fold(top_by_count(4), values)
+
+    @given(st.lists(st.integers(0, 10), min_size=1, max_size=80))
+    @settings(max_examples=40)
+    def test_top1_is_the_mode(self, values):
+        from collections import Counter
+
+        (value, count), *_ = fold(top_by_count(1), values)
+        assert count == max(Counter(values).values())

@@ -1,0 +1,63 @@
+"""DataNode block storage."""
+
+import pytest
+
+from repro.hdfs.blocks import DEFAULT_BLOCK_SIZE, BlockId
+from repro.hdfs.datanode import DataNode
+from repro.io.disk import LocalDisk
+
+
+class TestBlocks:
+    def test_default_block_size_is_64mb(self):
+        assert DEFAULT_BLOCK_SIZE == 64 * 1024 * 1024
+
+    def test_storage_name_is_stable(self):
+        bid = BlockId("data/clicks", 3)
+        assert bid.storage_name() == "hdfs/data/clicks/blk-000003"
+
+    def test_block_ids_order_by_path_then_index(self):
+        assert BlockId("a", 2) < BlockId("b", 0)
+        assert BlockId("a", 1) < BlockId("a", 2)
+
+
+class TestDataNode:
+    def test_store_read_roundtrip(self, disk):
+        dn = DataNode("n0", disk)
+        bid = BlockId("f", 0)
+        dn.store_block(bid, b"payload")
+        assert dn.read_block(bid) == b"payload"
+        assert dn.has_block(bid)
+
+    def test_stream_block(self, disk):
+        dn = DataNode("n0", disk)
+        bid = BlockId("f", 0)
+        payload = b"x" * 5000
+        dn.store_block(bid, payload)
+        assert b"".join(dn.stream_block(bid, chunk_size=1024)) == payload
+
+    def test_delete_block(self, disk):
+        dn = DataNode("n0", disk)
+        bid = BlockId("f", 0)
+        dn.store_block(bid, b"1")
+        dn.delete_block(bid)
+        assert not dn.has_block(bid)
+
+    def test_missing_block_raises(self, disk):
+        dn = DataNode("n0", disk)
+        with pytest.raises(FileNotFoundError):
+            dn.read_block(BlockId("f", 0))
+
+    def test_block_names_only_hdfs(self, disk):
+        disk.write("spill/other", b"x")
+        dn = DataNode("n0", disk)
+        dn.store_block(BlockId("f", 0), b"1")
+        names = dn.block_names()
+        assert len(names) == 1
+        assert names[0].startswith("hdfs/")
+
+    def test_restore_overwrites(self, disk):
+        dn = DataNode("n0", disk)
+        bid = BlockId("f", 0)
+        dn.store_block(bid, b"old")
+        dn.store_block(bid, b"new")
+        assert dn.read_block(bid) == b"new"

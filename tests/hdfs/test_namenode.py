@@ -1,0 +1,104 @@
+"""NameNode namespace and placement."""
+
+import pytest
+
+from repro.hdfs.blocks import BlockId
+from repro.hdfs.namenode import NameNode
+
+NODES = ["n0", "n1", "n2"]
+
+
+class TestNamespace:
+    def test_create_and_lookup(self):
+        nn = NameNode(NODES)
+        nn.create_file("f", codec_name="text")
+        info = nn.file_info("f")
+        assert info.path == "f"
+        assert info.codec_name == "text"
+        assert info.blocks == []
+
+    def test_duplicate_create_raises(self):
+        nn = NameNode(NODES)
+        nn.create_file("f")
+        with pytest.raises(FileExistsError):
+            nn.create_file("f")
+
+    def test_missing_file_raises(self):
+        nn = NameNode(NODES)
+        with pytest.raises(FileNotFoundError):
+            nn.file_info("ghost")
+
+    def test_delete_removes_entry(self):
+        nn = NameNode(NODES)
+        nn.create_file("f")
+        nn.delete_file("f")
+        assert not nn.exists("f")
+
+    def test_list_files_prefix(self):
+        nn = NameNode(NODES)
+        for p in ("a/1", "a/2", "b/1"):
+            nn.create_file(p)
+        assert nn.list_files("a/") == ["a/1", "a/2"]
+
+
+class TestPlacement:
+    def test_block_ids_sequential(self):
+        nn = NameNode(NODES)
+        nn.create_file("f")
+        b0 = nn.place_block("f", 10, 1)
+        b1 = nn.place_block("f", 10, 1)
+        assert b0.block_id == BlockId("f", 0)
+        assert b1.block_id == BlockId("f", 1)
+
+    def test_replication_count(self):
+        nn = NameNode(NODES, replication=2)
+        nn.create_file("f")
+        block = nn.place_block("f", 10, 1)
+        assert len(block.replicas) == 2
+        assert len(set(block.replicas)) == 2
+
+    def test_preferred_node_is_first_replica(self):
+        nn = NameNode(NODES, replication=2)
+        nn.create_file("f")
+        block = nn.place_block("f", 10, 1, preferred="n2")
+        assert block.replicas[0] == "n2"
+
+    def test_unknown_preferred_ignored(self):
+        # A writer outside the storage set (separate-storage compute node)
+        # simply gets no locality; placement falls back to round-robin.
+        nn = NameNode(NODES)
+        nn.create_file("f")
+        block = nn.place_block("f", 10, 1, preferred="compute-only")
+        assert block.replicas[0] in NODES
+
+    def test_round_robin_spreads_blocks(self):
+        nn = NameNode(NODES)
+        nn.create_file("f")
+        first = [nn.place_block("f", 1, 1).replicas[0] for _ in range(6)]
+        assert set(first) == set(NODES)
+
+    def test_invalid_replication(self):
+        with pytest.raises(ValueError):
+            NameNode(NODES, replication=0)
+        with pytest.raises(ValueError):
+            NameNode(NODES, replication=4)
+        with pytest.raises(ValueError):
+            NameNode([])
+
+    def test_locate(self):
+        nn = NameNode(NODES)
+        nn.create_file("f")
+        block = nn.place_block("f", 10, 1)
+        assert nn.locate(block.block_id) == block.replicas
+        with pytest.raises(KeyError):
+            nn.locate(BlockId("f", 99))
+
+    def test_totals(self):
+        nn = NameNode(NODES)
+        nn.create_file("f")
+        nn.place_block("f", 10, 3)
+        nn.place_block("f", 20, 4)
+        info = nn.file_info("f")
+        assert info.nbytes == 30
+        assert info.records == 7
+        assert nn.total_bytes() == 30

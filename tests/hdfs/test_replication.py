@@ -1,0 +1,66 @@
+"""Replica failover: the storage half of the fault-tolerance story."""
+
+import pytest
+
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.filesystem import HDFS
+from repro.io.disk import LocalDisk
+from repro.mapreduce.runtime import HadoopEngine, LocalCluster
+from repro.workloads.page_frequency import page_frequency_job, reference_page_counts
+
+
+def make_hdfs(replication=2, num_nodes=3):
+    disks = {f"n{i}": LocalDisk(name=f"n{i}") for i in range(num_nodes)}
+    datanodes = {name: DataNode(name, disk) for name, disk in disks.items()}
+    return (
+        HDFS(datanodes, replication=replication, block_size=2048),
+        disks,
+        datanodes,
+    )
+
+
+class TestReplicaFailover:
+    def test_read_survives_one_lost_replica(self):
+        hdfs, _disks, datanodes = make_hdfs(replication=2)
+        hdfs.write_records("f", [(i, "x" * 20) for i in range(200)])
+        block = hdfs.namenode.blocks_of("f")[0]
+        # Lose the first replica.
+        datanodes[block.replicas[0]].delete_block(block.block_id)
+        data = hdfs.read_block_bytes(block.block_id)
+        assert data  # served by the surviving replica
+
+    def test_full_file_readable_after_node_loss(self):
+        hdfs, _disks, datanodes = make_hdfs(replication=2, num_nodes=3)
+        records = [(i, f"v{i}") for i in range(400)]
+        hdfs.write_records("f", records)
+        # Wipe one whole DataNode.
+        victim = "n1"
+        for name in list(datanodes[victim].block_names()):
+            datanodes[victim].disk.delete(name)
+        assert list(hdfs.read_records("f")) == records
+
+    def test_all_replicas_lost_raises(self):
+        hdfs, _disks, datanodes = make_hdfs(replication=2)
+        hdfs.write_records("f", [(1,)])
+        block = hdfs.namenode.blocks_of("f")[0]
+        for node in block.replicas:
+            datanodes[node].delete_block(block.block_id)
+        with pytest.raises(FileNotFoundError, match="replica"):
+            hdfs.read_block_bytes(block.block_id)
+
+    def test_preferred_dead_replica_fails_over_silently(self):
+        hdfs, _disks, datanodes = make_hdfs(replication=2)
+        hdfs.write_records("f", [(i,) for i in range(100)])
+        block = hdfs.namenode.blocks_of("f")[0]
+        preferred = block.replicas[0]
+        datanodes[preferred].delete_block(block.block_id)
+        assert hdfs.read_block_bytes(block.block_id, from_node=preferred)
+
+    def test_replicated_job_survives_storage_loss(self, clicks):
+        cluster = LocalCluster(num_nodes=3, block_size=64 * 1024, replication=2)
+        cluster.hdfs.write_records("in", clicks)
+        # Wipe every HDFS block on one node before running the job.
+        victim = cluster.nodes["node01"]
+        victim.hdfs_disk.delete_prefix("hdfs/")
+        HadoopEngine(cluster).run(page_frequency_job("in", "out"))
+        assert dict(cluster.hdfs.read_records("out")) == reference_page_counts(clicks)

@@ -1,0 +1,72 @@
+"""Storage-architecture variants of the executable engine (§III.C)."""
+
+import pytest
+
+from repro.mapreduce.counters import C
+from repro.mapreduce.runtime import HadoopEngine, LocalCluster
+from repro.workloads.page_frequency import page_frequency_job, reference_page_counts
+from repro.workloads.per_user_count import per_user_count_job, reference_user_counts
+
+
+class TestSSDArchitecture:
+    def test_intermediate_data_lands_on_ssd(self, clicks):
+        cluster = LocalCluster(num_nodes=2, with_ssd=True, block_size=48 * 1024)
+        cluster.hdfs.write_records("in", clicks)
+        job = per_user_count_job(
+            "in", "out", with_combiner=False
+        ).with_config(reduce_buffer_bytes=16 * 1024)
+        HadoopEngine(cluster).run(job)
+        assert dict(cluster.hdfs.read_records("out")) == reference_user_counts(clicks)
+        ssd_writes = sum(
+            node.disks["ssd"].stats.bytes_written for node in cluster.nodes.values()
+        )
+        assert ssd_writes > 0
+        # HDFS data stays on the HDDs.
+        hdd_hdfs = sum(
+            node.disks["hdd"].stats.bytes_written for node in cluster.nodes.values()
+        )
+        assert hdd_hdfs > 0
+        for node in cluster.nodes.values():
+            assert not node.disks["hdd"].list_files("reduce/")
+
+    def test_hdd_relieved_of_intermediate_traffic(self, clicks):
+        def hdd_bytes(with_ssd):
+            cluster = LocalCluster(
+                num_nodes=2, with_ssd=with_ssd, block_size=48 * 1024
+            )
+            cluster.hdfs.write_records("in", clicks)
+            job = per_user_count_job("in", "out", with_combiner=False).with_config(
+                reduce_buffer_bytes=16 * 1024
+            )
+            HadoopEngine(cluster).run(job)
+            return sum(
+                n.disks["hdd"].stats.total_bytes for n in cluster.nodes.values()
+            )
+
+        assert hdd_bytes(with_ssd=True) < hdd_bytes(with_ssd=False)
+
+
+class TestSeparateStorage:
+    def test_no_data_locality(self, clicks):
+        cluster = LocalCluster(num_nodes=4, storage_nodes=2, block_size=48 * 1024)
+        cluster.hdfs.write_records("in", clicks)
+        result = HadoopEngine(cluster).run(page_frequency_job("in", "out"))
+        assert result.schedule.locality_rate == 0.0
+        assert result.network_bytes >= cluster.hdfs.file_bytes("in")
+        assert dict(cluster.hdfs.read_records("out")) == reference_page_counts(clicks)
+
+    def test_compute_disks_carry_no_hdfs_blocks(self, clicks):
+        cluster = LocalCluster(num_nodes=4, storage_nodes=2, block_size=48 * 1024)
+        cluster.hdfs.write_records("in", clicks)
+        HadoopEngine(cluster).run(page_frequency_job("in", "out"))
+        for name in cluster.compute_node_names:
+            assert cluster.nodes[name].hdfs_disk.list_files("hdfs/") == []
+
+    def test_output_written_back_to_storage_nodes(self, clicks):
+        cluster = LocalCluster(num_nodes=3, storage_nodes=1, block_size=48 * 1024)
+        cluster.hdfs.write_records("in", clicks)
+        HadoopEngine(cluster).run(page_frequency_job("in", "out"))
+        storage = cluster.storage_node_names[0]
+        assert any(
+            "out" in f for f in cluster.nodes[storage].hdfs_disk.list_files("hdfs/")
+        )

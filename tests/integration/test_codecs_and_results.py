@@ -1,0 +1,94 @@
+"""Codec permutations across engines and JobResult introspection."""
+
+import pytest
+
+from repro.core.engine import OnePassEngine
+from repro.io.serialization import RawLineCodec
+from repro.mapreduce.api import MapReduceJob
+from repro.mapreduce.counters import C
+from repro.mapreduce.runtime import HadoopEngine, LocalCluster
+from repro.workloads.clickstream import click_text_codec
+from repro.workloads.page_frequency import (
+    page_frequency_job,
+    page_frequency_onepass_job,
+    reference_page_counts,
+)
+
+
+class TestCodecsAcrossEngines:
+    @pytest.mark.parametrize("codec_name", ["binary", "text"])
+    def test_onepass_both_codecs(self, clicks, codec_name):
+        cluster = LocalCluster(num_nodes=2, block_size=64 * 1024)
+        if codec_name == "text":
+            cluster.hdfs.write_records("in", clicks, codec=click_text_codec())
+        else:
+            cluster.hdfs.write_records("in", clicks)
+        OnePassEngine(cluster).run(page_frequency_onepass_job("in", "out"))
+        assert dict(cluster.hdfs.read_records("out")) == reference_page_counts(clicks)
+
+    def test_rawline_codec_with_parsing_map(self, clicks):
+        cluster = LocalCluster(num_nodes=2, block_size=64 * 1024)
+        lines = [f"{ts}\t{user}\t{url}" for ts, user, url in clicks]
+        cluster.hdfs.write_records("in", lines, codec=RawLineCodec())
+
+        def line_map(line):
+            yield (line.rsplit("\t", 1)[1], 1)
+
+        job = MapReduceJob(
+            "raw-count",
+            line_map,
+            lambda k, v: [(k, sum(v))],
+            input_path="in",
+            output_path="out",
+        )
+        HadoopEngine(cluster).run(job)
+        assert dict(cluster.hdfs.read_records("out")) == reference_page_counts(clicks)
+
+    def test_text_codec_floats_roundtrip_exactly(self, clicks):
+        # repr(float) -> float is exact in Python; the text format must not
+        # perturb timestamps (sessionization depends on exact ordering).
+        codec = click_text_codec()
+        decoded = list(codec.decode(codec.encode(clicks)))
+        assert decoded == clicks
+
+
+class TestJobResultIntrospection:
+    def test_summary_fields(self, clicks):
+        cluster = LocalCluster(num_nodes=2, block_size=64 * 1024)
+        cluster.hdfs.write_records("in", clicks)
+        result = HadoopEngine(cluster).run(page_frequency_job("in", "out"))
+        summary = result.summary()
+        assert summary["map_input_bytes"] == result.counters[C.MAP_INPUT_BYTES]
+        assert summary["output_records"] == result.output_records
+        assert summary["wall_time"] == result.wall_time
+        assert set(summary) == {
+            "wall_time",
+            "map_input_bytes",
+            "map_output_bytes",
+            "reduce_spill_bytes",
+            "merge_read_bytes",
+            "output_records",
+            "network_bytes",
+        }
+
+    def test_engine_names_distinct(self, clicks):
+        from repro.mapreduce.hop import HOPEngine
+
+        cluster = LocalCluster(num_nodes=2, block_size=64 * 1024)
+        cluster.hdfs.write_records("in", clicks)
+        names = set()
+        names.add(HadoopEngine(cluster).run(page_frequency_job("in", "o1")).engine)
+        names.add(HOPEngine(cluster).run(page_frequency_job("in", "o2")).engine)
+        names.add(
+            OnePassEngine(cluster).run(page_frequency_onepass_job("in", "o3")).engine
+        )
+        assert names == {"hadoop", "hop", "onepass"}
+
+    def test_cluster_disk_stats_cover_all_devices(self, clicks):
+        cluster = LocalCluster(num_nodes=2, with_ssd=True, block_size=64 * 1024)
+        cluster.hdfs.write_records("in", clicks)
+        HadoopEngine(cluster).run(page_frequency_job("in", "out"))
+        stats = cluster.disk_stats()
+        assert len(stats) == 4  # 2 nodes x (hdd + ssd)
+        total = cluster.total_disk_stats()
+        assert total.bytes_written == sum(s.bytes_written for s in stats.values())

@@ -1,0 +1,99 @@
+"""Run-to-run determinism: same inputs, same outputs, same byte counters.
+
+The engines are deliberately deterministic (stable hashing, seeded
+generators, ordered scheduling); everything except wall-clock timers must
+be identical across runs — the property that makes the benchmark reports
+reproducible.
+"""
+
+from repro.core.engine import OnePassConfig, OnePassEngine
+from repro.mapreduce.hop import HOPConfig, HOPEngine
+from repro.mapreduce.runtime import HadoopEngine, LocalCluster
+from repro.workloads.page_frequency import page_frequency_job, page_frequency_onepass_job
+from repro.workloads.per_user_count import per_user_count_onepass_job
+
+
+def nontimer_counters(result):
+    return {
+        name: value
+        for name, value in result.counters.as_dict().items()
+        if not name.startswith("time.")
+    }
+
+
+def fresh_cluster(clicks):
+    cluster = LocalCluster(num_nodes=3, block_size=64 * 1024)
+    cluster.hdfs.write_records("in", clicks)
+    return cluster
+
+
+class TestDeterminism:
+    def test_hadoop_identical_across_runs(self, clicks):
+        outputs, counters = [], []
+        for _ in range(2):
+            cluster = fresh_cluster(clicks)
+            result = HadoopEngine(cluster).run(page_frequency_job("in", "out"))
+            outputs.append(sorted(cluster.hdfs.read_records("out")))
+            counters.append(nontimer_counters(result))
+        assert outputs[0] == outputs[1]
+        assert counters[0] == counters[1]
+
+    def test_hop_identical_across_runs(self, clicks):
+        snapshots, counters = [], []
+        for _ in range(2):
+            cluster = fresh_cluster(clicks)
+            result = HOPEngine(
+                cluster, hop_config=HOPConfig(snapshot_fractions=(0.5,))
+            ).run(page_frequency_job("in", "out"))
+            snapshots.append(sorted(result.snapshots[0].records))
+            counters.append(nontimer_counters(result))
+        assert snapshots[0] == snapshots[1]
+        assert counters[0] == counters[1]
+
+    def test_onepass_identical_across_runs_all_modes(self, clicks):
+        for mode in ("incremental", "hybrid", "hotset"):
+            results = []
+            for _ in range(2):
+                cluster = fresh_cluster(clicks)
+                cfg = OnePassConfig(
+                    mode=mode, hotset_capacity=64, map_side_combine=False
+                )
+                result = OnePassEngine(cluster).run(
+                    per_user_count_onepass_job("in", "out", config=cfg)
+                )
+                results.append(
+                    (
+                        sorted(cluster.hdfs.read_records("out")),
+                        nontimer_counters(result),
+                    )
+                )
+            assert results[0] == results[1], f"mode={mode} not deterministic"
+
+    def test_early_emission_order_deterministic(self, clicks):
+        from repro.core.incremental import count_threshold_policy
+
+        orders = []
+        for _ in range(2):
+            cluster = fresh_cluster(clicks)
+            job = page_frequency_onepass_job(
+                "in",
+                "out",
+                config=OnePassConfig(mode="incremental", map_side_combine=False),
+            )
+            job.emit_policy = count_threshold_policy(10)
+            result = OnePassEngine(cluster).run(job)
+            orders.append(result.extras["early_emitted"])
+        assert orders[0] == orders[1]
+
+    def test_simulator_identical_across_runs(self):
+        from repro.simulator.calibration import GB, SESSIONIZATION, ClusterSpec
+        from repro.simulator.pipelines import HadoopPipeline
+
+        profile = SESSIONIZATION.scaled(4 * GB)
+        runs = [
+            HadoopPipeline(ClusterSpec(reducers=4), profile, metric_bucket=5.0).run()
+            for _ in range(2)
+        ]
+        assert runs[0].makespan == runs[1].makespan
+        assert runs[0].totals.merge_passes == runs[1].totals.merge_passes
+        assert (runs[0].series.cpu_utilization == runs[1].series.cpu_utilization).all()

@@ -1,0 +1,157 @@
+"""Cross-engine agreement: the portability claim, exercised end to end.
+
+The same analytical query must yield identical answers on the sort-merge
+baseline, MapReduce Online and the hash-based one-pass engine — that is
+what justifies swapping the implementation beneath the MapReduce API.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import OnePassConfig, OnePassEngine
+from repro.mapreduce.api import JobConfig
+from repro.mapreduce.hop import HOPConfig, HOPEngine
+from repro.mapreduce.runtime import HadoopEngine, LocalCluster
+from repro.workloads.inverted_index import (
+    inverted_index_job,
+    inverted_index_onepass_job,
+    reference_index,
+)
+from repro.workloads.page_frequency import (
+    page_frequency_job,
+    page_frequency_onepass_job,
+    reference_page_counts,
+)
+from repro.workloads.per_user_count import (
+    per_user_count_job,
+    per_user_count_onepass_job,
+    reference_user_counts,
+)
+from repro.workloads.sessionization import (
+    reference_sessions,
+    sessionization_job,
+    sessionization_onepass_job,
+)
+
+
+def fresh_cluster(records, path="in", **kwargs):
+    cluster = LocalCluster(num_nodes=3, block_size=48 * 1024, **kwargs)
+    cluster.hdfs.write_records(path, records)
+    return cluster
+
+
+class TestFourWorkloadsThreeEngines:
+    def test_page_frequency(self, clicks):
+        cluster = fresh_cluster(clicks)
+        ref = reference_page_counts(clicks)
+        HadoopEngine(cluster).run(page_frequency_job("in", "o1"))
+        HOPEngine(cluster).run(page_frequency_job("in", "o2"))
+        OnePassEngine(cluster).run(page_frequency_onepass_job("in", "o3"))
+        for out in ("o1", "o2", "o3"):
+            assert dict(cluster.hdfs.read_records(out)) == ref
+
+    def test_per_user_count(self, clicks):
+        cluster = fresh_cluster(clicks)
+        ref = reference_user_counts(clicks)
+        HadoopEngine(cluster).run(per_user_count_job("in", "o1"))
+        HOPEngine(cluster).run(per_user_count_job("in", "o2"))
+        OnePassEngine(cluster).run(per_user_count_onepass_job("in", "o3"))
+        for out in ("o1", "o2", "o3"):
+            assert dict(cluster.hdfs.read_records(out)) == ref
+
+    def test_sessionization(self, clicks):
+        cluster = fresh_cluster(clicks)
+        ref = reference_sessions(clicks, gap=5.0)
+        HadoopEngine(cluster).run(sessionization_job("in", "o1", gap=5.0))
+        HOPEngine(cluster).run(sessionization_job("in", "o2", gap=5.0))
+        OnePassEngine(cluster).run(sessionization_onepass_job("in", "o3", gap=5.0))
+        for out in ("o1", "o2", "o3"):
+            assert sorted(cluster.hdfs.read_records(out)) == ref
+
+    def test_inverted_index(self, documents):
+        cluster = fresh_cluster(documents)
+        ref = reference_index(documents)
+        HadoopEngine(cluster).run(inverted_index_job("in", "o1"))
+        HOPEngine(cluster).run(inverted_index_job("in", "o2"))
+        OnePassEngine(cluster).run(inverted_index_onepass_job("in", "o3"))
+        for out in ("o1", "o2", "o3"):
+            assert dict(cluster.hdfs.read_records(out)) == ref
+
+
+class TestConfigurationInvariance:
+    """Answers must not depend on tuning knobs, only on the data."""
+
+    @pytest.mark.parametrize("reducers", [1, 3, 7])
+    def test_reducer_count(self, clicks, reducers):
+        cluster = fresh_cluster(clicks)
+        job = page_frequency_job("in", "out", config=JobConfig(num_reducers=reducers))
+        HadoopEngine(cluster).run(job)
+        assert dict(cluster.hdfs.read_records("out")) == reference_page_counts(clicks)
+
+    @pytest.mark.parametrize("buffer_bytes", [1024, 64 * 1024, 16 * 1024 * 1024])
+    def test_map_buffer_size(self, clicks, buffer_bytes):
+        cluster = fresh_cluster(clicks)
+        job = per_user_count_job(
+            "in", "out", config=JobConfig(map_buffer_bytes=buffer_bytes)
+        )
+        HadoopEngine(cluster).run(job)
+        assert dict(cluster.hdfs.read_records("out")) == reference_user_counts(clicks)
+
+    @pytest.mark.parametrize("merge_factor", [2, 3, 10])
+    def test_merge_factor(self, clicks, merge_factor):
+        cluster = fresh_cluster(clicks)
+        job = per_user_count_job(
+            "in",
+            "out",
+            with_combiner=False,
+            config=JobConfig(
+                merge_factor=merge_factor, reduce_buffer_bytes=16 * 1024
+            ),
+        )
+        HadoopEngine(cluster).run(job)
+        assert dict(cluster.hdfs.read_records("out")) == reference_user_counts(clicks)
+
+    @pytest.mark.parametrize("granularity", [50, 500, 50_000])
+    def test_hop_granularity(self, clicks, granularity):
+        cluster = fresh_cluster(clicks)
+        HOPEngine(
+            cluster, hop_config=HOPConfig(granularity_records=granularity)
+        ).run(page_frequency_job("in", "out"))
+        assert dict(cluster.hdfs.read_records("out")) == reference_page_counts(clicks)
+
+    @pytest.mark.parametrize("memory", [4 * 1024, 256 * 1024, 64 * 1024 * 1024])
+    def test_onepass_reduce_memory(self, clicks, memory):
+        cluster = fresh_cluster(clicks)
+        cfg = OnePassConfig(
+            mode="incremental", reduce_memory_bytes=memory, map_side_combine=False
+        )
+        OnePassEngine(cluster).run(
+            per_user_count_onepass_job("in", "out", config=cfg)
+        )
+        assert dict(cluster.hdfs.read_records("out")) == reference_user_counts(clicks)
+
+
+class TestPropertyRandomStreams:
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(50, 800),
+        users=st.integers(1, 40),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_engines_agree_on_random_streams(self, seed, n, users):
+        from repro.workloads.clickstream import ClickStreamConfig, generate_clicks
+
+        clicks = list(
+            generate_clicks(
+                ClickStreamConfig(
+                    num_clicks=n, num_users=users, num_urls=20, seed=seed
+                )
+            )
+        )
+        cluster = fresh_cluster(clicks)
+        ref = reference_user_counts(clicks)
+        HadoopEngine(cluster).run(per_user_count_job("in", "o1"))
+        OnePassEngine(cluster).run(per_user_count_onepass_job("in", "o2"))
+        assert dict(cluster.hdfs.read_records("o1")) == ref
+        assert dict(cluster.hdfs.read_records("o2")) == ref

@@ -1,0 +1,96 @@
+"""End-to-end fault recovery across workloads and engines."""
+
+import pytest
+
+from repro.core.engine import OnePassConfig, OnePassEngine
+from repro.mapreduce.counters import C
+from repro.mapreduce.faults import FaultPlan
+from repro.mapreduce.runtime import HadoopEngine, LocalCluster
+from repro.workloads.inverted_index import (
+    inverted_index_job,
+    inverted_index_onepass_job,
+    reference_index,
+)
+from repro.workloads.sessionization import (
+    reference_sessions,
+    sessionization_job,
+    sessionization_onepass_job,
+)
+
+
+def every_other_task_fails(cluster, path):
+    n = len(cluster.hdfs.input_splits(path))
+    return FaultPlan(map_failures={t: 1 for t in range(0, n, 2)})
+
+
+class TestSessionizationUnderFaults:
+    def test_hadoop(self, clicks):
+        cluster = LocalCluster(num_nodes=3, block_size=64 * 1024)
+        cluster.hdfs.write_records("in", clicks)
+        plan = every_other_task_fails(cluster, "in")
+        result = HadoopEngine(cluster, fault_plan=plan).run(
+            sessionization_job("in", "out", gap=5.0)
+        )
+        assert sorted(cluster.hdfs.read_records("out")) == reference_sessions(
+            clicks, gap=5.0
+        )
+        assert result.counters[C.MAP_TASK_RETRIES] == plan.total_failures_injected
+
+    def test_onepass_holistic_job(self, clicks):
+        cluster = LocalCluster(num_nodes=3, block_size=64 * 1024)
+        cluster.hdfs.write_records("in", clicks)
+        plan = every_other_task_fails(cluster, "in")
+        OnePassEngine(cluster, fault_plan=plan).run(
+            sessionization_onepass_job("in", "out", gap=5.0)
+        )
+        assert sorted(cluster.hdfs.read_records("out")) == reference_sessions(
+            clicks, gap=5.0
+        )
+
+
+class TestInvertedIndexUnderFaults:
+    def test_hadoop(self, documents):
+        cluster = LocalCluster(num_nodes=3, block_size=64 * 1024)
+        cluster.hdfs.write_records("in", documents)
+        plan = FaultPlan(map_failures={0: 2})
+        HadoopEngine(cluster, fault_plan=plan).run(inverted_index_job("in", "out"))
+        assert dict(cluster.hdfs.read_records("out")) == reference_index(documents)
+
+    def test_onepass_hotset_with_faults(self, documents):
+        cluster = LocalCluster(num_nodes=3, block_size=64 * 1024)
+        cluster.hdfs.write_records("in", documents)
+        plan = FaultPlan(map_failures={1: 1})
+        OnePassEngine(cluster, fault_plan=plan).run(
+            inverted_index_onepass_job("in", "out")
+        )
+        assert dict(cluster.hdfs.read_records("out")) == reference_index(documents)
+
+
+class TestFaultsPlusReplication:
+    def test_retry_on_another_node_reads_remote_replica(self, clicks):
+        """A retried task lands on a different node; with replication=2 it
+        may still find a local replica — either way the answer holds."""
+        cluster = LocalCluster(num_nodes=3, block_size=64 * 1024, replication=2)
+        cluster.hdfs.write_records("in", clicks)
+        plan = every_other_task_fails(cluster, "in")
+        from repro.workloads.page_frequency import (
+            page_frequency_job,
+            reference_page_counts,
+        )
+
+        HadoopEngine(cluster, fault_plan=plan).run(page_frequency_job("in", "out"))
+        assert dict(cluster.hdfs.read_records("out")) == reference_page_counts(clicks)
+
+    def test_storage_loss_plus_task_failures(self, clicks):
+        """The full gauntlet: one DataNode wiped *and* map attempts killed."""
+        cluster = LocalCluster(num_nodes=3, block_size=64 * 1024, replication=2)
+        cluster.hdfs.write_records("in", clicks)
+        cluster.nodes["node02"].hdfs_disk.delete_prefix("hdfs/")
+        plan = FaultPlan(map_failures={0: 1, 3: 1})
+        from repro.workloads.per_user_count import (
+            per_user_count_job,
+            reference_user_counts,
+        )
+
+        HadoopEngine(cluster, fault_plan=plan).run(per_user_count_job("in", "out"))
+        assert dict(cluster.hdfs.read_records("out")) == reference_user_counts(clicks)

@@ -1,0 +1,144 @@
+"""Edge cases and degenerate inputs across engines."""
+
+import pytest
+
+from repro.core.aggregates import COUNT
+from repro.core.engine import OnePassConfig, OnePassEngine, OnePassJob
+from repro.mapreduce.api import MapReduceJob
+from repro.mapreduce.hop import HOPEngine
+from repro.mapreduce.runtime import HadoopEngine, LocalCluster
+
+
+def fresh(records):
+    cluster = LocalCluster(num_nodes=2, block_size=32 * 1024)
+    cluster.hdfs.write_records("in", records)
+    return cluster
+
+
+def count_job(**kwargs):
+    return MapReduceJob(
+        "count",
+        lambda r: [(r, 1)],
+        lambda k, v: [(k, sum(v))],
+        input_path="in",
+        output_path="out",
+        **kwargs,
+    )
+
+
+def count_onepass(**kwargs):
+    return OnePassJob(
+        "count",
+        lambda r: [(r, 1)],
+        aggregator=COUNT,
+        input_path="in",
+        output_path="out",
+        **kwargs,
+    )
+
+
+class TestDegenerateInputs:
+    def test_empty_input_all_engines(self):
+        for engine_cls, job in (
+            (HadoopEngine, count_job()),
+            (HOPEngine, count_job()),
+            (OnePassEngine, count_onepass()),
+        ):
+            cluster = fresh([])
+            result = engine_cls(cluster).run(job)
+            assert result.output_records == 0
+            assert list(cluster.hdfs.read_records("out")) == []
+
+    def test_single_record(self):
+        cluster = fresh(["only"])
+        HadoopEngine(cluster).run(count_job())
+        assert list(cluster.hdfs.read_records("out")) == [("only", 1)]
+
+    def test_map_emitting_nothing(self):
+        cluster = fresh(list(range(100)))
+        job = MapReduceJob(
+            "silent",
+            lambda r: [],
+            lambda k, v: [(k, sum(v))],
+            input_path="in",
+            output_path="out",
+        )
+        result = HadoopEngine(cluster).run(job)
+        assert result.output_records == 0
+
+    def test_map_fanout(self):
+        # One record explodes into many pairs.
+        cluster = fresh([10, 20])
+        job = MapReduceJob(
+            "fanout",
+            lambda n: [(i, 1) for i in range(n)],
+            lambda k, v: [(k, sum(v))],
+            input_path="in",
+            output_path="out",
+        )
+        HadoopEngine(cluster).run(job)
+        got = dict(cluster.hdfs.read_records("out"))
+        assert got == {i: (2 if i < 10 else 1) for i in range(20)}
+
+    def test_all_records_same_key(self):
+        cluster = fresh(["k"] * 5_000)
+        OnePassEngine(cluster).run(count_onepass())
+        assert list(cluster.hdfs.read_records("out")) == [("k", 5_000)]
+
+
+class TestKeyTypes:
+    def test_hash_engine_handles_incomparable_keys(self):
+        """The hash group-by removes sort-merge's ordering requirement.
+
+        Mixed-type keys (int vs str vs tuple) cannot be compared in
+        Python, so the sort-merge baseline necessarily fails on them —
+        while the hash engine only needs hashability.  This is a concrete
+        consequence of replacing sort with hash that the paper's design
+        discussion implies.
+        """
+        mixed = [1, "1", (1,), 2.5, "a", ("a", 1)] * 10
+        cluster = fresh(mixed)
+        OnePassEngine(cluster).run(count_onepass())
+        got = dict(cluster.hdfs.read_records("out"))
+        assert got == {k: 10 for k in set(mixed)}
+
+        cluster2 = fresh(mixed)
+        with pytest.raises(TypeError):
+            HadoopEngine(cluster2).run(count_job())
+
+    def test_unicode_keys(self):
+        keys = ["héllo", "世界", "🙂", "ascii"]
+        cluster = fresh(keys * 3)
+        HadoopEngine(cluster).run(count_job())
+        assert dict(cluster.hdfs.read_records("out")) == {k: 3 for k in keys}
+
+    def test_long_keys(self):
+        keys = ["x" * 10_000, "y" * 10_000]
+        cluster = fresh(keys * 2)
+        OnePassEngine(cluster).run(count_onepass())
+        assert dict(cluster.hdfs.read_records("out")) == {k: 2 for k in keys}
+
+    def test_none_key(self):
+        cluster = fresh([None, None, None])
+        OnePassEngine(cluster).run(count_onepass())
+        assert dict(cluster.hdfs.read_records("out")) == {None: 3}
+
+
+class TestBoundaryConfigs:
+    def test_one_reducer(self):
+        cluster = fresh([f"k{i % 7}" for i in range(500)])
+        job = count_onepass(config=OnePassConfig(num_reducers=1))
+        OnePassEngine(cluster).run(job)
+        assert len(dict(cluster.hdfs.read_records("out"))) == 7
+
+    def test_more_reducers_than_keys(self):
+        cluster = fresh(["a", "b"] * 10)
+        job = count_onepass(config=OnePassConfig(num_reducers=16))
+        OnePassEngine(cluster).run(job)
+        assert dict(cluster.hdfs.read_records("out")) == {"a": 10, "b": 10}
+
+    def test_single_node_cluster(self):
+        cluster = LocalCluster(num_nodes=1, block_size=32 * 1024)
+        cluster.hdfs.write_records("in", [f"k{i % 5}" for i in range(200)])
+        HadoopEngine(cluster).run(count_job())
+        assert len(dict(cluster.hdfs.read_records("out"))) == 5

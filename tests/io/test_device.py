@@ -1,0 +1,52 @@
+"""Device-profile arithmetic and validation."""
+
+import pytest
+
+from repro.io.device import HDD_7200RPM, RAMDISK, SSD_SATA, DeviceProfile, transfer_time
+
+
+class TestDeviceProfile:
+    def test_sequential_transfer_is_bandwidth_limited(self):
+        t = transfer_time(HDD_7200RPM, HDD_7200RPM.seq_bandwidth)  # 1 second of data
+        assert t == pytest.approx(1.0)
+
+    def test_random_transfer_adds_seek(self):
+        seq = transfer_time(HDD_7200RPM, 1024, sequential=True)
+        rnd = transfer_time(HDD_7200RPM, 1024, sequential=False)
+        assert rnd == pytest.approx(seq + HDD_7200RPM.seek_time)
+
+    def test_zero_bytes_sequential_is_free(self):
+        assert transfer_time(SSD_SATA, 0) == 0.0
+
+    def test_zero_bytes_random_still_seeks(self):
+        assert transfer_time(HDD_7200RPM, 0, sequential=False) == pytest.approx(
+            HDD_7200RPM.seek_time
+        )
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            transfer_time(HDD_7200RPM, -1)
+
+    def test_io_time_method_matches_function(self):
+        assert HDD_7200RPM.io_time(4096, sequential=False) == transfer_time(
+            HDD_7200RPM, 4096, sequential=False
+        )
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            DeviceProfile("bad", seq_bandwidth=0, seek_time=0, capacity=1)
+        with pytest.raises(ValueError):
+            DeviceProfile("bad", seq_bandwidth=1, seek_time=-1, capacity=1)
+        with pytest.raises(ValueError):
+            DeviceProfile("bad", seq_bandwidth=1, seek_time=0, capacity=0)
+
+    def test_builtin_profiles_ordering(self):
+        # SSD is faster than HDD both sequentially and randomly; RAM beats both.
+        assert SSD_SATA.seq_bandwidth > HDD_7200RPM.seq_bandwidth
+        assert SSD_SATA.seek_time < HDD_7200RPM.seek_time
+        assert RAMDISK.seq_bandwidth > SSD_SATA.seq_bandwidth
+
+    def test_profiles_are_hashable_and_frozen(self):
+        assert hash(HDD_7200RPM) != hash(SSD_SATA)
+        with pytest.raises(AttributeError):
+            HDD_7200RPM.seek_time = 0.0  # type: ignore[misc]

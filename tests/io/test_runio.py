@@ -1,0 +1,74 @@
+"""Run writers/readers over LocalDisk."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io.disk import LocalDisk
+from repro.io.runio import RunWriter, read_run, stream_run, write_run
+
+pairs = st.lists(
+    st.tuples(st.integers(-1000, 1000), st.text(max_size=20)), max_size=200
+)
+
+
+class TestRunWriter:
+    def test_roundtrip(self, disk):
+        items = [(i, f"v{i}") for i in range(100)]
+        nbytes = write_run(disk, "run0", items)
+        assert nbytes > 0
+        assert read_run(disk, "run0") == items
+
+    def test_stream_matches_read(self, disk):
+        items = [(i, "x" * (i % 7)) for i in range(500)]
+        write_run(disk, "run0", items)
+        assert list(stream_run(disk, "run0", chunk_size=256)) == items
+
+    def test_empty_run(self, disk):
+        write_run(disk, "empty", [])
+        assert read_run(disk, "empty") == []
+        assert list(stream_run(disk, "empty")) == []
+
+    def test_counts(self, disk):
+        with RunWriter(disk, "run0") as w:
+            w.write_all(range(10))
+        assert w.records_written == 10
+        assert w.bytes_written == disk.size("run0")
+
+    def test_write_after_close_raises(self, disk):
+        w = RunWriter(disk, "run0")
+        w.close()
+        with pytest.raises(ValueError):
+            w.write(1)
+
+    def test_flush_batches_disk_ops(self, disk):
+        # With a large flush threshold the whole run is one disk append.
+        before = disk.stats.write_ops
+        write_run(disk, "run0", range(1000))
+        assert disk.stats.write_ops - before <= 2  # create() doesn't count
+
+    def test_small_flush_threshold_multiple_appends(self, disk):
+        w = RunWriter(disk, "run0", flush_bytes=64)
+        before = disk.stats.write_ops
+        w.write_all(range(100))
+        w.close()
+        assert disk.stats.write_ops - before > 5
+
+    def test_overwrites_previous_run(self, disk):
+        write_run(disk, "run0", [1, 2, 3])
+        write_run(disk, "run0", [4])
+        assert read_run(disk, "run0") == [4]
+
+    @given(pairs)
+    @settings(max_examples=30)
+    def test_property_roundtrip(self, items):
+        disk = LocalDisk()
+        write_run(disk, "r", items)
+        assert list(stream_run(disk, "r", chunk_size=128)) == items
+
+    def test_stream_detects_truncation(self, disk):
+        write_run(disk, "r", [("key", "value" * 50)])
+        data = disk.read("r")
+        disk.write("r", data[: len(data) - 3], overwrite=True)
+        with pytest.raises(ValueError):
+            list(stream_run(disk, "r"))

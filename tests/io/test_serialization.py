@@ -1,0 +1,126 @@
+"""Framing, codecs and size estimation — including property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io.serialization import (
+    BinaryCodec,
+    TextLineCodec,
+    encode_frames,
+    estimate_size,
+    frame_count,
+    iter_frames,
+)
+
+# Picklable scalar values for framing round-trips.
+scalars = st.one_of(
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=40),
+    st.booleans(),
+    st.none(),
+)
+values = st.one_of(scalars, st.tuples(scalars, scalars), st.lists(scalars, max_size=5))
+
+
+class TestFrames:
+    def test_empty(self):
+        assert encode_frames([]) == b""
+        assert list(iter_frames(b"")) == []
+        assert frame_count(b"") == 0
+
+    @given(st.lists(values, max_size=50))
+    @settings(max_examples=60)
+    def test_roundtrip(self, items):
+        data = encode_frames(items)
+        assert list(iter_frames(data)) == items
+        assert frame_count(data) == len(items)
+
+    def test_truncated_header_rejected(self):
+        data = encode_frames([1, 2])
+        with pytest.raises(ValueError):
+            list(iter_frames(data[:-1] + b""))  # cut into last payload
+        with pytest.raises(ValueError):
+            list(iter_frames(data + b"\x01"))  # dangling header byte
+
+    def test_frame_count_rejects_trailing_garbage(self):
+        data = encode_frames([1])
+        with pytest.raises(Exception):
+            frame_count(data + b"\xff\xff\xff\xff")
+
+
+class TestTextLineCodec:
+    def codec(self):
+        return TextLineCodec((float, int, str))
+
+    def test_roundtrip(self):
+        codec = self.codec()
+        records = [(1.5, 7, "/a"), (2.25, 8, "/b/c")]
+        assert list(codec.decode(codec.encode(records))) == records
+
+    def test_empty_encode(self):
+        assert self.codec().encode([]) == b""
+        assert list(self.codec().decode(b"")) == []
+
+    def test_field_count_mismatch_on_encode(self):
+        with pytest.raises(ValueError):
+            self.codec().encode([(1.0, 2)])
+
+    def test_malformed_line_on_decode(self):
+        with pytest.raises(ValueError):
+            list(self.codec().decode(b"only\ttwo\n"))
+
+    def test_custom_delimiter(self):
+        codec = TextLineCodec((int, str), delimiter=",")
+        assert list(codec.decode(b"3,x\n")) == [(3, "x")]
+
+    def test_empty_parsers_rejected(self):
+        with pytest.raises(ValueError):
+            TextLineCodec(())
+
+    def test_skips_blank_lines(self):
+        codec = TextLineCodec((int,))
+        assert list(codec.decode(b"1\n\n2\n")) == [(1,), (2,)]
+
+
+class TestBinaryCodec:
+    @given(st.lists(values, max_size=30))
+    @settings(max_examples=40)
+    def test_roundtrip(self, records):
+        codec = BinaryCodec()
+        assert list(codec.decode(codec.encode(records))) == records
+
+    def test_binary_beats_text_on_parse_free_decode(self):
+        # Not a performance assertion — just that both decode identically
+        # shaped records so the parsing-cost experiment is apples-to-apples.
+        records = [(1.0, 2, "/x")] * 10
+        text = TextLineCodec((float, int, str))
+        binary = BinaryCodec()
+        assert list(text.decode(text.encode(records))) == list(
+            binary.decode(binary.encode(records))
+        )
+
+
+class TestEstimateSize:
+    def test_scalars_positive(self):
+        for obj in (0, 1.5, True, None, "abc", b"xyz"):
+            assert estimate_size(obj) > 0
+
+    def test_string_scales_with_length(self):
+        assert estimate_size("x" * 100) > estimate_size("x")
+
+    def test_containers_include_elements(self):
+        assert estimate_size([1, 2, 3]) > estimate_size([])
+        assert estimate_size({"a": 1}) > estimate_size({})
+        assert estimate_size((1, "abc")) > estimate_size((1,))
+        assert estimate_size({1, 2}) > estimate_size(set())
+
+    def test_deep_nesting_terminates(self):
+        nested = [[[[[1] * 10] * 5] * 3]]
+        assert estimate_size(nested) > 0
+
+    @given(values)
+    @settings(max_examples=60)
+    def test_never_negative_or_zero(self, obj):
+        assert estimate_size(obj) > 0

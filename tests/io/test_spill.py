@@ -1,0 +1,66 @@
+"""SpillManager lifecycle and totals."""
+
+import pytest
+
+from repro.io.spill import SpillManager
+
+
+class TestSpillManager:
+    def test_spill_and_stream(self, disk):
+        mgr = SpillManager(disk, "map-0001")
+        sf = mgr.spill([("a", 1), ("b", 2)], tag="sorted")
+        assert sf.records == 2
+        assert sf.nbytes > 0
+        assert list(mgr.stream(sf)) == [("a", 1), ("b", 2)]
+
+    def test_paths_are_namespaced_and_unique(self, disk):
+        mgr = SpillManager(disk, "task-7")
+        a = mgr.spill([1])
+        b = mgr.spill([2])
+        assert a.path != b.path
+        assert a.path.startswith("task-7/")
+        assert b.path.startswith("task-7/")
+
+    def test_totals_accumulate(self, disk):
+        mgr = SpillManager(disk, "t")
+        mgr.spill(range(10))
+        mgr.spill(range(5))
+        assert mgr.total_spilled_records == 15
+        assert mgr.total_spilled_bytes == sum(s.nbytes for s in mgr.spills)
+        assert len(mgr) == 2
+
+    def test_remove_keeps_historical_totals(self, disk):
+        mgr = SpillManager(disk, "t")
+        sf = mgr.spill(range(10))
+        total = mgr.total_spilled_bytes
+        mgr.remove(sf)
+        assert mgr.total_spilled_bytes == total
+        assert mgr.live_bytes == 0
+        assert not disk.exists(sf.path)
+
+    def test_clear_removes_all_files(self, disk):
+        mgr = SpillManager(disk, "t")
+        for _ in range(3):
+            mgr.spill(range(3))
+        mgr.clear()
+        assert len(mgr) == 0
+        assert disk.list_files("t/") == []
+
+    def test_explicit_count_for_generators(self, disk):
+        mgr = SpillManager(disk, "t")
+        sf = mgr.spill((x for x in range(7)), count=7)
+        assert sf.records == 7
+        assert list(mgr.stream(sf)) == list(range(7))
+
+    def test_tag_recorded_in_path_and_spillfile(self, disk):
+        mgr = SpillManager(disk, "t")
+        sf = mgr.spill([1], tag="mem")
+        assert sf.tag == "mem"
+        assert sf.path.endswith(".mem")
+
+    def test_remove_unknown_spill_raises(self, disk):
+        mgr1 = SpillManager(disk, "a")
+        mgr2 = SpillManager(disk, "b")
+        sf = mgr1.spill([1])
+        with pytest.raises(ValueError):
+            mgr2.remove(sf)

@@ -1,0 +1,93 @@
+"""Counters: accumulation, timers, merge semantics."""
+
+import time
+
+from repro.mapreduce.counters import C, Counters
+
+
+class TestCounters:
+    def test_inc_and_get(self):
+        c = Counters()
+        c.inc("x")
+        c.inc("x", 2.5)
+        assert c.get("x") == 3.5
+        assert c["x"] == 3.5
+        assert c["missing"] == 0
+
+    def test_contains_and_names(self):
+        c = Counters()
+        c.inc("b")
+        c.inc("a")
+        assert "a" in c and "z" not in c
+        assert c.names() == ["a", "b"]
+
+    def test_set_max(self):
+        c = Counters()
+        c.set_max("peak", 10)
+        c.set_max("peak", 5)
+        assert c["peak"] == 10
+        c.set_max("peak", 12)
+        assert c["peak"] == 12
+
+    def test_timer_accumulates(self):
+        c = Counters()
+        with c.timer("t"):
+            time.sleep(0.01)
+        with c.timer("t"):
+            time.sleep(0.01)
+        assert c["t"] >= 0.02
+
+    def test_timer_survives_exceptions(self):
+        c = Counters()
+        try:
+            with c.timer("t"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert c["t"] >= 0
+
+    def test_merge_adds(self):
+        a = Counters()
+        b = Counters()
+        a.inc("x", 1)
+        b.inc("x", 2)
+        b.inc("y", 3)
+        a.merge(b)
+        assert a["x"] == 3
+        assert a["y"] == 3
+
+    def test_merge_takes_max_for_peaks(self):
+        a = Counters()
+        b = Counters()
+        a.set_max("state.bytes.peak", 100)
+        b.set_max("state.bytes.peak", 60)
+        a.merge(b)
+        assert a["state.bytes.peak"] == 100
+        b.set_max("state.bytes.peak", 500)
+        a.merge(b)
+        assert a["state.bytes.peak"] == 500
+
+    def test_merge_is_associative_for_sums(self):
+        parts = []
+        for i in range(3):
+            c = Counters()
+            c.inc("x", i + 1)
+            parts.append(c)
+        left = Counters()
+        for p in parts:
+            left.merge(p)
+        right = Counters()
+        right.merge(parts[2]).merge(parts[0]).merge(parts[1])
+        assert left.as_dict() == right.as_dict()
+
+    def test_copy_is_independent(self):
+        a = Counters()
+        a.inc("x")
+        b = a.copy()
+        b.inc("x")
+        assert a["x"] == 1
+        assert b["x"] == 2
+
+    def test_canonical_names_are_distinct(self):
+        names = [getattr(C, attr) for attr in dir(C) if not attr.startswith("_")]
+        assert len(names) == len(set(names))

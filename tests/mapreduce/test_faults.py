@@ -1,0 +1,148 @@
+"""Fault injection and task re-execution on both engines."""
+
+import pytest
+
+from repro.core.engine import OnePassConfig, OnePassEngine
+from repro.mapreduce.counters import C
+from repro.mapreduce.faults import FaultPlan, TaskFailure
+from repro.mapreduce.runtime import HadoopEngine, LocalCluster
+from repro.workloads.page_frequency import page_frequency_job, reference_page_counts
+from repro.workloads.per_user_count import (
+    per_user_count_onepass_job,
+    reference_user_counts,
+)
+
+
+class TestFaultPlan:
+    def test_clean_plan_always_succeeds(self):
+        plan = FaultPlan()
+        assert plan.start_map_attempt(0) == 1
+        assert plan.start_map_attempt(0) == 2
+
+    def test_scheduled_failures_then_success(self):
+        plan = FaultPlan(map_failures={3: 2})
+        with pytest.raises(TaskFailure):
+            plan.start_map_attempt(3)
+        with pytest.raises(TaskFailure):
+            plan.start_map_attempt(3)
+        assert plan.start_map_attempt(3) == 3
+        assert plan.attempts_of(3) == 3
+
+    def test_max_attempts_enforced(self):
+        plan = FaultPlan(map_failures={1: 10}, max_attempts=3)
+        for _ in range(3):
+            with pytest.raises(TaskFailure):
+                plan.start_map_attempt(1)
+        with pytest.raises(RuntimeError):
+            plan.start_map_attempt(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(max_attempts=0)
+        with pytest.raises(ValueError):
+            FaultPlan(map_failures={0: -1})
+
+    def test_failure_exception_carries_context(self):
+        plan = FaultPlan(map_failures={7: 1})
+        try:
+            plan.start_map_attempt(7)
+        except TaskFailure as e:
+            assert e.task_id == 7
+            assert e.attempt == 1
+            assert e.kind == "map"
+
+    def test_total_failures(self):
+        assert FaultPlan(map_failures={1: 2, 5: 1}).total_failures_injected == 3
+
+
+class TestHadoopFaultTolerance:
+    def test_answers_survive_failures(self, clicks):
+        cluster = LocalCluster(num_nodes=3, block_size=64 * 1024)
+        cluster.hdfs.write_records("in", clicks)
+        n_tasks = len(cluster.hdfs.input_splits("in"))
+        # Kill the first attempt of every third map task.
+        plan = FaultPlan(map_failures={t: 1 for t in range(0, n_tasks, 3)})
+        engine = HadoopEngine(cluster, fault_plan=plan)
+        result = engine.run(page_frequency_job("in", "out"))
+        assert dict(cluster.hdfs.read_records("out")) == reference_page_counts(clicks)
+        assert result.counters[C.MAP_TASK_RETRIES] == plan.total_failures_injected
+
+    def test_rework_is_charged(self, clicks):
+        def input_records(plan):
+            cluster = LocalCluster(num_nodes=3, block_size=64 * 1024)
+            cluster.hdfs.write_records("in", clicks)
+            result = HadoopEngine(cluster, fault_plan=plan).run(
+                page_frequency_job("in", "out")
+            )
+            return result.counters[C.MAP_INPUT_RECORDS]
+
+        clean = input_records(None)
+        faulty = input_records(FaultPlan(map_failures={0: 2}))
+        # Task 0's block was read three times in total.
+        assert faulty > clean
+
+    def test_failed_attempt_files_removed(self, clicks):
+        cluster = LocalCluster(num_nodes=3, block_size=64 * 1024)
+        cluster.hdfs.write_records("in", clicks)
+        plan = FaultPlan(map_failures={0: 1})
+        HadoopEngine(cluster, fault_plan=plan).run(page_frequency_job("in", "out"))
+        # No orphaned map-output files anywhere (shuffle cleans up served
+        # ones; failed attempts must not leave strays either).
+        for node in cluster.nodes.values():
+            leftovers = [
+                f
+                for f in node.intermediate_disk.list_files()
+                if f.startswith(("mapout/", "mapspill/"))
+            ]
+            assert leftovers == []
+
+    def test_exhausted_attempts_abort_job(self, clicks):
+        cluster = LocalCluster(num_nodes=3, block_size=64 * 1024)
+        cluster.hdfs.write_records("in", clicks)
+        plan = FaultPlan(map_failures={0: 99}, max_attempts=2)
+        with pytest.raises(RuntimeError, match="exhausted"):
+            HadoopEngine(cluster, fault_plan=plan).run(
+                page_frequency_job("in", "out")
+            )
+
+
+class TestOnePassFaultTolerance:
+    def test_answers_survive_failures(self, clicks):
+        cluster = LocalCluster(num_nodes=3, block_size=64 * 1024)
+        cluster.hdfs.write_records("in", clicks)
+        n_tasks = len(cluster.hdfs.input_splits("in"))
+        plan = FaultPlan(map_failures={t: 1 for t in range(0, n_tasks, 4)})
+        engine = OnePassEngine(cluster, fault_plan=plan)
+        result = engine.run(per_user_count_onepass_job("in", "out"))
+        assert dict(cluster.hdfs.read_records("out")) == reference_user_counts(clicks)
+        assert result.counters[C.MAP_TASK_RETRIES] == plan.total_failures_injected
+
+    def test_no_duplicate_delivery(self, clicks):
+        """The staged-output protocol must not double-count a retried task.
+
+        If the failed attempt's chunks leaked to reducers, counts would be
+        inflated — exactness is the regression test.
+        """
+        cluster = LocalCluster(num_nodes=3, block_size=64 * 1024)
+        cluster.hdfs.write_records("in", clicks)
+        plan = FaultPlan(map_failures={0: 3, 1: 1}, max_attempts=5)
+        OnePassEngine(cluster, fault_plan=plan).run(
+            per_user_count_onepass_job("in", "out")
+        )
+        assert dict(cluster.hdfs.read_records("out")) == reference_user_counts(clicks)
+
+    def test_staging_overhead_counted(self, clicks):
+        cluster = LocalCluster(num_nodes=3, block_size=64 * 1024)
+        cluster.hdfs.write_records("in", clicks)
+        result = OnePassEngine(cluster, fault_plan=FaultPlan()).run(
+            per_user_count_onepass_job("in", "out")
+        )
+        # With a fault plan active, every delivered byte was staged first.
+        assert result.counters[C.STAGED_OUTPUT_BYTES] > 0
+        assert result.counters[C.STAGED_OUTPUT_BYTES] == result.counters[C.SHUFFLE_BYTES]
+
+    def test_no_staging_without_fault_plan(self, clicks):
+        cluster = LocalCluster(num_nodes=3, block_size=64 * 1024)
+        cluster.hdfs.write_records("in", clicks)
+        result = OnePassEngine(cluster).run(per_user_count_onepass_job("in", "out"))
+        assert result.counters[C.STAGED_OUTPUT_BYTES] == 0

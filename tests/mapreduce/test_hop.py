@@ -1,0 +1,94 @@
+"""MapReduce Online engine: pipelining, snapshots, backpressure."""
+
+import pytest
+
+from repro.mapreduce.counters import C
+from repro.mapreduce.hop import HOPConfig, HOPEngine
+from repro.mapreduce.runtime import LocalCluster
+from repro.workloads.page_frequency import page_frequency_job, reference_page_counts
+from repro.workloads.sessionization import reference_sessions, sessionization_job
+
+
+class TestHOPConfig:
+    def test_defaults(self):
+        cfg = HOPConfig()
+        assert cfg.granularity_records >= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"granularity_records": 0},
+            {"snapshot_fractions": (0.5, 0.25)},
+            {"snapshot_fractions": (0.0,)},
+            {"snapshot_fractions": (1.0,)},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            HOPConfig(**kwargs)
+
+
+class TestHOPEngine:
+    def test_final_answer_matches_reference(self, cluster, clicks):
+        cluster.hdfs.write_records("clicks", clicks)
+        HOPEngine(cluster).run(page_frequency_job("clicks", "out"))
+        assert dict(cluster.hdfs.read_records("out")) == reference_page_counts(clicks)
+
+    def test_snapshots_produced_at_fractions(self, cluster, clicks):
+        cluster.hdfs.write_records("clicks", clicks)
+        engine = HOPEngine(
+            cluster, hop_config=HOPConfig(snapshot_fractions=(0.5,))
+        )
+        result = engine.run(page_frequency_job("clicks", "out"))
+        assert [s.fraction for s in result.snapshots] == [0.5]
+        assert result.counters[C.SNAPSHOTS] == 2  # one per reducer
+
+    def test_snapshot_counts_grow_toward_final(self, cluster, clicks):
+        cluster.hdfs.write_records("clicks", clicks)
+        engine = HOPEngine(
+            cluster, hop_config=HOPConfig(snapshot_fractions=(0.25, 0.75))
+        )
+        result = engine.run(page_frequency_job("clicks", "out"))
+        early, late = result.snapshots
+        total_early = sum(v for _, v in early.records)
+        total_late = sum(v for _, v in late.records)
+        assert total_early < total_late <= len(clicks)
+
+    def test_snapshot_is_prefix_consistent(self, cluster, clicks):
+        # Counts in a snapshot never exceed the final counts.
+        cluster.hdfs.write_records("clicks", clicks)
+        engine = HOPEngine(cluster, hop_config=HOPConfig(snapshot_fractions=(0.5,)))
+        engine_result = engine.run(page_frequency_job("clicks", "out"))
+        final = dict(cluster.hdfs.read_records("out"))
+        snap = dict(engine_result.snapshots[0].records)
+        for url, count in snap.items():
+            assert count <= final[url]
+
+    def test_sessionization_matches_hadoop_semantics(self, cluster, clicks):
+        cluster.hdfs.write_records("clicks", clicks)
+        HOPEngine(cluster).run(sessionization_job("clicks", "out", gap=5.0))
+        got = sorted(cluster.hdfs.read_records("out"))
+        assert got == reference_sessions(clicks, gap=5.0)
+
+    def test_backpressure_stages_to_disk(self, clicks):
+        cluster = LocalCluster(num_nodes=2, block_size=64 * 1024)
+        cluster.hdfs.write_records("clicks", clicks)
+        hop = HOPConfig(granularity_records=100, backpressure_bytes=1)
+        result = HOPEngine(cluster, hop_config=hop).run(
+            page_frequency_job("clicks", "out", with_combiner=False)
+        )
+        # With an absurdly low threshold everything past the first chunk
+        # stages on the mapper's disk — counted as map spill.
+        assert result.counters[C.MAP_SPILL_BYTES] > 0
+        assert dict(cluster.hdfs.read_records("out")) == reference_page_counts(clicks)
+
+    def test_pipelining_moves_sort_and_shuffle_earlier(self, cluster, clicks):
+        # HOP produces shuffle traffic during the map phase by design;
+        # we simply verify shuffle bytes exist and snapshots cost merge reads.
+        cluster.hdfs.write_records("clicks", clicks)
+        hop = HOPConfig(granularity_records=200, snapshot_fractions=(0.5,))
+        result = HOPEngine(cluster, hop_config=hop).run(
+            page_frequency_job("clicks", "out", with_combiner=False)
+        )
+        assert result.counters[C.SHUFFLE_BYTES] > 0
+        assert result.counters[C.SORT_RECORDS] > 0

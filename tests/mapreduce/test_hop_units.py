@@ -1,0 +1,85 @@
+"""MapReduce Online internals: the pipelined reduce task in isolation."""
+
+import pytest
+
+from repro.io.disk import LocalDisk
+from repro.mapreduce.api import JobConfig, MapReduceJob
+from repro.mapreduce.counters import C
+from repro.mapreduce.hop import HOPConfig, PipelinedReduceTask
+
+
+def sum_reduce(key, values):
+    yield (key, sum(values))
+
+
+def make_task(**cfg):
+    job = MapReduceJob(
+        "wc",
+        lambda r: [(r, 1)],
+        sum_reduce,
+        config=JobConfig(num_reducers=1, **cfg),
+    )
+    return PipelinedReduceTask(job, 0, "n0", LocalDisk(), HOPConfig())
+
+
+class TestPipelinedReduceTask:
+    def chunk(self, pairs):
+        return sorted(pairs, key=lambda p: p[0]), 48 * len(pairs)
+
+    def test_accepts_chunks_and_reduces(self):
+        task = make_task()
+        for pairs in ([("a", 1), ("b", 1)], [("a", 2)]):
+            chunk, nbytes = self.chunk(pairs)
+            task.accept_chunk(chunk, nbytes)
+        output = task.run()
+        assert sorted(output) == [("a", 3), ("b", 1)]
+
+    def test_backlog_tracks_memory(self):
+        task = make_task()
+        chunk, nbytes = self.chunk([("a", 1)] * 10)
+        task.accept_chunk(chunk, nbytes)
+        assert task.backlog_bytes == nbytes
+
+    def test_memory_pressure_spills_runs(self):
+        task = make_task(reduce_buffer_bytes=256)
+        for i in range(20):
+            chunk, nbytes = self.chunk([(f"k{j}", 1) for j in range(10)])
+            task.accept_chunk(chunk, nbytes)
+        assert task.counters[C.REDUCE_SPILL_BYTES] > 0
+        output = task.run()
+        assert dict(output) == {f"k{j}": 20 for j in range(10)}
+
+    def test_snapshot_is_nondestructive(self):
+        task = make_task(reduce_buffer_bytes=256)
+        for i in range(10):
+            chunk, nbytes = self.chunk([("a", 1), ("b", 1)])
+            task.accept_chunk(chunk, nbytes)
+        snap1 = dict(task.snapshot(0.5).records)
+        snap2 = dict(task.snapshot(0.75).records)
+        assert snap1 == snap2 == {"a": 10, "b": 10}
+        # Final run still sees everything.
+        assert dict(task.run()) == {"a": 10, "b": 10}
+
+    def test_snapshot_reads_disk_runs(self):
+        task = make_task(reduce_buffer_bytes=128)
+        for i in range(30):
+            chunk, nbytes = self.chunk([(f"k{i % 5}", 1)] * 4)
+            task.accept_chunk(chunk, nbytes)
+        before = task.counters[C.MERGE_READ_BYTES]
+        task.snapshot(0.9)
+        assert task.counters[C.MERGE_READ_BYTES] > before
+        assert task.counters[C.SNAPSHOTS] == 1
+
+    def test_snapshot_of_empty_task(self):
+        task = make_task()
+        snap = task.snapshot(0.25)
+        assert snap.records == ()
+        assert snap.fraction == 0.25
+
+    def test_run_counts_groups(self):
+        task = make_task()
+        chunk, nbytes = self.chunk([("a", 1), ("b", 2), ("c", 3)])
+        task.accept_chunk(chunk, nbytes)
+        task.run()
+        assert task.counters[C.REDUCE_INPUT_GROUPS] == 3
+        assert task.counters[C.REDUCE_TASKS] == 1

@@ -1,0 +1,157 @@
+"""Sorted merging, grouping and the multi-pass merger."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io.disk import LocalDisk
+from repro.mapreduce.counters import C, Counters
+from repro.mapreduce.merge import MultiPassMerger, group_sorted, merge_sorted
+
+sorted_runs = st.lists(
+    st.lists(st.tuples(st.integers(0, 50), st.integers()), max_size=30).map(
+        lambda run: sorted(run, key=lambda p: p[0])
+    ),
+    max_size=6,
+)
+
+
+class TestMergeSorted:
+    def test_empty(self):
+        assert list(merge_sorted([])) == []
+        assert list(merge_sorted([iter([]), iter([])])) == []
+
+    def test_two_streams(self):
+        a = [(1, "a"), (3, "a")]
+        b = [(2, "b"), (3, "b")]
+        merged = list(merge_sorted([iter(a), iter(b)]))
+        assert [k for k, _ in merged] == [1, 2, 3, 3]
+
+    def test_stability_by_stream_index(self):
+        a = [(1, "first")]
+        b = [(1, "second")]
+        assert list(merge_sorted([iter(a), iter(b)])) == [(1, "first"), (1, "second")]
+
+    @given(sorted_runs)
+    @settings(max_examples=60)
+    def test_property_globally_sorted_and_complete(self, runs):
+        merged = list(merge_sorted([iter(r) for r in runs]))
+        keys = [k for k, _ in merged]
+        assert keys == sorted(keys)
+        assert sorted(merged) == sorted(p for run in runs for p in run)
+
+
+class TestGroupSorted:
+    def test_empty(self):
+        assert list(group_sorted([])) == []
+
+    def test_groups_consecutive_keys(self):
+        pairs = [(1, "a"), (1, "b"), (2, "c")]
+        groups = [(k, list(v)) for k, v in group_sorted(pairs)]
+        assert groups == [(1, ["a", "b"]), (2, ["c"])]
+
+    def test_single_group(self):
+        groups = [(k, list(v)) for k, v in group_sorted([(5, i) for i in range(4)])]
+        assert groups == [(5, [0, 1, 2, 3])]
+
+    def test_unconsumed_values_are_drained(self):
+        pairs = [(1, "a"), (1, "b"), (2, "c"), (3, "d")]
+        keys = [k for k, _values in group_sorted(pairs)]
+        assert keys == [1, 2, 3]
+
+    def test_partially_consumed_group(self):
+        pairs = [(1, x) for x in "abcde"] + [(2, "z")]
+        out = []
+        for key, values in group_sorted(pairs):
+            out.append((key, next(values, None)))
+        assert out == [(1, "a"), (2, "z")]
+
+    @given(st.lists(st.tuples(st.integers(0, 10), st.integers()), max_size=60))
+    @settings(max_examples=60)
+    def test_property_groups_partition_the_stream(self, pairs):
+        pairs = sorted(pairs, key=lambda p: p[0])
+        reassembled = []
+        for key, values in group_sorted(pairs):
+            for v in values:
+                reassembled.append((key, v))
+        assert reassembled == pairs
+
+
+class TestMultiPassMerger:
+    def make(self, factor=3):
+        disk = LocalDisk()
+        counters = Counters()
+        return MultiPassMerger(disk, "red", factor=factor, counters=counters), disk, counters
+
+    @staticmethod
+    def run_of(lo, n):
+        return [(k, k) for k in range(lo, lo + n)]
+
+    def test_single_run_passthrough(self):
+        merger, _, counters = self.make()
+        merger.add_run(self.run_of(0, 5))
+        assert list(merger.final_merge()) == self.run_of(0, 5)
+        assert counters[C.MERGE_PASSES] == 0
+
+    def test_final_is_globally_sorted(self):
+        merger, _, _ = self.make(factor=3)
+        for i in range(7):
+            merger.add_run(sorted((k * 7 + i, i) for k in range(10)))
+        merged = list(merger.final_merge())
+        keys = [k for k, _ in merged]
+        assert keys == sorted(keys)
+        assert len(merged) == 70
+
+    def test_background_merge_triggers_at_2f_minus_1(self):
+        merger, _, counters = self.make(factor=3)
+        for i in range(4):
+            merger.add_run(self.run_of(i, 2))
+        assert counters[C.MERGE_PASSES] == 0  # below 2F-1 = 5
+        merger.add_run(self.run_of(9, 2))
+        assert counters[C.MERGE_PASSES] == 1
+        assert merger.run_count == 3  # F-1 small + 1 merged
+
+    def test_merge_io_counted(self):
+        merger, _, counters = self.make(factor=2)
+        for i in range(6):
+            merger.add_run(self.run_of(i * 10, 4))
+        list(merger.final_merge())
+        assert counters[C.MERGE_READ_BYTES] > 0
+        assert counters[C.MERGE_WRITE_BYTES] > 0
+        assert counters[C.REDUCE_SPILL_BYTES] > 0
+        assert counters[C.REDUCE_SPILLS] == 6
+
+    def test_rewrite_volume_is_logarithmic_not_quadratic(self):
+        # The 2F-1 policy must not re-merge large runs on every trigger:
+        # total rewrite stays within ~log_F(runs) passes over the data.
+        # (The naive merge-at-F policy rewrites ~runs/F times the data.)
+        import math
+
+        merger, _, counters = self.make(factor=4)
+        n_runs = 40
+        for i in range(n_runs):
+            merger.add_run(self.run_of(i * 5, 5))
+        total_spill = counters[C.REDUCE_SPILL_BYTES]
+        list(merger.final_merge())
+        bound = math.ceil(math.log(n_runs, 4)) * total_spill
+        assert counters[C.MERGE_WRITE_BYTES] <= bound
+
+    def test_add_after_final_raises(self):
+        merger, _, _ = self.make()
+        merger.add_run(self.run_of(0, 2))
+        merger.final_merge()
+        with pytest.raises(RuntimeError):
+            merger.add_run(self.run_of(0, 2))
+        with pytest.raises(RuntimeError):
+            merger.final_merge()
+
+    def test_cleanup_removes_files(self):
+        merger, disk, _ = self.make()
+        for i in range(4):
+            merger.add_run(self.run_of(i, 3))
+        merger.cleanup()
+        assert disk.list_files("red/") == []
+
+    def test_factor_validation(self):
+        with pytest.raises(ValueError):
+            MultiPassMerger(LocalDisk(), "x", factor=1)

@@ -1,0 +1,81 @@
+"""Wave scheduling and locality."""
+
+import pytest
+
+from repro.hdfs.blocks import BlockId
+from repro.hdfs.filesystem import InputSplit
+from repro.mapreduce.scheduler import WaveScheduler
+
+
+def split(i, nodes):
+    return InputSplit(
+        block_id=BlockId("f", i), nbytes=100, records=10, preferred_nodes=tuple(nodes)
+    )
+
+
+class TestWaveScheduler:
+    def test_all_tasks_assigned_exactly_once(self):
+        sched = WaveScheduler(["n0", "n1"], map_slots=2)
+        splits = [split(i, [f"n{i % 2}"]) for i in range(11)]
+        assignments, stats = sched.schedule(splits)
+        assert sorted(a.task_id for a in assignments) == list(range(11))
+        assert stats.total_tasks == 11
+
+    def test_perfect_locality_when_balanced(self):
+        sched = WaveScheduler(["n0", "n1", "n2"], map_slots=1)
+        splits = [split(i, [f"n{i % 3}"]) for i in range(9)]
+        assignments, stats = sched.schedule(splits)
+        assert stats.locality_rate == 1.0
+        for a in assignments:
+            assert a.node in a.split.preferred_nodes
+
+    def test_remote_splits_still_run(self):
+        # Splits stored on nodes outside the compute set (separate storage).
+        sched = WaveScheduler(["c0", "c1"], map_slots=2)
+        splits = [split(i, ["s0"]) for i in range(6)]
+        assignments, stats = sched.schedule(splits)
+        assert len(assignments) == 6
+        assert stats.locality_rate == 0.0
+
+    def test_waves_grow_with_load(self):
+        sched = WaveScheduler(["n0"], map_slots=2)
+        splits = [split(i, ["n0"]) for i in range(10)]
+        _assignments, stats = sched.schedule(splits)
+        assert stats.waves >= 5
+
+    def test_wave_indices_monotone(self):
+        sched = WaveScheduler(["n0", "n1"], map_slots=1)
+        splits = [split(i, ["n0"]) for i in range(8)]
+        assignments, _ = sched.schedule(splits)
+        waves = [a.wave for a in assignments]
+        assert waves == sorted(waves)
+
+    def test_work_stealing_balances_skewed_storage(self):
+        # Everything is stored on n0; n1 should steal some work.
+        sched = WaveScheduler(["n0", "n1"], map_slots=1)
+        splits = [split(i, ["n0"]) for i in range(12)]
+        assignments, stats = sched.schedule(splits)
+        nodes = {a.node for a in assignments}
+        assert nodes == {"n0", "n1"}
+        assert 0 < stats.local_tasks < 12
+
+    def test_empty_splits(self):
+        sched = WaveScheduler(["n0"])
+        assignments, stats = sched.schedule([])
+        assert assignments == []
+        assert stats.locality_rate == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WaveScheduler([])
+        with pytest.raises(ValueError):
+            WaveScheduler(["n0"], map_slots=0)
+
+    def test_assign_reducers_round_robin(self):
+        sched = WaveScheduler(["n0", "n1", "n2"])
+        placement = sched.assign_reducers(7)
+        assert len(placement) == 7
+        counts = {}
+        for node in placement.values():
+            counts[node] = counts.get(node, 0) + 1
+        assert max(counts.values()) - min(counts.values()) <= 1

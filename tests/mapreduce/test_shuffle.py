@@ -1,0 +1,114 @@
+"""Pull-based shuffle service."""
+
+import pytest
+
+from repro.io.disk import LocalDisk
+from repro.mapreduce.api import JobConfig, MapReduceJob
+from repro.mapreduce.shuffle import ShuffleService
+from repro.mapreduce.sortmerge import SortMergeMapTask
+
+
+def word_map(record):
+    for word in record.split():
+        yield (word, 1)
+
+
+def sum_reduce(key, values):
+    yield (key, sum(values))
+
+
+def run_map(task_id, disk, records, num_reducers=2):
+    job = MapReduceJob(
+        "wc", word_map, sum_reduce, config=JobConfig(num_reducers=num_reducers)
+    )
+    task = SortMergeMapTask(job, task_id, "n0", disk)
+    return task.run(records)
+
+
+class TestShuffleService:
+    def test_register_and_fetch(self):
+        disk = LocalDisk(name="n0")
+        service = ShuffleService({"n0": disk})
+        out = run_map(0, disk, ["a b c d e f"])
+        service.register(out)
+        assert service.completed_maps == [0]
+        fetched = service.fetch_all(0)
+        assert sum(len(seg.pairs) for seg in fetched) == sum(
+            seg.records for p, seg in out.segments.items() if p == 0
+        )
+
+    def test_duplicate_register_rejected(self):
+        disk = LocalDisk(name="n0")
+        service = ShuffleService({"n0": disk})
+        out = run_map(0, disk, ["a"])
+        service.register(out)
+        with pytest.raises(ValueError):
+            service.register(out)
+
+    def test_double_fetch_rejected(self):
+        disk = LocalDisk(name="n0")
+        service = ShuffleService({"n0": disk})
+        out = run_map(0, disk, ["a b c"])
+        service.register(out)
+        partition = next(iter(out.segments))
+        service.fetch(0, partition)
+        with pytest.raises(ValueError):
+            service.fetch(0, partition)
+
+    def test_pending_fetches_shrink(self):
+        disk = LocalDisk(name="n0")
+        service = ShuffleService({"n0": disk})
+        out = run_map(0, disk, ["a b c d e f g h i j"])
+        service.register(out)
+        for partition in list(out.segments):
+            assert 0 in service.pending_fetches(partition)
+            service.fetch(0, partition)
+            assert 0 not in service.pending_fetches(partition)
+
+    def test_page_cache_serving_skips_disk_read(self):
+        disk = LocalDisk(name="n0")
+        service = ShuffleService({"n0": disk}, serve_from_page_cache=True)
+        out = run_map(0, disk, ["a b c d"])
+        service.register(out)
+        reads_before = disk.stats.bytes_read
+        service.fetch_all(0)
+        assert disk.stats.bytes_read == reads_before
+
+    def test_disk_serving_reads(self):
+        disk = LocalDisk(name="n0")
+        service = ShuffleService({"n0": disk}, serve_from_page_cache=False)
+        out = run_map(0, disk, ["a b c d"])
+        service.register(out)
+        reads_before = disk.stats.bytes_read
+        fetched = service.fetch_all(0)
+        if fetched:
+            assert disk.stats.bytes_read > reads_before
+
+    def test_network_bytes_counted_either_way(self):
+        for cached in (True, False):
+            disk = LocalDisk(name="n0")
+            service = ShuffleService({"n0": disk}, serve_from_page_cache=cached)
+            out = run_map(0, disk, ["a b c d e"])
+            service.register(out)
+            for p in out.segments:
+                service.fetch(0, p)
+            assert service.network_bytes == out.total_bytes
+
+    def test_cleanup_deletes_map_output(self):
+        disk = LocalDisk(name="n0")
+        service = ShuffleService({"n0": disk})
+        out = run_map(0, disk, ["a b"])
+        service.register(out)
+        service.cleanup()
+        for seg in out.segments.values():
+            assert not disk.exists(seg.path)
+
+    def test_multiple_mappers_ordered(self):
+        disk = LocalDisk(name="n0")
+        service = ShuffleService({"n0": disk})
+        outs = [run_map(i, disk, [f"w{i} common"]) for i in range(3)]
+        for out in outs:
+            service.register(out)
+        for partition in range(2):
+            tasks = service.pending_fetches(partition)
+            assert tasks == sorted(tasks)

@@ -1,0 +1,155 @@
+"""Sort-merge map and reduce task behaviour."""
+
+import pytest
+
+from repro.io.disk import LocalDisk
+from repro.io.runio import read_run
+from repro.mapreduce.api import JobConfig, MapReduceJob
+from repro.mapreduce.counters import C
+from repro.mapreduce.sortmerge import SortMergeMapTask, SortMergeReduceTask
+
+
+def word_map(record):
+    for word in record.split():
+        yield (word, 1)
+
+
+def sum_reduce(key, values):
+    yield (key, sum(values))
+
+
+def sum_combine(key, values):
+    yield (key, sum(values))
+
+
+def make_job(**cfg):
+    return MapReduceJob(
+        "wordcount",
+        word_map,
+        sum_reduce,
+        combine_fn=cfg.pop("combine", None),
+        config=JobConfig(**cfg),
+    )
+
+
+class TestMapTask:
+    def test_output_is_partitioned_and_sorted(self):
+        job = make_job(num_reducers=3)
+        disk = LocalDisk()
+        task = SortMergeMapTask(job, 0, "n0", disk)
+        out = task.run(["a b c d e f g h", "a b a b"])
+        assert set(out.segments) <= {0, 1, 2}
+        for seg in out.segments.values():
+            pairs = read_run(disk, seg.path)
+            keys = [k for k, _ in pairs]
+            assert keys == sorted(keys)
+        assert out.total_records == 12
+        assert task.counters[C.MAP_INPUT_RECORDS] == 2
+        assert task.counters[C.MAP_OUTPUT_RECORDS] == 12
+
+    def test_sort_time_attributed(self):
+        job = make_job()
+        task = SortMergeMapTask(job, 0, "n0", LocalDisk())
+        task.run(["x y z"] * 50)
+        assert task.counters[C.T_SORT] > 0
+        assert task.counters[C.T_MAP_FN] > 0
+        assert task.counters[C.SORT_RECORDS] == 150
+
+    def test_single_spill_has_no_merge_io(self):
+        job = make_job(map_buffer_bytes=64 * 1024 * 1024)
+        task = SortMergeMapTask(job, 0, "n0", LocalDisk())
+        task.run(["a b c"] * 20)
+        assert task.counters[C.MAP_SPILLS] == 1
+        assert task.counters[C.MERGE_READ_BYTES] == 0
+
+    def test_small_buffer_forces_spills_and_merge(self):
+        job = make_job(map_buffer_bytes=2048)
+        task = SortMergeMapTask(job, 0, "n0", LocalDisk())
+        out = task.run([f"w{i} w{i + 1} w{i + 2}" for i in range(200)])
+        assert task.counters[C.MAP_SPILLS] > 1
+        assert task.counters[C.MERGE_READ_BYTES] > 0
+        assert out.total_records == 600
+
+    def test_combiner_shrinks_output(self):
+        base = make_job(map_buffer_bytes=64 * 1024 * 1024)
+        with_comb = make_job(combine=sum_combine, map_buffer_bytes=64 * 1024 * 1024)
+        records = ["the quick the lazy the dog"] * 30
+        out_plain = SortMergeMapTask(base, 0, "n0", LocalDisk()).run(list(records))
+        out_comb = SortMergeMapTask(with_comb, 0, "n0", LocalDisk()).run(list(records))
+        assert out_comb.total_records < out_plain.total_records
+        assert out_comb.total_bytes < out_plain.total_bytes
+
+    def test_combiner_partial_sums_are_correct(self):
+        job = make_job(combine=sum_combine, num_reducers=1)
+        disk = LocalDisk()
+        out = SortMergeMapTask(job, 0, "n0", disk).run(["a a a b"] * 5)
+        pairs = read_run(disk, out.segments[0].path)
+        assert dict(pairs) == {"a": 15, "b": 5}
+
+    def test_combiner_applied_across_spills(self):
+        job = make_job(combine=sum_combine, num_reducers=1, map_buffer_bytes=1500)
+        disk = LocalDisk()
+        out = SortMergeMapTask(job, 0, "n0", disk).run(["a b c d e"] * 100)
+        pairs = read_run(disk, out.segments[0].path)
+        assert dict(pairs) == {w: 100 for w in "abcde"}
+
+    def test_empty_input(self):
+        job = make_job()
+        out = SortMergeMapTask(job, 0, "n0", LocalDisk()).run([])
+        assert out.segments == {}
+
+
+class TestReduceTask:
+    def feed(self, task, pairs_by_seg):
+        for pairs in pairs_by_seg:
+            pairs = sorted(pairs, key=lambda p: p[0])
+            task.accept_segment(pairs, nbytes=64 * len(pairs))
+
+    def test_in_memory_reduce(self):
+        job = make_job(num_reducers=1)
+        task = SortMergeReduceTask(job, 0, "n0", LocalDisk())
+        self.feed(task, [[("a", 1), ("b", 2)], [("a", 3)]])
+        output, groups = task.run()
+        assert sorted(output) == [("a", 4), ("b", 2)]
+        assert groups == 2
+        assert task.counters[C.REDUCE_SPILL_BYTES] == 0
+
+    def test_spill_path_produces_same_answer(self):
+        job = make_job(num_reducers=1, reduce_buffer_bytes=512, merge_factor=2)
+        task = SortMergeReduceTask(job, 0, "n0", LocalDisk())
+        segments = [[(f"k{i % 7}", 1) for i in range(j, j + 20)] for j in range(0, 200, 20)]
+        self.feed(task, segments)
+        output, _ = task.run()
+        total = sum(v for _, v in output)
+        assert total == 200
+        assert task.counters[C.REDUCE_SPILL_BYTES] > 0
+
+    def test_reduce_counters(self):
+        job = make_job(num_reducers=1)
+        task = SortMergeReduceTask(job, 0, "n0", LocalDisk())
+        self.feed(task, [[("a", 1), ("a", 2), ("b", 1)]])
+        output, _ = task.run()
+        assert task.counters[C.REDUCE_INPUT_RECORDS] == 3
+        assert task.counters[C.REDUCE_INPUT_GROUPS] == 2
+        assert task.counters[C.REDUCE_OUTPUT_RECORDS] == len(output)
+
+    def test_combiner_on_reduce_spill(self):
+        job = MapReduceJob(
+            "wc",
+            word_map,
+            sum_reduce,
+            combine_fn=sum_combine,
+            config=JobConfig(num_reducers=1, reduce_buffer_bytes=512),
+        )
+        task = SortMergeReduceTask(job, 0, "n0", LocalDisk())
+        self.feed(task, [[("a", 1)] * 30 for _ in range(10)])
+        output, _ = task.run()
+        assert output == [("a", 300)]
+        assert task.counters[C.COMBINE_INPUT_RECORDS] > 0
+
+    def test_empty_reduce(self):
+        job = make_job(num_reducers=1)
+        task = SortMergeReduceTask(job, 0, "n0", LocalDisk())
+        output, groups = task.run()
+        assert output == []
+        assert groups == 0

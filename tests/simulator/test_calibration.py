@@ -1,0 +1,88 @@
+"""Calibration constants: internal consistency with the paper's tables."""
+
+import pytest
+
+from repro.simulator.calibration import (
+    CLUSTER_2011,
+    GB,
+    INVERTED_INDEX,
+    PAGE_FREQUENCY,
+    PAPER_WORKLOADS,
+    PER_USER_COUNT,
+    SESSIONIZATION,
+    ClusterSpec,
+    WorkloadProfile,
+)
+
+
+class TestClusterSpec:
+    def test_paper_cluster_shape(self):
+        assert CLUSTER_2011.nodes == 10
+        assert CLUSTER_2011.reducers == 40
+        assert CLUSTER_2011.block_bytes == 64 * 1024 * 1024
+        assert CLUSTER_2011.merge_factor == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(nodes=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(nodes=4, storage_nodes=4)
+        with pytest.raises(ValueError):
+            ClusterSpec(merge_factor=1)
+
+    def test_compute_nodes(self):
+        assert ClusterSpec(nodes=10).compute_nodes == 10
+        assert ClusterSpec(nodes=10, storage_nodes=4).compute_nodes == 6
+
+
+class TestWorkloadProfiles:
+    def test_registry_contains_all_four(self):
+        assert set(PAPER_WORKLOADS) == {
+            "sessionization",
+            "page-frequency",
+            "per-user-count",
+            "inverted-index",
+        }
+
+    def test_input_sizes_match_table1(self):
+        assert SESSIONIZATION.input_bytes == 256 * GB
+        assert PAGE_FREQUENCY.input_bytes == 508 * GB
+        assert PER_USER_COUNT.input_bytes == 256 * GB
+        assert INVERTED_INDEX.input_bytes == 427 * GB
+
+    def test_intermediate_ratios_match_table1(self):
+        # Map-output/input ratios from Table I.
+        assert SESSIONIZATION.map_output_ratio == pytest.approx(269 / 256)
+        assert PAGE_FREQUENCY.map_output_ratio == pytest.approx(1.8 / 508)
+        assert PER_USER_COUNT.map_output_ratio == pytest.approx(2.6 / 256)
+        assert INVERTED_INDEX.map_output_ratio == pytest.approx(150 / 427)
+
+    def test_sort_share_matches_table2(self):
+        # Table II: sessionization 61/39, per-user count 52/48 —
+        # map-fn vs sort CPU over one block (sorting covers raw map output).
+        def sort_share(p: WorkloadProfile, presort_ratio: float) -> float:
+            map_fn = (p.map_cpu_per_mb + p.parse_cpu_per_mb) * 64
+            sort = p.sort_cpu_per_mb * 64 * presort_ratio
+            return sort / (map_fn + sort)
+
+        assert sort_share(SESSIONIZATION, SESSIONIZATION.map_output_ratio) == pytest.approx(
+            0.39, abs=0.05
+        )
+        assert sort_share(PER_USER_COUNT, 1.0) == pytest.approx(0.48, abs=0.05)
+
+    def test_holistic_workloads_do_not_fit(self):
+        assert SESSIONIZATION.state_fit_fraction == 0.0
+        assert INVERTED_INDEX.state_fit_fraction == 0.0
+        assert PAGE_FREQUENCY.state_fit_fraction == 1.0
+        assert PER_USER_COUNT.state_fit_fraction == 1.0
+
+    def test_scaled_preserves_rates(self):
+        small = SESSIONIZATION.scaled(1 * GB)
+        assert small.input_bytes == 1 * GB
+        assert small.map_cpu_per_mb == SESSIONIZATION.map_cpu_per_mb
+        assert small.map_output_ratio == SESSIONIZATION.map_output_ratio
+        assert small.name == SESSIONIZATION.name
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SESSIONIZATION.scaled(0)

@@ -1,0 +1,50 @@
+"""Simulated node and cluster topologies."""
+
+from repro.simulator.calibration import ClusterSpec
+from repro.simulator.cluster import SimCluster
+from repro.simulator.events import Simulator
+
+
+class TestTopologies:
+    def test_colocated_default(self):
+        c = SimCluster(Simulator(), ClusterSpec(nodes=4))
+        assert len(c.nodes) == 4
+        assert len(c.compute_nodes) == 4
+        assert len(c.storage_nodes) == 4
+        assert not c.separate_storage
+        for node in c.nodes:
+            assert node.intermediate_disk is node.hdfs_disk
+
+    def test_ssd_splits_intermediate(self):
+        c = SimCluster(Simulator(), ClusterSpec(nodes=2, with_ssd=True))
+        for node in c.compute_nodes:
+            assert node.ssd is not None
+            assert node.intermediate_disk is node.ssd
+            assert node.hdfs_disk is node.hdd
+
+    def test_separate_storage_partition(self):
+        c = SimCluster(Simulator(), ClusterSpec(nodes=10, storage_nodes=5))
+        assert c.separate_storage
+        assert len(c.storage_nodes) == 5
+        assert len(c.compute_nodes) == 5
+        assert not set(n.name for n in c.storage_nodes) & set(
+            n.name for n in c.compute_nodes
+        )
+
+    def test_block_placement_round_robin(self):
+        c = SimCluster(Simulator(), ClusterSpec(nodes=3))
+        homes = [c.storage_node_for_block(i).name for i in range(6)]
+        assert homes[:3] == homes[3:]
+        assert len(set(homes)) == 3
+
+    def test_reducer_placement_on_compute_only(self):
+        c = SimCluster(Simulator(), ClusterSpec(nodes=4, storage_nodes=2))
+        for i in range(8):
+            assert c.reducer_node(i).is_compute
+
+    def test_node_resources_exist(self):
+        c = SimCluster(Simulator(), ClusterSpec(nodes=1, cores_per_node=4))
+        node = c.nodes[0]
+        assert node.cpu.servers == 4
+        assert node.nic_in is not node.nic_out
+        assert node.disks() == [node.hdd]

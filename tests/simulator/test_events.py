@@ -1,0 +1,197 @@
+"""Simulation kernel: ordering, processes, gates, mailboxes."""
+
+import pytest
+
+from repro.simulator.events import Gate, Mailbox, Simulator, Timeout
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.after(2.0, lambda: fired.append("b"))
+        sim.after(1.0, lambda: fired.append("a"))
+        sim.after(3.0, lambda: fired.append("c"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_ties_break_by_insertion(self):
+        sim = Simulator()
+        fired = []
+        for tag in "xyz":
+            sim.after(1.0, lambda t=tag: fired.append(t))
+        sim.run()
+        assert fired == ["x", "y", "z"]
+
+    def test_run_until(self):
+        sim = Simulator()
+        fired = []
+        sim.after(1.0, lambda: fired.append(1))
+        sim.after(5.0, lambda: fired.append(5))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == [1, 5]
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        sim.after(1.0, lambda: sim.at(0.5, lambda: None))
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.after(-1, lambda: None)
+
+
+class TestProcesses:
+    def test_timeout_sequencing(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            trace.append(("start", sim.now))
+            yield Timeout(2.0)
+            trace.append(("mid", sim.now))
+            yield Timeout(3.0)
+            trace.append(("end", sim.now))
+
+        sim.spawn(proc())
+        sim.run()
+        assert trace == [("start", 0.0), ("mid", 2.0), ("end", 5.0)]
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ValueError):
+            Timeout(-1)
+
+    def test_two_processes_interleave(self):
+        sim = Simulator()
+        trace = []
+
+        def proc(name, step):
+            for i in range(3):
+                yield Timeout(step)
+                trace.append((name, sim.now))
+
+        sim.spawn(proc("fast", 1.0))
+        sim.spawn(proc("slow", 2.0))
+        sim.run()
+        # At t=2.0 both fire; "slow" scheduled its timeout first (at t=0)
+        # so insertion order puts it ahead of "fast"'s (scheduled at t=1).
+        assert trace == [
+            ("fast", 1.0),
+            ("slow", 2.0),
+            ("fast", 2.0),
+            ("fast", 3.0),
+            ("slow", 4.0),
+            ("slow", 6.0),
+        ]
+
+
+class TestGate:
+    def test_waiters_released_on_fire(self):
+        sim = Simulator()
+        gate = Gate("g")
+        trace = []
+
+        def waiter(name):
+            yield gate.wait()
+            trace.append((name, sim.now))
+
+        sim.spawn(waiter("a"))
+        sim.spawn(waiter("b"))
+        sim.after(4.0, gate.fire)
+        sim.run()
+        assert trace == [("a", 4.0), ("b", 4.0)]
+
+    def test_wait_after_fire_passes_through(self):
+        sim = Simulator()
+        gate = Gate()
+        gate.fire()
+        trace = []
+
+        def waiter():
+            yield gate.wait()
+            trace.append(sim.now)
+
+        sim.spawn(waiter())
+        sim.run()
+        assert trace == [0.0]
+
+    def test_double_fire_is_noop(self):
+        gate = Gate()
+        gate.fire()
+        gate.fire()
+        assert gate.fired
+
+
+class TestMailbox:
+    def test_fifo_delivery(self):
+        sim = Simulator()
+        box = Mailbox()
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                item = yield box.get()
+                got.append((item, sim.now))
+
+        sim.spawn(consumer())
+        sim.after(1.0, lambda: box.put("a"))
+        sim.after(1.0, lambda: box.put("b"))
+        sim.after(2.0, lambda: box.put("c"))
+        sim.run()
+        assert [i for i, _ in got] == ["a", "b", "c"]
+        assert got[0][1] == 1.0
+        assert got[2][1] == 2.0
+
+    def test_close_delivers_none_after_drain(self):
+        sim = Simulator()
+        box = Mailbox()
+        got = []
+
+        def consumer():
+            while True:
+                item = yield box.get()
+                if item is None:
+                    got.append("closed")
+                    return
+                got.append(item)
+
+        box.put(1)
+        box.put(2)
+        sim.spawn(consumer())
+        sim.after(1.0, box.close)
+        sim.run()
+        assert got == [1, 2, "closed"]
+
+    def test_put_after_close_rejected(self):
+        box = Mailbox("b")
+        box.close()
+        with pytest.raises(RuntimeError):
+            box.put(1)
+
+    def test_len_tracks_backlog(self):
+        box = Mailbox()
+        assert len(box) == 0
+        box.put(1)
+        box.put(2)
+        assert len(box) == 2
+
+    def test_compaction_preserves_order(self):
+        sim = Simulator()
+        box = Mailbox()
+        for i in range(500):
+            box.put(i)
+        got = []
+
+        def consumer():
+            for _ in range(500):
+                got.append((yield box.get()))
+
+        sim.spawn(consumer())
+        sim.run()
+        assert got == list(range(500))

@@ -1,0 +1,115 @@
+"""Metric binning and series extraction."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.events import Simulator
+from repro.simulator.metrics import (
+    MetricSampler,
+    bin_busy_fraction,
+    bin_bytes,
+    node_metrics,
+)
+from repro.simulator.resources import CpuBank, Disk, Interval
+
+
+def iv(start, end, nbytes=0, tag=""):
+    return Interval(start=start, end=end, stream="s", nbytes=nbytes, tag=tag)
+
+
+class TestBinning:
+    def test_full_busy_bucket(self):
+        util = bin_busy_fraction([iv(0, 10)], horizon=10, bucket=10, servers=1)
+        assert util.tolist() == [1.0]
+
+    def test_partial_overlap(self):
+        util = bin_busy_fraction([iv(5, 15)], horizon=20, bucket=10, servers=1)
+        assert util.tolist() == [0.5, 0.5]
+
+    def test_multi_server_normalisation(self):
+        util = bin_busy_fraction([iv(0, 10), iv(0, 10)], 10, 10, servers=4)
+        assert util.tolist() == [0.5]
+
+    def test_clipped_at_one(self):
+        intervals = [iv(0, 10)] * 3
+        util = bin_busy_fraction(intervals, 10, 10, servers=2)
+        assert util.max() <= 1.0
+
+    def test_bytes_spread_over_duration(self):
+        out = bin_bytes([iv(0, 20, nbytes=200)], horizon=20, bucket=10)
+        assert out.tolist() == [100.0, 100.0]
+
+    def test_zero_duration_interval_ignored(self):
+        out = bin_bytes([iv(5, 5, nbytes=100)], horizon=10, bucket=10)
+        assert out.tolist() == [0.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bin_busy_fraction([], horizon=0, bucket=1, servers=1)
+        with pytest.raises(ValueError):
+            bin_busy_fraction([], horizon=1, bucket=0, servers=1)
+
+
+class TestNodeMetrics:
+    def test_iowait_is_idle_and_disk_busy(self):
+        sim = Simulator()
+        cpu = CpuBank(sim, "cpu", servers=1)
+        disk = Disk(sim, "d", bandwidth=1024, seek_time=0.0)
+        # CPU busy 0-10 fully; disk busy 0-20.
+        cpu.intervals.append(iv(0, 10))
+        disk.intervals.append(iv(0, 20, nbytes=20 * 1024, tag="read"))
+        bundle = node_metrics(cpu, [disk], horizon=20, bucket=10)
+        assert bundle.cpu_utilization.tolist() == [1.0, 0.0]
+        assert bundle.cpu_iowait.tolist() == [0.0, 1.0]
+        assert bundle.disk_read_bytes_per_s[1] == pytest.approx(1024.0)
+
+    def test_write_series_separate(self):
+        sim = Simulator()
+        cpu = CpuBank(sim, "cpu", servers=1)
+        disk = Disk(sim, "d", bandwidth=1024, seek_time=0.0)
+        disk.intervals.append(iv(0, 10, nbytes=1024, tag="write"))
+        bundle = node_metrics(cpu, [disk], horizon=10, bucket=10)
+        assert bundle.disk_read_bytes_per_s.sum() == 0
+        assert bundle.disk_write_bytes_per_s.sum() > 0
+
+    def test_as_dict_round_trip(self):
+        sim = Simulator()
+        cpu = CpuBank(sim, "cpu", servers=1)
+        bundle = node_metrics(cpu, [], horizon=10, bucket=5)
+        d = bundle.as_dict()
+        assert set(d) == {
+            "times",
+            "cpu_utilization",
+            "cpu_iowait",
+            "disk_read_bytes_per_s",
+            "disk_write_bytes_per_s",
+        }
+        assert len(d["times"]) == len(d["cpu_utilization"])
+
+
+class TestSampler:
+    def test_cluster_average(self):
+        sim = Simulator()
+        nodes = []
+        for i in range(2):
+            cpu = CpuBank(sim, f"cpu{i}", servers=1)
+            if i == 0:
+                cpu.intervals.append(iv(0, 10))
+            nodes.append((cpu, []))
+        bundle = MetricSampler(bucket=10).cluster_series(nodes, horizon=10)
+        assert bundle.cpu_utilization.tolist() == [0.5]
+
+    def test_disk_bytes_summed_across_nodes(self):
+        sim = Simulator()
+        nodes = []
+        for i in range(2):
+            cpu = CpuBank(sim, f"cpu{i}", servers=1)
+            disk = Disk(sim, f"d{i}", bandwidth=1024, seek_time=0)
+            disk.intervals.append(iv(0, 10, nbytes=1024, tag="read"))
+            nodes.append((cpu, [disk]))
+        bundle = MetricSampler(bucket=10).cluster_series(nodes, horizon=10)
+        assert bundle.disk_read_bytes_per_s[0] == pytest.approx(204.8)
+
+    def test_bucket_validation(self):
+        with pytest.raises(ValueError):
+            MetricSampler(bucket=0)

@@ -1,0 +1,149 @@
+"""Pipeline models at reduced scale: structure, conservation, ordering.
+
+These tests run the three pipelines on a few GB of simulated data (seconds
+of wall time) and verify structural invariants; the full paper-scale runs
+and figure-shape assertions live in the benchmark harness.
+"""
+
+import pytest
+
+from repro.simulator.calibration import (
+    GB,
+    PER_USER_COUNT,
+    SESSIONIZATION,
+    ClusterSpec,
+)
+from repro.simulator.pipelines import (
+    HadoopPipeline,
+    HOPPipeline,
+    HOPSimConfig,
+    OnePassPipeline,
+)
+
+SMALL = SESSIONIZATION.scaled(8 * GB)
+SMALL_COUNT = PER_USER_COUNT.scaled(8 * GB)
+SPEC = ClusterSpec(reducers=8)
+
+
+class TestHadoopPipeline:
+    def test_completes_with_all_phases(self):
+        r = HadoopPipeline(SPEC, SMALL, metric_bucket=5.0).run()
+        assert r.makespan > 0
+        assert r.task_log.phase_spans("map")
+        assert r.task_log.phase_spans("shuffle")
+        assert r.task_log.phase_spans("reduce")
+
+    def test_map_task_count_matches_blocks(self):
+        r = HadoopPipeline(SPEC, SMALL, metric_bucket=5.0).run()
+        n_blocks = -(-SMALL.input_bytes // SPEC.block_bytes)
+        assert len(r.task_log.phase_spans("map")) == n_blocks
+
+    def test_reduce_count_matches_spec(self):
+        r = HadoopPipeline(SPEC, SMALL, metric_bucket=5.0).run()
+        assert len(r.task_log.phase_spans("reduce")) == SPEC.reducers
+
+    def test_byte_conservation(self):
+        r = HadoopPipeline(SPEC, SMALL, metric_bucket=5.0).run()
+        expected_out = SMALL.input_bytes * SMALL.map_output_ratio
+        assert r.totals.map_output_bytes == pytest.approx(expected_out, rel=1e-6)
+        assert r.totals.shuffle_bytes == pytest.approx(expected_out, rel=1e-6)
+        assert r.totals.output_bytes == pytest.approx(
+            SMALL.input_bytes * SMALL.reduce_output_ratio, rel=1e-6
+        )
+
+    def test_reduce_starts_after_every_map(self):
+        r = HadoopPipeline(SPEC, SMALL, metric_bucket=5.0).run()
+        map_end = r.phase_window("map")[1]
+        reduce_start = r.phase_window("reduce")[0]
+        assert reduce_start >= map_end - 1e-6  # blocking boundary
+
+    def test_combiner_workload_has_no_reduce_spill(self):
+        r = HadoopPipeline(SPEC, SMALL_COUNT, metric_bucket=5.0).run()
+        assert r.totals.reduce_spill_bytes == 0
+
+    def test_sessionization_spills(self):
+        r = HadoopPipeline(SPEC, SMALL, metric_bucket=5.0).run()
+        assert r.totals.reduce_spill_bytes > 0
+
+    def test_deterministic(self):
+        a = HadoopPipeline(SPEC, SMALL, metric_bucket=5.0).run()
+        b = HadoopPipeline(SPEC, SMALL, metric_bucket=5.0).run()
+        assert a.makespan == b.makespan
+        assert a.totals.merge_passes == b.totals.merge_passes
+
+    def test_ssd_architecture_is_faster(self):
+        base = HadoopPipeline(SPEC, SMALL, metric_bucket=5.0).run()
+        ssd = HadoopPipeline(
+            ClusterSpec(reducers=8, with_ssd=True), SMALL, metric_bucket=5.0
+        ).run()
+        assert ssd.makespan < base.makespan
+
+    def test_separate_storage_runs_and_uses_network(self):
+        spec = ClusterSpec(reducers=8, storage_nodes=5)
+        r = HadoopPipeline(spec, SMALL, metric_bucket=5.0).run()
+        assert r.totals.remote_input_bytes == pytest.approx(SMALL.input_bytes, rel=1e-6)
+
+
+class TestHOPPipeline:
+    def test_snapshots_happen_during_map_phase(self):
+        hop = HOPSimConfig(snapshot_fractions=(0.25, 0.5, 0.75))
+        r = HOPPipeline(SPEC, SMALL, hop=hop, metric_bucket=5.0).run()
+        map_end = r.phase_window("map")[1]
+        snaps = r.extras["snapshots"]
+        assert [f for f, _ in snaps] == [0.25, 0.5, 0.75]
+        assert all(t <= map_end + 1e-6 for _, t in snaps)
+
+    def test_shuffle_overlaps_map(self):
+        r = HOPPipeline(SPEC, SMALL, metric_bucket=5.0).run()
+        first_shuffle = r.phase_window("shuffle")[0]
+        map_end = r.phase_window("map")[1]
+        assert first_shuffle < map_end  # pipelined, not post-map
+
+    def test_finer_granularity_means_more_messages_not_more_speed(self):
+        coarse = HOPPipeline(
+            SPEC, SMALL, hop=HOPSimConfig(granularity_bytes=16 * 1024 * 1024),
+            metric_bucket=5.0,
+        ).run()
+        fine = HOPPipeline(
+            SPEC, SMALL, hop=HOPSimConfig(granularity_bytes=1 * 1024 * 1024),
+            metric_bucket=5.0,
+        ).run()
+        assert fine.totals.network_messages > 8 * coarse.totals.network_messages
+        # Eager fine-grained pushing buys no completion-time improvement.
+        assert fine.makespan >= 0.97 * coarse.makespan
+
+    def test_snapshot_read_overhead_counted(self):
+        r = HOPPipeline(SPEC, SMALL, metric_bucket=5.0).run()
+        assert r.totals.snapshot_read_bytes > 0
+
+    def test_hop_not_faster_than_stock(self):
+        stock = HadoopPipeline(SPEC, SMALL, metric_bucket=5.0).run()
+        hop = HOPPipeline(SPEC, SMALL, metric_bucket=5.0).run()
+        assert hop.makespan >= 0.95 * stock.makespan
+
+
+class TestOnePassPipeline:
+    def test_no_merge_phase(self):
+        r = OnePassPipeline(SPEC, SMALL, metric_bucket=5.0).run()
+        assert r.task_log.phase_spans("merge") == []
+
+    def test_faster_than_sort_merge(self):
+        sm = HadoopPipeline(SPEC, SMALL, metric_bucket=5.0).run()
+        op = OnePassPipeline(SPEC, SMALL, metric_bucket=5.0).run()
+        assert op.makespan < sm.makespan
+
+    def test_fitting_states_never_spill(self):
+        r = OnePassPipeline(SPEC, SMALL_COUNT, metric_bucket=5.0).run()
+        assert r.totals.reduce_spill_bytes == 0
+
+    def test_non_fitting_states_spill_once(self):
+        r = OnePassPipeline(SPEC, SMALL, metric_bucket=5.0).run()
+        expected = SMALL.input_bytes * SMALL.map_output_ratio
+        assert r.totals.reduce_spill_bytes == pytest.approx(expected, rel=1e-6)
+
+    def test_reduce_finishes_promptly_after_maps(self):
+        r = OnePassPipeline(SPEC, SMALL_COUNT, metric_bucket=5.0).run()
+        map_end = r.phase_window("map")[1]
+        # For a counting workload the tail after maps is a tiny fraction
+        # of the job (no blocking merge).
+        assert r.makespan - map_end < 0.35 * r.makespan

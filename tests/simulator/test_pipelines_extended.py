@@ -1,0 +1,134 @@
+"""Cross-pipeline invariants and architecture interactions (simulator)."""
+
+import pytest
+
+from repro.simulator.calibration import (
+    GB,
+    INVERTED_INDEX,
+    PAGE_FREQUENCY,
+    PER_USER_COUNT,
+    SESSIONIZATION,
+    ClusterSpec,
+)
+from repro.simulator.pipelines import (
+    HadoopPipeline,
+    HOPPipeline,
+    HOPSimConfig,
+    OnePassPipeline,
+)
+
+SPEC = ClusterSpec(reducers=8)
+ALL_PROFILES = [
+    SESSIONIZATION.scaled(6 * GB),
+    PAGE_FREQUENCY.scaled(6 * GB),
+    PER_USER_COUNT.scaled(6 * GB),
+    INVERTED_INDEX.scaled(6 * GB),
+]
+
+
+@pytest.mark.parametrize("profile", ALL_PROFILES, ids=lambda p: p.name)
+class TestConservationAcrossPipelines:
+    def test_hadoop_shuffle_equals_map_output(self, profile):
+        r = HadoopPipeline(SPEC, profile, metric_bucket=5.0).run()
+        assert r.totals.shuffle_bytes == pytest.approx(
+            r.totals.map_output_bytes, rel=1e-9
+        )
+
+    def test_hop_shuffle_equals_map_output(self, profile):
+        r = HOPPipeline(SPEC, profile, metric_bucket=5.0).run()
+        assert r.totals.shuffle_bytes == pytest.approx(
+            r.totals.map_output_bytes, rel=1e-6
+        )
+
+    def test_onepass_shuffle_equals_map_output(self, profile):
+        r = OnePassPipeline(SPEC, profile, metric_bucket=5.0).run()
+        assert r.totals.shuffle_bytes == pytest.approx(
+            r.totals.map_output_bytes, rel=1e-6
+        )
+
+    def test_output_bytes_match_profile(self, profile):
+        for cls in (HadoopPipeline, HOPPipeline, OnePassPipeline):
+            r = cls(SPEC, profile, metric_bucket=5.0).run()
+            assert r.totals.output_bytes == pytest.approx(
+                profile.input_bytes * profile.reduce_output_ratio, rel=1e-6
+            )
+
+    def test_onepass_never_slower_order_of_magnitude(self, profile):
+        sm = HadoopPipeline(SPEC, profile, metric_bucket=5.0).run()
+        op = OnePassPipeline(SPEC, profile, metric_bucket=5.0).run()
+        assert op.makespan <= 1.05 * sm.makespan
+
+
+class TestArchitectureInteractions:
+    def test_ssd_helps_every_pipeline_with_intermediate_data(self):
+        profile = SESSIONIZATION.scaled(6 * GB)
+        for cls in (HadoopPipeline, HOPPipeline, OnePassPipeline):
+            base = cls(SPEC, profile, metric_bucket=5.0).run()
+            ssd = cls(
+                ClusterSpec(reducers=8, with_ssd=True), profile, metric_bucket=5.0
+            ).run()
+            assert ssd.makespan <= base.makespan * 1.01
+
+    def test_onepass_separate_storage_runs(self):
+        profile = SESSIONIZATION.scaled(6 * GB)
+        spec = ClusterSpec(reducers=8, storage_nodes=5)
+        r = OnePassPipeline(spec, profile, metric_bucket=5.0).run()
+        assert r.totals.remote_input_bytes == pytest.approx(
+            profile.input_bytes, rel=1e-6
+        )
+        assert r.makespan > 0
+
+    def test_hop_separate_storage_runs(self):
+        profile = SESSIONIZATION.scaled(6 * GB)
+        spec = ClusterSpec(reducers=8, storage_nodes=5)
+        r = HOPPipeline(spec, profile, metric_bucket=5.0).run()
+        assert r.totals.remote_input_bytes == pytest.approx(
+            profile.input_bytes, rel=1e-6
+        )
+
+    def test_smaller_blocks_mean_more_map_tasks(self):
+        profile = PER_USER_COUNT.scaled(4 * GB)
+        small = HadoopPipeline(
+            ClusterSpec(reducers=8, block_bytes=32 * 1024 * 1024),
+            profile,
+            metric_bucket=5.0,
+        ).run()
+        big = HadoopPipeline(
+            ClusterSpec(reducers=8, block_bytes=128 * 1024 * 1024),
+            profile,
+            metric_bucket=5.0,
+        ).run()
+        assert len(small.task_log.phase_spans("map")) == 4 * len(
+            big.task_log.phase_spans("map")
+        )
+
+    def test_more_reducers_spread_reduce_phase(self):
+        profile = SESSIONIZATION.scaled(6 * GB)
+        few = HadoopPipeline(ClusterSpec(reducers=4), profile, metric_bucket=5.0).run()
+        many = HadoopPipeline(ClusterSpec(reducers=16), profile, metric_bucket=5.0).run()
+        assert len(many.task_log.phase_spans("reduce")) == 16
+        assert len(few.task_log.phase_spans("reduce")) == 4
+
+
+class TestScaling:
+    def test_makespan_roughly_linear_in_input(self):
+        spec = ClusterSpec(reducers=8)
+        small = HadoopPipeline(spec, SESSIONIZATION.scaled(4 * GB), metric_bucket=5.0).run()
+        double = HadoopPipeline(spec, SESSIONIZATION.scaled(8 * GB), metric_bucket=5.0).run()
+        ratio = double.makespan / small.makespan
+        assert 1.5 <= ratio <= 2.6
+
+    def test_hop_snapshot_cost_scales_with_fractions(self):
+        profile = SESSIONIZATION.scaled(6 * GB)
+        none = HOPPipeline(
+            SPEC, profile, hop=HOPSimConfig(snapshot_fractions=()), metric_bucket=5.0
+        ).run()
+        many = HOPPipeline(
+            SPEC,
+            profile,
+            hop=HOPSimConfig(snapshot_fractions=(0.2, 0.4, 0.6, 0.8)),
+            metric_bucket=5.0,
+        ).run()
+        assert none.totals.snapshot_read_bytes == 0
+        assert many.totals.snapshot_read_bytes > 0
+        assert many.makespan >= none.makespan

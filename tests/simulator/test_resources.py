@@ -1,0 +1,145 @@
+"""Resource banks: queueing, service times, the disk interleaving model."""
+
+import pytest
+
+from repro.simulator.events import Simulator
+from repro.simulator.resources import CpuBank, Disk, Nic, Use
+
+MB = 1024 * 1024
+
+
+def run_uses(resource, uses):
+    """Drive one process per use; return completion times in issue order."""
+    sim = resource.sim
+    done: dict[int, float] = {}
+
+    def proc(i, use):
+        yield use
+        done[i] = sim.now
+
+    for i, use in enumerate(uses):
+        sim.spawn(proc(i, use))
+    sim.run()
+    return [done[i] for i in range(len(uses))]
+
+
+class TestCpuBank:
+    def test_parallel_up_to_servers(self):
+        sim = Simulator()
+        cpu = CpuBank(sim, "cpu", servers=2)
+        times = run_uses(cpu, [Use(cpu, 5.0), Use(cpu, 5.0), Use(cpu, 5.0)])
+        assert times == [5.0, 5.0, 10.0]
+
+    def test_busy_time_accumulates(self):
+        sim = Simulator()
+        cpu = CpuBank(sim, "cpu", servers=1)
+        run_uses(cpu, [Use(cpu, 2.0), Use(cpu, 3.0)])
+        assert cpu.total_busy_time == pytest.approx(5.0)
+        assert cpu.served == 2
+        assert len(cpu.intervals) == 2
+
+    def test_fcfs_order(self):
+        sim = Simulator()
+        cpu = CpuBank(sim, "cpu", servers=1)
+        times = run_uses(cpu, [Use(cpu, 1.0), Use(cpu, 2.0), Use(cpu, 0.5)])
+        assert times == [1.0, 3.0, 3.5]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CpuBank(Simulator(), "cpu", servers=0)
+
+
+class TestDisk:
+    def make(self, bandwidth=100 * MB, seek=0.01, io_chunk=MB):
+        sim = Simulator()
+        return Disk(sim, "d", bandwidth=bandwidth, seek_time=seek, io_chunk=io_chunk)
+
+    def test_lone_sequential_stream_full_bandwidth(self):
+        disk = self.make()
+        t1 = run_uses(disk, [Use(disk, 100 * MB, stream="s")])
+        # first request pays interleave (stream switch from None)
+        disk2 = self.make()
+        times = run_uses(
+            disk2, [Use(disk2, 100 * MB, stream="s"), Use(disk2, 100 * MB, stream="s")]
+        )
+        # second same-stream request with empty queue: bandwidth only
+        assert times[1] - times[0] == pytest.approx(1.0)
+
+    def test_stream_switch_pays_per_extent_seeks(self):
+        disk = self.make(seek=0.01, io_chunk=MB)
+        times = run_uses(
+            disk,
+            [Use(disk, 10 * MB, stream="a"), Use(disk, 10 * MB, stream="b")],
+        )
+        # second request: 0.1s transfer + 10 extents * 0.01s seeks
+        assert times[1] - times[0] == pytest.approx(0.1 + 0.1)
+
+    def test_back_to_back_same_stream_stays_sequential(self):
+        # A same-stream request starting with an empty queue is a pure
+        # sequential continuation: bandwidth only.
+        disk = self.make(seek=0.01)
+        times = run_uses(
+            disk,
+            [Use(disk, 10 * MB, stream="a"), Use(disk, 10 * MB, stream="a")],
+        )
+        assert times[1] - times[0] == pytest.approx(0.1)
+
+    def test_contended_same_stream_interleaves(self):
+        # With a third stream waiting in the queue, even a same-stream
+        # request is served as interleaved extents.
+        disk = self.make(seek=0.01)
+        times = run_uses(
+            disk,
+            [
+                Use(disk, 10 * MB, stream="a"),
+                Use(disk, 10 * MB, stream="a"),  # served while "b" queues
+                Use(disk, 10 * MB, stream="b"),
+            ],
+        )
+        assert times[1] - times[0] == pytest.approx(0.2)
+
+    def test_bytes_recorded(self):
+        disk = self.make()
+        run_uses(disk, [Use(disk, 5 * MB, stream="a", tag="read")])
+        assert disk.intervals[0].nbytes == 5 * MB
+        assert disk.intervals[0].tag == "read"
+
+    def test_effective_bandwidth_halves_under_interleave(self):
+        # 90 MB/s spindle, 12 ms seek, 1 MB extents -> ~43 MB/s interleaved.
+        disk = self.make(bandwidth=90 * MB, seek=0.012)
+        times = run_uses(
+            disk,
+            [Use(disk, 90 * MB, stream="a"), Use(disk, 90 * MB, stream="b")],
+        )
+        duration = times[1] - times[0]
+        effective = 90 * MB / duration / MB
+        assert 40 < effective < 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Disk(Simulator(), "d", bandwidth=0, seek_time=0.01)
+        with pytest.raises(ValueError):
+            Disk(Simulator(), "d", bandwidth=1, seek_time=0.01, io_chunk=0)
+
+
+class TestNic:
+    def test_transfer_time_includes_overhead(self):
+        sim = Simulator()
+        nic = Nic(sim, "n", bandwidth=100 * MB, per_message_overhead=0.001)
+        times = run_uses(nic, [Use(nic, 100 * MB)])
+        assert times[0] == pytest.approx(1.001)
+
+    def test_messages_serialize(self):
+        sim = Simulator()
+        nic = Nic(sim, "n", bandwidth=100 * MB, per_message_overhead=0.0)
+        times = run_uses(nic, [Use(nic, 50 * MB), Use(nic, 50 * MB)])
+        assert times == [pytest.approx(0.5), pytest.approx(1.0)]
+
+    def test_fine_granularity_costs_more(self):
+        def total_time(n_messages):
+            sim = Simulator()
+            nic = Nic(sim, "n", bandwidth=100 * MB, per_message_overhead=0.005)
+            size = 100 * MB // n_messages
+            return run_uses(nic, [Use(nic, size) for _ in range(n_messages)])[-1]
+
+        assert total_time(100) > total_time(4)

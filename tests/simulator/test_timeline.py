@@ -1,0 +1,59 @@
+"""Task-log spans and timeline binning."""
+
+import pytest
+
+from repro.simulator.timeline import TaskLog
+
+
+class TestTaskLog:
+    def test_record_and_query(self):
+        log = TaskLog()
+        log.record("map", 0, 10, node="n0", task_id=1)
+        log.record("map", 5, 20, node="n1", task_id=2)
+        log.record("reduce", 20, 30)
+        assert len(log.phase_spans("map")) == 2
+        assert log.phase_window("map") == (0, 20)
+        assert log.makespan() == 30
+
+    def test_open_close(self):
+        log = TaskLog()
+        log.open("map", 1, "n0", 2.0)
+        log.close("map", 1, "n0", 7.0)
+        span = log.phase_spans("map")[0]
+        assert (span.start, span.end) == (2.0, 7.0)
+
+    def test_invalid_span(self):
+        log = TaskLog()
+        with pytest.raises(ValueError):
+            log.record("map", 10, 5)
+
+    def test_missing_phase_window(self):
+        log = TaskLog()
+        with pytest.raises(ValueError):
+            log.phase_window("merge")
+
+    def test_counts_series_overlap_weighted(self):
+        log = TaskLog()
+        log.record("map", 0, 10)
+        log.record("map", 0, 5)
+        times, series = log.counts_series(bucket=5, phases=("map",))
+        assert times.tolist() == [0.0, 5.0]
+        assert series["map"].tolist() == [2.0, 1.0]
+
+    def test_counts_series_partial_bucket(self):
+        log = TaskLog()
+        log.record("map", 2.5, 5.0)
+        _times, series = log.counts_series(bucket=5, phases=("map",))
+        assert series["map"][0] == pytest.approx(0.5)
+
+    def test_unknown_phases_ignored(self):
+        log = TaskLog()
+        log.record("exotic", 0, 10)
+        _times, series = log.counts_series(bucket=5, phases=("map",))
+        assert series["map"].sum() == 0
+
+    def test_empty_log(self):
+        log = TaskLog()
+        assert log.makespan() == 0.0
+        times, series = log.counts_series(bucket=10)
+        assert len(times) == 1

@@ -1,0 +1,109 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--workload", "page-frequency"])
+        args.engine == "onepass"
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "bogus"])
+
+
+class TestCommands:
+    def test_run_each_engine(self, capsys):
+        for engine in ("hadoop", "hop", "onepass"):
+            rc = main(
+                [
+                    "run",
+                    "--workload",
+                    "page-frequency",
+                    "--engine",
+                    engine,
+                    "--records",
+                    "3000",
+                ]
+            )
+            assert rc == 0
+            out = capsys.readouterr().out
+            assert "wall time" in out
+            assert engine in out
+
+    def test_run_inverted_index(self, capsys):
+        rc = main(
+            ["run", "--workload", "inverted-index", "--engine", "onepass", "--records", "3000"]
+        )
+        assert rc == 0
+        assert "output records" in capsys.readouterr().out
+
+    def test_simulate_with_override_and_export(self, capsys, tmp_path):
+        rc = main(
+            [
+                "simulate",
+                "--workload",
+                "per-user-count",
+                "--engine",
+                "onepass",
+                "--input-gb",
+                "4",
+                "--bucket",
+                "5",
+                "--export-dir",
+                str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cpu util" in out
+        assert (tmp_path / "per-user-count-onepass.json").exists()
+
+    def test_simulate_hop_engine(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--workload",
+                "sessionization",
+                "--engine",
+                "hop",
+                "--input-gb",
+                "4",
+                "--bucket",
+                "5",
+            ]
+        )
+        assert rc == 0
+        assert "merge" in capsys.readouterr().out
+
+    def test_simulate_architectures(self, capsys):
+        for flag in ("--ssd", "--separate-storage"):
+            rc = main(
+                [
+                    "simulate",
+                    "--workload",
+                    "sessionization",
+                    "--input-gb",
+                    "4",
+                    "--bucket",
+                    "5",
+                    flag,
+                ]
+            )
+            assert rc == 0
+
+    def test_compare(self, capsys):
+        rc = main(
+            ["compare", "--workload", "per-user-count", "--records", "5000"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sort-merge" in out and "one-pass" in out
+        assert "saves" in out

@@ -1,0 +1,36 @@
+"""Every example script must run clean — they are the adoption surface."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    p.name for p in (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    path = pathlib.Path(__file__).parent.parent / "examples" / script
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert proc.returncode == 0, f"{script} failed:\n{proc.stderr[-2000:]}"
+    assert proc.stdout.strip(), f"{script} produced no output"
+
+
+def test_expected_examples_present():
+    assert {
+        "quickstart.py",
+        "clickstream_sessionization.py",
+        "online_aggregation.py",
+        "inverted_index_onepass.py",
+        "cluster_simulation.py",
+        "stream_trending.py",
+        "graph_analytics.py",
+    } <= set(EXAMPLES)

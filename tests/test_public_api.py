@@ -1,0 +1,65 @@
+"""Public-API integrity: every exported name exists and is importable.
+
+A library a downstream user adopts must not ship dangling ``__all__``
+entries or modules that fail to import; this locks that in.
+"""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.io",
+    "repro.hdfs",
+    "repro.mapreduce",
+    "repro.core",
+    "repro.simulator",
+    "repro.workloads",
+    "repro.analysis",
+]
+
+
+def iter_all_modules():
+    seen = set(PACKAGES)
+    for pkg_name in PACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        if hasattr(pkg, "__path__"):
+            for info in pkgutil.iter_modules(pkg.__path__, pkg_name + "."):
+                # __main__ runs the CLI on import; everything else must be
+                # importable side-effect-free.
+                if not info.name.endswith("__main__"):
+                    seen.add(info.name)
+    return sorted(seen)
+
+
+class TestImports:
+    @pytest.mark.parametrize("module_name", iter_all_modules())
+    def test_module_imports(self, module_name):
+        importlib.import_module(module_name)
+
+    @pytest.mark.parametrize("pkg_name", PACKAGES)
+    def test_all_names_resolve(self, pkg_name):
+        pkg = importlib.import_module(pkg_name)
+        exported = getattr(pkg, "__all__", [])
+        missing = [name for name in exported if not hasattr(pkg, name)]
+        assert missing == [], f"{pkg_name}.__all__ has dangling names: {missing}"
+
+    @pytest.mark.parametrize("pkg_name", PACKAGES)
+    def test_all_has_no_duplicates(self, pkg_name):
+        pkg = importlib.import_module(pkg_name)
+        exported = list(getattr(pkg, "__all__", []))
+        assert len(exported) == len(set(exported))
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    @pytest.mark.parametrize("pkg_name", [m for m in iter_all_modules()])
+    def test_every_module_has_docstring(self, pkg_name):
+        module = importlib.import_module(pkg_name)
+        assert module.__doc__ and module.__doc__.strip(), f"{pkg_name} lacks a docstring"

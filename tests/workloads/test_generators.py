@@ -1,0 +1,111 @@
+"""Click-stream and document generators."""
+
+import pytest
+
+from repro.workloads.clickstream import (
+    ClickStreamConfig,
+    click_text_codec,
+    generate_clicks,
+    url_of,
+)
+from repro.workloads.documents import (
+    DocumentConfig,
+    document_text_codec,
+    generate_documents,
+    word_of,
+)
+
+
+class TestClickStream:
+    def test_count_and_schema(self):
+        cfg = ClickStreamConfig(num_clicks=500, num_users=50, num_urls=20)
+        clicks = list(generate_clicks(cfg))
+        assert len(clicks) == 500
+        for ts, user, url in clicks:
+            assert isinstance(ts, float)
+            assert 0 <= user < 50
+            assert url.startswith("/page/")
+
+    def test_timestamps_increasing(self):
+        clicks = list(generate_clicks(ClickStreamConfig(num_clicks=1000)))
+        times = [ts for ts, _, _ in clicks]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_deterministic_per_seed(self):
+        cfg = ClickStreamConfig(num_clicks=300, seed=9)
+        assert list(generate_clicks(cfg)) == list(generate_clicks(cfg))
+        other = ClickStreamConfig(num_clicks=300, seed=10)
+        assert list(generate_clicks(cfg)) != list(generate_clicks(other))
+
+    def test_skew_produces_hot_users(self):
+        cfg = ClickStreamConfig(
+            num_clicks=20_000, num_users=1000, user_skew=1.4, seed=2
+        )
+        from collections import Counter
+
+        counts = Counter(u for _, u, _ in generate_clicks(cfg))
+        top10 = sum(n for _, n in counts.most_common(10))
+        assert top10 > 0.2 * 20_000
+
+    def test_chunking_invisible(self):
+        cfg = ClickStreamConfig(num_clicks=1000, seed=3)
+        assert list(generate_clicks(cfg, chunk=64)) == list(
+            generate_clicks(cfg, chunk=100_000)
+        )
+
+    def test_codec_roundtrip(self):
+        clicks = list(generate_clicks(ClickStreamConfig(num_clicks=50)))
+        codec = click_text_codec()
+        assert list(codec.decode(codec.encode(clicks))) == clicks
+
+    def test_url_of_stable(self):
+        assert url_of(3) == "/page/000003"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_clicks": 0},
+            {"num_users": 0},
+            {"mean_interarrival": 0},
+            {"session_gap": -1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ClickStreamConfig(**kwargs)
+
+
+class TestDocuments:
+    def test_count_and_schema(self):
+        docs = list(generate_documents(DocumentConfig(num_docs=40)))
+        assert len(docs) == 40
+        assert [d for d, _ in docs] == list(range(40))
+        for _, text in docs:
+            assert text
+            assert all(w.startswith("w") for w in text.split())
+
+    def test_deterministic(self):
+        cfg = DocumentConfig(num_docs=20, seed=1)
+        assert list(generate_documents(cfg)) == list(generate_documents(cfg))
+
+    def test_mean_length_near_target(self):
+        cfg = DocumentConfig(num_docs=500, mean_doc_words=80, seed=2)
+        lengths = [len(t.split()) for _, t in generate_documents(cfg)]
+        mean = sum(lengths) / len(lengths)
+        assert 60 < mean < 100
+
+    def test_vocab_bounded(self):
+        cfg = DocumentConfig(num_docs=100, vocab_size=30, seed=3)
+        words = {w for _, t in generate_documents(cfg) for w in t.split()}
+        assert words <= {word_of(i) for i in range(30)}
+
+    def test_codec_roundtrip(self):
+        docs = list(generate_documents(DocumentConfig(num_docs=10)))
+        codec = document_text_codec()
+        assert list(codec.decode(codec.encode(docs))) == docs
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DocumentConfig(num_docs=0)
+        with pytest.raises(ValueError):
+            DocumentConfig(mean_doc_words=0)

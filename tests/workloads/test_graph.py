@@ -1,0 +1,117 @@
+"""Graph workloads, verified against networkx."""
+
+import pytest
+
+from repro.core.engine import OnePassEngine
+from repro.mapreduce.runtime import HadoopEngine, LocalCluster
+from repro.workloads.graph import (
+    GraphConfig,
+    adjacency_onepass_job,
+    count_triangles,
+    degree_count_job,
+    degree_count_onepass_job,
+    degree_map,
+    generate_edges,
+    reference_degrees,
+    reference_triangles,
+)
+
+
+@pytest.fixture(scope="module")
+def edges():
+    return generate_edges(GraphConfig(num_vertices=250, num_edges=1_200, seed=3))
+
+
+@pytest.fixture
+def loaded(edges):
+    cluster = LocalCluster(num_nodes=3, block_size=32 * 1024)
+    cluster.hdfs.write_records("edges", edges)
+    return cluster
+
+
+class TestGenerator:
+    def test_simple_graph(self, edges):
+        assert len(edges) == len(set(edges))
+        for u, v in edges:
+            assert u < v  # canonical order, no self-loops
+
+    def test_deterministic(self):
+        cfg = GraphConfig(num_vertices=50, num_edges=100, seed=9)
+        assert generate_edges(cfg) == generate_edges(cfg)
+
+    def test_hubs_exist(self, edges):
+        degrees = reference_degrees(edges)
+        mean = sum(degrees.values()) / len(degrees)
+        assert max(degrees.values()) > 3 * mean
+
+    def test_edge_target_respected(self):
+        edges = generate_edges(GraphConfig(num_vertices=100, num_edges=300))
+        assert len(edges) == 300
+
+    def test_dense_request_capped(self):
+        edges = generate_edges(GraphConfig(num_vertices=5, num_edges=1_000))
+        assert len(edges) == 10  # complete graph on 5 vertices
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GraphConfig(num_vertices=1)
+        with pytest.raises(ValueError):
+            GraphConfig(num_edges=0)
+
+
+class TestDegreeCounting:
+    def test_map_emits_both_endpoints(self):
+        assert list(degree_map((3, 7))) == [(3, 1), (7, 1)]
+
+    def test_both_engines_match_networkx(self, loaded, edges):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_edges_from(edges)
+        nx_degrees = dict(graph.degree())
+
+        HadoopEngine(loaded).run(degree_count_job("edges", "o1"))
+        OnePassEngine(loaded).run(degree_count_onepass_job("edges", "o2"))
+        assert dict(loaded.hdfs.read_records("o1")) == nx_degrees
+        assert dict(loaded.hdfs.read_records("o2")) == nx_degrees
+
+    def test_reference_sums_to_twice_edges(self, edges):
+        assert sum(reference_degrees(edges).values()) == 2 * len(edges)
+
+
+class TestAdjacency:
+    def test_lists_match_graph(self, loaded, edges):
+        OnePassEngine(loaded).run(adjacency_onepass_job("edges", "adj"))
+        adjacency = dict(loaded.hdfs.read_records("adj"))
+        expected: dict[int, set[int]] = {}
+        for u, v in edges:
+            expected.setdefault(u, set()).add(v)
+            expected.setdefault(v, set()).add(u)
+        assert {v: set(n) for v, n in adjacency.items()} == expected
+        for neighbours in adjacency.values():
+            assert list(neighbours) == sorted(neighbours)
+
+
+class TestTriangles:
+    def test_matches_networkx(self, loaded, edges):
+        assert count_triangles(loaded, "edges") == reference_triangles(edges)
+
+    def test_triangle_free_graph(self):
+        # A star has no triangles.
+        star = [(0, i) for i in range(1, 20)]
+        cluster = LocalCluster(num_nodes=2, block_size=32 * 1024)
+        cluster.hdfs.write_records("edges", star)
+        assert count_triangles(cluster, "edges") == 0
+
+    def test_complete_graph(self):
+        from itertools import combinations
+
+        k6 = list(combinations(range(6), 2))
+        cluster = LocalCluster(num_nodes=2, block_size=32 * 1024)
+        cluster.hdfs.write_records("edges", k6)
+        assert count_triangles(cluster, "edges") == 20  # C(6,3)
+
+    def test_single_triangle(self):
+        cluster = LocalCluster(num_nodes=2, block_size=32 * 1024)
+        cluster.hdfs.write_records("edges", [(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert count_triangles(cluster, "edges") == 1

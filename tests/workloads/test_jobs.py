@@ -1,0 +1,79 @@
+"""Workload job definitions: map/reduce functions and reference outputs."""
+
+import pytest
+
+from repro.workloads.counting import count_map_fn, reference_counts, sum_combine, sum_reduce
+from repro.workloads.inverted_index import index_map, index_reduce, reference_index
+from repro.workloads.page_frequency import url_of_click
+from repro.workloads.per_user_count import user_of_click
+from repro.workloads.sessionization import (
+    reference_sessions,
+    session_map,
+    session_reduce,
+)
+
+
+class TestCountingFunctions:
+    def test_map_emits_key_one(self):
+        fn = count_map_fn(lambda r: r * 2)
+        assert list(fn(3)) == [(6, 1)]
+
+    def test_combine_and_reduce_sum(self):
+        assert list(sum_combine("k", iter([1, 2, 3]))) == [("k", 6)]
+        assert list(sum_reduce("k", iter([6, 4]))) == [("k", 10)]
+
+    def test_reference_counts(self):
+        records = ["a", "b", "a"]
+        assert reference_counts(records, lambda r: r) == {"a": 2, "b": 1}
+
+    def test_key_extractors(self):
+        click = (12.5, 42, "/page/000001")
+        assert url_of_click(click) == "/page/000001"
+        assert user_of_click(click) == 42
+
+
+class TestSessionization:
+    def test_map_extracts_user_key(self):
+        assert list(session_map((1.0, 7, "/x"))) == [(7, (1.0, "/x"))]
+
+    def test_reduce_splits_sessions(self):
+        clicks = [(0.0, "/a"), (1.0, "/b"), (100.0, "/c")]
+        sessions = list(session_reduce(5, iter(clicks), gap=10.0))
+        assert sessions == [(5, 0.0, ("/a", "/b")), (5, 100.0, ("/c",))]
+
+    def test_reduce_sorts_clicks(self):
+        clicks = [(5.0, "/b"), (0.0, "/a")]
+        sessions = list(session_reduce(1, iter(clicks), gap=60.0))
+        assert sessions == [(1, 0.0, ("/a", "/b"))]
+
+    def test_reference_sessions_sorted_and_complete(self, clicks):
+        sessions = reference_sessions(clicks, gap=5.0)
+        assert sessions == sorted(sessions)
+        clicks_in_sessions = sum(len(urls) for _, _, urls in sessions)
+        assert clicks_in_sessions == len(clicks)
+
+    def test_session_count_monotone_in_gap(self, clicks):
+        few = len(reference_sessions(clicks, gap=100.0))
+        many = len(reference_sessions(clicks, gap=0.001))
+        assert many >= few
+
+
+class TestInvertedIndex:
+    def test_map_positions(self):
+        pairs = list(index_map((3, "x y x")))
+        assert pairs == [("x", (3, 0)), ("y", (3, 1)), ("x", (3, 2))]
+
+    def test_reduce_sorts_postings(self):
+        out = list(index_reduce("w", iter([(2, 1), (1, 5), (1, 2)])))
+        assert out == [("w", ((1, 2), (1, 5), (2, 1)))]
+
+    def test_reference_index(self):
+        docs = [(0, "a b"), (1, "b a")]
+        index = reference_index(docs)
+        assert index["a"] == ((0, 0), (1, 1))
+        assert index["b"] == ((0, 1), (1, 0))
+
+    def test_reference_total_postings(self, documents):
+        index = reference_index(documents)
+        total = sum(len(p) for p in index.values())
+        assert total == sum(len(t.split()) for _, t in documents)

@@ -1,0 +1,116 @@
+"""Twitter-feed analysis workload: generator, jobs, top-k combiner."""
+
+import pytest
+
+from repro.core.engine import OnePassConfig, OnePassEngine
+from repro.mapreduce.runtime import HadoopEngine, LocalCluster
+from repro.workloads.twitter import (
+    TweetConfig,
+    cooccurrence_map,
+    generate_tweets,
+    hashtag_cooccurrence_job,
+    hashtag_cooccurrence_onepass_job,
+    hashtag_count_job,
+    hashtag_count_onepass_job,
+    hashtag_map,
+    hashtags_in,
+    reference_cooccurrence,
+    reference_hashtag_counts,
+    reference_user_top_hashtags,
+    user_top_hashtags_onepass_job,
+)
+
+
+@pytest.fixture(scope="module")
+def tweets():
+    return list(generate_tweets(TweetConfig(num_tweets=4_000, num_users=300, num_hashtags=120)))
+
+
+@pytest.fixture
+def loaded_cluster(tweets):
+    cluster = LocalCluster(num_nodes=3, block_size=64 * 1024)
+    cluster.hdfs.write_records("tweets", tweets)
+    return cluster
+
+
+class TestGenerator:
+    def test_schema_and_order(self, tweets):
+        times = [ts for ts, _, _ in tweets]
+        assert times == sorted(times)
+        for _ts, user, text in tweets:
+            assert 0 <= user < 300
+            assert hashtags_in(text)  # every tweet has at least one hashtag
+
+    def test_deterministic(self):
+        cfg = TweetConfig(num_tweets=100, seed=4)
+        assert list(generate_tweets(cfg)) == list(generate_tweets(cfg))
+
+    def test_hashtags_unique_within_tweet(self, tweets):
+        for _ts, _user, text in tweets:
+            tags = hashtags_in(text)
+            assert len(tags) == len(set(tags))
+
+    def test_skewed_tags(self, tweets):
+        counts = reference_hashtag_counts(tweets)
+        total = sum(counts.values())
+        top5 = sum(sorted(counts.values(), reverse=True)[:5])
+        assert top5 > 0.15 * total
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TweetConfig(num_tweets=0)
+        with pytest.raises(ValueError):
+            TweetConfig(mean_hashtags=0)
+
+
+class TestMapFunctions:
+    def test_hashtag_map(self):
+        tweet = (1.0, 7, "so good #tag00001 #tag00002")
+        assert list(hashtag_map(tweet)) == [("#tag00001", 1), ("#tag00002", 1)]
+
+    def test_cooccurrence_map_pairs(self):
+        tweet = (1.0, 7, "x #a #c #b")
+        pairs = [p for p, _ in cooccurrence_map(tweet)]
+        assert pairs == [("#a", "#b"), ("#a", "#c"), ("#b", "#c")]
+
+    def test_single_tag_no_pairs(self):
+        assert list(cooccurrence_map((1.0, 7, "x #only"))) == []
+
+
+class TestJobs:
+    def test_hashtag_count_both_engines(self, loaded_cluster, tweets):
+        ref = reference_hashtag_counts(tweets)
+        HadoopEngine(loaded_cluster).run(hashtag_count_job("tweets", "o1"))
+        OnePassEngine(loaded_cluster).run(hashtag_count_onepass_job("tweets", "o2"))
+        assert dict(loaded_cluster.hdfs.read_records("o1")) == ref
+        assert dict(loaded_cluster.hdfs.read_records("o2")) == ref
+
+    def test_user_top_hashtags(self, loaded_cluster, tweets):
+        OnePassEngine(loaded_cluster).run(
+            user_top_hashtags_onepass_job("tweets", "o3", k=3)
+        )
+        got = dict(loaded_cluster.hdfs.read_records("o3"))
+        assert got == reference_user_top_hashtags(tweets, k=3)
+
+    def test_user_top_hashtags_hotset_mode(self, loaded_cluster, tweets):
+        cfg = OnePassConfig(mode="hotset", hotset_capacity=32, map_side_combine=False)
+        OnePassEngine(loaded_cluster).run(
+            user_top_hashtags_onepass_job("tweets", "o4", k=2, config=cfg)
+        )
+        got = dict(loaded_cluster.hdfs.read_records("o4"))
+        assert got == reference_user_top_hashtags(tweets, k=2)
+
+    def test_cooccurrence_both_engines(self, loaded_cluster, tweets):
+        ref = reference_cooccurrence(tweets)
+        HadoopEngine(loaded_cluster).run(hashtag_cooccurrence_job("tweets", "o5"))
+        OnePassEngine(loaded_cluster).run(
+            hashtag_cooccurrence_onepass_job("tweets", "o6")
+        )
+        assert dict(loaded_cluster.hdfs.read_records("o5")) == ref
+        assert dict(loaded_cluster.hdfs.read_records("o6")) == ref
+
+    def test_cooccurrence_is_symmetric_free(self, tweets):
+        # Pairs are canonically ordered, so no (b, a) duplicates exist.
+        ref = reference_cooccurrence(tweets)
+        for a, b in ref:
+            assert a < b

@@ -1,0 +1,69 @@
+"""Zipf sampling: distribution shape and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.zipf import ZipfSampler, zipf_pmf
+
+
+class TestPmf:
+    def test_sums_to_one(self):
+        for n, s in ((1, 0.0), (10, 1.0), (1000, 1.5)):
+            assert zipf_pmf(n, s).sum() == pytest.approx(1.0)
+
+    def test_uniform_at_zero_skew(self):
+        pmf = zipf_pmf(100, 0.0)
+        assert np.allclose(pmf, 1 / 100)
+
+    def test_monotone_decreasing(self):
+        pmf = zipf_pmf(50, 1.2)
+        assert (np.diff(pmf) <= 0).all()
+
+    def test_skew_concentrates_head(self):
+        mild = zipf_pmf(1000, 0.5)[:10].sum()
+        strong = zipf_pmf(1000, 1.5)[:10].sum()
+        assert strong > mild
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_pmf(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_pmf(10, -0.1)
+
+
+class TestSampler:
+    def test_deterministic_per_seed(self):
+        a = ZipfSampler(100, 1.1, seed=5).draw(1000)
+        b = ZipfSampler(100, 1.1, seed=5).draw(1000)
+        assert (a == b).all()
+        c = ZipfSampler(100, 1.1, seed=6).draw(1000)
+        assert (a != c).any()
+
+    def test_range(self):
+        draws = ZipfSampler(37, 1.3, seed=1).draw(5000)
+        assert draws.min() >= 0
+        assert draws.max() < 37
+
+    def test_empirical_matches_pmf(self):
+        n, s = 50, 1.2
+        sampler = ZipfSampler(n, s, seed=2)
+        draws = sampler.draw(200_000)
+        counts = np.bincount(draws, minlength=n) / len(draws)
+        pmf = zipf_pmf(n, s)
+        assert np.abs(counts[:10] - pmf[:10]).max() < 0.01
+
+    def test_expected_top_share(self):
+        sampler = ZipfSampler(1000, 1.5, seed=3)
+        share = sampler.expected_top_share(10)
+        draws = sampler.draw(100_000)
+        empirical = (draws < 10).mean()
+        assert empirical == pytest.approx(share, abs=0.02)
+        assert sampler.expected_top_share(0) == 0.0
+        assert sampler.expected_top_share(5000) == pytest.approx(1.0)
+
+    def test_draw_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(10, 1.0).draw(-1)
+
+    def test_draw_one(self):
+        assert 0 <= ZipfSampler(10, 1.0, seed=4).draw_one() < 10
