@@ -9,7 +9,7 @@ from repro.analysis.compare import (
     cpu_split,
     ratio,
 )
-from repro.analysis.report import ExperimentReport, Observation
+from repro.analysis.report import ExperimentReport, Observation, recovery_summary
 from repro.analysis.series import (
     find_valley,
     peak_time,
@@ -37,6 +37,7 @@ __all__ = [
     "ratio",
     "ExperimentReport",
     "Observation",
+    "recovery_summary",
     "series_csv",
     "timeline_csv",
     "run_to_json",

@@ -35,6 +35,12 @@ from repro.io.disk import LocalDisk
 from repro.mapreduce.api import ReduceFn
 from repro.mapreduce.counters import C, Counters
 from repro.mapreduce.faults import FaultPlan
+from repro.mapreduce.recovery import (
+    CheckpointStore,
+    PartitionLog,
+    RecoveryManager,
+    SpeculationPolicy,
+)
 from repro.mapreduce.runtime import JobResult, LocalCluster
 from repro.mapreduce.scheduler import WaveScheduler
 
@@ -233,6 +239,24 @@ class OnePassReduceTask:
         assert self._grouper is not None
         return self._grouper.finish()
 
+    # -- checkpointing --------------------------------------------------------------
+
+    def checkpoint_payload(self) -> bytes | None:
+        """Snapshot the reduce state, if this backend supports it.
+
+        Only the incremental-hash backend is checkpointable (its state is
+        one in-memory table); hotset and hybrid-hash backends return
+        ``None`` and recover by full log replay instead.
+        """
+        if self._incremental is None:
+            return None
+        return self._incremental.checkpoint_payload()
+
+    def restore_payload(self, payload: bytes) -> None:
+        """Load a checkpoint produced by :meth:`checkpoint_payload`."""
+        assert self._incremental is not None
+        self._incremental.restore_payload(payload)
+
 
 def _default_finalize(key: Any, result: Any) -> Iterable[Any]:
     yield (key, result)
@@ -247,6 +271,18 @@ class OnePassEngine:
     fault-tolerance overhead the paper alludes to when it excludes infinite
     streams: push-based pipelining and recoverability pull in opposite
     directions, and recovery costs one task's worth of buffering latency.
+
+    Because pushed output never stays at the mappers, reduce-side recovery
+    needs its own durability: with a fault plan, every delivered chunk is
+    also appended to a 2-way replicated :class:`PartitionLog` (real,
+    accounted disk I/O — the overhead ``bench_fault_overhead`` measures).
+    A lost reduce task — killed attempt or node crash — is rebuilt by
+    replaying its partition's log in delivery order, which reproduces the
+    exact pre-failure state (and output byte-for-byte).  With
+    ``checkpoint_interval > 0`` the incremental-hash state is additionally
+    snapshotted into a :class:`CheckpointStore` every that-many chunks, so
+    recovery restores the newest checkpoint and replays only the log
+    suffix past it.
     """
 
     name = "onepass"
@@ -257,10 +293,16 @@ class OnePassEngine:
         *,
         map_slots: int = 2,
         fault_plan: FaultPlan | None = None,
+        checkpoint_interval: int = 0,
+        speculation: SpeculationPolicy | None = None,
     ) -> None:
+        if checkpoint_interval < 0:
+            raise ValueError("checkpoint_interval must be >= 0")
         self.cluster = cluster
         self.scheduler = WaveScheduler(cluster.compute_node_names, map_slots=map_slots)
         self.fault_plan = fault_plan
+        self.checkpoint_interval = checkpoint_interval
+        self.speculation = speculation
 
     def _read_split(
         self, split: InputSplit, node: str, counters: Counters
@@ -346,31 +388,30 @@ class OnePassEngine:
         self,
         job: OnePassJob,
         cfg: OnePassConfig,
+        recovery: RecoveryManager,
         assignment: Any,
+        live: list[str],
         deliver: Any,
         counters: Counters,
     ) -> int:
-        """Run one map task; with a fault plan, stage output until success."""
+        """Run one map task; with a fault plan, stage output until success.
+
+        Attempt semantics live in the shared
+        :class:`~repro.mapreduce.recovery.RecoveryManager` loop — the same
+        one the Hadoop engine uses — so who is charged, where retries land
+        and when the job aborts cannot drift between engines.
+        """
         if self.fault_plan is None:
             return self._run_map_attempt(
                 job, cfg, assignment, assignment.node, deliver, counters
             )
 
-        from repro.mapreduce.faults import TaskFailure  # local: avoid cycle confusion
+        network_bytes = 0
 
-        candidates = [assignment.node] + [
-            n for n in self.cluster.compute_node_names if n != assignment.node
-        ]
-        task_id = assignment.task_id
-        for attempt_idx in range(self.fault_plan.max_attempts):
-            node = candidates[attempt_idx % len(candidates)]
-            dies = False
-            try:
-                self.fault_plan.start_map_attempt(task_id)
-            except TaskFailure:
-                dies = True
+        def attempt(node: str) -> list[tuple[int, list, int]]:
+            nonlocal network_bytes
             staged: list[tuple[int, list, int]] = []
-            net = self._run_map_attempt(
+            network_bytes += self._run_map_attempt(
                 job,
                 cfg,
                 assignment,
@@ -378,17 +419,130 @@ class OnePassEngine:
                 lambda p, pairs, b: staged.append((p, pairs, b)),
                 counters,
             )
-            if dies:
-                # Attempt lost before completion: staged output discarded.
-                counters.inc(C.MAP_TASK_RETRIES)
-                continue
-            for partition, pairs, nbytes in staged:
-                counters.inc(C.STAGED_OUTPUT_BYTES, nbytes)
-                deliver(partition, pairs, nbytes)
-            return net
-        raise RuntimeError(
-            f"map task {task_id} exhausted {self.fault_plan.max_attempts} attempts"
+            return staged
+
+        def discard(_node: str, staged: list[tuple[int, list, int]]) -> None:
+            # A dead or losing attempt's staged output is simply dropped —
+            # nothing reached the reducers.
+            staged.clear()
+
+        _node, staged = recovery.run_map_task(
+            assignment.task_id,
+            assignment.node,
+            live,
+            assignment.split.nbytes,
+            attempt,
+            discard,
         )
+        for partition, pairs, nbytes in staged:
+            counters.inc(C.STAGED_OUTPUT_BYTES, nbytes)
+            deliver(partition, pairs, nbytes)
+        return network_bytes
+
+    # -- reduce-side durability -----------------------------------------------
+
+    def _log_replicas(self, node: str) -> list[tuple[str, LocalDisk]]:
+        """Replica disks for a reducer's log: its own node plus the next."""
+        names = self.cluster.compute_node_names
+        chosen = [node]
+        if len(names) > 1:
+            chosen.append(names[(names.index(node) + 1) % len(names)])
+        return [(n, self.cluster.nodes[n].intermediate_disk) for n in chosen]
+
+    def _save_checkpoint(
+        self,
+        rtask: OnePassReduceTask,
+        log: PartitionLog,
+        store: CheckpointStore,
+    ) -> bool:
+        payload = rtask.checkpoint_payload()
+        if payload is None:
+            return False
+        store.save(log.last_seq, payload)
+        return True
+
+    def _rebuild_reduce_task(
+        self,
+        job: OnePassJob,
+        partition: int,
+        node: str,
+        log: PartitionLog,
+        store: CheckpointStore,
+        counters: Counters,
+    ) -> OnePassReduceTask:
+        """Reconstruct a lost reduce task on ``node``.
+
+        Restores the newest surviving checkpoint (if any) and replays the
+        delivery log past it, in sequence order — which reproduces the
+        exact pre-failure state, early emissions included.  Without a
+        checkpoint the whole log replays.
+        """
+        disk = self.cluster.nodes[node].intermediate_disk
+        disk.delete_prefix(f"onepass/{partition:03d}")
+        rtask = OnePassReduceTask(job, partition, node, disk)
+        after_seq = 0
+        checkpoint = store.latest()
+        if checkpoint is not None:
+            after_seq, payload = checkpoint
+            rtask.restore_payload(payload)
+            counters.inc(C.CHECKPOINT_RESTORES)
+        for _seq, pairs, nbytes in log.replay(after_seq):
+            rtask.accept(pairs, nbytes)
+            counters.inc(C.REPLAYED_RECORDS, len(pairs))
+            counters.inc(C.BYTES_RESHUFFLED, nbytes)
+        return rtask
+
+    def _handle_node_crash(
+        self,
+        crashed: str,
+        *,
+        job: OnePassJob,
+        live: list[str],
+        reducer_nodes: dict[int, str],
+        reduce_tasks: dict[int, OnePassReduceTask],
+        logs: dict[int, PartitionLog],
+        checkpoints: dict[int, CheckpointStore],
+        counters: Counters,
+    ) -> None:
+        """React to losing a whole node mid-job.
+
+        Completed map output was already delivered and logged, so no map
+        re-executes; the node's reduce tasks rebuild on survivors from
+        checkpoint + log replay, and its log/checkpoint replicas re-home.
+        """
+        counters.inc(C.NODE_CRASHES)
+        live.remove(crashed)
+        if not live:
+            raise RuntimeError(f"node crash of {crashed} left no live compute nodes")
+        self.cluster.wipe_node(crashed)
+        report = self.cluster.hdfs.handle_node_loss(crashed)
+        if report.blocks_rereplicated:
+            counters.inc(C.BLOCKS_REREPLICATED, report.blocks_rereplicated)
+            counters.inc(C.BYTES_REREPLICATED, report.bytes_rereplicated)
+
+        for partition in sorted(logs):
+            for store in (logs[partition], checkpoints[partition]):
+                holders = [n for n, _ in store.replicas]
+                if crashed not in holders:
+                    continue
+                candidates = [n for n in live if n not in holders]
+                if candidates:
+                    new_node = candidates[0]
+                    store.replace_replica(
+                        crashed, new_node, self.cluster.nodes[new_node].intermediate_disk
+                    )
+
+        for partition in sorted(reducer_nodes):
+            if reducer_nodes[partition] != crashed:
+                continue
+            dead = reduce_tasks[partition]
+            counters.merge(dead.counters)  # its work still happened
+            counters.inc(C.TASKS_RERUN)
+            new_node = live[partition % len(live)]
+            reducer_nodes[partition] = new_node
+            reduce_tasks[partition] = self._rebuild_reduce_task(
+                job, partition, new_node, logs[partition], checkpoints[partition], counters
+            )
 
     def run(self, job: OnePassJob) -> JobResult:
         if not job.input_path or not job.output_path:
@@ -406,18 +560,55 @@ class OnePassEngine:
             p: OnePassReduceTask(job, p, node, cluster.nodes[node].intermediate_disk)
             for p, node in reducer_nodes.items()
         }
+        live = list(cluster.compute_node_names)
+        recovery = RecoveryManager(
+            self.fault_plan, counters, speculation=self.speculation
+        )
+        logs: dict[int, PartitionLog] = {}
+        checkpoints: dict[int, CheckpointStore] = {}
+        chunks_since_checkpoint: dict[int, int] = {}
+        if self.fault_plan is not None:
+            for p, node in reducer_nodes.items():
+                replicas = self._log_replicas(node)
+                logs[p] = PartitionLog(p, replicas, counters)
+                checkpoints[p] = CheckpointStore(p, replicas, counters)
+                chunks_since_checkpoint[p] = 0
         network_bytes = 0
 
         def sink(partition: int, pairs: list[tuple[Any, Any]], nbytes: int) -> None:
             nonlocal network_bytes
             network_bytes += nbytes
+            if partition in logs:
+                logs[partition].append(pairs, nbytes)
             reduce_tasks[partition].accept(pairs, nbytes)
+            if self.checkpoint_interval and partition in checkpoints:
+                chunks_since_checkpoint[partition] += 1
+                if chunks_since_checkpoint[partition] >= self.checkpoint_interval:
+                    if self._save_checkpoint(
+                        reduce_tasks[partition], logs[partition], checkpoints[partition]
+                    ):
+                        chunks_since_checkpoint[partition] = 0
 
         t_map_start = time.perf_counter()
+        completed_maps = 0
         for assignment in assignments:
             network_bytes += self._run_map_with_retries(
-                job, cfg, assignment, sink, counters
+                job, cfg, recovery, assignment, live, sink, counters
             )
+            completed_maps += 1
+            if self.fault_plan is not None:
+                for crashed in self.fault_plan.crashes_due(completed_maps):
+                    with counters.timer(C.T_RECOVERY):
+                        self._handle_node_crash(
+                            crashed,
+                            job=job,
+                            live=live,
+                            reducer_nodes=reducer_nodes,
+                            reduce_tasks=reduce_tasks,
+                            logs=logs,
+                            checkpoints=checkpoints,
+                            counters=counters,
+                        )
         t_map = time.perf_counter() - t_map_start
 
         t_reduce_start = time.perf_counter()
@@ -425,17 +616,47 @@ class OnePassEngine:
         output_records = 0
         early: list[tuple[Any, Any]] = []
         approx: list[ApproximateResult] = []
-        for partition, rtask in sorted(reduce_tasks.items()):
-            approx.extend(rtask.approximate_results())
-            output = rtask.finish()
-            early.extend(rtask.early_emitted)
+        for partition in sorted(reduce_tasks):
+
+            def attempt(
+                attempt_idx: int, partition: int = partition
+            ) -> tuple[list[ApproximateResult], list[Any], list[tuple[Any, Any]]]:
+                if attempt_idx > 0:
+                    # The previous attempt died mid-finish: rebuild its
+                    # state from checkpoint + log replay on the next node.
+                    dead = reduce_tasks[partition]
+                    counters.merge(dead.counters)  # its work still happened
+                    counters.inc(C.TASKS_RERUN)
+                    new_node = live[(partition + attempt_idx) % len(live)]
+                    reducer_nodes[partition] = new_node
+                    with counters.timer(C.T_RECOVERY):
+                        reduce_tasks[partition] = self._rebuild_reduce_task(
+                            job,
+                            partition,
+                            new_node,
+                            logs[partition],
+                            checkpoints[partition],
+                            counters,
+                        )
+                rtask = reduce_tasks[partition]
+                task_approx = rtask.approximate_results()
+                task_output = rtask.finish()
+                return task_approx, task_output, list(rtask.early_emitted)
+
+            approx_p, output, early_p = recovery.run_reduce_task(partition, attempt)
+            approx.extend(approx_p)
+            early.extend(early_p)
             output_records += len(output)
             if output:
                 hdfs.append_block(
                     job.output_path, output, writer_node=reducer_nodes[partition]
                 )
-            counters.merge(rtask.counters)
+            counters.merge(reduce_tasks[partition].counters)
         t_reduce = time.perf_counter() - t_reduce_start
+
+        for partition in sorted(logs):
+            logs[partition].cleanup()
+            checkpoints[partition].cleanup()
 
         counters.inc(C.OUTPUT_BYTES, hdfs.file_bytes(job.output_path))
         return JobResult(

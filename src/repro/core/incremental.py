@@ -22,6 +22,7 @@ paper calls out, both implemented here:
 
 from __future__ import annotations
 
+import pickle
 from typing import Any, Callable, Iterator
 
 from repro.core.aggregates import AggregateState, Aggregator
@@ -171,6 +172,45 @@ class IncrementalHash:
         row in Table III.
         """
         return self._table.results()
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def checkpoint_payload(self) -> bytes | None:
+        """Serialize the complete in-memory state for durable checkpointing.
+
+        Returns ``None`` when the state is not checkpointable: after keys
+        have overflowed to disk (the overflow partitions live outside this
+        object) or once finished.  The payload round-trips through
+        :meth:`restore_payload`.
+        """
+        if self._overflow is not None or self._finished:
+            return None
+        snapshot = (
+            list(self._table.items()),
+            set(self._emitted),
+            list(self.early_emitted),
+            self.updates,
+        )
+        return pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def restore_payload(self, payload: bytes) -> None:
+        """Replace all state with a checkpoint snapshot (recovery path).
+
+        States are folded into a fresh table via direct merges, bypassing
+        the emit policy: keys that emitted before the checkpoint are in
+        the restored ``early_emitted`` list and must not emit again when
+        the post-checkpoint log suffix replays.
+        """
+        if self._finished:
+            raise RuntimeError("incremental hash already finished")
+        states, emitted, early, updates = pickle.loads(payload)
+        self._table = AccountedStateTable(self.aggregator)
+        for key, state in states:
+            self._table.merge_state(key, state)
+        self._emitted = set(emitted)
+        self.early_emitted = list(early)
+        self.updates = updates
+        self._overflow = None
 
     # -- finalisation ------------------------------------------------------------
 

@@ -7,7 +7,7 @@ the same structure Hadoop's task scheduling is built on.
 
 from repro.hdfs.blocks import DEFAULT_BLOCK_SIZE, BlockId, BlockInfo
 from repro.hdfs.datanode import DataNode
-from repro.hdfs.filesystem import HDFS, InputSplit
+from repro.hdfs.filesystem import HDFS, InputSplit, NodeLossReport
 from repro.hdfs.namenode import FileInfo, NameNode
 
 __all__ = [
@@ -19,4 +19,5 @@ __all__ = [
     "FileInfo",
     "HDFS",
     "InputSplit",
+    "NodeLossReport",
 ]

@@ -11,7 +11,7 @@ operations the engines need:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
 
 from repro.hdfs.blocks import DEFAULT_BLOCK_SIZE, BlockId, BlockInfo
@@ -19,7 +19,7 @@ from repro.hdfs.datanode import DataNode
 from repro.hdfs.namenode import FileInfo, NameNode
 from repro.io.serialization import BinaryCodec, RecordCodec
 
-__all__ = ["InputSplit", "HDFS"]
+__all__ = ["InputSplit", "NodeLossReport", "HDFS"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -30,6 +30,16 @@ class InputSplit:
     nbytes: int
     records: int
     preferred_nodes: tuple[str, ...]
+
+
+@dataclass(slots=True)
+class NodeLossReport:
+    """What losing one DataNode cost the filesystem."""
+
+    node: str
+    blocks_rereplicated: int = 0
+    bytes_rereplicated: int = 0
+    lost_blocks: list[BlockId] = field(default_factory=list)
 
 
 class HDFS:
@@ -204,6 +214,36 @@ class HDFS:
             )
             for b in self.namenode.blocks_of(path)
         ]
+
+    # -- node loss -----------------------------------------------------------
+
+    def handle_node_loss(self, node: str) -> NodeLossReport:
+        """React to a dead DataNode the way HDFS does.
+
+        The node leaves the placement set, its replicas are struck from
+        the block metadata, and every block that survives elsewhere but
+        now sits under the replication factor is re-replicated onto a
+        live node (a real, accounted read from a survivor plus a write to
+        the new holder).  Blocks whose only replica was on the dead node
+        are reported lost; with ``replication=1`` that is the price the
+        paper's setup pays for skipping redundancy.
+        """
+        report = NodeLossReport(node=node)
+        if node not in self.namenode.node_names:
+            return report
+        self.namenode.decommission(node)
+        under, lost = self.namenode.drop_node_replicas(node)
+        report.lost_blocks = lost
+        for block in under:
+            target = self.namenode.choose_replacement(block)
+            if target is None:
+                continue
+            data = self.datanodes[block.replicas[0]].read_block(block.block_id)
+            self.datanodes[target].store_block(block.block_id, data)
+            block.replicas.append(target)
+            report.blocks_rereplicated += 1
+            report.bytes_rereplicated += len(data)
+        return report
 
     # -- maintenance -----------------------------------------------------------
 

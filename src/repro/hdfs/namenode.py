@@ -106,6 +106,56 @@ class NameNode:
         info.blocks.append(block)
         return block
 
+    # -- node loss -----------------------------------------------------------
+
+    def decommission(self, node: str) -> None:
+        """Remove a dead node from the placement set.
+
+        Future blocks will not be placed there; existing replica metadata
+        is cleaned up by :meth:`drop_node_replicas`.  The replication
+        factor is clamped to the surviving node count so writes keep
+        working on a shrunken cluster.
+        """
+        if node not in self.node_names:
+            return
+        if len(self.node_names) == 1:
+            raise ValueError("cannot decommission the last DataNode")
+        self.node_names.remove(node)
+        if self.replication > len(self.node_names):
+            self.replication = len(self.node_names)
+
+    def drop_node_replicas(
+        self, node: str
+    ) -> tuple[list[BlockInfo], list[BlockId]]:
+        """Forget every replica held by ``node``.
+
+        Returns ``(under_replicated, lost)``: blocks that survive on other
+        nodes but now sit below the replication factor, and blocks whose
+        last replica just vanished (unrecoverable — the job will fail if
+        it ever needs them).
+        """
+        under: list[BlockInfo] = []
+        lost: list[BlockId] = []
+        for info in self._files.values():
+            for block in info.blocks:
+                if node not in block.replicas:
+                    continue
+                block.replicas.remove(node)
+                if not block.replicas:
+                    lost.append(block.block_id)
+                elif len(block.replicas) < self.replication:
+                    under.append(block)
+        return under, lost
+
+    def choose_replacement(self, block: BlockInfo) -> str | None:
+        """Pick a live node for a new replica of an under-replicated block."""
+        for _ in range(len(self.node_names)):
+            candidate = self.node_names[self._placement_cursor % len(self.node_names)]
+            self._placement_cursor += 1
+            if candidate not in block.replicas:
+                return candidate
+        return None
+
     # -- locality ------------------------------------------------------------
 
     def locate(self, block_id: BlockId) -> list[str]:

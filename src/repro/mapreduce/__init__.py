@@ -15,9 +15,18 @@ from repro.mapreduce.faults import FaultPlan, TaskFailure
 from repro.mapreduce.hop import HOPConfig, HOPEngine, Snapshot
 from repro.mapreduce.merge import MultiPassMerger, group_sorted, merge_sorted
 from repro.mapreduce.partition import HashPartitioner, hash_partitioner, stable_hash
+from repro.mapreduce.recovery import (
+    CheckpointStore,
+    FetchRetryPolicy,
+    PartitionLog,
+    RecoveryManager,
+    SpeculationPolicy,
+    StragglerDetector,
+    TaskLineage,
+)
 from repro.mapreduce.runtime import ClusterNode, HadoopEngine, JobResult, LocalCluster
 from repro.mapreduce.scheduler import ScheduleStats, TaskAssignment, WaveScheduler
-from repro.mapreduce.shuffle import FetchedSegment, ShuffleService
+from repro.mapreduce.shuffle import FetchedSegment, FetchFailedError, ShuffleService
 from repro.mapreduce.sortmerge import (
     MapOutput,
     MapOutputSegment,
@@ -46,6 +55,14 @@ __all__ = [
     "ScheduleStats",
     "ShuffleService",
     "FetchedSegment",
+    "FetchFailedError",
+    "FetchRetryPolicy",
+    "SpeculationPolicy",
+    "StragglerDetector",
+    "TaskLineage",
+    "RecoveryManager",
+    "PartitionLog",
+    "CheckpointStore",
     "SortMergeMapTask",
     "SortMergeReduceTask",
     "MapOutput",

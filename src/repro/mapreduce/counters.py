@@ -54,7 +54,25 @@ class C:
     MERGE_PASSES = "merge.passes"
     SNAPSHOTS = "snapshots"
     MAP_TASK_RETRIES = "map.task.retries"
+    REDUCE_TASK_RETRIES = "reduce.task.retries"
     STAGED_OUTPUT_BYTES = "fault.staged.bytes"
+
+    # recovery subsystem
+    TASKS_RERUN = "recovery.tasks.rerun"
+    BYTES_RESHUFFLED = "recovery.bytes.reshuffled"
+    REPLAYED_RECORDS = "recovery.replayed.records"
+    NODE_CRASHES = "recovery.node.crashes"
+    LOG_BYTES = "recovery.log.bytes"
+    BLOCKS_REREPLICATED = "hdfs.blocks.rereplicated"
+    BYTES_REREPLICATED = "hdfs.bytes.rereplicated"
+    SHUFFLE_FETCH_FAILURES = "shuffle.fetch.failures"
+    SHUFFLE_BACKOFF_MS = "shuffle.backoff.ms"
+    SPECULATIVE_LAUNCHED = "speculative.launched"
+    SPECULATIVE_WINS = "speculative.wins"
+    SPECULATIVE_WASTED_MS = "speculative.wasted.ms"
+    CHECKPOINTS = "checkpoint.count"
+    CHECKPOINT_BYTES = "checkpoint.bytes"
+    CHECKPOINT_RESTORES = "checkpoint.restores"
 
     # CPU attribution (seconds)
     T_MAP_FN = "time.map_fn"
@@ -65,6 +83,7 @@ class C:
     T_HASH = "time.hash"
     T_PARSE = "time.parse"
     T_SHUFFLE = "time.shuffle"
+    T_RECOVERY = "time.recovery"
 
     # hash-engine specifics
     HASH_PROBES = "hash.probes"

@@ -1,23 +1,25 @@
-"""Fault injection and task re-execution.
+"""Fault injection: the schedule of everything that goes wrong.
 
 The paper leans on MapReduce's fault-tolerance story twice: map output is
 written synchronously *because* "a mapper completes after its output has
 been persisted for fault tolerance", and the one-pass design explicitly
 excludes infinite streams "due to the overhead of fault tolerance".  This
 module makes that story executable: a :class:`FaultPlan` schedules task
-attempts to fail, and the engines re-execute failed map tasks (on the next
-candidate node, as Hadoop's JobTracker does), cleaning up the partial
-output of the failed attempt.
+attempts to fail, whole nodes to crash, shuffle fetches to time out and
+nodes to run slow; the engines recover (via
+:mod:`repro.mapreduce.recovery`) and the rework shows up in the counters.
 
-Failures are deterministic — tests inject exact attempt counts and verify
-both that answers are unaffected and that the rework is visible in the
-counters.
+Failures are deterministic — tests inject exact attempt counts (or derive
+them from a seed) and verify both that answers are unaffected and that the
+recovery work is visible in the counters.
 """
 
 from __future__ import annotations
 
+import random
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import Iterable
 
 __all__ = ["TaskFailure", "FaultPlan"]
 
@@ -34,24 +36,64 @@ class TaskFailure(RuntimeError):
 
 @dataclass(slots=True)
 class FaultPlan:
-    """Which task attempts die.
+    """Which task attempts die, which nodes crash, which fetches fail.
 
     ``map_failures[task_id] = n`` kills the first ``n`` attempts of that
-    map task; the (n+1)-th attempt succeeds.  ``max_attempts`` bounds
-    re-execution (Hadoop's ``mapred.map.max.attempts``, default 4): a task
-    that would exceed it aborts the job.
+    map task; the (n+1)-th attempt succeeds.  ``reduce_failures`` does the
+    same for reduce partitions.  ``max_attempts`` bounds re-execution
+    (Hadoop's ``mapred.map.max.attempts``, default 4): a task that would
+    exceed it aborts the job.
+
+    ``node_crashes[node] = k`` kills the whole node once ``k`` map tasks
+    have completed cluster-wide: its disks are wiped, its HDFS replicas
+    are lost, and every completed map task that ran there is re-executed
+    on the survivors (Hadoop's TaskTracker-loss semantics).
+
+    ``shuffle_failures[(map_task, partition)] = n`` makes the first ``n``
+    fetches of that shuffle segment fail transiently; the fetcher backs
+    off exponentially and, past its retry budget, declares the map output
+    lost (Hadoop's "too many fetch failures"), triggering map
+    re-execution.
+
+    ``slow_nodes[node] = m`` multiplies the node's simulated task duration
+    by ``m``; the engines' straggler detector launches speculative backup
+    attempts against it (kill-the-loser semantics).
     """
 
     map_failures: dict[int, int] = field(default_factory=dict)
+    reduce_failures: dict[int, int] = field(default_factory=dict)
+    node_crashes: dict[str, int] = field(default_factory=dict)
+    shuffle_failures: dict[tuple[int, int], int] = field(default_factory=dict)
+    slow_nodes: dict[str, float] = field(default_factory=dict)
     max_attempts: int = 4
     _attempts: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    _reduce_attempts: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    _fetch_faults_left: dict[tuple[int, int], int] = field(default_factory=dict)
+    _crashed: set[str] = field(default_factory=set)
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         for task_id, n in self.map_failures.items():
             if n < 0:
-                raise ValueError(f"negative failure count for task {task_id}")
+                raise ValueError(f"negative failure count for map task {task_id}")
+        for partition, n in self.reduce_failures.items():
+            if n < 0:
+                raise ValueError(
+                    f"negative failure count for reduce partition {partition}"
+                )
+        for node, k in self.node_crashes.items():
+            if k < 1:
+                raise ValueError(f"node {node!r} must crash after >= 1 map tasks")
+        for key, n in self.shuffle_failures.items():
+            if n < 0:
+                raise ValueError(f"negative fetch-failure count for segment {key}")
+        for node, m in self.slow_nodes.items():
+            if m < 1.0:
+                raise ValueError(f"slowdown for {node!r} must be >= 1.0")
+        self._fetch_faults_left = dict(self.shuffle_failures)
+
+    # -- map / reduce attempts --------------------------------------------
 
     def start_map_attempt(self, task_id: int) -> int:
         """Register an attempt; raise :class:`TaskFailure` if it must die.
@@ -68,9 +110,116 @@ class FaultPlan:
             raise TaskFailure("map", task_id, attempt)
         return attempt
 
+    def start_reduce_attempt(self, partition: int) -> int:
+        """Register a reduce attempt; raise :class:`TaskFailure` if it dies."""
+        self._reduce_attempts[partition] += 1
+        attempt = self._reduce_attempts[partition]
+        if attempt > self.max_attempts:
+            raise RuntimeError(
+                f"reduce task {partition} exceeded max_attempts={self.max_attempts}"
+            )
+        if attempt <= self.reduce_failures.get(partition, 0):
+            raise TaskFailure("reduce", partition, attempt)
+        return attempt
+
     def attempts_of(self, task_id: int) -> int:
-        return self._attempts[task_id]
+        # .get, not indexing: reading an unknown task through the
+        # defaultdict would insert a spurious zero entry.
+        return self._attempts.get(task_id, 0)
+
+    def reduce_attempts_of(self, partition: int) -> int:
+        return self._reduce_attempts.get(partition, 0)
+
+    # -- node crashes ---------------------------------------------------------
+
+    def crashes_due(self, completed_maps: int) -> list[str]:
+        """Nodes whose crash trigger has been reached (each fires once)."""
+        due = [
+            node
+            for node, after in sorted(self.node_crashes.items())
+            if after <= completed_maps and node not in self._crashed
+        ]
+        self._crashed.update(due)
+        return due
+
+    def is_crashed(self, node: str) -> bool:
+        return node in self._crashed
+
+    # -- shuffle fetch faults ---------------------------------------------------
+
+    def take_fetch_fault(self, map_task: int, partition: int) -> bool:
+        """Consume one injected transient failure for this segment, if any."""
+        key = (map_task, partition)
+        left = self._fetch_faults_left.get(key, 0)
+        if left <= 0:
+            return False
+        self._fetch_faults_left[key] = left - 1
+        return True
+
+    # -- speculation ---------------------------------------------------------
+
+    def slowdown(self, node: str) -> float:
+        """Simulated-duration multiplier for ``node`` (1.0 = full speed)."""
+        return self.slow_nodes.get(node, 1.0)
+
+    # -- summaries ------------------------------------------------------------
 
     @property
     def total_failures_injected(self) -> int:
         return sum(self.map_failures.values())
+
+    @property
+    def total_reduce_failures_injected(self) -> int:
+        return sum(self.reduce_failures.values())
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        num_map_tasks: int,
+        num_reducers: int = 0,
+        nodes: Iterable[str] = (),
+        map_failure_rate: float = 0.25,
+        reduce_failure_rate: float = 0.25,
+        shuffle_failure_rate: float = 0.0,
+        crash_after: int | None = None,
+        max_attempts: int = 6,
+    ) -> "FaultPlan":
+        """A deterministic, seed-derived plan for randomized testing.
+
+        The same seed and shape always yield the same plan, so each engine
+        under test can be handed its own (stateful) instance.  At most one
+        node crash is scheduled (``crash_after`` map completions, on a
+        seed-chosen node) so that small test clusters keep a quorum.
+        """
+        rng = random.Random(seed)
+        map_failures = {
+            t: rng.randint(1, 2)
+            for t in range(num_map_tasks)
+            if rng.random() < map_failure_rate
+        }
+        reduce_failures = {
+            p: rng.randint(1, 2)
+            for p in range(num_reducers)
+            if rng.random() < reduce_failure_rate
+        }
+        shuffle_failures = {
+            (t, p): rng.randint(1, 2)
+            for t in range(num_map_tasks)
+            for p in range(num_reducers)
+            if rng.random() < shuffle_failure_rate
+        }
+        node_crashes: dict[str, int] = {}
+        node_list = sorted(nodes)
+        if crash_after is not None and node_list:
+            node_crashes[rng.choice(node_list)] = crash_after
+        return cls(
+            map_failures=map_failures,
+            reduce_failures=reduce_failures,
+            node_crashes=node_crashes,
+            shuffle_failures=shuffle_failures,
+            max_attempts=max_attempts,
+        )

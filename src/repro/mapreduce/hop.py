@@ -30,8 +30,14 @@ from repro.io.disk import LocalDisk
 from repro.io.runio import stream_run, write_run
 from repro.mapreduce.api import MapReduceJob
 from repro.mapreduce.counters import C, Counters
+from repro.mapreduce.faults import FaultPlan
 from repro.mapreduce.merge import MultiPassMerger, group_sorted, merge_sorted
 from repro.mapreduce.partition import Partitioner, hash_partitioner
+from repro.mapreduce.recovery import (
+    PartitionLog,
+    RecoveryManager,
+    SpeculationPolicy,
+)
 from repro.mapreduce.runtime import JobResult, LocalCluster
 from repro.mapreduce.scheduler import WaveScheduler
 from repro.hdfs.filesystem import InputSplit
@@ -279,8 +285,39 @@ class _PipelinedMapTask:
         self._staged.clear()
 
 
+class _BufferedReducer:
+    """Stands in for a reduce task while a map attempt is in flight.
+
+    With a fault plan, a map attempt must not push directly: a killed
+    attempt's chunks would be unrecallable.  The buffer absorbs the pushes
+    (preserving per-partition order) and the engine delivers them — via the
+    durable partition log — only after the attempt survives.
+    """
+
+    def __init__(self, real: PipelinedReduceTask) -> None:
+        self.real = real
+        self.chunks: list[tuple[list[tuple[Any, Any]], int]] = []
+
+    @property
+    def backlog_bytes(self) -> int:
+        return self.real.backlog_bytes
+
+    def accept_chunk(self, pairs: list[tuple[Any, Any]], nbytes: int) -> None:
+        self.chunks.append((pairs, nbytes))
+
+
 class HOPEngine:
-    """MapReduce Online: pipelined sort-merge with periodic snapshots."""
+    """MapReduce Online: pipelined sort-merge with periodic snapshots.
+
+    With a ``fault_plan``, pushes are buffered per map attempt and, on
+    success, appended to a 2-way replicated
+    :class:`~repro.mapreduce.recovery.PartitionLog` before delivery — the
+    durability a push architecture needs because map output never stays at
+    the mappers.  Killed map/reduce attempts retry through the shared
+    :class:`~repro.mapreduce.recovery.RecoveryManager` loop; a lost reduce
+    task (killed attempt or node crash) is rebuilt by replaying its
+    partition's log in delivery order.
+    """
 
     name = "hop"
 
@@ -290,10 +327,14 @@ class HOPEngine:
         *,
         hop_config: HOPConfig | None = None,
         map_slots: int = 2,
+        fault_plan: FaultPlan | None = None,
+        speculation: SpeculationPolicy | None = None,
     ) -> None:
         self.cluster = cluster
         self.hop = hop_config or HOPConfig()
         self.scheduler = WaveScheduler(cluster.compute_node_names, map_slots=map_slots)
+        self.fault_plan = fault_plan
+        self.speculation = speculation
 
     def _read_split(self, split: InputSplit, node: str) -> tuple[Iterator[Any], int, bool]:
         hdfs = self.cluster.hdfs
@@ -302,6 +343,147 @@ class HOPEngine:
         info = hdfs.namenode.file_info(split.block_id.path)
         codec = hdfs.codec(info.codec_name)
         return codec.decode(data), len(data), local
+
+    # -- fault tolerance ------------------------------------------------------
+
+    def _log_replicas(self, node: str) -> list[tuple[str, LocalDisk]]:
+        """Replica disks for a reducer's log: its own node plus the next."""
+        names = self.cluster.compute_node_names
+        chosen = [node]
+        if len(names) > 1:
+            chosen.append(names[(names.index(node) + 1) % len(names)])
+        return [(n, self.cluster.nodes[n].intermediate_disk) for n in chosen]
+
+    def _run_map_with_recovery(
+        self,
+        job: MapReduceJob,
+        recovery: RecoveryManager,
+        assignment: Any,
+        live: list[str],
+        reduce_tasks: dict[int, PipelinedReduceTask],
+        logs: dict[int, PartitionLog],
+        counters: Counters,
+    ) -> int:
+        """Run one map task; with a fault plan, buffer pushes until success."""
+        cluster = self.cluster
+        if self.fault_plan is None:
+            node = assignment.node
+            task = _PipelinedMapTask(
+                job,
+                assignment.task_id,
+                node,
+                cluster.nodes[node].intermediate_disk,
+                self.hop,
+                reduce_tasks,
+            )
+            records, nbytes, local = self._read_split(assignment.split, node)
+            task.run(records, input_bytes=nbytes)
+            counters.merge(task.counters)
+            return 0 if local else nbytes
+
+        network_bytes = 0
+
+        def attempt(node: str) -> dict[int, _BufferedReducer]:
+            nonlocal network_bytes
+            proxies = {p: _BufferedReducer(rt) for p, rt in reduce_tasks.items()}
+            task = _PipelinedMapTask(
+                job,
+                assignment.task_id,
+                node,
+                cluster.nodes[node].intermediate_disk,
+                self.hop,
+                proxies,
+            )
+            records, nbytes, local = self._read_split(assignment.split, node)
+            if not local:
+                network_bytes += nbytes
+            task.run(records, input_bytes=nbytes)
+            counters.merge(task.counters)
+            return proxies
+
+        def discard(_node: str, proxies: dict[int, _BufferedReducer]) -> None:
+            # A dead or losing attempt's buffered chunks never reached the
+            # reducers; dropping them is the whole cleanup.
+            for proxy in proxies.values():
+                proxy.chunks.clear()
+
+        _node, proxies = recovery.run_map_task(
+            assignment.task_id,
+            assignment.node,
+            live,
+            assignment.split.nbytes,
+            attempt,
+            discard,
+        )
+        for partition in sorted(proxies):
+            for pairs, nbytes in proxies[partition].chunks:
+                counters.inc(C.STAGED_OUTPUT_BYTES, nbytes)
+                logs[partition].append(pairs, nbytes)
+                reduce_tasks[partition].accept_chunk(pairs, nbytes)
+        return network_bytes
+
+    def _rebuild_reduce_task(
+        self,
+        job: MapReduceJob,
+        partition: int,
+        node: str,
+        log: PartitionLog,
+        counters: Counters,
+    ) -> PipelinedReduceTask:
+        """Reconstruct a lost reduce task by replaying its delivery log."""
+        disk = self.cluster.nodes[node].intermediate_disk
+        disk.delete_prefix(f"hop-reduce/{partition:03d}")
+        rtask = PipelinedReduceTask(job, partition, node, disk, self.hop)
+        for _seq, pairs, nbytes in log.replay():
+            rtask.accept_chunk(pairs, nbytes)
+            counters.inc(C.REPLAYED_RECORDS, len(pairs))
+            counters.inc(C.BYTES_RESHUFFLED, nbytes)
+        return rtask
+
+    def _handle_node_crash(
+        self,
+        crashed: str,
+        *,
+        job: MapReduceJob,
+        live: list[str],
+        reducer_nodes: dict[int, str],
+        reduce_tasks: dict[int, PipelinedReduceTask],
+        logs: dict[int, PartitionLog],
+        counters: Counters,
+    ) -> None:
+        """React to losing a whole node: re-replicate, rebuild its reducers."""
+        counters.inc(C.NODE_CRASHES)
+        live.remove(crashed)
+        if not live:
+            raise RuntimeError(f"node crash of {crashed} left no live compute nodes")
+        self.cluster.wipe_node(crashed)
+        report = self.cluster.hdfs.handle_node_loss(crashed)
+        if report.blocks_rereplicated:
+            counters.inc(C.BLOCKS_REREPLICATED, report.blocks_rereplicated)
+            counters.inc(C.BYTES_REREPLICATED, report.bytes_rereplicated)
+
+        for partition in sorted(logs):
+            log = logs[partition]
+            holders = [n for n, _ in log.replicas]
+            if crashed in holders:
+                candidates = [n for n in live if n not in holders]
+                if candidates:
+                    new_node = candidates[0]
+                    log.replace_replica(
+                        crashed, new_node, self.cluster.nodes[new_node].intermediate_disk
+                    )
+
+        for partition in sorted(reducer_nodes):
+            if reducer_nodes[partition] != crashed:
+                continue
+            dead = reduce_tasks[partition]
+            counters.merge(dead.counters)  # its work still happened
+            counters.inc(C.TASKS_RERUN)
+            new_node = live[partition % len(live)]
+            reducer_nodes[partition] = new_node
+            reduce_tasks[partition] = self._rebuild_reduce_task(
+                job, partition, new_node, logs[partition], counters
+            )
 
     def run(self, job: MapReduceJob) -> JobResult:
         if not job.input_path or not job.output_path:
@@ -320,6 +502,14 @@ class HOPEngine:
             )
             for p, node in reducer_nodes.items()
         }
+        live = list(cluster.compute_node_names)
+        recovery = RecoveryManager(
+            self.fault_plan, counters, speculation=self.speculation
+        )
+        logs: dict[int, PartitionLog] = {}
+        if self.fault_plan is not None:
+            for p, node in reducer_nodes.items():
+                logs[p] = PartitionLog(p, self._log_replicas(node), counters)
 
         network_bytes = 0
         snapshots: list[Snapshot] = []
@@ -328,20 +518,21 @@ class HOPEngine:
 
         t_map_start = time.perf_counter()
         for done, assignment in enumerate(assignments, start=1):
-            node = assignment.node
-            task = _PipelinedMapTask(
-                job,
-                assignment.task_id,
-                node,
-                cluster.nodes[node].intermediate_disk,
-                self.hop,
-                reduce_tasks,
+            network_bytes += self._run_map_with_recovery(
+                job, recovery, assignment, live, reduce_tasks, logs, counters
             )
-            records, nbytes, local = self._read_split(assignment.split, node)
-            if not local:
-                network_bytes += nbytes
-            task.run(records, input_bytes=nbytes)
-            counters.merge(task.counters)
+            if self.fault_plan is not None:
+                for crashed in self.fault_plan.crashes_due(done):
+                    with counters.timer(C.T_RECOVERY):
+                        self._handle_node_crash(
+                            crashed,
+                            job=job,
+                            live=live,
+                            reducer_nodes=reducer_nodes,
+                            reduce_tasks=reduce_tasks,
+                            logs=logs,
+                            counters=counters,
+                        )
 
             fraction = done / total_maps
             while (
@@ -359,15 +550,34 @@ class HOPEngine:
         t_reduce_start = time.perf_counter()
         hdfs.namenode.create_file(job.output_path, codec_name="binary")
         output_records = 0
-        for partition, rtask in sorted(reduce_tasks.items()):
-            output = rtask.run()
+        for partition in sorted(reduce_tasks):
+
+            def attempt(attempt_idx: int, partition: int = partition) -> list[Any]:
+                if attempt_idx > 0:
+                    # The previous attempt died mid-reduce: rebuild its
+                    # state on the next live node by replaying the log.
+                    dead = reduce_tasks[partition]
+                    counters.merge(dead.counters)  # its work still happened
+                    counters.inc(C.TASKS_RERUN)
+                    new_node = live[(partition + attempt_idx) % len(live)]
+                    reducer_nodes[partition] = new_node
+                    with counters.timer(C.T_RECOVERY):
+                        reduce_tasks[partition] = self._rebuild_reduce_task(
+                            job, partition, new_node, logs[partition], counters
+                        )
+                return reduce_tasks[partition].run()
+
+            output = recovery.run_reduce_task(partition, attempt)
+            counters.merge(reduce_tasks[partition].counters)
             output_records += len(output)
             if output:
                 hdfs.append_block(
                     job.output_path, output, writer_node=reducer_nodes[partition]
                 )
-            counters.merge(rtask.counters)
         t_reduce = time.perf_counter() - t_reduce_start
+
+        for partition in sorted(logs):
+            logs[partition].cleanup()
 
         counters.inc(C.OUTPUT_BYTES, hdfs.file_bytes(job.output_path))
         network_bytes += int(counters[C.SHUFFLE_BYTES])

@@ -16,6 +16,7 @@ merged and reduced, and every byte is accounted on the node disks.
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -25,10 +26,16 @@ from repro.io.device import HDD_7200RPM, SSD_SATA, DeviceProfile
 from repro.io.disk import DiskStats, LocalDisk
 from repro.mapreduce.api import MapReduceJob
 from repro.mapreduce.counters import C, Counters
-from repro.mapreduce.faults import FaultPlan, TaskFailure
-from repro.mapreduce.scheduler import ScheduleStats, WaveScheduler
-from repro.mapreduce.shuffle import ShuffleService
-from repro.mapreduce.sortmerge import SortMergeMapTask, SortMergeReduceTask
+from repro.mapreduce.faults import FaultPlan
+from repro.mapreduce.recovery import (
+    FetchRetryPolicy,
+    RecoveryManager,
+    SpeculationPolicy,
+    TaskLineage,
+)
+from repro.mapreduce.scheduler import ScheduleStats, TaskAssignment, WaveScheduler
+from repro.mapreduce.shuffle import FetchFailedError, ShuffleService
+from repro.mapreduce.sortmerge import MapOutput, SortMergeMapTask, SortMergeReduceTask
 
 __all__ = ["ClusterNode", "LocalCluster", "JobResult", "HadoopEngine"]
 
@@ -125,6 +132,16 @@ class LocalCluster:
             for name in self.compute_node_names
         }
 
+    def wipe_node(self, name: str) -> None:
+        """Simulate a machine crash: every byte stored on the node is lost.
+
+        HDFS block replicas, map output, spills, logs — all gone.  The
+        disks' accounting survives (the I/O the node performed before the
+        crash really happened and stays on the job's bill).
+        """
+        for disk in self.nodes[name].disks.values():
+            disk.delete_prefix("")
+
     def disk_stats(self) -> dict[str, DiskStats]:
         """Snapshot of every disk's counters, keyed ``node.device``."""
         out: dict[str, DiskStats] = {}
@@ -182,12 +199,27 @@ class JobResult:
 class HadoopEngine:
     """The sort-merge baseline: stock Hadoop's execution model.
 
-    ``fault_plan`` injects deterministic map-task failures: a killed
-    attempt runs (its work is charged to the job's counters — re-execution
-    is not free), its output files are discarded, and the task is retried
-    on the next candidate node, as Hadoop's JobTracker does.  The
-    synchronous map-output write is what makes this recovery possible —
-    the fault-tolerance rationale the paper cites for that write.
+    ``fault_plan`` injects deterministic failures, all recovered the way
+    Hadoop's JobTracker recovers them — and all charged to the job's
+    counters, because re-execution is not free:
+
+    * killed map/reduce attempts run, their output is discarded, and the
+      task retries on the next live candidate node;
+    * transient shuffle fetch failures back off exponentially; a segment
+      that stays unfetchable past the retry budget ("too many fetch
+      failures") re-executes its map task;
+    * a node crash loses every HDFS replica, completed map output and
+      reduce state on the node: under-replicated blocks re-replicate,
+      the lost maps re-execute on survivors, and the node's reducers
+      restart elsewhere and re-pull their partitions;
+    * slow nodes make completed-but-straggling attempts race a
+      speculative backup; the loser's work is counted as waste.
+
+    The synchronous map-output write is what makes this recovery
+    possible — the fault-tolerance rationale the paper cites for that
+    write.  ``fetch_interval`` sets how many map completions pass between
+    reducer pulls (Hadoop's poll period); larger values leave segments
+    unfetched longer, which matters when a node dies in between.
     """
 
     name = "hadoop"
@@ -198,12 +230,20 @@ class HadoopEngine:
         *,
         map_slots: int = 2,
         fault_plan: FaultPlan | None = None,
+        fetch_interval: int = 1,
+        retry_policy: FetchRetryPolicy | None = None,
+        speculation: SpeculationPolicy | None = None,
     ) -> None:
+        if fetch_interval < 1:
+            raise ValueError("fetch_interval must be >= 1")
         self.cluster = cluster
         self.scheduler = WaveScheduler(
             cluster.compute_node_names, map_slots=map_slots
         )
         self.fault_plan = fault_plan
+        self.fetch_interval = fetch_interval
+        self.retry_policy = retry_policy
+        self.speculation = speculation
 
     # -- input ------------------------------------------------------------
 
@@ -234,51 +274,183 @@ class HadoopEngine:
 
     # -- execution -----------------------------------------------------------
 
-    def _run_map_with_retries(self, job, assignment, counters):
-        """Execute one map task, re-running killed attempts.
+    def _execute_map(
+        self,
+        job: MapReduceJob,
+        recovery: RecoveryManager,
+        task_id: int,
+        split: InputSplit,
+        preferred: str,
+        live: list[str],
+        counters: Counters,
+    ) -> tuple[str, MapOutput, int]:
+        """Run one map task through the shared recovery loop.
 
-        Returns ``(MapOutput, network_bytes)``.  A killed attempt's work
-        (read, map, sort, spill writes) is charged to the job before its
-        files are discarded — recovery costs real resources.
+        Returns ``(winning node, output, network bytes)``.  Every attempt
+        — killed, speculative loser or winner — charges its read, map,
+        sort and spill work to the job.
         """
         cluster = self.cluster
-        task_id = assignment.task_id
-        candidates = [assignment.node] + [
-            n for n in cluster.compute_node_names if n != assignment.node
-        ]
         network_bytes = 0
-        for attempt_idx in range(
-            self.fault_plan.max_attempts if self.fault_plan else 1
-        ):
-            node = candidates[attempt_idx % len(candidates)]
-            dies = False
-            if self.fault_plan is not None:
-                try:
-                    self.fault_plan.start_map_attempt(task_id)
-                except TaskFailure:
-                    dies = True
+
+        def attempt(node: str) -> MapOutput:
+            nonlocal network_bytes
             task = SortMergeMapTask(
                 job, task_id, node, cluster.nodes[node].intermediate_disk
             )
-            records, nbytes, local = self._read_split(
-                assignment.split, node, task.counters
-            )
+            records, nbytes, local = self._read_split(split, node, task.counters)
             if not local:
                 network_bytes += nbytes
             output = task.run(records, input_bytes=nbytes)
             counters.merge(task.counters)
-            if not dies:
-                return output, network_bytes
-            # The node died before the completion report: its output files
-            # are gone; the JobTracker reschedules elsewhere.
+            return output
+
+        def discard(node: str, _output: MapOutput) -> None:
+            # The attempt died (or lost the speculative race) before its
+            # completion report: its output files are gone.
             disk = cluster.nodes[node].intermediate_disk
             disk.delete_prefix(f"mapout/{task_id:05d}")
             disk.delete_prefix(f"mapspill/{task_id:05d}")
-            counters.inc(C.MAP_TASK_RETRIES)
-        raise RuntimeError(
-            f"map task {task_id} exhausted "
-            f"{self.fault_plan.max_attempts if self.fault_plan else 1} attempts"
+
+        node, output = recovery.run_map_task(
+            task_id, preferred, live, split.nbytes, attempt, discard
         )
+        return node, output, network_bytes
+
+    def _rerun_lost_map(
+        self,
+        job: MapReduceJob,
+        recovery: RecoveryManager,
+        shuffle: ShuffleService,
+        lineage: TaskLineage,
+        task_id: int,
+        live: list[str],
+        splits_by_task: dict[int, InputSplit],
+        counters: Counters,
+    ) -> int:
+        """Re-execute a map whose output is lost; re-register fresh output.
+
+        Already-delivered segments stay valid at their reducers (the
+        shuffle keeps fetch marks across ``invalidate``), so only the
+        still-missing segments are served from the new output.
+        """
+        old_node = lineage.node_of(task_id)
+        if old_node is not None:
+            disk = self.cluster.nodes[old_node].intermediate_disk
+            disk.delete_prefix(f"mapout/{task_id:05d}")
+            disk.delete_prefix(f"mapspill/{task_id:05d}")
+        shuffle.invalidate(task_id)
+        lineage.forget(task_id)
+        counters.inc(C.TASKS_RERUN)
+        split = splits_by_task[task_id]
+        rescheduler = WaveScheduler(live, map_slots=self.scheduler.map_slots)
+        preferred = rescheduler.schedule([split])[0][0].node
+        node, output, network_bytes = self._execute_map(
+            job, recovery, task_id, split, preferred, live, counters
+        )
+        shuffle.register(output)
+        lineage.record(task_id, node, output.total_bytes)
+        return network_bytes
+
+    def _pull_partition(
+        self,
+        partition: int,
+        rtask: SortMergeReduceTask,
+        job: MapReduceJob,
+        recovery: RecoveryManager,
+        shuffle: ShuffleService,
+        lineage: TaskLineage,
+        live: list[str],
+        splits_by_task: dict[int, InputSplit],
+        counters: Counters,
+    ) -> int:
+        """Fetch every pending segment for ``partition`` into ``rtask``.
+
+        A segment that exhausts its fetch retries ("too many fetch
+        failures") re-executes its map task; the loop then pulls from the
+        fresh output.  Returns the network bytes spent on re-executions.
+        """
+        network_bytes = 0
+        while True:
+            pending = shuffle.pending_fetches(partition)
+            if not pending:
+                return network_bytes
+            for task_id in pending:
+                try:
+                    seg = shuffle.fetch(task_id, partition)
+                except FetchFailedError:
+                    with counters.timer(C.T_RECOVERY):
+                        network_bytes += self._rerun_lost_map(
+                            job,
+                            recovery,
+                            shuffle,
+                            lineage,
+                            task_id,
+                            live,
+                            splits_by_task,
+                            counters,
+                        )
+                    continue
+                rtask.accept_segment(list(seg.pairs), seg.nbytes)
+
+    def _handle_node_crash(
+        self,
+        crashed: str,
+        *,
+        job: MapReduceJob,
+        shuffle: ShuffleService,
+        lineage: TaskLineage,
+        reduce_tasks: dict[int, SortMergeReduceTask],
+        reducer_nodes: dict[int, str],
+        queue: deque[TaskAssignment],
+        splits_by_task: dict[int, InputSplit],
+        live: list[str],
+        counters: Counters,
+    ) -> None:
+        """JobTracker reaction to losing a whole node mid-job.
+
+        The node's HDFS replicas re-replicate, its completed map tasks
+        re-execute on survivors (rescheduled with locality), and its
+        reduce tasks restart on survivors — their partitions re-pulled in
+        full on the next drain.
+        """
+        counters.inc(C.NODE_CRASHES)
+        live.remove(crashed)
+        if not live:
+            raise RuntimeError(f"node crash of {crashed} left no live compute nodes")
+        self.cluster.wipe_node(crashed)
+        report = self.cluster.hdfs.handle_node_loss(crashed)
+        if report.blocks_rereplicated:
+            counters.inc(C.BLOCKS_REREPLICATED, report.blocks_rereplicated)
+            counters.inc(C.BYTES_REREPLICATED, report.bytes_rereplicated)
+
+        # Completed map output on the node died with it.
+        lost = lineage.tasks_on(crashed)
+        for task_id in lost:
+            shuffle.invalidate(task_id)
+            lineage.forget(task_id)
+        if lost:
+            counters.inc(C.TASKS_RERUN, len(lost))
+            rescheduler = WaveScheduler(live, map_slots=self.scheduler.map_slots)
+            reassigned, _ = rescheduler.schedule([splits_by_task[t] for t in lost])
+            for a in reassigned:
+                queue.append(
+                    TaskAssignment(lost[a.task_id], a.split, a.node, a.wave, a.data_local)
+                )
+
+        # Reduce tasks resident on the node lost everything they fetched.
+        for partition in sorted(reducer_nodes):
+            if reducer_nodes[partition] != crashed:
+                continue
+            new_node = live[partition % len(live)]
+            reducer_nodes[partition] = new_node
+            dead = reduce_tasks[partition]
+            counters.merge(dead.counters)  # its work still happened
+            counters.inc(C.TASKS_RERUN)
+            reduce_tasks[partition] = SortMergeReduceTask(
+                job, partition, new_node, self.cluster.nodes[new_node].intermediate_disk
+            )
+            shuffle.reset_partition(partition)
 
     def run(self, job: MapReduceJob) -> JobResult:
         """Execute ``job``; returns the merged counters and output path."""
@@ -287,48 +459,133 @@ class HadoopEngine:
         cluster = self.cluster
         hdfs = cluster.hdfs
         counters = Counters()
+        recovery = RecoveryManager(
+            self.fault_plan, counters, speculation=self.speculation
+        )
         t_start = time.perf_counter()
 
         splits = hdfs.input_splits(job.input_path)
         assignments, sched_stats = self.scheduler.schedule(splits)
         reducer_nodes = self.scheduler.assign_reducers(job.config.num_reducers)
+        splits_by_task = {a.task_id: a.split for a in assignments}
+        live = list(cluster.compute_node_names)
 
-        shuffle = ShuffleService(cluster.intermediate_disks())
+        shuffle = ShuffleService(
+            cluster.intermediate_disks(),
+            fault_plan=self.fault_plan,
+            retry_policy=self.retry_policy,
+        )
         reduce_tasks = {
             p: SortMergeReduceTask(
                 job, p, node, cluster.nodes[node].intermediate_disk
             )
             for p, node in reducer_nodes.items()
         }
+        lineage = TaskLineage()
         network_bytes = 0
 
-        # ---- map phase (with eager shuffle after each completion) ----
+        def drain() -> int:
+            net = 0
+            for partition in sorted(reduce_tasks):
+                net += self._pull_partition(
+                    partition,
+                    reduce_tasks[partition],
+                    job,
+                    recovery,
+                    shuffle,
+                    lineage,
+                    live,
+                    splits_by_task,
+                    counters,
+                )
+            return net
+
+        # ---- map phase (reducers pull every ``fetch_interval`` completions) ----
         t_map_start = time.perf_counter()
-        for assignment in assignments:
-            output, extra_net = self._run_map_with_retries(job, assignment, counters)
+        queue: deque[TaskAssignment] = deque(assignments)
+        completed_maps = 0
+        since_drain = 0
+        while queue:
+            a = queue.popleft()
+            node, output, extra_net = self._execute_map(
+                job, recovery, a.task_id, a.split, a.node, live, counters
+            )
             network_bytes += extra_net
             shuffle.register(output)
-            # Reducers poll and pull freshly completed output.
-            for partition, rtask in reduce_tasks.items():
-                for seg in shuffle.fetch_all(partition):
-                    rtask.accept_segment(list(seg.pairs), seg.nbytes)
+            lineage.record(a.task_id, node, output.total_bytes)
+            completed_maps += 1
+            since_drain += 1
+            if self.fault_plan is not None:
+                for crashed in self.fault_plan.crashes_due(completed_maps):
+                    with counters.timer(C.T_RECOVERY):
+                        self._handle_node_crash(
+                            crashed,
+                            job=job,
+                            shuffle=shuffle,
+                            lineage=lineage,
+                            reduce_tasks=reduce_tasks,
+                            reducer_nodes=reducer_nodes,
+                            queue=queue,
+                            splits_by_task=splits_by_task,
+                            live=live,
+                            counters=counters,
+                        )
+            if since_drain >= self.fetch_interval or not queue:
+                network_bytes += drain()
+                since_drain = 0
         t_map = time.perf_counter() - t_map_start
 
         # ---- reduce phase (blocking merge + reduce + output write) ----
         t_reduce_start = time.perf_counter()
         hdfs.namenode.create_file(job.output_path, codec_name="binary")
         output_records = 0
-        for partition, rtask in sorted(reduce_tasks.items()):
-            output, _groups = rtask.run()
+        for partition in sorted(reduce_tasks):
+
+            def attempt(attempt_idx: int, partition: int = partition) -> list[Any]:
+                nonlocal network_bytes
+                if attempt_idx > 0:
+                    # The previous attempt died mid-reduce: its fetched
+                    # segments, merge runs and partial output are gone.  A
+                    # fresh task on the next live node re-pulls the whole
+                    # partition from the mapper disks.
+                    dead = reduce_tasks[partition]
+                    counters.merge(dead.counters)  # its work still happened
+                    counters.inc(C.TASKS_RERUN)
+                    new_node = live[(partition + attempt_idx) % len(live)]
+                    reducer_nodes[partition] = new_node
+                    rtask = SortMergeReduceTask(
+                        job,
+                        partition,
+                        new_node,
+                        cluster.nodes[new_node].intermediate_disk,
+                    )
+                    reduce_tasks[partition] = rtask
+                    shuffle.reset_partition(partition)
+                    network_bytes += self._pull_partition(
+                        partition,
+                        rtask,
+                        job,
+                        recovery,
+                        shuffle,
+                        lineage,
+                        live,
+                        splits_by_task,
+                        counters,
+                    )
+                output, _groups = reduce_tasks[partition].run()
+                return output
+
+            output = recovery.run_reduce_task(partition, attempt)
+            counters.merge(reduce_tasks[partition].counters)
             output_records += len(output)
             if output:
                 hdfs.append_block(
                     job.output_path, output, writer_node=reducer_nodes[partition]
                 )
-            counters.merge(rtask.counters)
         t_reduce = time.perf_counter() - t_reduce_start
 
         shuffle.cleanup()
+        shuffle.merge_stats(counters)
         network_bytes += shuffle.network_bytes
         counters.inc(C.OUTPUT_BYTES, hdfs.file_bytes(job.output_path))
         wall = time.perf_counter() - t_start

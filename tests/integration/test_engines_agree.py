@@ -132,6 +132,84 @@ class TestConfigurationInvariance:
         assert dict(cluster.hdfs.read_records("out")) == reference_user_counts(clicks)
 
 
+class TestAgreementUnderRandomFaults:
+    """The portability claim must survive a hostile cluster.
+
+    Each engine runs under its *own* FaultPlan instance derived from the
+    same seed (plans are stateful), so all three see the same injected
+    map/reduce failures, shuffle faults and node crash — and must still
+    produce exactly the answer of a fault-free run.
+    """
+
+    @pytest.mark.parametrize("seed", [7, 23, 51])
+    def test_three_engines_agree_under_faults(self, clicks, seed):
+        from repro.mapreduce.faults import FaultPlan
+
+        def cluster():
+            c = LocalCluster(num_nodes=4, block_size=64 * 1024, replication=2)
+            c.hdfs.write_records("in", clicks)
+            return c
+
+        probe = cluster()
+        n_tasks = len(probe.hdfs.input_splits("in"))
+
+        def plan():
+            return FaultPlan.random(
+                seed=seed,
+                num_map_tasks=n_tasks,
+                num_reducers=2,
+                nodes=probe.nodes,
+                shuffle_failure_rate=0.05,
+                crash_after=3,
+            )
+
+        ref = reference_user_counts(clicks)
+        runs = {
+            "hadoop": lambda c: HadoopEngine(c, fault_plan=plan()).run(
+                per_user_count_job("in", "out")
+            ),
+            "hop": lambda c: HOPEngine(c, fault_plan=plan()).run(
+                per_user_count_job("in", "out")
+            ),
+            "onepass": lambda c: OnePassEngine(
+                c, fault_plan=plan(), checkpoint_interval=4
+            ).run(per_user_count_onepass_job("in", "out")),
+        }
+        for name, run in runs.items():
+            faulty = cluster()
+            run(faulty)
+            assert dict(faulty.hdfs.read_records("out")) == ref, name
+
+    def test_faulty_run_matches_clean_run_exactly(self, clicks):
+        """Not just the same dict — the same bytes, in the same order."""
+        from repro.mapreduce.faults import FaultPlan
+
+        for engine_cls, job in (
+            (HadoopEngine, per_user_count_job),
+            (HOPEngine, per_user_count_job),
+            (OnePassEngine, per_user_count_onepass_job),
+        ):
+            def cluster():
+                c = LocalCluster(num_nodes=4, block_size=64 * 1024, replication=2)
+                c.hdfs.write_records("in", clicks)
+                return c
+
+            clean_cluster = cluster()
+            engine_cls(clean_cluster).run(job("in", "out"))
+            expected = list(clean_cluster.hdfs.read_records("out"))
+
+            faulty_cluster = cluster()
+            plan = FaultPlan(
+                map_failures={0: 1, 2: 1},
+                reduce_failures={1: 1},
+                node_crashes={"node02": 4},
+            )
+            engine_cls(faulty_cluster, fault_plan=plan).run(job("in", "out"))
+            assert (
+                list(faulty_cluster.hdfs.read_records("out")) == expected
+            ), engine_cls.__name__
+
+
 class TestPropertyRandomStreams:
     @given(
         seed=st.integers(0, 10_000),

@@ -54,6 +54,75 @@ class TestFaultPlan:
     def test_total_failures(self):
         assert FaultPlan(map_failures={1: 2, 5: 1}).total_failures_injected == 3
 
+    def test_attempts_of_does_not_mutate(self):
+        plan = FaultPlan()
+        assert plan.attempts_of(42) == 0
+        assert plan.reduce_attempts_of(42) == 0
+        # Reading an unknown task must not insert a defaultdict entry.
+        assert 42 not in plan._attempts
+        assert 42 not in plan._reduce_attempts
+
+    def test_reduce_attempts_tracked_separately(self):
+        plan = FaultPlan(reduce_failures={0: 1})
+        with pytest.raises(TaskFailure) as e:
+            plan.start_reduce_attempt(0)
+        assert e.value.kind == "reduce"
+        assert plan.start_reduce_attempt(0) == 2
+        assert plan.reduce_attempts_of(0) == 2
+        assert plan.attempts_of(0) == 0  # map side untouched
+
+    def test_crashes_fire_once_in_order(self):
+        plan = FaultPlan(node_crashes={"node02": 2, "node01": 2, "node03": 5})
+        assert plan.crashes_due(1) == []
+        assert plan.crashes_due(2) == ["node01", "node02"]
+        assert plan.crashes_due(3) == []  # already fired
+        assert plan.crashes_due(9) == ["node03"]
+        assert plan.is_crashed("node01")
+        assert plan.is_crashed("node03")
+
+    def test_fetch_faults_are_consumed(self):
+        plan = FaultPlan(shuffle_failures={(0, 1): 2})
+        assert plan.take_fetch_fault(0, 1)
+        assert plan.take_fetch_fault(0, 1)
+        assert not plan.take_fetch_fault(0, 1)
+        assert not plan.take_fetch_fault(9, 9)
+
+    def test_slowdown_defaults_to_full_speed(self):
+        plan = FaultPlan(slow_nodes={"node01": 4.0})
+        assert plan.slowdown("node01") == 4.0
+        assert plan.slowdown("node00") == 1.0
+        with pytest.raises(ValueError):
+            FaultPlan(slow_nodes={"node01": 0.5})
+
+    def test_crash_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(node_crashes={"node01": 0})
+        with pytest.raises(ValueError):
+            FaultPlan(shuffle_failures={(0, 0): -1})
+
+    def test_random_plans_are_seed_deterministic(self):
+        def make():
+            return FaultPlan.random(
+                seed=99,
+                num_map_tasks=10,
+                num_reducers=4,
+                nodes=["node00", "node01", "node02"],
+                shuffle_failure_rate=0.1,
+                crash_after=3,
+            )
+
+        a, b = make(), make()
+        assert a.map_failures == b.map_failures
+        assert a.reduce_failures == b.reduce_failures
+        assert a.shuffle_failures == b.shuffle_failures
+        assert a.node_crashes == b.node_crashes
+        assert len(a.node_crashes) == 1
+        other = FaultPlan.random(seed=100, num_map_tasks=10, num_reducers=4)
+        assert (
+            other.map_failures != a.map_failures
+            or other.reduce_failures != a.reduce_failures
+        )
+
 
 class TestHadoopFaultTolerance:
     def test_answers_survive_failures(self, clicks):

@@ -4,7 +4,10 @@ import pytest
 
 from repro.io.disk import LocalDisk
 from repro.mapreduce.api import JobConfig, MapReduceJob
-from repro.mapreduce.shuffle import ShuffleService
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.faults import FaultPlan
+from repro.mapreduce.recovery import FetchRetryPolicy
+from repro.mapreduce.shuffle import FetchFailedError, ShuffleService
 from repro.mapreduce.sortmerge import SortMergeMapTask
 
 
@@ -112,3 +115,74 @@ class TestShuffleService:
         for partition in range(2):
             tasks = service.pending_fetches(partition)
             assert tasks == sorted(tasks)
+
+
+class TestShuffleFaults:
+    def registered(self, plan, **kwargs):
+        disk = LocalDisk(name="n0")
+        service = ShuffleService({"n0": disk}, fault_plan=plan, **kwargs)
+        out = run_map(0, disk, ["a b c d e f"])
+        service.register(out)
+        return service, out
+
+    def test_transient_failures_back_off_then_succeed(self):
+        plan = FaultPlan(shuffle_failures={(0, 0): 2})
+        service, out = self.registered(
+            plan, retry_policy=FetchRetryPolicy(max_retries=4, base_backoff_ms=100.0)
+        )
+        seg = service.fetch(0, 0)
+        assert len(seg.pairs) > 0
+        assert service.fetch_failures == 2
+        assert service.backoff_ms == 100.0 + 200.0  # exponential
+
+    def test_too_many_failures_declare_output_lost(self):
+        plan = FaultPlan(shuffle_failures={(0, 0): 99})
+        service, _ = self.registered(
+            plan, retry_policy=FetchRetryPolicy(max_retries=3)
+        )
+        with pytest.raises(FetchFailedError) as e:
+            service.fetch(0, 0)
+        assert (e.value.map_task, e.value.partition) == (0, 0)
+        assert service.fetch_failures == 3
+        # The segment is still pending: a rerun can serve it later.
+        assert 0 in service.pending_fetches(0)
+
+    def test_invalidate_keeps_fetch_marks(self):
+        service, out = self.registered(FaultPlan())
+        service.fetch(0, 0)
+        service.invalidate(0)
+        assert service.completed_maps == []
+        # Re-registering the rerun's output only offers unfetched segments.
+        service.register(out)
+        assert 0 not in service.pending_fetches(0)
+        other = [p for p in out.segments if p != 0]
+        for p in other:
+            assert 0 in service.pending_fetches(p)
+
+    def test_reset_partition_allows_refetch(self):
+        service, _ = self.registered(FaultPlan())
+        service.fetch(0, 0)
+        service.reset_partition(0)
+        assert 0 in service.pending_fetches(0)
+        seg = service.fetch(0, 0)
+        assert len(seg.pairs) > 0
+
+    def test_refetch_pays_disk_and_counts_as_rework(self):
+        service, out = self.registered(FaultPlan(), serve_from_page_cache=True)
+        disk = service.mapper_disks["n0"]
+        service.fetch(0, 0)  # fresh: page cache, no disk read
+        reads_before = disk.stats.bytes_read
+        service.reset_partition(0)
+        seg = service.fetch(0, 0)  # refetch: must hit disk
+        assert disk.stats.bytes_read > reads_before
+        assert service.refetched_bytes == seg.nbytes
+        counters = Counters()
+        service.merge_stats(counters)
+        from repro.mapreduce.counters import C
+
+        assert counters[C.BYTES_RESHUFFLED] == seg.nbytes
+
+    def test_outputs_on_names_node_local_maps(self):
+        service, _ = self.registered(FaultPlan())
+        assert service.outputs_on("n0") == [0]
+        assert service.outputs_on("n1") == []
