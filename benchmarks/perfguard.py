@@ -1,0 +1,186 @@
+"""Perf-regression guard for the serial hot-path kernels.
+
+Measures four micro-kernels that PR 2 optimised — frame codec round-trip,
+partition-key sorting, streaming run merge, incremental hash update — and
+normalises each timing by a fixed pure-Python calibration loop run on the
+same machine.  The resulting *scores* are dimensionless ("kernel costs
+3.1 calibration units"), so a baseline recorded on one machine is
+comparable on another: hardware speed cancels out, algorithmic
+regressions do not.
+
+Usage::
+
+    python benchmarks/perfguard.py --write   # record baseline BENCH_PR2.json
+    python benchmarks/perfguard.py --check   # fail (exit 1) on >25% regression
+
+CI runs ``--check`` against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_PR2.json"
+TOLERANCE = 0.25  # fail when a kernel's score regresses by more than this
+REPEATS = 7  # best-of-N to shave scheduler noise
+
+
+def _time_once(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def _score(fn, repeats: int = REPEATS) -> float:
+    """Kernel time in calibration units, robust to CPU-frequency drift.
+
+    Each repeat times the calibration loop immediately before the kernel
+    and takes their ratio, so a machine-wide slowdown hits numerator and
+    denominator alike; the minimum ratio across repeats is the cleanest
+    pairing (both measurements unperturbed).
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        calib = _time_once(calibration_loop)
+        best = min(best, _time_once(fn) / calib)
+    return best
+
+
+def calibration_loop() -> None:
+    """Fixed pure-Python work the kernel timings are normalised by."""
+    acc = 0
+    table: dict[int, int] = {}
+    for i in range(200_000):
+        acc += i * i
+        table[i & 1023] = acc
+    assert acc > 0 and len(table) == 1024
+
+
+# -- kernels ------------------------------------------------------------------
+
+
+def _click_pairs(n: int) -> list[tuple[str, tuple[float, str]]]:
+    rng = random.Random(1729)
+    return [
+        (f"user{rng.randrange(500):04d}", (rng.random() * 3600.0, f"/page/{rng.randrange(200)}"))
+        for _ in range(n)
+    ]
+
+
+def kernel_frames_roundtrip() -> None:
+    from repro.io.serialization import encode_frames, iter_frames
+
+    pairs = _click_pairs(20_000)
+    data = encode_frames(pairs)
+    assert sum(1 for _ in iter_frames(data)) == len(pairs)
+
+
+def kernel_partition_sort() -> None:
+    from repro.mapreduce.sortmerge import _PARTITION_KEY
+
+    rng = random.Random(4104)
+    rows = [
+        (rng.randrange(8), f"key{rng.randrange(4096):05d}", rng.random())
+        for _ in range(120_000)
+    ]
+    rows.sort(key=_PARTITION_KEY)
+    assert rows[0][0] == 0
+
+
+def kernel_merge_streams() -> None:
+    from repro.mapreduce.merge import merge_sorted
+
+    rng = random.Random(2718)
+    streams = [
+        iter(sorted((f"k{rng.randrange(10_000):05d}", i) for _ in range(15_000)))
+        for i in range(8)
+    ]
+    count = sum(1 for _ in merge_sorted(streams))
+    assert count == 8 * 15_000
+
+
+def kernel_incremental_update() -> None:
+    from repro.core.aggregates import SUM
+    from repro.core.incremental import IncrementalHash
+
+    rng = random.Random(5050)
+    table = IncrementalHash(SUM)
+    for _ in range(100_000):
+        table.update(f"user{rng.randrange(2_000):04d}", 1)
+    assert table.resident_keys == 2_000
+
+
+KERNELS = {
+    "frames_roundtrip": kernel_frames_roundtrip,
+    "partition_sort": kernel_partition_sort,
+    "merge_streams": kernel_merge_streams,
+    "incremental_update": kernel_incremental_update,
+}
+
+
+def measure() -> dict[str, float]:
+    calibration_loop()  # warm up allocator and interned small ints
+    return {name: round(_score(fn), 4) for name, fn in KERNELS.items()}
+
+
+def cmd_write(path: Path) -> int:
+    # Two full passes, per-kernel max: a conservative baseline, so a lucky
+    # fast pair at record time cannot turn into spurious CI failures later.
+    first, second = measure(), measure()
+    scores = {name: max(first[name], second[name]) for name in first}
+    payload = {
+        "description": "perfguard baseline: kernel time / calibration-loop time",
+        "tolerance": TOLERANCE,
+        "kernels": scores,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    for name, score in sorted(scores.items()):
+        print(f"  {name:24s} {score:8.4f}")
+    return 0
+
+
+def cmd_check(path: Path) -> int:
+    if not path.exists():
+        print(f"no baseline at {path}; run with --write first", file=sys.stderr)
+        return 2
+    baseline = json.loads(path.read_text())
+    tolerance = float(baseline.get("tolerance", TOLERANCE))
+    scores = measure()
+    failed = False
+    print(f"{'kernel':24s} {'baseline':>10s} {'current':>10s} {'ratio':>8s}")
+    for name, base in sorted(baseline["kernels"].items()):
+        current = scores.get(name)
+        if current is None:
+            print(f"{name:24s} {base:10.4f} {'MISSING':>10s}")
+            failed = True
+            continue
+        ratio = current / base
+        verdict = "FAIL" if ratio > 1 + tolerance else "ok"
+        if verdict == "FAIL":
+            failed = True
+        print(f"{name:24s} {base:10.4f} {current:10.4f} {ratio:7.2f}x  {verdict}")
+    if failed:
+        print(f"\nperfguard: regression beyond {tolerance:.0%} tolerance", file=sys.stderr)
+        return 1
+    print(f"\nperfguard: all kernels within {tolerance:.0%} of baseline")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--write", action="store_true", help="record a new baseline")
+    mode.add_argument("--check", action="store_true", help="compare against baseline")
+    parser.add_argument("--baseline", type=Path, default=BASELINE_PATH)
+    args = parser.parse_args(argv)
+    return cmd_write(args.baseline) if args.write else cmd_check(args.baseline)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,7 +79,9 @@ def _build_jobs(workload: str):
     raise SystemExit(f"unknown workload {workload!r}")
 
 
-def _run_real(workload: str, engine: str, records: int, nodes: int) -> Any:
+def _run_real(
+    workload: str, engine: str, records: int, nodes: int, executor: str | None = None
+) -> Any:
     from repro.core.engine import OnePassEngine
     from repro.mapreduce.hop import HOPEngine
     from repro.mapreduce.runtime import HadoopEngine, LocalCluster
@@ -88,14 +90,14 @@ def _run_real(workload: str, engine: str, records: int, nodes: int) -> Any:
     cluster = LocalCluster(num_nodes=nodes, block_size=256 * 1024)
     cluster.hdfs.write_records("in", records_fn(records))
     if engine == "hadoop":
-        return HadoopEngine(cluster).run(sm_job("in", "out"))
+        return HadoopEngine(cluster, executor=executor).run(sm_job("in", "out"))
     if engine == "hop":
-        return HOPEngine(cluster).run(sm_job("in", "out"))
-    return OnePassEngine(cluster).run(op_job("in", "out"))
+        return HOPEngine(cluster, executor=executor).run(sm_job("in", "out"))
+    return OnePassEngine(cluster, executor=executor).run(op_job("in", "out"))
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    result = _run_real(args.workload, args.engine, args.records, args.nodes)
+    result = _run_real(args.workload, args.engine, args.records, args.nodes, args.executor)
     c = result.counters
     print(
         format_table(
@@ -226,6 +228,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--engine", choices=ENGINES, default="onepass")
     p_run.add_argument("--records", type=int, default=50_000)
     p_run.add_argument("--nodes", type=int, default=3)
+    p_run.add_argument(
+        "--executor",
+        default=None,
+        help="task executor: serial (default), threads[:N], or processes[:N]",
+    )
     p_run.set_defaults(fn=cmd_run)
 
     p_sim = sub.add_parser("simulate", help="simulate at paper scale")

@@ -30,6 +30,7 @@ from repro.core.hotset import ApproximateResult, HotSetIncrementalHash
 from repro.core.hybrid_hash import HybridHashGrouper
 from repro.core.incremental import EmitPolicy, IncrementalHash
 from repro.core.partitioner import MapSideHashCombiner, ScanPartitionBuffer
+from repro.exec import resolve_executor
 from repro.hdfs.filesystem import InputSplit
 from repro.io.disk import LocalDisk
 from repro.mapreduce.api import ReduceFn
@@ -44,7 +45,13 @@ from repro.mapreduce.recovery import (
 from repro.mapreduce.runtime import JobResult, LocalCluster
 from repro.mapreduce.scheduler import WaveScheduler
 
-__all__ = ["OnePassConfig", "OnePassJob", "OnePassReduceTask", "OnePassEngine"]
+__all__ = [
+    "OnePassConfig",
+    "OnePassJob",
+    "OnePassReduceTask",
+    "OnePassEngine",
+    "execute_onepass_map",
+]
 
 FinalizeFn = Callable[[Any, Any], Iterable[Any]]
 
@@ -262,6 +269,66 @@ def _default_finalize(key: Any, result: Any) -> Iterable[Any]:
     yield (key, result)
 
 
+def execute_onepass_map(
+    job: OnePassJob,
+    codec: Any,
+    data: bytes,
+    sink: Callable[[int, list[tuple[Any, Any]], int], None],
+) -> Counters:
+    """One map task's pure body: decode, map, partition/combine into ``sink``.
+
+    This is the worker-side half of the one-pass map task (the
+    ``onepass_map`` kernel): no disk or HDFS access, no engine state — its
+    only effect is the ordered stream of chunks pushed through ``sink``.
+    Returns the task's counters for the coordinator to merge.
+    """
+    from repro.exec.kernels import timed_decode
+
+    cfg = job.config
+    task_counters = Counters()
+    task_counters.inc(C.MAP_TASKS)
+    records = timed_decode(codec, data, task_counters)
+    task_counters.inc(C.MAP_INPUT_BYTES, len(data))
+
+    if job.is_aggregate and cfg.map_side_combine:
+        buffer: Any = MapSideHashCombiner(
+            cfg.num_reducers,
+            job.aggregator,
+            sink,
+            memory_bytes=cfg.map_memory_bytes,
+            counters=task_counters,
+        )
+    else:
+        buffer = ScanPartitionBuffer(
+            cfg.num_reducers,
+            sink,
+            buffer_bytes=cfg.map_buffer_bytes,
+            counters=task_counters,
+        )
+
+    map_fn = job.map_fn
+    perf = time.perf_counter
+    t_map_fn = 0.0
+    t_hash = 0.0
+    n_in = 0
+    for record in records:
+        n_in += 1
+        t0 = perf()
+        emitted = list(map_fn(record))
+        t1 = perf()
+        for key, value in emitted:
+            buffer.add(key, value)
+        t_hash += perf() - t1
+        t_map_fn += t1 - t0
+    t0 = perf()
+    buffer.finish()
+    t_hash += perf() - t0
+    task_counters.inc(C.MAP_INPUT_RECORDS, n_in)
+    task_counters.inc(C.T_MAP_FN, t_map_fn)
+    task_counters.inc(C.T_HASH, t_hash)
+    return task_counters
+
+
 class OnePassEngine:
     """Runs :class:`OnePassJob` programs over a :class:`LocalCluster`.
 
@@ -295,6 +362,7 @@ class OnePassEngine:
         fault_plan: FaultPlan | None = None,
         checkpoint_interval: int = 0,
         speculation: SpeculationPolicy | None = None,
+        executor: Any = None,
     ) -> None:
         if checkpoint_interval < 0:
             raise ValueError("checkpoint_interval must be >= 0")
@@ -303,123 +371,45 @@ class OnePassEngine:
         self.fault_plan = fault_plan
         self.checkpoint_interval = checkpoint_interval
         self.speculation = speculation
+        self.executor = resolve_executor(executor)
 
-    def _read_split(
-        self, split: InputSplit, node: str, counters: Counters
-    ) -> tuple[Iterator[Any], int, bool]:
+    def _read_block(self, split: InputSplit, node: str) -> tuple[bytes, bool]:
         hdfs = self.cluster.hdfs
         local = node in split.preferred_nodes
         data = hdfs.read_block_bytes(split.block_id, from_node=node if local else None)
-        info = hdfs.namenode.file_info(split.block_id.path)
-        codec = hdfs.codec(info.codec_name)
-
-        def timed() -> Iterator[Any]:
-            perf = time.perf_counter
-            it = codec.decode(data)
-            while True:
-                t0 = perf()
-                try:
-                    record = next(it)
-                except StopIteration:
-                    counters.inc(C.T_PARSE, perf() - t0)
-                    return
-                counters.inc(C.T_PARSE, perf() - t0)
-                yield record
-
-        return timed(), len(data), local
-
-    def _run_map_attempt(
-        self,
-        job: OnePassJob,
-        cfg: OnePassConfig,
-        assignment: Any,
-        node: str,
-        sink: Any,
-        counters: Counters,
-    ) -> int:
-        """One map-task attempt; returns remote-read network bytes."""
-        task_counters = Counters()
-        task_counters.inc(C.MAP_TASKS)
-        records, nbytes, local = self._read_split(
-            assignment.split, node, task_counters
-        )
-        task_counters.inc(C.MAP_INPUT_BYTES, nbytes)
-
-        if job.is_aggregate and cfg.map_side_combine:
-            buffer: Any = MapSideHashCombiner(
-                cfg.num_reducers,
-                job.aggregator,
-                sink,
-                memory_bytes=cfg.map_memory_bytes,
-                counters=task_counters,
-            )
-        else:
-            buffer = ScanPartitionBuffer(
-                cfg.num_reducers,
-                sink,
-                buffer_bytes=cfg.map_buffer_bytes,
-                counters=task_counters,
-            )
-
-        map_fn = job.map_fn
-        perf = time.perf_counter
-        t_map_fn = 0.0
-        t_hash = 0.0
-        n_in = 0
-        for record in records:
-            n_in += 1
-            t0 = perf()
-            emitted = list(map_fn(record))
-            t1 = perf()
-            for key, value in emitted:
-                buffer.add(key, value)
-            t_hash += perf() - t1
-            t_map_fn += t1 - t0
-        t0 = perf()
-        buffer.finish()
-        t_hash += perf() - t0
-        task_counters.inc(C.MAP_INPUT_RECORDS, n_in)
-        task_counters.inc(C.T_MAP_FN, t_map_fn)
-        task_counters.inc(C.T_HASH, t_hash)
-        counters.merge(task_counters)
-        return 0 if local else nbytes
+        return data, local
 
     def _run_map_with_retries(
         self,
         job: OnePassJob,
-        cfg: OnePassConfig,
         recovery: RecoveryManager,
+        session: Any,
         assignment: Any,
         live: list[str],
         deliver: Any,
         counters: Counters,
     ) -> int:
-        """Run one map task; with a fault plan, stage output until success.
+        """Run one map task under a fault plan, staging output until success.
 
         Attempt semantics live in the shared
         :class:`~repro.mapreduce.recovery.RecoveryManager` loop — the same
         one the Hadoop engine uses — so who is charged, where retries land
         and when the job aborts cannot drift between engines.
         """
-        if self.fault_plan is None:
-            return self._run_map_attempt(
-                job, cfg, assignment, assignment.node, deliver, counters
-            )
+        from repro.exec.kernels import OnePassMapSpec
 
         network_bytes = 0
 
         def attempt(node: str) -> list[tuple[int, list, int]]:
             nonlocal network_bytes
-            staged: list[tuple[int, list, int]] = []
-            network_bytes += self._run_map_attempt(
-                job,
-                cfg,
-                assignment,
-                node,
-                lambda p, pairs, b: staged.append((p, pairs, b)),
-                counters,
+            data, local = self._read_block(assignment.split, node)
+            if not local:
+                network_bytes += len(data)
+            res = session.run_one(
+                "onepass_map", OnePassMapSpec(assignment.task_id, node, data)
             )
-            return staged
+            counters.merge(res.counters)
+            return res.staged
 
         def discard(_node: str, staged: list[tuple[int, list, int]]) -> None:
             # A dead or losing attempt's staged output is simply dropped —
@@ -545,6 +535,8 @@ class OnePassEngine:
             )
 
     def run(self, job: OnePassJob) -> JobResult:
+        from repro.exec.kernels import OnePassMapSpec
+
         if not job.input_path or not job.output_path:
             raise ValueError("job must set input_path and output_path")
         cluster = self.cluster
@@ -589,26 +581,43 @@ class OnePassEngine:
                     ):
                         chunks_since_checkpoint[partition] = 0
 
+        codec = hdfs.codec(hdfs.namenode.file_info(job.input_path).codec_name)
         t_map_start = time.perf_counter()
-        completed_maps = 0
-        for assignment in assignments:
-            network_bytes += self._run_map_with_retries(
-                job, cfg, recovery, assignment, live, sink, counters
-            )
-            completed_maps += 1
-            if self.fault_plan is not None:
-                for crashed in self.fault_plan.crashes_due(completed_maps):
-                    with counters.timer(C.T_RECOVERY):
-                        self._handle_node_crash(
-                            crashed,
-                            job=job,
-                            live=live,
-                            reducer_nodes=reducer_nodes,
-                            reduce_tasks=reduce_tasks,
-                            logs=logs,
-                            checkpoints=checkpoints,
-                            counters=counters,
-                        )
+        with self.executor.session({"job": job, "codec": codec}) as session:
+            if self.fault_plan is None:
+                idx = 0
+                while idx < len(assignments):
+                    batch = assignments[idx : idx + session.max_batch]
+                    idx += len(batch)
+                    specs = []
+                    for a in batch:
+                        data, local = self._read_block(a.split, a.node)
+                        if not local:
+                            network_bytes += len(data)
+                        specs.append(OnePassMapSpec(a.task_id, a.node, data))
+                    for res in session.run_batch("onepass_map", specs):
+                        counters.merge(res.counters)
+                        for partition, pairs, nbytes in res.staged:
+                            sink(partition, pairs, nbytes)
+            else:
+                completed_maps = 0
+                for assignment in assignments:
+                    network_bytes += self._run_map_with_retries(
+                        job, recovery, session, assignment, live, sink, counters
+                    )
+                    completed_maps += 1
+                    for crashed in self.fault_plan.crashes_due(completed_maps):
+                        with counters.timer(C.T_RECOVERY):
+                            self._handle_node_crash(
+                                crashed,
+                                job=job,
+                                live=live,
+                                reducer_nodes=reducer_nodes,
+                                reduce_tasks=reduce_tasks,
+                                logs=logs,
+                                checkpoints=checkpoints,
+                                counters=counters,
+                            )
         t_map = time.perf_counter() - t_map_start
 
         t_reduce_start = time.perf_counter()

@@ -34,6 +34,8 @@ class HashFamily:
     are suitable for distinct recursion levels of hybrid hash.
     """
 
+    __slots__ = ("seed",)
+
     def __init__(self, seed: int = 0x9E3779B9) -> None:
         self.seed = seed & 0xFFFFFFFF
 

@@ -70,6 +70,21 @@ class IncrementalHash:
         for a key, ``(key, result)`` is appended to :attr:`early_emitted`.
     """
 
+    __slots__ = (
+        "aggregator",
+        "memory_bytes",
+        "disk",
+        "namespace",
+        "emit_policy",
+        "counters",
+        "_table",
+        "_emitted",
+        "early_emitted",
+        "_overflow",
+        "_finished",
+        "updates",
+    )
+
     def __init__(
         self,
         aggregator: Aggregator,

@@ -1,0 +1,250 @@
+"""Pure task kernels: the worker-side half of each engine's tasks.
+
+Each kernel is a pure function of ``(context, spec)``:
+
+* the *context* holds the per-job shared objects (job, codec, engine
+  config) — inherited by reference (serial/threads) or by ``fork``
+  (processes), never pickled;
+* the *spec* is a small picklable descriptor carrying everything
+  task-specific, including the raw input block bytes (read by the
+  coordinator, where HDFS accounting lives);
+* the *result* is picklable data plus ordered effect lists; the
+  coordinator replays all effects (disk installs, shuffle registration,
+  chunk delivery) in deterministic task order.
+
+Task disk I/O runs against a *shadow* :class:`~repro.io.disk.LocalDisk`
+with the real device's profile; the coordinator absorbs the export, so
+files, byte counts and op accounting match in-place execution exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.exec.base import register_kernel
+from repro.io.device import DeviceProfile
+from repro.io.disk import DiskExport, LocalDisk
+from repro.io.runio import stream_run, write_run
+from repro.mapreduce.counters import C, Counters
+from repro.mapreduce.sortmerge import (
+    MapOutput,
+    SortMergeMapTask,
+    SortMergeReduceTask,
+)
+
+__all__ = [
+    "timed_decode",
+    "HadoopMapSpec",
+    "HadoopMapResult",
+    "HadoopReduceSpec",
+    "HadoopReduceResult",
+    "HopMapSpec",
+    "HopMapResult",
+    "OnePassMapSpec",
+    "OnePassMapResult",
+]
+
+
+def timed_decode(codec: Any, data: bytes, counters: Counters) -> Iterator[Any]:
+    """Decode ``data`` lazily, charging per-record parse time to ``counters``."""
+    perf = time.perf_counter
+    it = codec.decode(data)
+    while True:
+        t0 = perf()
+        try:
+            record = next(it)
+        except StopIteration:
+            counters.inc(C.T_PARSE, perf() - t0)
+            return
+        counters.inc(C.T_PARSE, perf() - t0)
+        yield record
+
+
+# -- Hadoop map ---------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class HadoopMapSpec:
+    task_id: int
+    node: str
+    data: bytes
+    profile: DeviceProfile
+    disk_name: str
+
+
+@dataclass(slots=True)
+class HadoopMapResult:
+    output: MapOutput
+    counters: Counters
+    disk: DiskExport
+
+
+def hadoop_map_kernel(ctx: dict[str, Any], spec: HadoopMapSpec) -> HadoopMapResult:
+    """One sort-spill map task over one block, against a shadow disk."""
+    job = ctx["job"]
+    disk = LocalDisk(spec.profile, name=spec.disk_name)
+    task = SortMergeMapTask(job, spec.task_id, spec.node, disk)
+    records = timed_decode(ctx["codec"], spec.data, task.counters)
+    output = task.run(records, input_bytes=len(spec.data))
+    return HadoopMapResult(output, task.counters, disk.export_state())
+
+
+# -- Hadoop reduce ------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class HadoopReduceSpec:
+    partition: int
+    node: str
+    profile: DeviceProfile
+    disk_name: str
+    memory: list[list[tuple[Any, Any]]]
+    memory_bytes: int
+    merger_runs: list[tuple[str, int]]
+    merger_seq: int
+    run_files: dict[str, bytes]
+
+
+@dataclass(slots=True)
+class HadoopReduceResult:
+    partition: int
+    output: list[Any]
+    groups: int
+    counters: Counters
+    disk: DiskExport
+
+
+def hadoop_reduce_kernel(
+    ctx: dict[str, Any], spec: HadoopReduceSpec
+) -> HadoopReduceResult:
+    """Final merge + grouped reduce for one partition, on a shadow disk.
+
+    The coordinator ships the ingestion-phase state (in-memory segments,
+    on-disk run metadata and bytes); the run-phase counters come back on
+    a fresh :class:`Counters` so the coordinator can merge both halves.
+    """
+    job = ctx["job"]
+    disk = LocalDisk(spec.profile, name=spec.disk_name)
+    disk.preload(spec.run_files)
+    rtask = SortMergeReduceTask(job, spec.partition, spec.node, disk)
+    rtask.adopt_ingested(
+        spec.memory, spec.memory_bytes, (spec.merger_runs, spec.merger_seq)
+    )
+    output, groups = rtask.run()
+    return HadoopReduceResult(
+        spec.partition,
+        output,
+        groups,
+        rtask.counters,
+        disk.export_state(preloaded=spec.run_files),
+    )
+
+
+# -- HOP (pipelined) map ------------------------------------------------------
+
+
+@dataclass(slots=True)
+class HopMapSpec:
+    task_id: int
+    node: str
+    data: bytes
+    profile: DeviceProfile
+    disk_name: str
+    #: Fault path only: each reducer's backlog at attempt start.  The
+    #: attempt must not observe live reducer state (its pushes are
+    #: buffered until it survives), so backpressure decisions use these
+    #: frozen values — exactly what the buffering proxy exposed before.
+    frozen_backlogs: dict[int, int] | None = None
+
+
+@dataclass(slots=True)
+class HopMapResult:
+    #: Live mode: ordered ``(partition, pairs, nbytes)`` emissions; the
+    #: coordinator replays push-vs-stage against live reducer backlogs.
+    chunks: list[tuple[int, list[tuple[Any, Any]], int]] = field(default_factory=list)
+    #: Fault mode: per-partition delivery lists (pushes first, then
+    #: drained staged chunks), mirroring the old buffered-proxy order.
+    by_partition: dict[int, list[tuple[list[tuple[Any, Any]], int]]] | None = None
+    counters: Counters = field(default_factory=Counters)
+    disk: DiskExport | None = None
+
+
+def hop_map_kernel(ctx: dict[str, Any], spec: HopMapSpec) -> HopMapResult:
+    """One pipelined map task; staging I/O (fault path) hits a shadow disk."""
+    from repro.mapreduce.hop import _FrozenStageRouter, _PipelinedMapTask
+
+    job = ctx["job"]
+    hop = ctx["hop"]
+    records = ctx["codec"].decode(spec.data)
+
+    if spec.frozen_backlogs is None:
+        chunks: list[tuple[int, list[tuple[Any, Any]], int]] = []
+        task = _PipelinedMapTask(
+            job,
+            spec.task_id,
+            spec.node,
+            LocalDisk(spec.profile, name=spec.disk_name),
+            hop,
+            lambda partition, pairs, nbytes: chunks.append((partition, pairs, nbytes)),
+        )
+        task.run(records, input_bytes=len(spec.data))
+        return HopMapResult(chunks=chunks, counters=task.counters)
+
+    disk = LocalDisk(spec.profile, name=spec.disk_name)
+    task = _PipelinedMapTask(job, spec.task_id, spec.node, disk, hop, None)
+    router = _FrozenStageRouter(
+        spec.task_id, disk, task.counters, hop.backpressure_bytes, spec.frozen_backlogs
+    )
+    task.emit = router.emit
+    task.run(records, input_bytes=len(spec.data))
+    router.drain()
+    return HopMapResult(
+        by_partition=router.delivered,
+        counters=task.counters,
+        disk=disk.export_state(),
+    )
+
+
+# -- one-pass map -------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class OnePassMapSpec:
+    task_id: int
+    node: str
+    data: bytes
+
+
+@dataclass(slots=True)
+class OnePassMapResult:
+    staged: list[tuple[int, list[tuple[Any, Any]], int]]
+    counters: Counters
+
+
+def onepass_map_kernel(ctx: dict[str, Any], spec: OnePassMapSpec) -> OnePassMapResult:
+    """One hash-engine map task: scan/combine entirely in memory.
+
+    The map side of the one-pass engine performs no disk I/O — its only
+    effect is the ordered stream of pushed chunks, collected here and
+    delivered (with logging/checkpointing where configured) by the
+    coordinator.
+    """
+    from repro.core.engine import execute_onepass_map
+
+    job = ctx["job"]
+    staged: list[tuple[int, list[tuple[Any, Any]], int]] = []
+    counters = execute_onepass_map(
+        job,
+        ctx["codec"],
+        spec.data,
+        lambda partition, pairs, nbytes: staged.append((partition, pairs, nbytes)),
+    )
+    return OnePassMapResult(staged, counters)
+
+
+register_kernel("hadoop_map", hadoop_map_kernel)
+register_kernel("hadoop_reduce", hadoop_reduce_kernel)
+register_kernel("hop_map", hop_map_kernel)
+register_kernel("onepass_map", onepass_map_kernel)

@@ -19,7 +19,7 @@ from typing import Iterator
 
 from repro.io.device import RAMDISK, DeviceProfile
 
-__all__ = ["DiskStats", "LocalDisk", "DiskFullError"]
+__all__ = ["DiskStats", "DiskExport", "LocalDisk", "DiskFullError"]
 
 
 class DiskFullError(OSError):
@@ -82,6 +82,24 @@ class DiskStats:
 @dataclass(slots=True)
 class _FileEntry:
     data: bytearray = field(default_factory=bytearray)
+
+
+@dataclass(slots=True)
+class DiskExport:
+    """The after-state of a task that ran against a *shadow* disk.
+
+    Parallel task execution runs each task's I/O against a fresh
+    :class:`LocalDisk` with the same device profile (so per-op accounting
+    is identical to running in place); the worker ships this export back
+    and the coordinator :meth:`LocalDisk.absorb`-s it into the real node
+    disk.  ``removed`` lists preloaded files the task deleted (their
+    delete ops are already in ``stats``).
+    """
+
+    files: dict[str, bytes]
+    stats: DiskStats
+    last_file: str | None
+    removed: tuple[str, ...] = ()
 
 
 class LocalDisk:
@@ -219,6 +237,52 @@ class LocalDisk:
         for path in victims:
             self.delete(path)
         return len(victims)
+
+    # -- shadow-disk transfer ------------------------------------------------
+
+    def preload(self, files: dict[str, bytes]) -> None:
+        """Install files without accounting (shadow-disk task input).
+
+        The bytes already exist on the real disk; copying them into the
+        worker's shadow disk models shared storage, not new I/O.
+        """
+        for path, data in files.items():
+            self._files[path] = _FileEntry(bytearray(data))
+
+    def export_state(self, *, preloaded: Iterable[str] = ()) -> DiskExport:
+        """Capture files, accounting and head position for :meth:`absorb`."""
+        removed = tuple(sorted(p for p in preloaded if p not in self._files))
+        return DiskExport(
+            files={path: bytes(e.data) for path, e in self._files.items()},
+            stats=self.stats.snapshot(),
+            last_file=self._last_file,
+            removed=removed,
+        )
+
+    def absorb(self, export: DiskExport, *, install: bool = True) -> None:
+        """Merge a shadow disk's after-state into this disk.
+
+        Accounting merges unconditionally (the I/O really happened, on
+        behalf of this device).  With ``install`` the exported files
+        appear here, files the task deleted disappear, and the head
+        position (``_last_file``) moves to where the task left it — i.e.
+        the disk ends up exactly as if the task had run in place.
+        """
+        s, e = self.stats, export.stats
+        s.bytes_read += e.bytes_read
+        s.bytes_written += e.bytes_written
+        s.read_ops += e.read_ops
+        s.write_ops += e.write_ops
+        s.random_ops += e.random_ops
+        s.sequential_ops += e.sequential_ops
+        s.deletes += e.deletes
+        s.busy_time += e.busy_time
+        if install:
+            for path, data in export.files.items():
+                self._files[path] = _FileEntry(bytearray(data))
+            for path in export.removed:
+                self._files.pop(path, None)
+            self._last_file = export.last_file
 
     def rename(self, src: str, dst: str) -> None:
         if dst in self._files:

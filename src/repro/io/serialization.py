@@ -36,27 +36,43 @@ _LEN = struct.Struct("<I")
 
 
 def encode_frames(items: Iterable[Any]) -> bytes:
-    """Serialize ``items`` as a stream of length-prefixed pickle frames."""
-    parts: list[bytes] = []
+    """Serialize ``items`` as a stream of length-prefixed pickle frames.
+
+    Frames accumulate into one growing :class:`bytearray` (amortised
+    doubling) instead of a list of 2-element fragments joined at the end —
+    this is the framing hot path for every spill, run and shuffle segment.
+    """
+    buf = bytearray()
+    pack = _LEN.pack
+    dumps = pickle.dumps
+    proto = pickle.HIGHEST_PROTOCOL
     for item in items:
-        payload = pickle.dumps(item, protocol=pickle.HIGHEST_PROTOCOL)
-        parts.append(_LEN.pack(len(payload)))
-        parts.append(payload)
-    return b"".join(parts)
+        payload = dumps(item, protocol=proto)
+        buf += pack(len(payload))
+        buf += payload
+    return bytes(buf)
 
 
 def iter_frames(data: bytes) -> Iterator[Any]:
-    """Yield the objects previously encoded by :func:`encode_frames`."""
+    """Yield the objects previously encoded by :func:`encode_frames`.
+
+    Payloads are handed to pickle as :class:`memoryview` slices — no
+    per-frame ``bytes`` copy of the payload is made on decode.
+    """
+    view = memoryview(data)
+    loads = pickle.loads
+    unpack_from = _LEN.unpack_from
+    header = _LEN.size
     offset = 0
-    end = len(data)
+    end = len(view)
     while offset < end:
-        if offset + _LEN.size > end:
+        if offset + header > end:
             raise ValueError("truncated frame header")
-        (length,) = _LEN.unpack_from(data, offset)
-        offset += _LEN.size
+        (length,) = unpack_from(view, offset)
+        offset += header
         if offset + length > end:
             raise ValueError("truncated frame payload")
-        yield pickle.loads(data[offset : offset + length])
+        yield loads(view[offset : offset + length])
         offset += length
 
 

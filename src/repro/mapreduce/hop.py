@@ -24,8 +24,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator
+from operator import itemgetter
+from typing import Any, Callable, Iterable, Iterator
 
+from repro.exec import resolve_executor
 from repro.io.disk import LocalDisk
 from repro.io.runio import stream_run, write_run
 from repro.mapreduce.api import MapReduceJob
@@ -169,8 +171,19 @@ class PipelinedReduceTask:
         return output
 
 
+_PARTITION_KEY = itemgetter(0, 1)
+
+
 class _PipelinedMapTask:
-    """Map task that sorts and pushes mini-segments as it goes."""
+    """Map task that sorts mini-segments and hands them to an emit router.
+
+    The task itself is a pure function of its input: every sorted partition
+    piece goes to ``emit(partition, pairs, nbytes)``.  Whether a piece is
+    pushed to a live reducer, staged under backpressure, or buffered until a
+    fault-plan attempt survives is the router's business — which is what
+    lets the whole task run on a worker process while the coordinator keeps
+    all scheduling decisions.
+    """
 
     def __init__(
         self,
@@ -179,7 +192,7 @@ class _PipelinedMapTask:
         node: str,
         disk: LocalDisk,
         hop: HOPConfig,
-        reducers: dict[int, PipelinedReduceTask],
+        emit: Callable[[int, list[tuple[Any, Any]], int], None] | None,
         partitioner: Partitioner = hash_partitioner,
     ) -> None:
         self.job = job
@@ -187,13 +200,9 @@ class _PipelinedMapTask:
         self.node = node
         self.disk = disk
         self.hop = hop
-        self.reducers = reducers
+        self.emit = emit
         self.partitioner = partitioner
         self.counters = Counters()
-        self.staged_bytes = 0
-        self._staged: list[tuple[int, str, int, int]] = []  # (partition, path, nbytes, records)
-        self._stage_seq = 0
-        self.pushed_chunks = 0
 
     def run(self, records: Iterable[Any], *, input_bytes: int = 0) -> None:
         counters = self.counters
@@ -220,12 +229,11 @@ class _PipelinedMapTask:
             self._emit_chunk(chunk)
         counters.inc(C.MAP_INPUT_RECORDS, n_in)
         counters.inc(C.T_MAP_FN, t_map)
-        self._drain_staged()
 
     def _emit_chunk(self, chunk: list[tuple[int, Any, Any]]) -> None:
-        """Sort one mini-chunk and push (or stage) its partition pieces."""
+        """Sort one mini-chunk and emit its partition pieces in order."""
         with self.counters.timer(C.T_SORT):
-            chunk.sort(key=lambda e: (e[0], e[1]))
+            chunk.sort(key=_PARTITION_KEY)
         self.counters.inc(C.SORT_RECORDS, len(chunk))
 
         if self.job.has_combiner and self.job.config.combine_on_spill:
@@ -239,13 +247,8 @@ class _PipelinedMapTask:
             while end < n and chunk[end][0] == partition:
                 end += 1
             pairs = [(k, v) for _, k, v in chunk[start:end]]
-            nbytes = sum(48 for _ in pairs) + 64  # framed-size proxy for transport
-            reducer = self.reducers[partition]
-            if reducer.backlog_bytes >= self.hop.backpressure_bytes:
-                self._stage(partition, pairs)
-            else:
-                reducer.accept_chunk(pairs, nbytes)
-                self.pushed_chunks += 1
+            nbytes = 48 * len(pairs) + 64  # framed-size proxy for transport
+            self.emit(partition, pairs, nbytes)
             start = end
 
     def _combine(self, chunk: list[tuple[int, Any, Any]]) -> list[tuple[int, Any, Any]]:
@@ -267,43 +270,55 @@ class _PipelinedMapTask:
                     self.counters.inc(C.COMBINE_OUTPUT_RECORDS)
         return out
 
-    def _stage(self, partition: int, pairs: list[tuple[Any, Any]]) -> None:
-        """Backpressure: write the chunk to local disk for later delivery."""
-        path = f"hop-stage/{self.task_id:05d}/c{self._stage_seq:05d}-p{partition:03d}"
-        self._stage_seq += 1
-        nbytes = write_run(self.disk, path, pairs)
-        self.staged_bytes += nbytes
-        self.counters.inc(C.MAP_SPILL_BYTES, nbytes)
-        self._staged.append((partition, path, nbytes, len(pairs)))
-
-    def _drain_staged(self) -> None:
-        """Deliver staged chunks once the task finishes (reducers caught up)."""
-        for partition, path, nbytes, _records in self._staged:
-            pairs = list(stream_run(self.disk, path))
-            self.reducers[partition].accept_chunk(pairs, nbytes)
-            self.disk.delete(path)
-        self._staged.clear()
-
-
-class _BufferedReducer:
-    """Stands in for a reduce task while a map attempt is in flight.
+class _FrozenStageRouter:
+    """Fault-path emit router: buffer everything, stage by frozen backlogs.
 
     With a fault plan, a map attempt must not push directly: a killed
-    attempt's chunks would be unrecallable.  The buffer absorbs the pushes
-    (preserving per-partition order) and the engine delivers them — via the
-    durable partition log — only after the attempt survives.
+    attempt's chunks would be unrecallable, and observing *live* reducer
+    state would leak coordinator state into the worker.  The router makes
+    backpressure decisions against backlog sizes frozen at attempt start,
+    stages over-pressure chunks on the task's (shadow) disk, and exposes
+    everything in :attr:`delivered` — pushes in emit order, then drained
+    staged chunks — for the coordinator to log and deliver after the
+    attempt survives.
     """
 
-    def __init__(self, real: PipelinedReduceTask) -> None:
-        self.real = real
-        self.chunks: list[tuple[list[tuple[Any, Any]], int]] = []
+    def __init__(
+        self,
+        task_id: int,
+        disk: LocalDisk,
+        counters: Counters,
+        backpressure_bytes: int,
+        frozen_backlogs: dict[int, int],
+    ) -> None:
+        self.task_id = task_id
+        self.disk = disk
+        self.counters = counters
+        self.backpressure_bytes = backpressure_bytes
+        self.frozen_backlogs = frozen_backlogs
+        self.delivered: dict[int, list[tuple[list[tuple[Any, Any]], int]]] = {
+            p: [] for p in sorted(frozen_backlogs)
+        }
+        self._staged: list[tuple[int, str, int]] = []  # (partition, path, nbytes)
+        self._seq = 0
 
-    @property
-    def backlog_bytes(self) -> int:
-        return self.real.backlog_bytes
+    def emit(self, partition: int, pairs: list[tuple[Any, Any]], nbytes: int) -> None:
+        if self.frozen_backlogs[partition] >= self.backpressure_bytes:
+            path = f"hop-stage/{self.task_id:05d}/c{self._seq:05d}-p{partition:03d}"
+            self._seq += 1
+            written = write_run(self.disk, path, pairs)
+            self.counters.inc(C.MAP_SPILL_BYTES, written)
+            self._staged.append((partition, path, written))
+        else:
+            self.delivered[partition].append((pairs, nbytes))
 
-    def accept_chunk(self, pairs: list[tuple[Any, Any]], nbytes: int) -> None:
-        self.chunks.append((pairs, nbytes))
+    def drain(self) -> None:
+        """Re-read staged chunks (in stage order) into the delivery lists."""
+        for partition, path, nbytes in self._staged:
+            pairs = list(stream_run(self.disk, path))
+            self.delivered[partition].append((pairs, nbytes))
+            self.disk.delete(path)
+        self._staged.clear()
 
 
 class HOPEngine:
@@ -329,20 +344,20 @@ class HOPEngine:
         map_slots: int = 2,
         fault_plan: FaultPlan | None = None,
         speculation: SpeculationPolicy | None = None,
+        executor: Any = None,
     ) -> None:
         self.cluster = cluster
         self.hop = hop_config or HOPConfig()
         self.scheduler = WaveScheduler(cluster.compute_node_names, map_slots=map_slots)
         self.fault_plan = fault_plan
         self.speculation = speculation
+        self.executor = resolve_executor(executor)
 
-    def _read_split(self, split: InputSplit, node: str) -> tuple[Iterator[Any], int, bool]:
+    def _read_block(self, split: InputSplit, node: str) -> tuple[bytes, bool]:
         hdfs = self.cluster.hdfs
         local = node in split.preferred_nodes
         data = hdfs.read_block_bytes(split.block_id, from_node=node if local else None)
-        info = hdfs.namenode.file_info(split.block_id.path)
-        codec = hdfs.codec(info.codec_name)
-        return codec.decode(data), len(data), local
+        return data, local
 
     # -- fault tolerance ------------------------------------------------------
 
@@ -354,60 +369,88 @@ class HOPEngine:
             chosen.append(names[(names.index(node) + 1) % len(names)])
         return [(n, self.cluster.nodes[n].intermediate_disk) for n in chosen]
 
+    def _deliver_live(
+        self,
+        task_id: int,
+        node: str,
+        chunks: list[tuple[int, list[tuple[Any, Any]], int]],
+        reduce_tasks: dict[int, PipelinedReduceTask],
+        counters: Counters,
+    ) -> None:
+        """Replay one live map task's emissions against real reducer state.
+
+        The worker returned the ordered emission stream; pushing versus
+        staging depends on live backlogs (which earlier deliveries mutate),
+        so the decision — and the staging I/O on the mapper's real disk —
+        happens here, in deterministic task order.
+        """
+        disk = self.cluster.nodes[node].intermediate_disk
+        staged: list[tuple[int, str, int]] = []
+        seq = 0
+        for partition, pairs, nbytes in chunks:
+            reducer = reduce_tasks[partition]
+            if reducer.backlog_bytes >= self.hop.backpressure_bytes:
+                path = f"hop-stage/{task_id:05d}/c{seq:05d}-p{partition:03d}"
+                seq += 1
+                written = write_run(disk, path, pairs)
+                counters.inc(C.MAP_SPILL_BYTES, written)
+                staged.append((partition, path, written))
+            else:
+                reducer.accept_chunk(pairs, nbytes)
+        # Staged chunks are delivered once the task finishes (reducers
+        # caught up), at their on-disk framed size.
+        for partition, path, written in staged:
+            pairs = list(stream_run(disk, path))
+            reduce_tasks[partition].accept_chunk(pairs, written)
+            disk.delete(path)
+
     def _run_map_with_recovery(
         self,
         job: MapReduceJob,
         recovery: RecoveryManager,
+        session: Any,
         assignment: Any,
         live: list[str],
         reduce_tasks: dict[int, PipelinedReduceTask],
         logs: dict[int, PartitionLog],
         counters: Counters,
     ) -> int:
-        """Run one map task; with a fault plan, buffer pushes until success."""
-        cluster = self.cluster
-        if self.fault_plan is None:
-            node = assignment.node
-            task = _PipelinedMapTask(
-                job,
-                assignment.task_id,
-                node,
-                cluster.nodes[node].intermediate_disk,
-                self.hop,
-                reduce_tasks,
-            )
-            records, nbytes, local = self._read_split(assignment.split, node)
-            task.run(records, input_bytes=nbytes)
-            counters.merge(task.counters)
-            return 0 if local else nbytes
+        """Run one map task under a fault plan, buffering pushes until success."""
+        from repro.exec.kernels import HopMapSpec
 
+        cluster = self.cluster
         network_bytes = 0
 
-        def attempt(node: str) -> dict[int, _BufferedReducer]:
+        def attempt(node: str) -> dict[int, list[tuple[list[tuple[Any, Any]], int]]]:
             nonlocal network_bytes
-            proxies = {p: _BufferedReducer(rt) for p, rt in reduce_tasks.items()}
-            task = _PipelinedMapTask(
-                job,
+            data, local = self._read_block(assignment.split, node)
+            if not local:
+                network_bytes += len(data)
+            disk = cluster.nodes[node].intermediate_disk
+            spec = HopMapSpec(
                 assignment.task_id,
                 node,
-                cluster.nodes[node].intermediate_disk,
-                self.hop,
-                proxies,
+                data,
+                disk.profile,
+                disk.name,
+                frozen_backlogs={
+                    p: rt.backlog_bytes for p, rt in reduce_tasks.items()
+                },
             )
-            records, nbytes, local = self._read_split(assignment.split, node)
-            if not local:
-                network_bytes += nbytes
-            task.run(records, input_bytes=nbytes)
-            counters.merge(task.counters)
-            return proxies
+            res = session.run_one("hop_map", spec)
+            disk.absorb(res.disk)
+            counters.merge(res.counters)
+            return res.by_partition
 
-        def discard(_node: str, proxies: dict[int, _BufferedReducer]) -> None:
+        def discard(
+            _node: str, by_partition: dict[int, list[tuple[list[tuple[Any, Any]], int]]]
+        ) -> None:
             # A dead or losing attempt's buffered chunks never reached the
             # reducers; dropping them is the whole cleanup.
-            for proxy in proxies.values():
-                proxy.chunks.clear()
+            for chunks in by_partition.values():
+                chunks.clear()
 
-        _node, proxies = recovery.run_map_task(
+        _node, by_partition = recovery.run_map_task(
             assignment.task_id,
             assignment.node,
             live,
@@ -415,8 +458,8 @@ class HOPEngine:
             attempt,
             discard,
         )
-        for partition in sorted(proxies):
-            for pairs, nbytes in proxies[partition].chunks:
+        for partition in sorted(by_partition):
+            for pairs, nbytes in by_partition[partition]:
                 counters.inc(C.STAGED_OUTPUT_BYTES, nbytes)
                 logs[partition].append(pairs, nbytes)
                 reduce_tasks[partition].accept_chunk(pairs, nbytes)
@@ -486,6 +529,8 @@ class HOPEngine:
             )
 
     def run(self, job: MapReduceJob) -> JobResult:
+        from repro.exec.kernels import HopMapSpec
+
         if not job.input_path or not job.output_path:
             raise ValueError("job must set input_path and output_path")
         cluster = self.cluster
@@ -516,24 +561,8 @@ class HOPEngine:
         total_maps = len(assignments)
         next_snapshot = 0
 
-        t_map_start = time.perf_counter()
-        for done, assignment in enumerate(assignments, start=1):
-            network_bytes += self._run_map_with_recovery(
-                job, recovery, assignment, live, reduce_tasks, logs, counters
-            )
-            if self.fault_plan is not None:
-                for crashed in self.fault_plan.crashes_due(done):
-                    with counters.timer(C.T_RECOVERY):
-                        self._handle_node_crash(
-                            crashed,
-                            job=job,
-                            live=live,
-                            reducer_nodes=reducer_nodes,
-                            reduce_tasks=reduce_tasks,
-                            logs=logs,
-                            counters=counters,
-                        )
-
+        def maybe_snapshot(done: int) -> None:
+            nonlocal next_snapshot
             fraction = done / total_maps
             while (
                 next_snapshot < len(self.hop.snapshot_fractions)
@@ -545,6 +574,57 @@ class HOPEngine:
                     merged.extend(rtask.snapshot(target).records)
                 snapshots.append(Snapshot(fraction=target, records=tuple(merged)))
                 next_snapshot += 1
+
+        codec = hdfs.codec(hdfs.namenode.file_info(job.input_path).codec_name)
+        context = {"job": job, "hop": self.hop, "codec": codec}
+        t_map_start = time.perf_counter()
+        with self.executor.session(context) as session:
+            if self.fault_plan is None:
+                done = 0
+                idx = 0
+                while idx < len(assignments):
+                    batch = assignments[idx : idx + session.max_batch]
+                    idx += len(batch)
+                    specs = []
+                    for a in batch:
+                        data, local = self._read_block(a.split, a.node)
+                        if not local:
+                            network_bytes += len(data)
+                        disk = cluster.nodes[a.node].intermediate_disk
+                        specs.append(
+                            HopMapSpec(a.task_id, a.node, data, disk.profile, disk.name)
+                        )
+                    for a, res in zip(batch, session.run_batch("hop_map", specs)):
+                        counters.merge(res.counters)
+                        self._deliver_live(
+                            a.task_id, a.node, res.chunks, reduce_tasks, counters
+                        )
+                        done += 1
+                        maybe_snapshot(done)
+            else:
+                for done, assignment in enumerate(assignments, start=1):
+                    network_bytes += self._run_map_with_recovery(
+                        job,
+                        recovery,
+                        session,
+                        assignment,
+                        live,
+                        reduce_tasks,
+                        logs,
+                        counters,
+                    )
+                    for crashed in self.fault_plan.crashes_due(done):
+                        with counters.timer(C.T_RECOVERY):
+                            self._handle_node_crash(
+                                crashed,
+                                job=job,
+                                live=live,
+                                reducer_nodes=reducer_nodes,
+                                reduce_tasks=reduce_tasks,
+                                logs=logs,
+                                counters=counters,
+                            )
+                    maybe_snapshot(done)
         t_map = time.perf_counter() - t_map_start
 
         t_reduce_start = time.perf_counter()

@@ -18,8 +18,9 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any
 
+from repro.exec import resolve_executor
 from repro.hdfs.datanode import DataNode
 from repro.hdfs.filesystem import HDFS, InputSplit
 from repro.io.device import HDD_7200RPM, SSD_SATA, DeviceProfile
@@ -35,7 +36,7 @@ from repro.mapreduce.recovery import (
 )
 from repro.mapreduce.scheduler import ScheduleStats, TaskAssignment, WaveScheduler
 from repro.mapreduce.shuffle import FetchFailedError, ShuffleService
-from repro.mapreduce.sortmerge import MapOutput, SortMergeMapTask, SortMergeReduceTask
+from repro.mapreduce.sortmerge import MapOutput, SortMergeReduceTask
 
 __all__ = ["ClusterNode", "LocalCluster", "JobResult", "HadoopEngine"]
 
@@ -233,6 +234,7 @@ class HadoopEngine:
         fetch_interval: int = 1,
         retry_policy: FetchRetryPolicy | None = None,
         speculation: SpeculationPolicy | None = None,
+        executor: Any = None,
     ) -> None:
         if fetch_interval < 1:
             raise ValueError("fetch_interval must be >= 1")
@@ -244,33 +246,16 @@ class HadoopEngine:
         self.fetch_interval = fetch_interval
         self.retry_policy = retry_policy
         self.speculation = speculation
+        self.executor = resolve_executor(executor)
 
     # -- input ------------------------------------------------------------
 
-    def _read_split(
-        self, split: InputSplit, node: str, counters: Counters
-    ) -> tuple[Iterator[Any], int, bool]:
-        """Read a split's records, preferring the local replica."""
+    def _read_block(self, split: InputSplit, node: str) -> tuple[bytes, bool]:
+        """Read a split's raw bytes, preferring the local replica."""
         hdfs = self.cluster.hdfs
         local = node in split.preferred_nodes
         data = hdfs.read_block_bytes(split.block_id, from_node=node if local else None)
-        info = hdfs.namenode.file_info(split.block_id.path)
-        codec = hdfs.codec(info.codec_name)
-
-        def timed_decode() -> Iterator[Any]:
-            perf = time.perf_counter
-            it = codec.decode(data)
-            while True:
-                t0 = perf()
-                try:
-                    record = next(it)
-                except StopIteration:
-                    counters.inc(C.T_PARSE, perf() - t0)
-                    return
-                counters.inc(C.T_PARSE, perf() - t0)
-                yield record
-
-        return timed_decode(), len(data), local
+        return data, local
 
     # -- execution -----------------------------------------------------------
 
@@ -278,6 +263,7 @@ class HadoopEngine:
         self,
         job: MapReduceJob,
         recovery: RecoveryManager,
+        session: Any,
         task_id: int,
         split: InputSplit,
         preferred: str,
@@ -290,20 +276,23 @@ class HadoopEngine:
         — killed, speculative loser or winner — charges its read, map,
         sort and spill work to the job.
         """
+        from repro.exec.kernels import HadoopMapSpec
+
         cluster = self.cluster
         network_bytes = 0
 
         def attempt(node: str) -> MapOutput:
             nonlocal network_bytes
-            task = SortMergeMapTask(
-                job, task_id, node, cluster.nodes[node].intermediate_disk
-            )
-            records, nbytes, local = self._read_split(split, node, task.counters)
+            data, local = self._read_block(split, node)
             if not local:
-                network_bytes += nbytes
-            output = task.run(records, input_bytes=nbytes)
-            counters.merge(task.counters)
-            return output
+                network_bytes += len(data)
+            disk = cluster.nodes[node].intermediate_disk
+            res = session.run_one(
+                "hadoop_map", HadoopMapSpec(task_id, node, data, disk.profile, disk.name)
+            )
+            disk.absorb(res.disk)
+            counters.merge(res.counters)
+            return res.output
 
         def discard(node: str, _output: MapOutput) -> None:
             # The attempt died (or lost the speculative race) before its
@@ -321,6 +310,7 @@ class HadoopEngine:
         self,
         job: MapReduceJob,
         recovery: RecoveryManager,
+        session: Any,
         shuffle: ShuffleService,
         lineage: TaskLineage,
         task_id: int,
@@ -346,7 +336,7 @@ class HadoopEngine:
         rescheduler = WaveScheduler(live, map_slots=self.scheduler.map_slots)
         preferred = rescheduler.schedule([split])[0][0].node
         node, output, network_bytes = self._execute_map(
-            job, recovery, task_id, split, preferred, live, counters
+            job, recovery, session, task_id, split, preferred, live, counters
         )
         shuffle.register(output)
         lineage.record(task_id, node, output.total_bytes)
@@ -358,6 +348,7 @@ class HadoopEngine:
         rtask: SortMergeReduceTask,
         job: MapReduceJob,
         recovery: RecoveryManager,
+        session: Any,
         shuffle: ShuffleService,
         lineage: TaskLineage,
         live: list[str],
@@ -383,6 +374,7 @@ class HadoopEngine:
                         network_bytes += self._rerun_lost_map(
                             job,
                             recovery,
+                            session,
                             shuffle,
                             lineage,
                             task_id,
@@ -454,6 +446,8 @@ class HadoopEngine:
 
     def run(self, job: MapReduceJob) -> JobResult:
         """Execute ``job``; returns the merged counters and output path."""
+        from repro.exec.kernels import HadoopMapSpec, HadoopReduceSpec
+
         if not job.input_path or not job.output_path:
             raise ValueError("job must set input_path and output_path")
         cluster = self.cluster
@@ -483,6 +477,8 @@ class HadoopEngine:
         }
         lineage = TaskLineage()
         network_bytes = 0
+        codec = hdfs.codec(hdfs.namenode.file_info(job.input_path).codec_name)
+        session = self.executor.session({"job": job, "codec": codec})
 
         def drain() -> int:
             net = 0
@@ -492,6 +488,7 @@ class HadoopEngine:
                     reduce_tasks[partition],
                     job,
                     recovery,
+                    session,
                     shuffle,
                     lineage,
                     live,
@@ -500,89 +497,160 @@ class HadoopEngine:
                 )
             return net
 
-        # ---- map phase (reducers pull every ``fetch_interval`` completions) ----
-        t_map_start = time.perf_counter()
-        queue: deque[TaskAssignment] = deque(assignments)
-        completed_maps = 0
-        since_drain = 0
-        while queue:
-            a = queue.popleft()
-            node, output, extra_net = self._execute_map(
-                job, recovery, a.task_id, a.split, a.node, live, counters
-            )
-            network_bytes += extra_net
-            shuffle.register(output)
-            lineage.record(a.task_id, node, output.total_bytes)
-            completed_maps += 1
-            since_drain += 1
-            if self.fault_plan is not None:
-                for crashed in self.fault_plan.crashes_due(completed_maps):
-                    with counters.timer(C.T_RECOVERY):
-                        self._handle_node_crash(
-                            crashed,
-                            job=job,
-                            shuffle=shuffle,
-                            lineage=lineage,
-                            reduce_tasks=reduce_tasks,
-                            reducer_nodes=reducer_nodes,
-                            queue=queue,
-                            splits_by_task=splits_by_task,
-                            live=live,
-                            counters=counters,
+        with session:
+            # ---- map phase (reducers pull every ``fetch_interval`` completions) ----
+            t_map_start = time.perf_counter()
+            queue: deque[TaskAssignment] = deque(assignments)
+            completed_maps = 0
+            since_drain = 0
+            if self.fault_plan is None:
+                while queue:
+                    batch = [
+                        queue.popleft()
+                        for _ in range(min(len(queue), session.max_batch))
+                    ]
+                    specs = []
+                    for a in batch:
+                        data, local = self._read_block(a.split, a.node)
+                        if not local:
+                            network_bytes += len(data)
+                        disk = cluster.nodes[a.node].intermediate_disk
+                        specs.append(
+                            HadoopMapSpec(
+                                a.task_id, a.node, data, disk.profile, disk.name
+                            )
                         )
-            if since_drain >= self.fetch_interval or not queue:
-                network_bytes += drain()
-                since_drain = 0
-        t_map = time.perf_counter() - t_map_start
-
-        # ---- reduce phase (blocking merge + reduce + output write) ----
-        t_reduce_start = time.perf_counter()
-        hdfs.namenode.create_file(job.output_path, codec_name="binary")
-        output_records = 0
-        for partition in sorted(reduce_tasks):
-
-            def attempt(attempt_idx: int, partition: int = partition) -> list[Any]:
-                nonlocal network_bytes
-                if attempt_idx > 0:
-                    # The previous attempt died mid-reduce: its fetched
-                    # segments, merge runs and partial output are gone.  A
-                    # fresh task on the next live node re-pulls the whole
-                    # partition from the mapper disks.
-                    dead = reduce_tasks[partition]
-                    counters.merge(dead.counters)  # its work still happened
-                    counters.inc(C.TASKS_RERUN)
-                    new_node = live[(partition + attempt_idx) % len(live)]
-                    reducer_nodes[partition] = new_node
-                    rtask = SortMergeReduceTask(
-                        job,
-                        partition,
-                        new_node,
-                        cluster.nodes[new_node].intermediate_disk,
+                    for a, res in zip(batch, session.run_batch("hadoop_map", specs)):
+                        cluster.nodes[a.node].intermediate_disk.absorb(res.disk)
+                        counters.merge(res.counters)
+                        shuffle.register(res.output)
+                        lineage.record(a.task_id, a.node, res.output.total_bytes)
+                        completed_maps += 1
+                        since_drain += 1
+                        if since_drain >= self.fetch_interval:
+                            network_bytes += drain()
+                            since_drain = 0
+                if since_drain > 0:
+                    network_bytes += drain()
+            else:
+                while queue:
+                    a = queue.popleft()
+                    node, output, extra_net = self._execute_map(
+                        job, recovery, session, a.task_id, a.split, a.node, live, counters
                     )
-                    reduce_tasks[partition] = rtask
-                    shuffle.reset_partition(partition)
-                    network_bytes += self._pull_partition(
-                        partition,
-                        rtask,
-                        job,
-                        recovery,
-                        shuffle,
-                        lineage,
-                        live,
-                        splits_by_task,
-                        counters,
-                    )
-                output, _groups = reduce_tasks[partition].run()
-                return output
+                    network_bytes += extra_net
+                    shuffle.register(output)
+                    lineage.record(a.task_id, node, output.total_bytes)
+                    completed_maps += 1
+                    since_drain += 1
+                    for crashed in self.fault_plan.crashes_due(completed_maps):
+                        with counters.timer(C.T_RECOVERY):
+                            self._handle_node_crash(
+                                crashed,
+                                job=job,
+                                shuffle=shuffle,
+                                lineage=lineage,
+                                reduce_tasks=reduce_tasks,
+                                reducer_nodes=reducer_nodes,
+                                queue=queue,
+                                splits_by_task=splits_by_task,
+                                live=live,
+                                counters=counters,
+                            )
+                    if since_drain >= self.fetch_interval or not queue:
+                        network_bytes += drain()
+                        since_drain = 0
+            t_map = time.perf_counter() - t_map_start
 
-            output = recovery.run_reduce_task(partition, attempt)
-            counters.merge(reduce_tasks[partition].counters)
-            output_records += len(output)
-            if output:
-                hdfs.append_block(
-                    job.output_path, output, writer_node=reducer_nodes[partition]
-                )
-        t_reduce = time.perf_counter() - t_reduce_start
+            # ---- reduce phase (blocking merge + reduce + output write) ----
+            t_reduce_start = time.perf_counter()
+            hdfs.namenode.create_file(job.output_path, codec_name="binary")
+            output_records = 0
+            if self.fault_plan is None:
+                # Independent partitions: ship each reduce task's ingested
+                # state (in-memory segments + on-disk runs) to the kernel
+                # and absorb the shadow disk's merge/output I/O back.
+                order = sorted(reduce_tasks)
+                specs = []
+                for partition in order:
+                    rtask = reduce_tasks[partition]
+                    disk = cluster.nodes[reducer_nodes[partition]].intermediate_disk
+                    memory, memory_bytes, (runs, seq) = rtask.export_ingested()
+                    specs.append(
+                        HadoopReduceSpec(
+                            partition,
+                            reducer_nodes[partition],
+                            disk.profile,
+                            disk.name,
+                            memory,
+                            memory_bytes,
+                            runs,
+                            seq,
+                            {path: disk.peek(path) for path, _ in runs},
+                        )
+                    )
+                for partition, res in zip(
+                    order, session.run_batch("hadoop_reduce", specs)
+                ):
+                    disk = cluster.nodes[reducer_nodes[partition]].intermediate_disk
+                    disk.absorb(res.disk)
+                    counters.merge(reduce_tasks[partition].counters)
+                    counters.merge(res.counters)
+                    output_records += len(res.output)
+                    if res.output:
+                        hdfs.append_block(
+                            job.output_path,
+                            res.output,
+                            writer_node=reducer_nodes[partition],
+                        )
+            else:
+                for partition in sorted(reduce_tasks):
+
+                    def attempt(
+                        attempt_idx: int, partition: int = partition
+                    ) -> list[Any]:
+                        nonlocal network_bytes
+                        if attempt_idx > 0:
+                            # The previous attempt died mid-reduce: its fetched
+                            # segments, merge runs and partial output are gone.  A
+                            # fresh task on the next live node re-pulls the whole
+                            # partition from the mapper disks.
+                            dead = reduce_tasks[partition]
+                            counters.merge(dead.counters)  # its work still happened
+                            counters.inc(C.TASKS_RERUN)
+                            new_node = live[(partition + attempt_idx) % len(live)]
+                            reducer_nodes[partition] = new_node
+                            rtask = SortMergeReduceTask(
+                                job,
+                                partition,
+                                new_node,
+                                cluster.nodes[new_node].intermediate_disk,
+                            )
+                            reduce_tasks[partition] = rtask
+                            shuffle.reset_partition(partition)
+                            network_bytes += self._pull_partition(
+                                partition,
+                                rtask,
+                                job,
+                                recovery,
+                                session,
+                                shuffle,
+                                lineage,
+                                live,
+                                splits_by_task,
+                                counters,
+                            )
+                        output, _groups = reduce_tasks[partition].run()
+                        return output
+
+                    output = recovery.run_reduce_task(partition, attempt)
+                    counters.merge(reduce_tasks[partition].counters)
+                    output_records += len(output)
+                    if output:
+                        hdfs.append_block(
+                            job.output_path, output, writer_node=reducer_nodes[partition]
+                        )
+            t_reduce = time.perf_counter() - t_reduce_start
 
         shuffle.cleanup()
         shuffle.merge_stats(counters)

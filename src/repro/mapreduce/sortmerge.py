@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from operator import itemgetter
 from typing import Any, Iterable, Iterator
 
 from repro.io.disk import LocalDisk
@@ -30,6 +31,10 @@ from repro.mapreduce.partition import Partitioner, hash_partitioner
 __all__ = ["MapOutputSegment", "MapOutput", "SortMergeMapTask", "SortMergeReduceTask"]
 
 _RECORD_OVERHEAD = 32
+
+# Sorting on the compound (partition, key) is the map side's hot loop; a
+# C-level itemgetter key beats a per-record lambda by ~2x on large buffers.
+_PARTITION_KEY = itemgetter(0, 1)
 
 
 @dataclass(frozen=True, slots=True)
@@ -97,7 +102,7 @@ class _SortSpillBuffer:
         self._bytes = 0
 
         with self.counters.timer(C.T_SORT):
-            entries.sort(key=lambda e: (e[0], e[1]))
+            entries.sort(key=_PARTITION_KEY)
         self.counters.inc(C.SORT_RECORDS, len(entries))
 
         if self.job.has_combiner and self.job.config.combine_on_spill:
@@ -132,11 +137,14 @@ class _SortSpillBuffer:
             i = 0
             n = len(entries)
             while i < n:
-                partition, key = entries[i][0], entries[i][1]
-                values = []
-                while i < n and entries[i][0] == partition and entries[i][1] == key:
-                    values.append(entries[i][2])
-                    i += 1
+                # Pre-extract the group key once and slice the group out,
+                # instead of re-indexing each entry in an inner loop.
+                partition, key, _ = entries[i]
+                j = i + 1
+                while j < n and entries[j][0] == partition and entries[j][1] == key:
+                    j += 1
+                values = [e[2] for e in entries[i:j]]
+                i = j
                 self.counters.inc(C.COMBINE_INPUT_RECORDS, len(values))
                 for out_key, out_value in combine_fn(key, iter(values)):
                     out.append((partition, out_key, out_value))
@@ -296,6 +304,29 @@ class SortMergeReduceTask:
         if self.job.has_combiner and self.job.config.combine_on_spill:
             merged = _combine_sorted_stream(self.job, merged, self.counters)
         self._merger.add_run(merged)
+
+    # -- state transfer (parallel execution) -------------------------------------
+
+    def export_ingested(
+        self,
+    ) -> tuple[list[list[tuple[Any, Any]]], int, tuple[list[tuple[str, int]], int]]:
+        """Hand the ingestion-phase state to a worker-side task.
+
+        Returns ``(memory segments, memory bytes, merger state)``; together
+        with the merger's run files this is everything :meth:`run` needs.
+        """
+        return self._memory, self._memory_bytes, self._merger.export_state()
+
+    def adopt_ingested(
+        self,
+        memory: list[list[tuple[Any, Any]]],
+        memory_bytes: int,
+        merger_state: tuple[list[tuple[str, int]], int],
+    ) -> None:
+        """Install ingestion-phase state exported by :meth:`export_ingested`."""
+        self._memory = memory
+        self._memory_bytes = memory_bytes
+        self._merger.adopt_state(merger_state)
 
     # -- reduce ------------------------------------------------------------------
 

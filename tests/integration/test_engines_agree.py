@@ -141,6 +141,7 @@ class TestAgreementUnderRandomFaults:
     produce exactly the answer of a fault-free run.
     """
 
+    @pytest.mark.slow
     @pytest.mark.parametrize("seed", [7, 23, 51])
     def test_three_engines_agree_under_faults(self, clicks, seed):
         from repro.mapreduce.faults import FaultPlan
@@ -210,6 +211,122 @@ class TestAgreementUnderRandomFaults:
             ), engine_cls.__name__
 
 
+def _workload_jobs(workload):
+    """Return (sortmerge_job_fn, onepass_job_fn, fixture_name)."""
+    if workload == "sessionization":
+        return (
+            lambda i, o: sessionization_job(i, o, gap=5.0),
+            lambda i, o: sessionization_onepass_job(i, o, gap=5.0),
+            "clicks",
+        )
+    if workload == "page-frequency":
+        return page_frequency_job, page_frequency_onepass_job, "clicks"
+    if workload == "per-user-count":
+        return per_user_count_job, per_user_count_onepass_job, "clicks"
+    return inverted_index_job, inverted_index_onepass_job, "documents"
+
+
+def _run_with_executor(engine, cluster, workload, executor, **engine_kwargs):
+    sm_job, op_job, _ = _workload_jobs(workload)
+    if engine == "hadoop":
+        return HadoopEngine(cluster, executor=executor, **engine_kwargs).run(
+            sm_job("in", "out")
+        )
+    if engine == "hop":
+        return HOPEngine(cluster, executor=executor, **engine_kwargs).run(
+            sm_job("in", "out")
+        )
+    return OnePassEngine(cluster, executor=executor, **engine_kwargs).run(
+        op_job("in", "out")
+    )
+
+
+def _snapshot(cluster, result, out="out"):
+    """Everything a run observably produced, minus wall-clock timers."""
+    counters = {
+        k: v
+        for k, v in result.counters.as_dict().items()
+        if not k.startswith("time.")
+    }
+    return (
+        list(cluster.hdfs.read_records(out)),
+        cluster.hdfs.file_bytes(out),
+        counters,
+        result.output_records,
+    )
+
+
+class TestExecutorDeterminism:
+    """Executors must be interchangeable, not merely equivalent.
+
+    Threaded and multiprocess execution must reproduce the serial run
+    byte for byte — same output records in the same order, same HDFS file
+    bytes, and the same counters (wall-clock ``time.*`` timers excluded,
+    as they are the one legitimately nondeterministic observable).
+    """
+
+    EXECUTORS = ("threads:2", "processes:2")
+    WORKLOADS = (
+        "page-frequency",
+        "per-user-count",
+        "sessionization",
+        "inverted-index",
+    )
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    @pytest.mark.parametrize("engine", ["hadoop", "hop", "onepass"])
+    def test_byte_identical_across_executors(self, request, engine, workload):
+        records = request.getfixturevalue(_workload_jobs(workload)[2])
+
+        def run(executor):
+            cluster = fresh_cluster(records)
+            result = _run_with_executor(engine, cluster, workload, executor)
+            return _snapshot(cluster, result)
+
+        reference = run(None)
+        for executor in self.EXECUTORS:
+            assert run(executor) == reference, (engine, workload, executor)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("engine", ["hadoop", "hop", "onepass"])
+    def test_byte_identical_under_seeded_faults(self, clicks, engine):
+        """Parallel executors must also replay fault injection exactly:
+        the FaultPlan is consulted on the coordinator, so worker count
+        cannot change which attempts die or what recovery rebuilds."""
+        from repro.mapreduce.faults import FaultPlan
+
+        def cluster():
+            c = LocalCluster(num_nodes=4, block_size=64 * 1024, replication=2)
+            c.hdfs.write_records("in", clicks)
+            return c
+
+        n_tasks = len(cluster().hdfs.input_splits("in"))
+
+        def run(executor):
+            c = cluster()
+            plan = FaultPlan.random(
+                seed=29,
+                num_map_tasks=n_tasks,
+                num_reducers=2,
+                nodes=c.nodes,
+                shuffle_failure_rate=0.05,
+                crash_after=3,
+            )
+            kwargs = {"fault_plan": plan}
+            if engine == "onepass":
+                kwargs["checkpoint_interval"] = 4
+            result = _run_with_executor(
+                engine, c, "per-user-count", executor, **kwargs
+            )
+            return _snapshot(c, result)
+
+        reference = run(None)
+        for executor in self.EXECUTORS:
+            assert run(executor) == reference, (engine, executor)
+
+
+@pytest.mark.slow
 class TestPropertyRandomStreams:
     @given(
         seed=st.integers(0, 10_000),
