@@ -115,11 +115,37 @@ def kernel_incremental_update() -> None:
     assert table.resident_keys == 2_000
 
 
+def kernel_tracer_noop() -> None:
+    """Cost of the tracing-off path: guards and null spans must stay free.
+
+    Mirrors how engines consult the tracer — a per-record ``enabled``
+    check in the hot loop and null span handles at task/phase
+    granularity.  If ``NullTracer`` ever grows real work, this score
+    blows past its baseline and CI fails.
+    """
+    from repro.obs.tracer import NULL_TRACER, task_tracer
+
+    trc = task_tracer(False)
+    assert trc is NULL_TRACER
+    hits = 0
+    for _ in range(300_000):
+        if trc.enabled:  # per-record hot-path guard (OnePassReduceTask.accept)
+            hits += 1
+    for i in range(3_000):  # per-task / per-phase granularity
+        with trc.span("map", "map", node="n0", task="map:00000", cost=1) as h:
+            h.set_cost(i + 1)
+            h.set(records=i)
+        trc.event("e", "recovery", node="n0")
+        trc.add_span("map-phase", "phase", 0, 1)
+    assert hits == 0 and trc.export() is None
+
+
 KERNELS = {
     "frames_roundtrip": kernel_frames_roundtrip,
     "partition_sort": kernel_partition_sort,
     "merge_streams": kernel_merge_streams,
     "incremental_update": kernel_incremental_update,
+    "tracer_noop": kernel_tracer_noop,
 }
 
 

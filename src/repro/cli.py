@@ -9,6 +9,11 @@ Three commands cover the repository's everyday uses without writing code:
 * ``compare``  — run the same workload on the sort-merge baseline and the
   one-pass engine and print the §V-style comparison.
 
+A fourth command, ``trace``, runs a workload with the tracing subsystem
+on and prints (or writes) the span timeline; ``run`` and ``compare`` take
+the same ``--trace``/``--trace-format`` flags to capture traces alongside
+their normal output.
+
 Examples::
 
     python -m repro run --workload page-frequency --engine onepass --records 50000
@@ -16,6 +21,9 @@ Examples::
     python -m repro compare --workload per-user-count --records 100000
     python -m repro simulate --workload inverted-index --engine onepass \
         --export-dir out/
+    python -m repro trace --workload sessionization --engine hadoop
+    python -m repro run --workload sessionization --engine hadoop \
+        --trace out.json --trace-format chrome
 """
 
 from __future__ import annotations
@@ -80,7 +88,12 @@ def _build_jobs(workload: str):
 
 
 def _run_real(
-    workload: str, engine: str, records: int, nodes: int, executor: str | None = None
+    workload: str,
+    engine: str,
+    records: int,
+    nodes: int,
+    executor: str | None = None,
+    tracer: Any = None,
 ) -> Any:
     from repro.core.engine import OnePassEngine
     from repro.mapreduce.hop import HOPEngine
@@ -90,14 +103,52 @@ def _run_real(
     cluster = LocalCluster(num_nodes=nodes, block_size=256 * 1024)
     cluster.hdfs.write_records("in", records_fn(records))
     if engine == "hadoop":
-        return HadoopEngine(cluster, executor=executor).run(sm_job("in", "out"))
+        return HadoopEngine(cluster, executor=executor, tracer=tracer).run(
+            sm_job("in", "out")
+        )
     if engine == "hop":
-        return HOPEngine(cluster, executor=executor).run(sm_job("in", "out"))
-    return OnePassEngine(cluster, executor=executor).run(op_job("in", "out"))
+        return HOPEngine(cluster, executor=executor, tracer=tracer).run(
+            sm_job("in", "out")
+        )
+    return OnePassEngine(cluster, executor=executor, tracer=tracer).run(
+        op_job("in", "out")
+    )
+
+
+def _apply_log_level(args: argparse.Namespace) -> None:
+    if getattr(args, "log_level", None):
+        from repro.obs.log import set_level
+
+        set_level(args.log_level)
+
+
+def _maybe_write_trace(args: argparse.Namespace, result: Any) -> None:
+    """Write ``result``'s trace if ``--trace`` was given (run/compare/trace)."""
+    if not getattr(args, "trace", None):
+        return
+    from repro.obs.export import write_trace
+
+    tracer = result.trace
+    write_trace(
+        args.trace,
+        args.trace_format,
+        tracer.spans,
+        tracer.events,
+        job_name=result.job_name,
+    )
+    print(f"wrote {args.trace_format} trace to {args.trace}")
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    result = _run_real(args.workload, args.engine, args.records, args.nodes, args.executor)
+    _apply_log_level(args)
+    tracer = None
+    if args.trace:
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer()
+    result = _run_real(
+        args.workload, args.engine, args.records, args.nodes, args.executor, tracer
+    )
     c = result.counters
     print(
         format_table(
@@ -116,6 +167,31 @@ def cmd_run(args: argparse.Namespace) -> int:
             title=f"{args.workload} on {args.engine} ({args.records} records)",
         )
     )
+    _maybe_write_trace(args, result)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one workload with tracing on; print or write the timeline."""
+    from repro.obs.export import summary_text, write_trace
+    from repro.obs.tracer import Tracer
+
+    _apply_log_level(args)
+    tracer = Tracer()
+    result = _run_real(
+        args.workload, args.engine, args.records, args.nodes, args.executor, tracer
+    )
+    if args.out:
+        write_trace(
+            args.out,
+            args.format,
+            tracer.spans,
+            tracer.events,
+            job_name=result.job_name,
+        )
+        print(f"wrote {args.format} trace to {args.out}")
+    else:
+        print(summary_text(tracer.spans, tracer.events, job_name=result.job_name), end="")
     return 0
 
 
@@ -176,19 +252,38 @@ def cmd_compare(args: argparse.Namespace) -> int:
     from repro.core.engine import OnePassEngine
     from repro.mapreduce.runtime import HadoopEngine, LocalCluster
 
+    _apply_log_level(args)
     data = records_fn(args.records)
     rows = []
     results = {}
     for engine in ("sort-merge", "one-pass"):
+        tracer = None
+        if args.trace:
+            from repro.obs.tracer import Tracer
+
+            tracer = Tracer()
         cluster = LocalCluster(num_nodes=args.nodes, block_size=256 * 1024)
         cluster.hdfs.write_records("in", data)
         t0 = time.process_time()
         if engine == "sort-merge":
-            result = HadoopEngine(cluster).run(sm_job("in", "out"))
+            result = HadoopEngine(cluster, tracer=tracer).run(sm_job("in", "out"))
         else:
-            result = OnePassEngine(cluster).run(op_job("in", "out"))
+            result = OnePassEngine(cluster, tracer=tracer).run(op_job("in", "out"))
         cpu = time.process_time() - t0
         results[engine] = (result, cpu)
+        if args.trace:
+            from repro.obs.export import write_trace
+
+            stem, dot, ext = args.trace.rpartition(".")
+            path = f"{stem}-{engine}{dot}{ext}" if dot else f"{args.trace}-{engine}"
+            write_trace(
+                path,
+                args.trace_format,
+                tracer.spans,
+                tracer.events,
+                job_name=result.job_name,
+            )
+            print(f"wrote {args.trace_format} trace to {path}")
         c = result.counters
         rows.append(
             (
@@ -223,6 +318,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_trace_flags(p: argparse.ArgumentParser) -> None:
+        from repro.obs.export import TRACE_FORMATS
+
+        p.add_argument(
+            "--trace", default=None, metavar="PATH", help="capture a trace to PATH"
+        )
+        p.add_argument(
+            "--trace-format",
+            choices=TRACE_FORMATS,
+            default="chrome",
+            help="trace serialisation (default: chrome)",
+        )
+        p.add_argument(
+            "--log-level",
+            choices=("off", "error", "warn", "info", "debug"),
+            default=None,
+            help="structured logging to stderr (default: off)",
+        )
+
     p_run = sub.add_parser("run", help="run a workload on a real engine")
     p_run.add_argument("--workload", choices=WORKLOADS, required=True)
     p_run.add_argument("--engine", choices=ENGINES, default="onepass")
@@ -233,7 +347,37 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="task executor: serial (default), threads[:N], or processes[:N]",
     )
+    add_trace_flags(p_run)
     p_run.set_defaults(fn=cmd_run)
+
+    p_trace = sub.add_parser(
+        "trace", help="run a workload with tracing on; print the timeline"
+    )
+    p_trace.add_argument("--workload", choices=WORKLOADS, required=True)
+    p_trace.add_argument("--engine", choices=ENGINES, default="hadoop")
+    p_trace.add_argument("--records", type=int, default=50_000)
+    p_trace.add_argument("--nodes", type=int, default=3)
+    p_trace.add_argument(
+        "--executor",
+        default=None,
+        help="task executor: serial (default), threads[:N], or processes[:N]",
+    )
+    p_trace.add_argument(
+        "--out", default=None, metavar="PATH", help="write instead of printing"
+    )
+    p_trace.add_argument(
+        "--format",
+        choices=("chrome", "jsonl", "summary"),
+        default="chrome",
+        help="serialisation for --out (default: chrome)",
+    )
+    p_trace.add_argument(
+        "--log-level",
+        choices=("off", "error", "warn", "info", "debug"),
+        default=None,
+        help="structured logging to stderr (default: off)",
+    )
+    p_trace.set_defaults(fn=cmd_trace)
 
     p_sim = sub.add_parser("simulate", help="simulate at paper scale")
     p_sim.add_argument("--workload", choices=WORKLOADS, required=True)
@@ -251,6 +395,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--workload", choices=WORKLOADS, required=True)
     p_cmp.add_argument("--records", type=int, default=100_000)
     p_cmp.add_argument("--nodes", type=int, default=3)
+    add_trace_flags(p_cmp)
     p_cmp.set_defaults(fn=cmd_compare)
 
     return parser

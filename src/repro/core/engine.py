@@ -44,6 +44,8 @@ from repro.mapreduce.recovery import (
 )
 from repro.mapreduce.runtime import JobResult, LocalCluster
 from repro.mapreduce.scheduler import WaveScheduler
+from repro.obs.log import get_logger
+from repro.obs.tracer import NULL_TRACER, byte_cost
 
 __all__ = [
     "OnePassConfig",
@@ -135,12 +137,16 @@ class OnePassReduceTask:
         partition: int,
         node: str,
         disk: LocalDisk,
+        *,
+        tracer: Any = NULL_TRACER,
     ) -> None:
         self.job = job
         self.partition = partition
         self.node = node
         self.disk = disk
         self.counters = Counters()
+        self.tracer = tracer
+        self._task = f"reduce:{partition:03d}"
         cfg = job.config
         namespace = f"onepass/{partition:03d}"
         self._incremental: IncrementalHash | None = None
@@ -180,6 +186,8 @@ class OnePassReduceTask:
         counters = self.counters
         counters.inc(C.SHUFFLE_BYTES, nbytes)
         counters.inc(C.REDUCE_INPUT_RECORDS, len(pairs))
+        trc = self.tracer
+        spill0 = counters[C.REDUCE_SPILL_BYTES] if trc.enabled else 0
         perf = time.perf_counter
         t0 = perf()
         if self._incremental is not None:
@@ -196,6 +204,25 @@ class OnePassReduceTask:
             for key, value in pairs:
                 add(key, value)
         counters.inc(C.T_HASH, perf() - t0)
+        if trc.enabled:
+            spilled = counters[C.REDUCE_SPILL_BYTES] - spill0
+            if spilled > 0:
+                # The hash backend spilled partitions to disk while
+                # absorbing this chunk — surface it as a spill span so
+                # hash-table spills line up with sort-merge ones.
+                c0 = trc.clock
+                trc.event(
+                    "hash.spill", "spill", node=self.node, task=self._task
+                )
+                trc.add_span(
+                    "spill",
+                    "spill",
+                    c0,
+                    c0 + byte_cost(spilled),
+                    node=self.node,
+                    task=self._task,
+                    bytes=spilled,
+                )
 
     # -- early answers -----------------------------------------------------------
 
@@ -219,21 +246,26 @@ class OnePassReduceTask:
         job = self.job
         output: list[Any] = []
         groups = 0
-        if job.is_aggregate:
-            finalize = job.finalize or _default_finalize
-            for key, result in self._aggregate_results():
-                groups += 1
-                output.extend(finalize(key, result))
-        else:
-            assert self._grouper is not None and job.reduce_fn is not None
-            perf = time.perf_counter
-            t_reduce = 0.0
-            for key, values in self._grouper.finish():
-                groups += 1
-                t0 = perf()
-                output.extend(job.reduce_fn(key, iter(values)))
-                t_reduce += perf() - t0
-            counters.inc(C.T_REDUCE_FN, t_reduce)
+        with self.tracer.span(
+            "reduce", "reduce", node=self.node, task=self._task
+        ) as reduce_span:
+            if job.is_aggregate:
+                finalize = job.finalize or _default_finalize
+                for key, result in self._aggregate_results():
+                    groups += 1
+                    output.extend(finalize(key, result))
+            else:
+                assert self._grouper is not None and job.reduce_fn is not None
+                perf = time.perf_counter
+                t_reduce = 0.0
+                for key, values in self._grouper.finish():
+                    groups += 1
+                    t0 = perf()
+                    output.extend(job.reduce_fn(key, iter(values)))
+                    t_reduce += perf() - t0
+                counters.inc(C.T_REDUCE_FN, t_reduce)
+            reduce_span.set_cost(max(1, groups))
+            reduce_span.set(groups=groups, out_records=len(output))
         counters.inc(C.REDUCE_INPUT_GROUPS, groups)
         counters.inc(C.REDUCE_OUTPUT_RECORDS, len(output))
         return output
@@ -274,6 +306,10 @@ def execute_onepass_map(
     codec: Any,
     data: bytes,
     sink: Callable[[int, list[tuple[Any, Any]], int], None],
+    *,
+    tracer: Any = NULL_TRACER,
+    task_id: int = 0,
+    node: str = "",
 ) -> Counters:
     """One map task's pure body: decode, map, partition/combine into ``sink``.
 
@@ -311,18 +347,23 @@ def execute_onepass_map(
     t_map_fn = 0.0
     t_hash = 0.0
     n_in = 0
-    for record in records:
-        n_in += 1
+    with tracer.span(
+        "map", "map", node=node, task=f"map:{task_id:05d}"
+    ) as map_span:
+        for record in records:
+            n_in += 1
+            t0 = perf()
+            emitted = list(map_fn(record))
+            t1 = perf()
+            for key, value in emitted:
+                buffer.add(key, value)
+            t_hash += perf() - t1
+            t_map_fn += t1 - t0
         t0 = perf()
-        emitted = list(map_fn(record))
-        t1 = perf()
-        for key, value in emitted:
-            buffer.add(key, value)
-        t_hash += perf() - t1
-        t_map_fn += t1 - t0
-    t0 = perf()
-    buffer.finish()
-    t_hash += perf() - t0
+        buffer.finish()
+        t_hash += perf() - t0
+        map_span.set_cost(max(1, n_in))
+        map_span.set(records=n_in, bytes=len(data))
     task_counters.inc(C.MAP_INPUT_RECORDS, n_in)
     task_counters.inc(C.T_MAP_FN, t_map_fn)
     task_counters.inc(C.T_HASH, t_hash)
@@ -363,6 +404,7 @@ class OnePassEngine:
         checkpoint_interval: int = 0,
         speculation: SpeculationPolicy | None = None,
         executor: Any = None,
+        tracer: Any = None,
     ) -> None:
         if checkpoint_interval < 0:
             raise ValueError("checkpoint_interval must be >= 0")
@@ -372,6 +414,7 @@ class OnePassEngine:
         self.checkpoint_interval = checkpoint_interval
         self.speculation = speculation
         self.executor = resolve_executor(executor)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def _read_block(self, split: InputSplit, node: str) -> tuple[bytes, bool]:
         hdfs = self.cluster.hdfs
@@ -409,6 +452,7 @@ class OnePassEngine:
                 "onepass_map", OnePassMapSpec(assignment.task_id, node, data)
             )
             counters.merge(res.counters)
+            self.tracer.absorb(res.trace)
             return res.staged
 
         def discard(_node: str, staged: list[tuple[int, list, int]]) -> None:
@@ -449,6 +493,14 @@ class OnePassEngine:
         if payload is None:
             return False
         store.save(log.last_seq, payload)
+        self.tracer.event(
+            "checkpoint.saved",
+            "checkpoint",
+            node=rtask.node,
+            task=f"reduce:{rtask.partition:03d}",
+            seq=log.last_seq,
+            bytes=len(payload),
+        )
         return True
 
     def _rebuild_reduce_task(
@@ -469,17 +521,33 @@ class OnePassEngine:
         """
         disk = self.cluster.nodes[node].intermediate_disk
         disk.delete_prefix(f"onepass/{partition:03d}")
-        rtask = OnePassReduceTask(job, partition, node, disk)
+        rtask = OnePassReduceTask(job, partition, node, disk, tracer=self.tracer)
         after_seq = 0
         checkpoint = store.latest()
         if checkpoint is not None:
             after_seq, payload = checkpoint
             rtask.restore_payload(payload)
             counters.inc(C.CHECKPOINT_RESTORES)
-        for _seq, pairs, nbytes in log.replay(after_seq):
-            rtask.accept(pairs, nbytes)
-            counters.inc(C.REPLAYED_RECORDS, len(pairs))
-            counters.inc(C.BYTES_RESHUFFLED, nbytes)
+            self.tracer.event(
+                "checkpoint.restored",
+                "recovery",
+                node=node,
+                task=f"reduce:{partition:03d}",
+                seq=after_seq,
+            )
+        replayed = 0
+        nbytes_replayed = 0
+        with self.tracer.span(
+            "replay", "recovery", node=node, task=f"reduce:{partition:03d}"
+        ) as replay_span:
+            for _seq, pairs, nbytes in log.replay(after_seq):
+                rtask.accept(pairs, nbytes)
+                replayed += len(pairs)
+                nbytes_replayed += nbytes
+                counters.inc(C.REPLAYED_RECORDS, len(pairs))
+                counters.inc(C.BYTES_RESHUFFLED, nbytes)
+            replay_span.set_cost(max(1, byte_cost(nbytes_replayed)))
+            replay_span.set(records=replayed, bytes=nbytes_replayed)
         return rtask
 
     def _handle_node_crash(
@@ -501,6 +569,7 @@ class OnePassEngine:
         checkpoint + log replay, and its log/checkpoint replicas re-home.
         """
         counters.inc(C.NODE_CRASHES)
+        self.tracer.event("node.crash", "recovery", node=crashed)
         live.remove(crashed)
         if not live:
             raise RuntimeError(f"node crash of {crashed} left no live compute nodes")
@@ -549,12 +618,18 @@ class OnePassEngine:
         assignments, sched_stats = self.scheduler.schedule(splits)
         reducer_nodes = self.scheduler.assign_reducers(cfg.num_reducers)
         reduce_tasks = {
-            p: OnePassReduceTask(job, p, node, cluster.nodes[node].intermediate_disk)
+            p: OnePassReduceTask(
+                job,
+                p,
+                node,
+                cluster.nodes[node].intermediate_disk,
+                tracer=self.tracer,
+            )
             for p, node in reducer_nodes.items()
         }
         live = list(cluster.compute_node_names)
         recovery = RecoveryManager(
-            self.fault_plan, counters, speculation=self.speculation
+            self.fault_plan, counters, speculation=self.speculation, tracer=self.tracer
         )
         logs: dict[int, PartitionLog] = {}
         checkpoints: dict[int, CheckpointStore] = {}
@@ -570,9 +645,19 @@ class OnePassEngine:
         def sink(partition: int, pairs: list[tuple[Any, Any]], nbytes: int) -> None:
             nonlocal network_bytes
             network_bytes += nbytes
-            if partition in logs:
-                logs[partition].append(pairs, nbytes)
-            reduce_tasks[partition].accept(pairs, nbytes)
+            rtask = reduce_tasks[partition]
+            with self.tracer.span(
+                "push",
+                "shuffle",
+                node=rtask.node,
+                task=f"reduce:{partition:03d}",
+                cost=byte_cost(nbytes),
+                bytes=nbytes,
+                records=len(pairs),
+            ):
+                if partition in logs:
+                    logs[partition].append(pairs, nbytes)
+                rtask.accept(pairs, nbytes)
             if self.checkpoint_interval and partition in checkpoints:
                 chunks_since_checkpoint[partition] += 1
                 if chunks_since_checkpoint[partition] >= self.checkpoint_interval:
@@ -582,8 +667,10 @@ class OnePassEngine:
                         chunks_since_checkpoint[partition] = 0
 
         codec = hdfs.codec(hdfs.namenode.file_info(job.input_path).codec_name)
+        c_map0 = self.tracer.clock
         t_map_start = time.perf_counter()
-        with self.executor.session({"job": job, "codec": codec}) as session:
+        context = {"job": job, "codec": codec, "trace": self.tracer.enabled}
+        with self.executor.session(context) as session:
             if self.fault_plan is None:
                 idx = 0
                 while idx < len(assignments):
@@ -597,6 +684,7 @@ class OnePassEngine:
                         specs.append(OnePassMapSpec(a.task_id, a.node, data))
                     for res in session.run_batch("onepass_map", specs):
                         counters.merge(res.counters)
+                        self.tracer.absorb(res.trace)
                         for partition, pairs, nbytes in res.staged:
                             sink(partition, pairs, nbytes)
             else:
@@ -619,7 +707,14 @@ class OnePassEngine:
                                 counters=counters,
                             )
         t_map = time.perf_counter() - t_map_start
+        self.tracer.add_span(
+            "map-phase", "phase", c_map0, self.tracer.clock, wall_s=t_map
+        )
+        get_logger("onepass").info(
+            "map.phase.done", tasks=len(assignments), wall_ms=t_map * 1e3
+        )
 
+        c_reduce0 = self.tracer.clock
         t_reduce_start = time.perf_counter()
         hdfs.namenode.create_file(job.output_path, codec_name="binary")
         output_records = 0
@@ -662,6 +757,15 @@ class OnePassEngine:
                 )
             counters.merge(reduce_tasks[partition].counters)
         t_reduce = time.perf_counter() - t_reduce_start
+        self.tracer.add_span(
+            "reduce-phase", "phase", c_reduce0, self.tracer.clock, wall_s=t_reduce
+        )
+        get_logger("onepass").info(
+            "reduce.phase.done",
+            partitions=len(reduce_tasks),
+            records=output_records,
+            wall_ms=t_reduce * 1e3,
+        )
 
         for partition in sorted(logs):
             logs[partition].cleanup()
@@ -683,4 +787,5 @@ class OnePassEngine:
                 "approximate_results": approx,
                 "mode": cfg.mode,
             },
+            trace=self.tracer if self.tracer.enabled else None,
         )

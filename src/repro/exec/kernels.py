@@ -33,6 +33,7 @@ from repro.mapreduce.sortmerge import (
     SortMergeMapTask,
     SortMergeReduceTask,
 )
+from repro.obs.tracer import task_tracer
 
 __all__ = [
     "timed_decode",
@@ -79,16 +80,20 @@ class HadoopMapResult:
     output: MapOutput
     counters: Counters
     disk: DiskExport
+    #: Task-local trace export (``None`` when tracing is off); the
+    #: coordinator absorbs it in deterministic task order.
+    trace: Any = None
 
 
 def hadoop_map_kernel(ctx: dict[str, Any], spec: HadoopMapSpec) -> HadoopMapResult:
     """One sort-spill map task over one block, against a shadow disk."""
     job = ctx["job"]
     disk = LocalDisk(spec.profile, name=spec.disk_name)
-    task = SortMergeMapTask(job, spec.task_id, spec.node, disk)
+    tracer = task_tracer(bool(ctx.get("trace")))
+    task = SortMergeMapTask(job, spec.task_id, spec.node, disk, tracer=tracer)
     records = timed_decode(ctx["codec"], spec.data, task.counters)
     output = task.run(records, input_bytes=len(spec.data))
-    return HadoopMapResult(output, task.counters, disk.export_state())
+    return HadoopMapResult(output, task.counters, disk.export_state(), tracer.export())
 
 
 # -- Hadoop reduce ------------------------------------------------------------
@@ -114,6 +119,7 @@ class HadoopReduceResult:
     groups: int
     counters: Counters
     disk: DiskExport
+    trace: Any = None
 
 
 def hadoop_reduce_kernel(
@@ -128,7 +134,8 @@ def hadoop_reduce_kernel(
     job = ctx["job"]
     disk = LocalDisk(spec.profile, name=spec.disk_name)
     disk.preload(spec.run_files)
-    rtask = SortMergeReduceTask(job, spec.partition, spec.node, disk)
+    tracer = task_tracer(bool(ctx.get("trace")))
+    rtask = SortMergeReduceTask(job, spec.partition, spec.node, disk, tracer=tracer)
     rtask.adopt_ingested(
         spec.memory, spec.memory_bytes, (spec.merger_runs, spec.merger_seq)
     )
@@ -139,6 +146,7 @@ def hadoop_reduce_kernel(
         groups,
         rtask.counters,
         disk.export_state(preloaded=spec.run_files),
+        tracer.export(),
     )
 
 
@@ -169,6 +177,7 @@ class HopMapResult:
     by_partition: dict[int, list[tuple[list[tuple[Any, Any]], int]]] | None = None
     counters: Counters = field(default_factory=Counters)
     disk: DiskExport | None = None
+    trace: Any = None
 
 
 def hop_map_kernel(ctx: dict[str, Any], spec: HopMapSpec) -> HopMapResult:
@@ -178,6 +187,7 @@ def hop_map_kernel(ctx: dict[str, Any], spec: HopMapSpec) -> HopMapResult:
     job = ctx["job"]
     hop = ctx["hop"]
     records = ctx["codec"].decode(spec.data)
+    tracer = task_tracer(bool(ctx.get("trace")))
 
     if spec.frozen_backlogs is None:
         chunks: list[tuple[int, list[tuple[Any, Any]], int]] = []
@@ -188,12 +198,13 @@ def hop_map_kernel(ctx: dict[str, Any], spec: HopMapSpec) -> HopMapResult:
             LocalDisk(spec.profile, name=spec.disk_name),
             hop,
             lambda partition, pairs, nbytes: chunks.append((partition, pairs, nbytes)),
+            tracer=tracer,
         )
         task.run(records, input_bytes=len(spec.data))
-        return HopMapResult(chunks=chunks, counters=task.counters)
+        return HopMapResult(chunks=chunks, counters=task.counters, trace=tracer.export())
 
     disk = LocalDisk(spec.profile, name=spec.disk_name)
-    task = _PipelinedMapTask(job, spec.task_id, spec.node, disk, hop, None)
+    task = _PipelinedMapTask(job, spec.task_id, spec.node, disk, hop, None, tracer=tracer)
     router = _FrozenStageRouter(
         spec.task_id, disk, task.counters, hop.backpressure_bytes, spec.frozen_backlogs
     )
@@ -204,6 +215,7 @@ def hop_map_kernel(ctx: dict[str, Any], spec: HopMapSpec) -> HopMapResult:
         by_partition=router.delivered,
         counters=task.counters,
         disk=disk.export_state(),
+        trace=tracer.export(),
     )
 
 
@@ -221,6 +233,7 @@ class OnePassMapSpec:
 class OnePassMapResult:
     staged: list[tuple[int, list[tuple[Any, Any]], int]]
     counters: Counters
+    trace: Any = None
 
 
 def onepass_map_kernel(ctx: dict[str, Any], spec: OnePassMapSpec) -> OnePassMapResult:
@@ -235,13 +248,17 @@ def onepass_map_kernel(ctx: dict[str, Any], spec: OnePassMapSpec) -> OnePassMapR
 
     job = ctx["job"]
     staged: list[tuple[int, list[tuple[Any, Any]], int]] = []
+    tracer = task_tracer(bool(ctx.get("trace")))
     counters = execute_onepass_map(
         job,
         ctx["codec"],
         spec.data,
         lambda partition, pairs, nbytes: staged.append((partition, pairs, nbytes)),
+        tracer=tracer,
+        task_id=spec.task_id,
+        node=spec.node,
     )
-    return OnePassMapResult(staged, counters)
+    return OnePassMapResult(staged, counters, tracer.export())
 
 
 register_kernel("hadoop_map", hadoop_map_kernel)

@@ -42,6 +42,8 @@ from repro.mapreduce.recovery import (
 )
 from repro.mapreduce.runtime import JobResult, LocalCluster
 from repro.mapreduce.scheduler import WaveScheduler
+from repro.obs.log import get_logger
+from repro.obs.tracer import NULL_TRACER, byte_cost
 from repro.hdfs.filesystem import InputSplit
 
 __all__ = ["HOPConfig", "Snapshot", "PipelinedReduceTask", "HOPEngine"]
@@ -83,6 +85,8 @@ class PipelinedReduceTask:
         node: str,
         disk: LocalDisk,
         hop: HOPConfig,
+        *,
+        tracer: Any = NULL_TRACER,
     ) -> None:
         self.job = job
         self.partition = partition
@@ -90,11 +94,16 @@ class PipelinedReduceTask:
         self.disk = disk
         self.hop = hop
         self.counters = Counters()
+        self.tracer = tracer
+        self._task = f"reduce:{partition:03d}"
         self._merger = MultiPassMerger(
             disk,
             f"hop-reduce/{partition:03d}",
             factor=job.config.merge_factor,
             counters=self.counters,
+            tracer=tracer,
+            node=node,
+            task=self._task,
         )
         self._memory: list[list[tuple[Any, Any]]] = []
         self._memory_bytes = 0
@@ -115,8 +124,17 @@ class PipelinedReduceTask:
         if not self._memory:
             return
         segments, self._memory = self._memory, []
-        self._memory_bytes = 0
-        self._merger.add_run(merge_sorted([iter(s) for s in segments]))
+        nbytes, self._memory_bytes = self._memory_bytes, 0
+        with self.tracer.span(
+            "spill",
+            "spill",
+            node=self.node,
+            task=self._task,
+            cost=byte_cost(nbytes),
+            bytes=nbytes,
+            segments=len(segments),
+        ):
+            self._merger.add_run(merge_sorted([iter(s) for s in segments]))
 
     # -- snapshots -----------------------------------------------------------
 
@@ -128,45 +146,57 @@ class PipelinedReduceTask:
         — this duplication of work is HOP's snapshot overhead.
         """
         self.counters.inc(C.SNAPSHOTS)
-        streams: list[Iterator[tuple[Any, Any]]] = [
-            iter(seg) for seg in self._memory
-        ]
-        for path, nbytes in self._merger.run_paths:
-            streams.append(stream_run(self.disk, path))
-            self.counters.inc(C.MERGE_READ_BYTES, nbytes)
-        with self.counters.timer(C.T_MERGE):
-            merged = list(merge_sorted(streams))
-        output: list[Any] = []
-        with self.counters.timer(C.T_REDUCE_FN):
-            for key, values in group_sorted(iter(merged)):
-                output.extend(self.job.reduce_fn(key, values))
+        with self.tracer.span(
+            "snapshot", "snapshot", node=self.node, task=self._task, fraction=fraction
+        ) as snap_span:
+            streams: list[Iterator[tuple[Any, Any]]] = [
+                iter(seg) for seg in self._memory
+            ]
+            for path, nbytes in self._merger.run_paths:
+                streams.append(stream_run(self.disk, path))
+                self.counters.inc(C.MERGE_READ_BYTES, nbytes)
+            with self.counters.timer(C.T_MERGE):
+                merged = list(merge_sorted(streams))
+            output: list[Any] = []
+            with self.counters.timer(C.T_REDUCE_FN):
+                for key, values in group_sorted(iter(merged)):
+                    output.extend(self.job.reduce_fn(key, values))
+            snap_span.set_cost(max(1, len(merged)))
+            snap_span.set(records=len(merged), out_records=len(output))
         return Snapshot(fraction=fraction, records=tuple(output))
 
     # -- final reduce ------------------------------------------------------------
 
     def run(self) -> list[Any]:
         self.counters.inc(C.REDUCE_TASKS)
-        if self._merger.run_count == 0:
-            stream: Iterator[tuple[Any, Any]] = merge_sorted(
-                [iter(s) for s in self._memory]
-            )
-        else:
-            self._spill_memory()
-            stream = self._merger.final_merge()
-        output: list[Any] = []
-        groups = 0
-        perf = time.perf_counter
-        t_reduce = 0.0
-        for key, values in group_sorted(stream):
-            groups += 1
-            vals = list(values)
-            self.counters.inc(C.REDUCE_INPUT_RECORDS, len(vals))
-            t0 = perf()
-            output.extend(self.job.reduce_fn(key, iter(vals)))
-            t_reduce += perf() - t0
-        self.counters.inc(C.T_REDUCE_FN, t_reduce)
-        self.counters.inc(C.REDUCE_INPUT_GROUPS, groups)
-        self.counters.inc(C.REDUCE_OUTPUT_RECORDS, len(output))
+        with self.tracer.span(
+            "reduce", "reduce", node=self.node, task=self._task
+        ) as reduce_span:
+            if self._merger.run_count == 0:
+                stream: Iterator[tuple[Any, Any]] = merge_sorted(
+                    [iter(s) for s in self._memory]
+                )
+            else:
+                self._spill_memory()
+                stream = self._merger.final_merge()
+            output: list[Any] = []
+            groups = 0
+            n_in = 0
+            perf = time.perf_counter
+            t_reduce = 0.0
+            for key, values in group_sorted(stream):
+                groups += 1
+                vals = list(values)
+                n_in += len(vals)
+                self.counters.inc(C.REDUCE_INPUT_RECORDS, len(vals))
+                t0 = perf()
+                output.extend(self.job.reduce_fn(key, iter(vals)))
+                t_reduce += perf() - t0
+            self.counters.inc(C.T_REDUCE_FN, t_reduce)
+            self.counters.inc(C.REDUCE_INPUT_GROUPS, groups)
+            self.counters.inc(C.REDUCE_OUTPUT_RECORDS, len(output))
+            reduce_span.set_cost(max(1, n_in))
+            reduce_span.set(records=n_in, groups=groups, out_records=len(output))
         self._merger.cleanup()
         return output
 
@@ -194,6 +224,7 @@ class _PipelinedMapTask:
         hop: HOPConfig,
         emit: Callable[[int, list[tuple[Any, Any]], int], None] | None,
         partitioner: Partitioner = hash_partitioner,
+        tracer: Any = NULL_TRACER,
     ) -> None:
         self.job = job
         self.task_id = task_id
@@ -203,37 +234,52 @@ class _PipelinedMapTask:
         self.emit = emit
         self.partitioner = partitioner
         self.counters = Counters()
+        self.tracer = tracer
+        self._task = f"map:{task_id:05d}"
 
     def run(self, records: Iterable[Any], *, input_bytes: int = 0) -> None:
         counters = self.counters
         counters.inc(C.MAP_TASKS)
         counters.inc(C.MAP_INPUT_BYTES, input_bytes)
-        chunk: list[tuple[int, Any, Any]] = []
-        map_fn = self.job.map_fn
-        perf = time.perf_counter
-        t_map = 0.0
-        n_in = 0
-        num_partitions = self.job.config.num_reducers
-        for record in records:
-            n_in += 1
-            t0 = perf()
-            emitted = list(map_fn(record))
-            t_map += perf() - t0
-            for key, value in emitted:
-                chunk.append((self.partitioner(key, num_partitions), key, value))
-                counters.inc(C.MAP_OUTPUT_RECORDS)
-            if len(chunk) >= self.hop.granularity_records:
+        with self.tracer.span(
+            "map", "map", node=self.node, task=self._task
+        ) as map_span:
+            chunk: list[tuple[int, Any, Any]] = []
+            map_fn = self.job.map_fn
+            perf = time.perf_counter
+            t_map = 0.0
+            n_in = 0
+            num_partitions = self.job.config.num_reducers
+            for record in records:
+                n_in += 1
+                t0 = perf()
+                emitted = list(map_fn(record))
+                t_map += perf() - t0
+                for key, value in emitted:
+                    chunk.append((self.partitioner(key, num_partitions), key, value))
+                    counters.inc(C.MAP_OUTPUT_RECORDS)
+                if len(chunk) >= self.hop.granularity_records:
+                    self._emit_chunk(chunk)
+                    chunk = []
+            if chunk:
                 self._emit_chunk(chunk)
-                chunk = []
-        if chunk:
-            self._emit_chunk(chunk)
-        counters.inc(C.MAP_INPUT_RECORDS, n_in)
-        counters.inc(C.T_MAP_FN, t_map)
+            counters.inc(C.MAP_INPUT_RECORDS, n_in)
+            counters.inc(C.T_MAP_FN, t_map)
+            map_span.set_cost(max(1, n_in))
+            map_span.set(records=n_in, bytes=input_bytes)
 
     def _emit_chunk(self, chunk: list[tuple[int, Any, Any]]) -> None:
         """Sort one mini-chunk and emit its partition pieces in order."""
-        with self.counters.timer(C.T_SORT):
-            chunk.sort(key=_PARTITION_KEY)
+        with self.tracer.span(
+            "sort",
+            "sort",
+            node=self.node,
+            task=self._task,
+            cost=max(1, len(chunk)),
+            records=len(chunk),
+        ):
+            with self.counters.timer(C.T_SORT):
+                chunk.sort(key=_PARTITION_KEY)
         self.counters.inc(C.SORT_RECORDS, len(chunk))
 
         if self.job.has_combiner and self.job.config.combine_on_spill:
@@ -255,19 +301,27 @@ class _PipelinedMapTask:
         combine_fn = self.job.combine_fn
         assert combine_fn is not None
         out: list[tuple[int, Any, Any]] = []
-        with self.counters.timer(C.T_COMBINE):
-            i = 0
-            n = len(chunk)
-            while i < n:
-                partition, key = chunk[i][0], chunk[i][1]
-                values = []
-                while i < n and chunk[i][0] == partition and chunk[i][1] == key:
-                    values.append(chunk[i][2])
-                    i += 1
-                self.counters.inc(C.COMBINE_INPUT_RECORDS, len(values))
-                for k, v in combine_fn(key, iter(values)):
-                    out.append((partition, k, v))
-                    self.counters.inc(C.COMBINE_OUTPUT_RECORDS)
+        with self.tracer.span(
+            "combine",
+            "combine",
+            node=self.node,
+            task=self._task,
+            cost=max(1, len(chunk)),
+        ) as comb_span:
+            with self.counters.timer(C.T_COMBINE):
+                i = 0
+                n = len(chunk)
+                while i < n:
+                    partition, key = chunk[i][0], chunk[i][1]
+                    values = []
+                    while i < n and chunk[i][0] == partition and chunk[i][1] == key:
+                        values.append(chunk[i][2])
+                        i += 1
+                    self.counters.inc(C.COMBINE_INPUT_RECORDS, len(values))
+                    for k, v in combine_fn(key, iter(values)):
+                        out.append((partition, k, v))
+                        self.counters.inc(C.COMBINE_OUTPUT_RECORDS)
+            comb_span.set(records_in=len(chunk), records_out=len(out))
         return out
 
 class _FrozenStageRouter:
@@ -345,6 +399,7 @@ class HOPEngine:
         fault_plan: FaultPlan | None = None,
         speculation: SpeculationPolicy | None = None,
         executor: Any = None,
+        tracer: Any = None,
     ) -> None:
         self.cluster = cluster
         self.hop = hop_config or HOPConfig()
@@ -352,6 +407,7 @@ class HOPEngine:
         self.fault_plan = fault_plan
         self.speculation = speculation
         self.executor = resolve_executor(executor)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def _read_block(self, split: InputSplit, node: str) -> tuple[bytes, bool]:
         hdfs = self.cluster.hdfs
@@ -385,24 +441,33 @@ class HOPEngine:
         happens here, in deterministic task order.
         """
         disk = self.cluster.nodes[node].intermediate_disk
-        staged: list[tuple[int, str, int]] = []
-        seq = 0
-        for partition, pairs, nbytes in chunks:
-            reducer = reduce_tasks[partition]
-            if reducer.backlog_bytes >= self.hop.backpressure_bytes:
-                path = f"hop-stage/{task_id:05d}/c{seq:05d}-p{partition:03d}"
-                seq += 1
-                written = write_run(disk, path, pairs)
-                counters.inc(C.MAP_SPILL_BYTES, written)
-                staged.append((partition, path, written))
-            else:
-                reducer.accept_chunk(pairs, nbytes)
-        # Staged chunks are delivered once the task finishes (reducers
-        # caught up), at their on-disk framed size.
-        for partition, path, written in staged:
-            pairs = list(stream_run(disk, path))
-            reduce_tasks[partition].accept_chunk(pairs, written)
-            disk.delete(path)
+        with self.tracer.span(
+            "push", "shuffle", node=node, task=f"map:{task_id:05d}"
+        ) as push_span:
+            staged: list[tuple[int, str, int]] = []
+            seq = 0
+            pushed_bytes = 0
+            for partition, pairs, nbytes in chunks:
+                reducer = reduce_tasks[partition]
+                if reducer.backlog_bytes >= self.hop.backpressure_bytes:
+                    path = f"hop-stage/{task_id:05d}/c{seq:05d}-p{partition:03d}"
+                    seq += 1
+                    written = write_run(disk, path, pairs)
+                    counters.inc(C.MAP_SPILL_BYTES, written)
+                    staged.append((partition, path, written))
+                else:
+                    pushed_bytes += nbytes
+                    reducer.accept_chunk(pairs, nbytes)
+            # Staged chunks are delivered once the task finishes (reducers
+            # caught up), at their on-disk framed size.
+            staged_bytes = 0
+            for partition, path, written in staged:
+                pairs = list(stream_run(disk, path))
+                staged_bytes += written
+                reduce_tasks[partition].accept_chunk(pairs, written)
+                disk.delete(path)
+            push_span.set_cost(byte_cost(pushed_bytes + staged_bytes))
+            push_span.set(bytes_pushed=pushed_bytes, bytes_staged=staged_bytes)
 
     def _run_map_with_recovery(
         self,
@@ -440,6 +505,7 @@ class HOPEngine:
             res = session.run_one("hop_map", spec)
             disk.absorb(res.disk)
             counters.merge(res.counters)
+            self.tracer.absorb(res.trace)
             return res.by_partition
 
         def discard(
@@ -476,11 +542,22 @@ class HOPEngine:
         """Reconstruct a lost reduce task by replaying its delivery log."""
         disk = self.cluster.nodes[node].intermediate_disk
         disk.delete_prefix(f"hop-reduce/{partition:03d}")
-        rtask = PipelinedReduceTask(job, partition, node, disk, self.hop)
-        for _seq, pairs, nbytes in log.replay():
-            rtask.accept_chunk(pairs, nbytes)
-            counters.inc(C.REPLAYED_RECORDS, len(pairs))
-            counters.inc(C.BYTES_RESHUFFLED, nbytes)
+        rtask = PipelinedReduceTask(
+            job, partition, node, disk, self.hop, tracer=self.tracer
+        )
+        replayed = 0
+        nbytes_replayed = 0
+        with self.tracer.span(
+            "replay", "recovery", node=node, task=f"reduce:{partition:03d}"
+        ) as replay_span:
+            for _seq, pairs, nbytes in log.replay():
+                rtask.accept_chunk(pairs, nbytes)
+                replayed += len(pairs)
+                nbytes_replayed += nbytes
+                counters.inc(C.REPLAYED_RECORDS, len(pairs))
+                counters.inc(C.BYTES_RESHUFFLED, nbytes)
+            replay_span.set_cost(max(1, byte_cost(nbytes_replayed)))
+            replay_span.set(records=replayed, bytes=nbytes_replayed)
         return rtask
 
     def _handle_node_crash(
@@ -496,6 +573,7 @@ class HOPEngine:
     ) -> None:
         """React to losing a whole node: re-replicate, rebuild its reducers."""
         counters.inc(C.NODE_CRASHES)
+        self.tracer.event("node.crash", "recovery", node=crashed)
         live.remove(crashed)
         if not live:
             raise RuntimeError(f"node crash of {crashed} left no live compute nodes")
@@ -543,13 +621,18 @@ class HOPEngine:
         reducer_nodes = self.scheduler.assign_reducers(job.config.num_reducers)
         reduce_tasks = {
             p: PipelinedReduceTask(
-                job, p, node, cluster.nodes[node].intermediate_disk, self.hop
+                job,
+                p,
+                node,
+                cluster.nodes[node].intermediate_disk,
+                self.hop,
+                tracer=self.tracer,
             )
             for p, node in reducer_nodes.items()
         }
         live = list(cluster.compute_node_names)
         recovery = RecoveryManager(
-            self.fault_plan, counters, speculation=self.speculation
+            self.fault_plan, counters, speculation=self.speculation, tracer=self.tracer
         )
         logs: dict[int, PartitionLog] = {}
         if self.fault_plan is not None:
@@ -576,7 +659,13 @@ class HOPEngine:
                 next_snapshot += 1
 
         codec = hdfs.codec(hdfs.namenode.file_info(job.input_path).codec_name)
-        context = {"job": job, "hop": self.hop, "codec": codec}
+        context = {
+            "job": job,
+            "hop": self.hop,
+            "codec": codec,
+            "trace": self.tracer.enabled,
+        }
+        c_map0 = self.tracer.clock
         t_map_start = time.perf_counter()
         with self.executor.session(context) as session:
             if self.fault_plan is None:
@@ -596,6 +685,7 @@ class HOPEngine:
                         )
                     for a, res in zip(batch, session.run_batch("hop_map", specs)):
                         counters.merge(res.counters)
+                        self.tracer.absorb(res.trace)
                         self._deliver_live(
                             a.task_id, a.node, res.chunks, reduce_tasks, counters
                         )
@@ -626,7 +716,17 @@ class HOPEngine:
                             )
                     maybe_snapshot(done)
         t_map = time.perf_counter() - t_map_start
+        self.tracer.add_span(
+            "map-phase", "phase", c_map0, self.tracer.clock, wall_s=t_map
+        )
+        get_logger("hop").info(
+            "map.phase.done",
+            tasks=total_maps,
+            snapshots=len(snapshots),
+            wall_ms=t_map * 1e3,
+        )
 
+        c_reduce0 = self.tracer.clock
         t_reduce_start = time.perf_counter()
         hdfs.namenode.create_file(job.output_path, codec_name="binary")
         output_records = 0
@@ -655,6 +755,15 @@ class HOPEngine:
                     job.output_path, output, writer_node=reducer_nodes[partition]
                 )
         t_reduce = time.perf_counter() - t_reduce_start
+        self.tracer.add_span(
+            "reduce-phase", "phase", c_reduce0, self.tracer.clock, wall_s=t_reduce
+        )
+        get_logger("hop").info(
+            "reduce.phase.done",
+            partitions=len(reduce_tasks),
+            records=output_records,
+            wall_ms=t_reduce * 1e3,
+        )
 
         for partition in sorted(logs):
             logs[partition].cleanup()
@@ -672,4 +781,5 @@ class HOPEngine:
             network_bytes=network_bytes,
             output_records=output_records,
             snapshots=list(snapshots),
+            trace=self.tracer if self.tracer.enabled else None,
         )

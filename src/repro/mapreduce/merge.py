@@ -25,6 +25,7 @@ from typing import Any, Callable, Iterable, Iterator
 from repro.io.disk import LocalDisk
 from repro.io.runio import stream_run, write_run
 from repro.mapreduce.counters import C, Counters
+from repro.obs.tracer import NULL_TRACER, byte_cost
 
 __all__ = ["merge_sorted", "group_sorted", "MultiPassMerger"]
 
@@ -120,6 +121,9 @@ class MultiPassMerger:
         *,
         factor: int,
         counters: Counters | None = None,
+        tracer: Any = NULL_TRACER,
+        node: str = "",
+        task: str = "",
     ) -> None:
         if factor < 2:
             raise ValueError("merge factor must be >= 2")
@@ -127,6 +131,9 @@ class MultiPassMerger:
         self.namespace = namespace.rstrip("/")
         self.factor = factor
         self.counters = counters if counters is not None else Counters()
+        self.tracer = tracer
+        self.node = node
+        self.task = task
         self._runs: list[tuple[str, int]] = []  # (path, nbytes), insertion order
         self._seq = 0
         self.finished = False
@@ -193,9 +200,16 @@ class MultiPassMerger:
         self._runs.sort(key=itemgetter(1))
         victims, self._runs = self._runs[:fan_in], self._runs[fan_in:]
         read_bytes = sum(nbytes for _, nbytes in victims)
-        merged = merge_sorted([stream_run(self.disk, path) for path, _ in victims])
-        out_path = self._new_path("merged")
-        out_bytes = write_run(self.disk, out_path, merged)
+        with self.tracer.span(
+            "merge", "merge", node=self.node, task=self.task, fan_in=fan_in
+        ) as merge_span:
+            merged = merge_sorted(
+                [stream_run(self.disk, path) for path, _ in victims]
+            )
+            out_path = self._new_path("merged")
+            out_bytes = write_run(self.disk, out_path, merged)
+            merge_span.set(bytes_in=read_bytes, bytes_out=out_bytes)
+            merge_span.set_cost(byte_cost(read_bytes + out_bytes))
         for path, _ in victims:
             self.disk.delete(path)
         self._runs.append((out_path, out_bytes))

@@ -33,6 +33,10 @@ from repro.io.disk import LocalDisk
 from repro.io.runio import stream_run, write_run
 from repro.mapreduce.counters import C, Counters
 from repro.mapreduce.faults import FaultPlan, TaskFailure
+from repro.obs.log import get_logger
+from repro.obs.tracer import NULL_TRACER
+
+_log = get_logger("recovery")
 
 __all__ = [
     "FetchRetryPolicy",
@@ -174,11 +178,13 @@ class RecoveryManager:
         counters: Counters,
         *,
         speculation: SpeculationPolicy | None = None,
+        tracer: Any = NULL_TRACER,
     ) -> None:
         self.fault_plan = fault_plan
         self.counters = counters
         self.speculation = speculation or SpeculationPolicy()
         self._detector = StragglerDetector(self.speculation)
+        self.tracer = tracer
 
     # -- map side ------------------------------------------------------------
 
@@ -225,14 +231,23 @@ class RecoveryManager:
                 # is gone, but the work it burned stays on the books.
                 discard_fn(node, result)
                 self.counters.inc(C.MAP_TASK_RETRIES)
+                self.tracer.event(
+                    "task.killed",
+                    "recovery",
+                    node=node,
+                    task=f"map:{task_id:05d}",
+                    attempt=attempt_idx,
+                )
+                _log.warn("map.task.killed", task=task_id, node=node, attempt=attempt_idx)
                 continue
             return self._maybe_speculate(
-                node, live_nodes, input_bytes, attempt_fn, discard_fn, result
+                task_id, node, live_nodes, input_bytes, attempt_fn, discard_fn, result
             )
         raise RuntimeError(f"map task {task_id} exhausted {attempts} attempts")
 
     def _maybe_speculate(
         self,
+        task_id: int,
         node: str,
         live_nodes: list[str],
         input_bytes: int,
@@ -243,6 +258,7 @@ class RecoveryManager:
         plan = self.fault_plan
         if plan is None or not plan.slow_nodes:
             return node, result
+        task = f"map:{task_id:05d}"
         duration = self.simulated_task_ms(input_bytes, node)
         backup_node = self._fastest_backup(node, live_nodes)
         if (
@@ -251,6 +267,16 @@ class RecoveryManager:
             and plan.slowdown(backup_node) < plan.slowdown(node)
         ):
             self.counters.inc(C.SPECULATIVE_LAUNCHED)
+            self.tracer.event(
+                "speculative.launched",
+                "recovery",
+                node=backup_node,
+                task=task,
+                straggler=node,
+            )
+            _log.info(
+                "speculative.launched", task=task_id, backup=backup_node, straggler=node
+            )
             backup_result = attempt_fn(backup_node)
             backup_ms = self.simulated_task_ms(input_bytes, backup_node)
             if backup_ms < duration:
@@ -258,10 +284,16 @@ class RecoveryManager:
                 discard_fn(node, result)
                 self.counters.inc(C.SPECULATIVE_WINS)
                 self.counters.inc(C.SPECULATIVE_WASTED_MS, duration)
+                self.tracer.event(
+                    "speculative.win", "recovery", node=backup_node, task=task
+                )
                 node, result, duration = backup_node, backup_result, backup_ms
             else:
                 discard_fn(backup_node, backup_result)
                 self.counters.inc(C.SPECULATIVE_WASTED_MS, backup_ms)
+                self.tracer.event(
+                    "speculative.lost", "recovery", node=backup_node, task=task
+                )
         self._detector.record(duration)
         return node, result
 
@@ -295,6 +327,13 @@ class RecoveryManager:
             result = attempt_fn(attempt_idx)
             if dies:
                 self.counters.inc(C.REDUCE_TASK_RETRIES)
+                self.tracer.event(
+                    "task.killed",
+                    "recovery",
+                    task=f"reduce:{partition:03d}",
+                    attempt=attempt_idx,
+                )
+                _log.warn("reduce.task.killed", partition=partition, attempt=attempt_idx)
                 continue
             return result
         raise RuntimeError(f"reduce task {partition} exhausted {attempts} attempts")

@@ -37,6 +37,8 @@ from repro.mapreduce.recovery import (
 from repro.mapreduce.scheduler import ScheduleStats, TaskAssignment, WaveScheduler
 from repro.mapreduce.shuffle import FetchFailedError, ShuffleService
 from repro.mapreduce.sortmerge import MapOutput, SortMergeReduceTask
+from repro.obs.log import get_logger
+from repro.obs.tracer import NULL_TRACER, byte_cost
 
 __all__ = ["ClusterNode", "LocalCluster", "JobResult", "HadoopEngine"]
 
@@ -182,6 +184,9 @@ class JobResult:
     output_records: int = 0
     snapshots: list[Any] = field(default_factory=list)
     extras: dict[str, Any] = field(default_factory=dict)
+    #: The run's merged :class:`~repro.obs.tracer.Tracer` when tracing was
+    #: on, else ``None``.
+    trace: Any = None
 
     def summary(self) -> dict[str, float]:
         """The headline numbers for reports."""
@@ -235,6 +240,7 @@ class HadoopEngine:
         retry_policy: FetchRetryPolicy | None = None,
         speculation: SpeculationPolicy | None = None,
         executor: Any = None,
+        tracer: Any = None,
     ) -> None:
         if fetch_interval < 1:
             raise ValueError("fetch_interval must be >= 1")
@@ -247,6 +253,7 @@ class HadoopEngine:
         self.retry_policy = retry_policy
         self.speculation = speculation
         self.executor = resolve_executor(executor)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # -- input ------------------------------------------------------------
 
@@ -292,6 +299,7 @@ class HadoopEngine:
             )
             disk.absorb(res.disk)
             counters.merge(res.counters)
+            self.tracer.absorb(res.trace)
             return res.output
 
         def discard(node: str, _output: MapOutput) -> None:
@@ -332,6 +340,9 @@ class HadoopEngine:
         shuffle.invalidate(task_id)
         lineage.forget(task_id)
         counters.inc(C.TASKS_RERUN)
+        self.tracer.event(
+            "map.rerun", "recovery", node=old_node or "", task=f"map:{task_id:05d}"
+        )
         split = splits_by_task[task_id]
         rescheduler = WaveScheduler(live, map_slots=self.scheduler.map_slots)
         preferred = rescheduler.schedule([split])[0][0].node
@@ -370,6 +381,13 @@ class HadoopEngine:
                 try:
                     seg = shuffle.fetch(task_id, partition)
                 except FetchFailedError:
+                    self.tracer.event(
+                        "shuffle.fetch_failed",
+                        "recovery",
+                        node=rtask.node,
+                        task=f"reduce:{partition:03d}",
+                        map_task=task_id,
+                    )
                     with counters.timer(C.T_RECOVERY):
                         network_bytes += self._rerun_lost_map(
                             job,
@@ -383,7 +401,16 @@ class HadoopEngine:
                             counters,
                         )
                     continue
-                rtask.accept_segment(list(seg.pairs), seg.nbytes)
+                with self.tracer.span(
+                    "fetch",
+                    "shuffle",
+                    node=rtask.node,
+                    task=f"reduce:{partition:03d}",
+                    cost=byte_cost(seg.nbytes),
+                    bytes=seg.nbytes,
+                    map_task=task_id,
+                ):
+                    rtask.accept_segment(list(seg.pairs), seg.nbytes)
 
     def _handle_node_crash(
         self,
@@ -407,6 +434,7 @@ class HadoopEngine:
         full on the next drain.
         """
         counters.inc(C.NODE_CRASHES)
+        self.tracer.event("node.crash", "recovery", node=crashed)
         live.remove(crashed)
         if not live:
             raise RuntimeError(f"node crash of {crashed} left no live compute nodes")
@@ -440,7 +468,11 @@ class HadoopEngine:
             counters.merge(dead.counters)  # its work still happened
             counters.inc(C.TASKS_RERUN)
             reduce_tasks[partition] = SortMergeReduceTask(
-                job, partition, new_node, self.cluster.nodes[new_node].intermediate_disk
+                job,
+                partition,
+                new_node,
+                self.cluster.nodes[new_node].intermediate_disk,
+                tracer=self.tracer,
             )
             shuffle.reset_partition(partition)
 
@@ -454,7 +486,7 @@ class HadoopEngine:
         hdfs = cluster.hdfs
         counters = Counters()
         recovery = RecoveryManager(
-            self.fault_plan, counters, speculation=self.speculation
+            self.fault_plan, counters, speculation=self.speculation, tracer=self.tracer
         )
         t_start = time.perf_counter()
 
@@ -471,14 +503,16 @@ class HadoopEngine:
         )
         reduce_tasks = {
             p: SortMergeReduceTask(
-                job, p, node, cluster.nodes[node].intermediate_disk
+                job, p, node, cluster.nodes[node].intermediate_disk, tracer=self.tracer
             )
             for p, node in reducer_nodes.items()
         }
         lineage = TaskLineage()
         network_bytes = 0
         codec = hdfs.codec(hdfs.namenode.file_info(job.input_path).codec_name)
-        session = self.executor.session({"job": job, "codec": codec})
+        session = self.executor.session(
+            {"job": job, "codec": codec, "trace": self.tracer.enabled}
+        )
 
         def drain() -> int:
             net = 0
@@ -499,6 +533,7 @@ class HadoopEngine:
 
         with session:
             # ---- map phase (reducers pull every ``fetch_interval`` completions) ----
+            c_map0 = self.tracer.clock
             t_map_start = time.perf_counter()
             queue: deque[TaskAssignment] = deque(assignments)
             completed_maps = 0
@@ -523,6 +558,7 @@ class HadoopEngine:
                     for a, res in zip(batch, session.run_batch("hadoop_map", specs)):
                         cluster.nodes[a.node].intermediate_disk.absorb(res.disk)
                         counters.merge(res.counters)
+                        self.tracer.absorb(res.trace)
                         shuffle.register(res.output)
                         lineage.record(a.task_id, a.node, res.output.total_bytes)
                         completed_maps += 1
@@ -561,8 +597,15 @@ class HadoopEngine:
                         network_bytes += drain()
                         since_drain = 0
             t_map = time.perf_counter() - t_map_start
+            self.tracer.add_span(
+                "map-phase", "phase", c_map0, self.tracer.clock, wall_s=t_map
+            )
+            get_logger("hadoop").info(
+                "map.phase.done", tasks=completed_maps, wall_ms=t_map * 1e3
+            )
 
             # ---- reduce phase (blocking merge + reduce + output write) ----
+            c_reduce0 = self.tracer.clock
             t_reduce_start = time.perf_counter()
             hdfs.namenode.create_file(job.output_path, codec_name="binary")
             output_records = 0
@@ -596,6 +639,7 @@ class HadoopEngine:
                     disk.absorb(res.disk)
                     counters.merge(reduce_tasks[partition].counters)
                     counters.merge(res.counters)
+                    self.tracer.absorb(res.trace)
                     output_records += len(res.output)
                     if res.output:
                         hdfs.append_block(
@@ -625,6 +669,7 @@ class HadoopEngine:
                                 partition,
                                 new_node,
                                 cluster.nodes[new_node].intermediate_disk,
+                                tracer=self.tracer,
                             )
                             reduce_tasks[partition] = rtask
                             shuffle.reset_partition(partition)
@@ -651,6 +696,15 @@ class HadoopEngine:
                             job.output_path, output, writer_node=reducer_nodes[partition]
                         )
             t_reduce = time.perf_counter() - t_reduce_start
+            self.tracer.add_span(
+                "reduce-phase", "phase", c_reduce0, self.tracer.clock, wall_s=t_reduce
+            )
+            get_logger("hadoop").info(
+                "reduce.phase.done",
+                partitions=len(reduce_tasks),
+                records=output_records,
+                wall_ms=t_reduce * 1e3,
+            )
 
         shuffle.cleanup()
         shuffle.merge_stats(counters)
@@ -667,4 +721,5 @@ class HadoopEngine:
             schedule=sched_stats,
             network_bytes=network_bytes,
             output_records=output_records,
+            trace=self.tracer if self.tracer.enabled else None,
         )

@@ -27,6 +27,7 @@ from repro.mapreduce.api import MapReduceJob
 from repro.mapreduce.counters import C, Counters
 from repro.mapreduce.merge import MultiPassMerger, group_sorted, merge_sorted
 from repro.mapreduce.partition import Partitioner, hash_partitioner
+from repro.obs.tracer import NULL_TRACER, byte_cost
 
 __all__ = ["MapOutputSegment", "MapOutput", "SortMergeMapTask", "SortMergeReduceTask"]
 
@@ -73,12 +74,18 @@ class _SortSpillBuffer:
         task_id: int,
         counters: Counters,
         partitioner: Partitioner,
+        *,
+        tracer: Any = NULL_TRACER,
+        node: str = "",
     ) -> None:
         self.job = job
         self.disk = disk
         self.task_id = task_id
         self.counters = counters
         self.partitioner = partitioner
+        self.tracer = tracer
+        self.node = node
+        self._task = f"map:{task_id:05d}"
         self._entries: list[tuple[int, Any, Any]] = []
         self._bytes = 0
         self._spill_seq = 0
@@ -101,27 +108,38 @@ class _SortSpillBuffer:
         self._entries = []
         self._bytes = 0
 
-        with self.counters.timer(C.T_SORT):
-            entries.sort(key=_PARTITION_KEY)
+        with self.tracer.span(
+            "sort", "sort", node=self.node, task=self._task, cost=len(entries)
+        ) as sort_span:
+            sort_span.set(records=len(entries))
+            with self.counters.timer(C.T_SORT):
+                entries.sort(key=_PARTITION_KEY)
         self.counters.inc(C.SORT_RECORDS, len(entries))
 
         if self.job.has_combiner and self.job.config.combine_on_spill:
             entries = self._combine_sorted(entries)
 
         segments: dict[int, tuple[str, int, int]] = {}
-        start = 0
-        n = len(entries)
-        while start < n:
-            partition = entries[start][0]
-            end = start
-            while end < n and entries[end][0] == partition:
-                end += 1
-            path = f"mapspill/{self.task_id:05d}/s{self._spill_seq:03d}-p{partition:03d}"
-            pairs = [(k, v) for _, k, v in entries[start:end]]
-            nbytes = write_run(self.disk, path, pairs)
-            segments[partition] = (path, nbytes, len(pairs))
-            self.counters.inc(C.MAP_SPILL_BYTES, nbytes)
-            start = end
+        spill_bytes = 0
+        with self.tracer.span(
+            "spill", "spill", node=self.node, task=self._task
+        ) as spill_span:
+            start = 0
+            n = len(entries)
+            while start < n:
+                partition = entries[start][0]
+                end = start
+                while end < n and entries[end][0] == partition:
+                    end += 1
+                path = f"mapspill/{self.task_id:05d}/s{self._spill_seq:03d}-p{partition:03d}"
+                pairs = [(k, v) for _, k, v in entries[start:end]]
+                nbytes = write_run(self.disk, path, pairs)
+                segments[partition] = (path, nbytes, len(pairs))
+                self.counters.inc(C.MAP_SPILL_BYTES, nbytes)
+                spill_bytes += nbytes
+                start = end
+            spill_span.set(bytes=spill_bytes, segments=len(segments))
+            spill_span.set_cost(byte_cost(spill_bytes))
         self.spill_segments.append(segments)
         self.counters.inc(C.MAP_SPILLS)
         self._spill_seq += 1
@@ -133,7 +151,9 @@ class _SortSpillBuffer:
         combine_fn = self.job.combine_fn
         assert combine_fn is not None
         out: list[tuple[int, Any, Any]] = []
-        with self.counters.timer(C.T_COMBINE):
+        with self.tracer.span(
+            "combine", "combine", node=self.node, task=self._task, cost=len(entries)
+        ) as combine_span, self.counters.timer(C.T_COMBINE):
             i = 0
             n = len(entries)
             while i < n:
@@ -149,6 +169,7 @@ class _SortSpillBuffer:
                 for out_key, out_value in combine_fn(key, iter(values)):
                     out.append((partition, out_key, out_value))
                     self.counters.inc(C.COMBINE_OUTPUT_RECORDS)
+            combine_span.set(records_in=len(entries), records_out=len(out))
         return out
 
     def finish(self) -> dict[int, MapOutputSegment]:
@@ -172,15 +193,19 @@ class _SortSpillBuffer:
 
         final = {}
         partitions = sorted({p for seg in self.spill_segments for p in seg})
-        with self.counters.timer(C.T_MERGE):
+        read_total = 0
+        write_total = 0
+        with self.tracer.span(
+            "merge", "merge", node=self.node, task=self._task
+        ) as merge_span, self.counters.timer(C.T_MERGE):
             for partition in partitions:
                 sources = [
                     seg[partition] for seg in self.spill_segments if partition in seg
                 ]
                 streams = [stream_run(self.disk, path) for path, _, _ in sources]
-                self.counters.inc(
-                    C.MERGE_READ_BYTES, sum(nbytes for _, nbytes, _ in sources)
-                )
+                read_bytes = sum(nbytes for _, nbytes, _ in sources)
+                self.counters.inc(C.MERGE_READ_BYTES, read_bytes)
+                read_total += read_bytes
                 out_path = f"mapout/{self.task_id:05d}/p{partition:03d}"
                 records = sum(r for _, _, r in sources)
                 merged: Iterable[tuple[Any, Any]] = merge_sorted(streams)
@@ -197,6 +222,11 @@ class _SortSpillBuffer:
                 final[partition] = MapOutputSegment(out_path, nbytes, records)
                 self.counters.inc(C.MAP_OUTPUT_BYTES, nbytes)
                 self.counters.inc(C.MERGE_WRITE_BYTES, nbytes)
+                write_total += nbytes
+            merge_span.set(
+                bytes_in=read_total, bytes_out=write_total, spills=len(self.spill_segments)
+            )
+            merge_span.set_cost(byte_cost(read_total + write_total))
         return final
 
     def _combine_stream(
@@ -223,6 +253,7 @@ class SortMergeMapTask:
         disk: LocalDisk,
         *,
         partitioner: Partitioner = hash_partitioner,
+        tracer: Any = NULL_TRACER,
     ) -> None:
         self.job = job
         self.task_id = task_id
@@ -230,6 +261,7 @@ class SortMergeMapTask:
         self.disk = disk
         self.partitioner = partitioner
         self.counters = Counters()
+        self.tracer = tracer
 
     def run(self, records: Iterable[Any], *, input_bytes: int = 0) -> MapOutput:
         """Apply the map function to every record; sort, spill, finalise."""
@@ -237,22 +269,33 @@ class SortMergeMapTask:
         counters.inc(C.MAP_TASKS)
         counters.inc(C.MAP_INPUT_BYTES, input_bytes)
         buffer = _SortSpillBuffer(
-            self.job, self.disk, self.task_id, counters, self.partitioner
+            self.job,
+            self.disk,
+            self.task_id,
+            counters,
+            self.partitioner,
+            tracer=self.tracer,
+            node=self.node,
         )
         map_fn = self.job.map_fn
         perf = time.perf_counter
-        t_map = 0.0
-        n_in = 0
-        for record in records:
-            n_in += 1
-            t0 = perf()
-            emitted = list(map_fn(record))
-            t_map += perf() - t0
-            for key, value in emitted:
-                buffer.add(key, value)
-        counters.inc(C.MAP_INPUT_RECORDS, n_in)
-        counters.inc(C.T_MAP_FN, t_map)
-        segments = buffer.finish()
+        with self.tracer.span(
+            "map", "map", node=self.node, task=f"map:{self.task_id:05d}"
+        ) as map_span:
+            t_map = 0.0
+            n_in = 0
+            for record in records:
+                n_in += 1
+                t0 = perf()
+                emitted = list(map_fn(record))
+                t_map += perf() - t0
+                for key, value in emitted:
+                    buffer.add(key, value)
+            counters.inc(C.MAP_INPUT_RECORDS, n_in)
+            counters.inc(C.T_MAP_FN, t_map)
+            segments = buffer.finish()
+            map_span.set_cost(max(1, n_in))
+            map_span.set(records=n_in, bytes=input_bytes)
         return MapOutput(task_id=self.task_id, node=self.node, segments=segments)
 
 
@@ -265,17 +308,24 @@ class SortMergeReduceTask:
         partition: int,
         node: str,
         disk: LocalDisk,
+        *,
+        tracer: Any = NULL_TRACER,
     ) -> None:
         self.job = job
         self.partition = partition
         self.node = node
         self.disk = disk
         self.counters = Counters()
+        self.tracer = tracer
+        self._task = f"reduce:{partition:03d}"
         self._merger = MultiPassMerger(
             disk,
             f"reduce/{partition:03d}",
             factor=job.config.merge_factor,
             counters=self.counters,
+            tracer=tracer,
+            node=node,
+            task=self._task,
         )
         self._memory: list[list[tuple[Any, Any]]] = []
         self._memory_bytes = 0
@@ -298,12 +348,24 @@ class SortMergeReduceTask:
     def _spill_memory(self) -> None:
         if not self._memory:
             return
+        nbytes = self._memory_bytes
         segments, self._memory = self._memory, []
         self._memory_bytes = 0
-        merged: Iterable[tuple[Any, Any]] = merge_sorted([iter(s) for s in segments])
-        if self.job.has_combiner and self.job.config.combine_on_spill:
-            merged = _combine_sorted_stream(self.job, merged, self.counters)
-        self._merger.add_run(merged)
+        with self.tracer.span(
+            "spill",
+            "spill",
+            node=self.node,
+            task=self._task,
+            cost=byte_cost(nbytes),
+            bytes=nbytes,
+            segments=len(segments),
+        ):
+            merged: Iterable[tuple[Any, Any]] = merge_sorted(
+                [iter(s) for s in segments]
+            )
+            if self.job.has_combiner and self.job.config.combine_on_spill:
+                merged = _combine_sorted_stream(self.job, merged, self.counters)
+            self._merger.add_run(merged)
 
     # -- state transfer (parallel execution) -------------------------------------
 
@@ -334,31 +396,38 @@ class SortMergeReduceTask:
         """Blocking final merge + reduce; returns (output records, groups)."""
         counters = self.counters
         counters.inc(C.REDUCE_TASKS)
-        if self._merger.run_count == 0:
-            # Everything fits in memory: final merge happens purely in RAM.
-            stream: Iterator[tuple[Any, Any]] = merge_sorted(
-                [iter(s) for s in self._memory]
-            )
-        else:
-            self._spill_memory()
-            stream = self._merger.final_merge()
+        with self.tracer.span(
+            "reduce", "reduce", node=self.node, task=self._task
+        ) as reduce_span:
+            if self._merger.run_count == 0:
+                # Everything fits in memory: final merge happens purely in RAM.
+                stream: Iterator[tuple[Any, Any]] = merge_sorted(
+                    [iter(s) for s in self._memory]
+                )
+            else:
+                self._spill_memory()
+                stream = self._merger.final_merge()
 
-        reduce_fn = self.job.reduce_fn
-        output: list[Any] = []
-        groups = 0
-        perf = time.perf_counter
-        t_reduce = 0.0
-        for key, values in group_sorted(stream):
-            groups += 1
-            vals = list(values)
-            counters.inc(C.REDUCE_INPUT_RECORDS, len(vals))
-            t0 = perf()
-            output.extend(reduce_fn(key, iter(vals)))
-            t_reduce += perf() - t0
-        counters.inc(C.T_REDUCE_FN, t_reduce)
-        counters.inc(C.REDUCE_INPUT_GROUPS, groups)
-        counters.inc(C.REDUCE_OUTPUT_RECORDS, len(output))
-        self._merger.cleanup()
+            reduce_fn = self.job.reduce_fn
+            output: list[Any] = []
+            groups = 0
+            n_in = 0
+            perf = time.perf_counter
+            t_reduce = 0.0
+            for key, values in group_sorted(stream):
+                groups += 1
+                vals = list(values)
+                n_in += len(vals)
+                counters.inc(C.REDUCE_INPUT_RECORDS, len(vals))
+                t0 = perf()
+                output.extend(reduce_fn(key, iter(vals)))
+                t_reduce += perf() - t0
+            counters.inc(C.T_REDUCE_FN, t_reduce)
+            counters.inc(C.REDUCE_INPUT_GROUPS, groups)
+            counters.inc(C.REDUCE_OUTPUT_RECORDS, len(output))
+            self._merger.cleanup()
+            reduce_span.set_cost(max(1, n_in))
+            reduce_span.set(records=n_in, groups=groups, out_records=len(output))
         return output, groups
 
 

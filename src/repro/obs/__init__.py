@@ -1,0 +1,49 @@
+"""Observability: deterministic tracing, exporters, timelines, logging.
+
+See ``docs/OBSERVABILITY.md`` for the span model and how the exporters
+map onto the paper's figures and tables.
+"""
+
+from repro.obs.export import (
+    TRACE_FORMATS,
+    chrome_trace,
+    summary_text,
+    to_jsonl,
+    validate_chrome,
+    write_trace,
+)
+from repro.obs.log import get_logger, set_level
+from repro.obs.series import bytes_rate, span_activity
+from repro.obs.timeline import phase_table, phase_totals, recovery_timeline
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceEvent,
+    Tracer,
+    byte_cost,
+    task_tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "TraceEvent",
+    "byte_cost",
+    "task_tracer",
+    "chrome_trace",
+    "validate_chrome",
+    "to_jsonl",
+    "summary_text",
+    "write_trace",
+    "TRACE_FORMATS",
+    "phase_totals",
+    "phase_table",
+    "recovery_timeline",
+    "span_activity",
+    "bytes_rate",
+    "get_logger",
+    "set_level",
+]

@@ -1,0 +1,83 @@
+"""Opt-in structured logging: keyed events, not formatted prose.
+
+Loggers emit ``LEVEL logger event key=value ...`` lines to stderr, and
+only when a level has been switched on (default is ``off`` — silent and
+nearly free: one integer comparison per call).  Keeping the event name
+and its fields separate means log lines stay grep-able and the call
+sites stay declarative; no f-string assembly happens unless the line is
+actually emitted.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, TextIO
+
+__all__ = ["LEVELS", "set_level", "get_level", "get_logger", "Logger"]
+
+LEVELS = ("off", "error", "warn", "info", "debug")
+_LEVEL_NUM = {name: i for i, name in enumerate(LEVELS)}
+
+_level = 0  # "off"
+_stream: TextIO | None = None  # None -> sys.stderr at emit time
+
+
+def set_level(level: str, *, stream: TextIO | None = None) -> None:
+    """Set the global log level (one of :data:`LEVELS`)."""
+    global _level, _stream
+    try:
+        _level = _LEVEL_NUM[level]
+    except KeyError:
+        raise ValueError(f"unknown log level {level!r}; expected one of {LEVELS}") from None
+    _stream = stream
+
+
+def get_level() -> str:
+    return LEVELS[_level]
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    text = str(value)
+    return repr(text) if " " in text else text
+
+
+class Logger:
+    """A named emitter of keyed events."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def _emit(self, num: int, event: str, fields: dict[str, Any]) -> None:
+        if num > _level:
+            return
+        parts = [LEVELS[num].upper(), self.name, event]
+        parts.extend(f"{k}={_format_value(v)}" for k, v in fields.items())
+        print(" ".join(parts), file=_stream or sys.stderr)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self._emit(1, event, fields)
+
+    def warn(self, event: str, **fields: Any) -> None:
+        self._emit(2, event, fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self._emit(3, event, fields)
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self._emit(4, event, fields)
+
+
+_loggers: dict[str, Logger] = {}
+
+
+def get_logger(name: str) -> Logger:
+    """The shared :class:`Logger` for ``name`` (created on first use)."""
+    try:
+        return _loggers[name]
+    except KeyError:
+        logger = _loggers[name] = Logger(name)
+        return logger

@@ -1,0 +1,154 @@
+"""Traces must be reproducible: same job, same trace, on every executor.
+
+The tracer's x-axis is a deterministic logical clock — worker-side spans
+are absorbed by the coordinator in task order, not completion order — so
+the same job on the same data must produce byte-identical span and event
+streams whether it runs serially, on threads, or on forked processes.
+Only the advisory ``wall_s``/wall-clock fields may differ.
+"""
+
+import pytest
+
+from repro.core.engine import OnePassConfig, OnePassEngine
+from repro.mapreduce.faults import FaultPlan
+from repro.mapreduce.hop import HOPConfig, HOPEngine
+from repro.mapreduce.runtime import HadoopEngine, LocalCluster
+from repro.obs.tracer import Tracer
+from repro.workloads.inverted_index import (
+    inverted_index_job,
+    inverted_index_onepass_job,
+)
+from repro.workloads.page_frequency import (
+    page_frequency_job,
+    page_frequency_onepass_job,
+)
+from repro.workloads.per_user_count import (
+    per_user_count_job,
+    per_user_count_onepass_job,
+)
+from repro.workloads.sessionization import (
+    sessionization_job,
+    sessionization_onepass_job,
+)
+
+EXECUTORS = (None, "threads:2", "processes:2")
+WORKLOADS = ("page-frequency", "per-user-count", "sessionization", "inverted-index")
+
+
+def _jobs(workload):
+    if workload == "sessionization":
+        return (
+            lambda i, o: sessionization_job(i, o, gap=5.0),
+            lambda i, o: sessionization_onepass_job(i, o, gap=5.0),
+            "clicks",
+        )
+    if workload == "page-frequency":
+        return page_frequency_job, page_frequency_onepass_job, "clicks"
+    if workload == "per-user-count":
+        return per_user_count_job, per_user_count_onepass_job, "clicks"
+    return inverted_index_job, inverted_index_onepass_job, "documents"
+
+
+def normalize(tracer):
+    """Everything in a trace except the advisory wall-clock fields."""
+    spans = [
+        (s.name, s.cat, s.t0, s.t1, s.node, s.task, tuple(sorted(s.args.items())))
+        for s in tracer.spans
+    ]
+    events = [
+        (e.name, e.cat, e.ts, e.node, e.task, tuple(sorted(e.args.items())))
+        for e in tracer.events
+    ]
+    return spans, events, tracer.clock
+
+
+def run_traced(engine, records, workload, executor, **engine_kwargs):
+    cluster = LocalCluster(num_nodes=3, block_size=48 * 1024)
+    cluster.hdfs.write_records("in", records)
+    sm_job, op_job, _ = _jobs(workload)
+    tracer = Tracer()
+    if engine == "hadoop":
+        HadoopEngine(cluster, executor=executor, tracer=tracer, **engine_kwargs).run(
+            sm_job("in", "out")
+        )
+    elif engine == "hop":
+        HOPEngine(cluster, executor=executor, tracer=tracer, **engine_kwargs).run(
+            sm_job("in", "out")
+        )
+    else:
+        OnePassEngine(cluster, executor=executor, tracer=tracer, **engine_kwargs).run(
+            op_job("in", "out")
+        )
+    return normalize(tracer)
+
+
+class TestTraceDeterminism:
+    @pytest.mark.slow
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    @pytest.mark.parametrize("engine", ["hadoop", "hop", "onepass"])
+    def test_identical_trace_across_executors(self, request, engine, workload):
+        records = request.getfixturevalue(_jobs(workload)[2])
+        reference = run_traced(engine, records, workload, None)
+        spans, events, clock = reference
+        assert spans, (engine, workload)
+        assert clock > 0
+        for executor in EXECUTORS[1:]:
+            assert run_traced(engine, records, workload, executor) == reference, (
+                engine,
+                workload,
+                executor,
+            )
+
+    @pytest.mark.parametrize("engine", ["hadoop", "hop", "onepass"])
+    def test_expected_phase_categories_present(self, clicks, engine):
+        spans, _, _ = run_traced(engine, clicks, "per-user-count", None)
+        cats = {cat for _, cat, *_ in spans}
+        assert {"map", "reduce", "phase"} <= cats, (engine, cats)
+        if engine == "hadoop":
+            assert {"sort", "shuffle"} <= cats
+        if engine == "onepass":
+            assert "shuffle" in cats  # push-based sink deliveries
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("engine", ["hadoop", "hop", "onepass"])
+    def test_identical_trace_under_seeded_faults(self, clicks, engine):
+        """Fault injection replays identically, so recovery spans and
+        events must land on the same logical ticks on every executor."""
+
+        def run(executor):
+            cluster = LocalCluster(num_nodes=4, block_size=64 * 1024, replication=2)
+            cluster.hdfs.write_records("in", clicks)
+            plan = FaultPlan.random(
+                seed=29,
+                num_map_tasks=len(cluster.hdfs.input_splits("in")),
+                num_reducers=2,
+                nodes=cluster.nodes,
+                shuffle_failure_rate=0.05,
+                crash_after=3,
+            )
+            sm_job, op_job, _ = _jobs("per-user-count")
+            tracer = Tracer()
+            kwargs = {"fault_plan": plan, "executor": executor, "tracer": tracer}
+            if engine == "hadoop":
+                HadoopEngine(cluster, **kwargs).run(sm_job("in", "out"))
+            elif engine == "hop":
+                HOPEngine(cluster, **kwargs).run(sm_job("in", "out"))
+            else:
+                OnePassEngine(cluster, checkpoint_interval=4, **kwargs).run(
+                    op_job("in", "out")
+                )
+            return normalize(tracer)
+
+        reference = run(None)
+        _, events, _ = reference
+        assert any(
+            cat == "recovery" for _, cat, *_ in events
+        ), "seeded fault run produced no recovery events"
+        for executor in EXECUTORS[1:]:
+            assert run(executor) == reference, (engine, executor)
+
+    def test_disabled_tracer_leaves_no_trace(self, clicks):
+        cluster = LocalCluster(num_nodes=3, block_size=48 * 1024)
+        cluster.hdfs.write_records("in", clicks)
+        result = HadoopEngine(cluster).run(per_user_count_job("in", "out"))
+        assert result.trace is None

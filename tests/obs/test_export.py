@@ -1,0 +1,123 @@
+"""Exporter tests: Chrome trace structure, JSONL, summary, validation."""
+
+import json
+
+from repro.obs.export import (
+    TRACE_FORMATS,
+    chrome_trace,
+    summary_text,
+    to_jsonl,
+    validate_chrome,
+    write_trace,
+)
+from repro.obs.tracer import Tracer
+
+
+def sample_tracer() -> Tracer:
+    tr = Tracer()
+    with tr.span("map", "map", node="n0", task="map:00000", cost=100, records=100):
+        with tr.span("sort", "sort", node="n0", task="map:00000", cost=50):
+            pass
+    with tr.span("fetch", "shuffle", node="n1", task="reduce:000", cost=10, bytes=640):
+        pass
+    tr.event("task.killed", "recovery", node="n1", task="map:00001", attempt=0)
+    with tr.span("reduce", "reduce", node="n1", task="reduce:000", cost=30):
+        pass
+    tr.add_span("map-phase", "phase", 0, tr.clock, wall_s=0.5)
+    return tr
+
+
+class TestChromeTrace:
+    def test_validates(self):
+        tr = sample_tracer()
+        obj = chrome_trace(tr.spans, tr.events, job_name="test")
+        assert validate_chrome(obj) == []
+
+    def test_one_pid_per_node_plus_coordinator(self):
+        tr = sample_tracer()
+        obj = chrome_trace(tr.spans, tr.events)
+        meta = [e for e in obj["traceEvents"] if e["ph"] == "M" and e["name"] == "process_name"]
+        names = {e["args"]["name"] for e in meta}
+        assert names == {"coordinator", "n0", "n1"}
+        pids = [e["pid"] for e in meta]
+        assert len(pids) == len(set(pids))
+
+    def test_span_becomes_duration_event(self):
+        tr = sample_tracer()
+        obj = chrome_trace(tr.spans, tr.events)
+        xs = [e for e in obj["traceEvents"] if e["ph"] == "X"]
+        m = next(e for e in xs if e["name"] == "fetch")
+        assert m["dur"] == 10
+        assert m["args"]["task"] == "reduce:000"
+        assert "wall_us" in m["args"]
+
+    def test_event_becomes_instant(self):
+        tr = sample_tracer()
+        obj = chrome_trace(tr.spans, tr.events)
+        inst = [e for e in obj["traceEvents"] if e["ph"] == "i"]
+        assert inst and inst[0]["name"] == "task.killed"
+
+    def test_json_serialisable(self):
+        tr = sample_tracer()
+        text = json.dumps(chrome_trace(tr.spans, tr.events))
+        assert validate_chrome(json.loads(text)) == []
+
+    def test_validate_rejects_garbage(self):
+        assert validate_chrome([]) != []
+        assert validate_chrome({}) != []
+        assert validate_chrome({"traceEvents": [{"ph": "Z", "name": "x"}]}) != []
+        bad_x = {"traceEvents": [{"ph": "X", "name": "x", "pid": 1, "tid": 1, "ts": 0}]}
+        assert any("dur" in e for e in validate_chrome(bad_x))
+
+
+class TestJsonl:
+    def test_one_object_per_line_sorted(self):
+        tr = sample_tracer()
+        lines = to_jsonl(tr.spans, tr.events).strip().split("\n")
+        objs = [json.loads(line) for line in lines]
+        assert len(objs) == len(tr.spans) + len(tr.events)
+        starts = [o.get("t0", o.get("ts")) for o in objs]
+        assert starts == sorted(starts)
+
+    def test_span_and_event_types(self):
+        tr = sample_tracer()
+        objs = [json.loads(line) for line in to_jsonl(tr.spans, tr.events).strip().split("\n")]
+        assert {o["type"] for o in objs} == {"span", "event"}
+
+
+class TestSummary:
+    def test_contains_phases_and_recovery(self):
+        tr = sample_tracer()
+        text = summary_text(tr.spans, tr.events, job_name="j")
+        for needle in ("map", "sort", "shuffle", "reduce", "task.killed"):
+            assert needle in text
+
+    def test_clean_run_has_no_recovery_section(self):
+        tr = Tracer()
+        with tr.span("map", "map", node="n0", cost=10):
+            pass
+        assert "recovery timeline" not in summary_text(tr.spans, tr.events)
+
+
+class TestWriteTrace:
+    def test_all_formats(self, tmp_path):
+        tr = sample_tracer()
+        for fmt in TRACE_FORMATS:
+            path = tmp_path / f"t.{fmt}"
+            write_trace(str(path), fmt, tr.spans, tr.events, job_name="j")
+            assert path.read_text()
+
+    def test_chrome_file_validates(self, tmp_path):
+        tr = sample_tracer()
+        path = tmp_path / "t.json"
+        write_trace(str(path), "chrome", tr.spans, tr.events, job_name="j")
+        assert validate_chrome(json.loads(path.read_text())) == []
+
+    def test_unknown_format_raises(self, tmp_path):
+        tr = sample_tracer()
+        try:
+            write_trace(str(tmp_path / "t"), "nope", tr.spans, tr.events)
+        except ValueError as e:
+            assert "nope" in str(e)
+        else:
+            raise AssertionError("expected ValueError")

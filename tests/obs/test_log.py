@@ -1,0 +1,65 @@
+"""Structured-logging tests: levels, formatting, off-by-default."""
+
+import io
+
+import pytest
+
+from repro.obs.log import LEVELS, Logger, get_level, get_logger, set_level
+
+
+@pytest.fixture(autouse=True)
+def reset_level():
+    yield
+    set_level("off")
+
+
+class TestLevels:
+    def test_default_is_off(self):
+        assert get_level() == "off"
+
+    def test_off_emits_nothing(self):
+        buf = io.StringIO()
+        set_level("off", stream=buf)
+        get_logger("t").error("boom", code=1)
+        assert buf.getvalue() == ""
+
+    def test_level_gating(self):
+        buf = io.StringIO()
+        set_level("warn", stream=buf)
+        log = get_logger("t")
+        log.error("e")
+        log.warn("w")
+        log.info("i")
+        log.debug("d")
+        lines = buf.getvalue().splitlines()
+        assert [line.split()[0] for line in lines] == ["ERROR", "WARN"]
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            set_level("verbose")
+
+    def test_levels_ordering(self):
+        assert LEVELS == ("off", "error", "warn", "info", "debug")
+
+
+class TestFormat:
+    def test_keyed_fields(self):
+        buf = io.StringIO()
+        set_level("info", stream=buf)
+        get_logger("hadoop").info("map.phase.done", tasks=4, wall_ms=1.23456789)
+        line = buf.getvalue().strip()
+        assert line.startswith("INFO hadoop map.phase.done")
+        assert "tasks=4" in line
+        assert "wall_ms=1.23457" in line  # floats trimmed to 6 sig figs
+
+    def test_values_with_spaces_are_quoted(self):
+        buf = io.StringIO()
+        set_level("info", stream=buf)
+        get_logger("t").info("e", msg="two words")
+        assert "msg='two words'" in buf.getvalue()
+
+
+class TestRegistry:
+    def test_get_logger_is_cached(self):
+        assert get_logger("same") is get_logger("same")
+        assert isinstance(get_logger("same"), Logger)

@@ -1,0 +1,92 @@
+"""Phase timeline and binned-series tests."""
+
+import numpy as np
+
+from repro.obs.series import bytes_rate, span_activity
+from repro.obs.timeline import PHASE_ORDER, phase_table, phase_totals, recovery_timeline
+from repro.obs.tracer import Tracer
+
+
+def sample_tracer() -> Tracer:
+    tr = Tracer()
+    with tr.span("map", "map", node="n0", task="map:00000", cost=100):
+        pass
+    with tr.span("sort", "sort", node="n0", task="map:00000", cost=40):
+        pass
+    with tr.span("fetch", "shuffle", node="n1", task="reduce:000", cost=10, bytes=640):
+        pass
+    with tr.span("reduce", "reduce", node="n1", task="reduce:000", cost=30):
+        pass
+    return tr
+
+
+class TestPhaseTotals:
+    def test_ticks_per_category(self):
+        totals = phase_totals(sample_tracer().spans)
+        assert totals["map"]["ticks"] == 100
+        assert totals["sort"]["ticks"] == 40
+        assert totals["shuffle"]["spans"] == 1
+        assert totals["reduce"]["ticks"] == 30
+
+    def test_empty_cat_bucketed_as_other(self):
+        tr = Tracer()
+        with tr.span("misc", "", node="n0", cost=5):
+            pass
+        assert phase_totals(tr.spans)["other"]["spans"] == 1
+
+    def test_empty_spans(self):
+        assert phase_totals([]) == {}
+
+
+class TestPhaseTable:
+    def test_rows_follow_phase_order(self):
+        text = phase_table(sample_tracer().spans, title="by category")
+        lines = text.splitlines()
+        sep = next(i for i, line in enumerate(lines) if set(line) <= {"-", "+", " "} and "-" in line)
+        order = [line.split("|")[0].strip() for line in lines[sep + 1 :] if "|" in line]
+        assert order == ["map", "sort", "shuffle", "reduce"]
+        assert order == sorted(order, key=PHASE_ORDER.index)
+        assert "by category" in text
+
+
+class TestRecoveryTimeline:
+    def test_empty_without_recovery_events(self):
+        tr = sample_tracer()
+        tr.event("checkpoint.saved", "checkpoint", node="n0")
+        assert recovery_timeline(tr.events) == ""
+
+    def test_lists_recovery_events_in_tick_order(self):
+        tr = Tracer()
+        tr.event("node.crash", "recovery", node="n1")
+        tr.event("task.killed", "recovery", node="n1", task="map:00002")
+        text = recovery_timeline(tr.events)
+        assert text.index("node.crash") < text.index("task.killed")
+
+
+class TestSpanActivity:
+    def test_busy_mass_equals_span_ticks(self):
+        tr = sample_tracer()
+        centers, busy = span_activity(tr.spans, cat="map", bins=30)
+        width = centers[1] - centers[0]
+        assert np.isclose(busy.sum() * width, 100.0)
+
+    def test_node_filter(self):
+        _, busy0 = span_activity(sample_tracer().spans, node="n0", bins=10)
+        _, busy1 = span_activity(sample_tracer().spans, node="n1", bins=10)
+        assert busy0.sum() > busy1.sum()
+
+    def test_empty_spans(self):
+        centers, busy = span_activity([], bins=5)
+        assert len(centers) == 5 and busy.sum() == 0.0
+
+
+class TestBytesRate:
+    def test_mass_equals_declared_bytes(self):
+        tr = sample_tracer()
+        centers, rate = bytes_rate(tr.spans, cat="shuffle", bins=20)
+        width = centers[1] - centers[0]
+        assert np.isclose(rate.sum() * width, 640.0)
+
+    def test_spans_without_bytes_contribute_nothing(self):
+        _, rate = bytes_rate(sample_tracer().spans, cat="map", bins=20)
+        assert rate.sum() == 0.0

@@ -1,0 +1,68 @@
+"""Worker-side ``time.*`` counters must survive the multiprocess executor.
+
+Kernel code accumulates CPU-attribution timers (``Counters.timer``) inside
+the worker process; the coordinator only ever sees the pickled result
+object.  If the timer state were stored anywhere outside the Counters
+instance on the result, a fork-based executor would silently drop it and
+Table-II-style CPU breakdowns would read zero.  This locks in that the
+full timer key set — and nonzero values — round-trips through pickling.
+"""
+
+import pytest
+
+from repro.core.engine import OnePassEngine
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.hop import HOPEngine
+from repro.mapreduce.runtime import HadoopEngine, LocalCluster
+from repro.workloads.per_user_count import (
+    per_user_count_job,
+    per_user_count_onepass_job,
+)
+
+ENGINES = {
+    "hadoop": (HadoopEngine, per_user_count_job),
+    "hop": (HOPEngine, per_user_count_job),
+    "onepass": (OnePassEngine, per_user_count_onepass_job),
+}
+
+
+def timer_counters(result) -> dict[str, float]:
+    return {
+        k: v for k, v in result.counters.as_dict().items() if k.startswith("time.")
+    }
+
+
+def run(engine, clicks, executor):
+    cluster = LocalCluster(num_nodes=3, block_size=48 * 1024)
+    cluster.hdfs.write_records("in", clicks)
+    engine_cls, job = ENGINES[engine]
+    return engine_cls(cluster, executor=executor).run(job("in", "out"))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+def test_timers_survive_process_executor(clicks, engine):
+    serial = timer_counters(run(engine, clicks, None))
+    forked = timer_counters(run(engine, clicks, "processes:2"))
+    assert serial, engine  # the serial baseline must actually have timers
+    assert set(forked) == set(serial), engine
+    # Values are wall-clock and so nondeterministic, but every timer that
+    # measured real work serially must be nonzero under fork too.
+    for key, serial_value in serial.items():
+        if serial_value > 0:
+            assert forked[key] > 0, (engine, key)
+
+
+def test_counters_timer_roundtrips_through_pickle():
+    import pickle
+    import time
+
+    c = Counters()
+    with c.timer("time.map_fn"):
+        time.sleep(0.001)
+    restored = pickle.loads(pickle.dumps(c))
+    assert restored["time.map_fn"] > 0
+
+    merged = Counters()
+    merged.merge(restored)
+    assert merged["time.map_fn"] == restored["time.map_fn"]
