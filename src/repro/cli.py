@@ -12,7 +12,8 @@ Three commands cover the repository's everyday uses without writing code:
 A fourth command, ``trace``, runs a workload with the tracing subsystem
 on and prints (or writes) the span timeline; ``run`` and ``compare`` take
 the same ``--trace``/``--trace-format`` flags to capture traces alongside
-their normal output.
+their normal output.  A fifth, ``lint``, runs the repo-specific static
+analysis (``docs/STATIC_ANALYSIS.md``) over the source tree.
 
 Examples::
 
@@ -24,6 +25,7 @@ Examples::
     python -m repro trace --workload sessionization --engine hadoop
     python -m repro run --workload sessionization --engine hadoop \
         --trace out.json --trace-format chrome
+    python -m repro lint src/ --format json
 """
 
 from __future__ import annotations
@@ -397,6 +399,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--nodes", type=int, default=3)
     add_trace_flags(p_cmp)
     p_cmp.set_defaults(fn=cmd_compare)
+
+    from repro.lint.cli import add_lint_parser
+
+    add_lint_parser(sub)
 
     return parser
 

@@ -139,7 +139,9 @@ class HotSetIncrementalHash:
         self._since_refresh = 0
         hot = {t.key for t in self.sketch.top(self.capacity)}
         resident = {key for key, _ in self._table.items()}
-        for key in resident - hot:
+        # Eviction (and hence spill) order must not depend on the
+        # process hash seed; repr-keyed sort handles mixed key types.
+        for key in sorted(resident - hot, key=repr):
             state = self._table.pop(key)
             self._spill_pair(key, SpilledState(state))
             self.counters.inc(C.HOT_EVICTIONS)

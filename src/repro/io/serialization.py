@@ -117,6 +117,8 @@ class TextLineCodec:
         Field separator within a line.
     """
 
+    __slots__ = ("field_parsers", "delimiter", "name")
+
     def __init__(
         self,
         field_parsers: Sequence[Callable[[str], Any]],
@@ -164,6 +166,8 @@ class RawLineCodec:
     timestamp, url").
     """
 
+    __slots__ = ("name",)
+
     def __init__(self, *, name: str = "rawline") -> None:
         self.name = name
 
@@ -184,6 +188,8 @@ class RawLineCodec:
 
 class BinaryCodec:
     """SequenceFile-like binary records: no text parsing on decode."""
+
+    __slots__ = ("name",)
 
     def __init__(self, *, name: str = "binary") -> None:
         self.name = name

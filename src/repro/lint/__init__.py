@@ -1,0 +1,33 @@
+"""`reprolint`: repo-specific static analysis for the determinism contracts.
+
+The engines in this repository obey contracts that ordinary linters do
+not know about — byte-identical output across executors, pure picklable
+kernels, registered counter and span names.  This package machine-checks
+those contracts at lint time with an AST-based rule framework:
+
+* :mod:`repro.lint.core` — the driver: module model, suppression
+  comments, baseline matching;
+* :mod:`repro.lint.rules` — the REP001..REP007 checkers;
+* :mod:`repro.lint.config` — scoping (which modules each rule covers);
+* :mod:`repro.lint.report` — text/JSON reporters;
+* :mod:`repro.lint.cli` — the ``repro lint`` subcommand.
+
+See ``docs/STATIC_ANALYSIS.md`` for the contract each rule encodes.
+"""
+
+from repro.lint.config import LintConfig
+from repro.lint.core import Finding, LintContext, LintModule, lint_paths, lint_source
+from repro.lint.report import format_findings
+from repro.lint.rules import ALL_RULES, rule_by_id
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintConfig",
+    "LintContext",
+    "LintModule",
+    "format_findings",
+    "lint_paths",
+    "lint_source",
+    "rule_by_id",
+]

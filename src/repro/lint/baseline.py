@@ -1,0 +1,62 @@
+"""Baseline files: grandfather existing findings, fail on new ones.
+
+A baseline is a committed JSON list of finding fingerprints
+``(rule, path, message)`` — line numbers are deliberately excluded so
+unrelated edits do not churn the file.  ``repro lint`` subtracts the
+baseline from the current findings; anything left fails the run.  The
+goal state (and the committed state of this repository) is an *empty*
+baseline: real violations get fixed, intentional ones get an inline
+``# reprolint: disable=REPxxx -- reason``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.core import Finding
+
+__all__ = ["apply_baseline", "load_baseline", "write_baseline"]
+
+
+def load_baseline(path: Path) -> Counter:
+    """Fingerprint multiset from a baseline file (empty if missing)."""
+    if not path.exists():
+        return Counter()
+    data = json.loads(path.read_text())
+    return Counter(
+        (e["rule"], e["path"], e["message"]) for e in data.get("findings", [])
+    )
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    entries = [
+        {"rule": f.rule, "path": f.path, "message": f.message}
+        for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    ]
+    path.write_text(
+        json.dumps({"version": 1, "findings": entries}, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def apply_baseline(
+    findings: Iterable[Finding], baseline: Counter
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into (new, grandfathered) against the baseline.
+
+    Each baseline entry absorbs at most its recorded count, so adding a
+    *second* instance of a grandfathered violation still fails.
+    """
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for f in findings:
+        key = f.fingerprint()
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            old.append(f)
+        else:
+            new.append(f)
+    return new, old

@@ -1,0 +1,91 @@
+"""The ``repro lint`` subcommand.
+
+Examples::
+
+    python -m repro lint src/
+    python -m repro lint src/ --format json
+    python -m repro lint src/ --write-baseline     # grandfather findings
+    python -m repro lint --list-rules
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+from repro.lint.config import LintConfig, repo_root
+from repro.lint.core import lint_paths
+from repro.lint.report import format_findings
+from repro.lint.rules import ALL_RULES
+
+__all__ = ["add_lint_parser", "cmd_lint"]
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}  {rule.title}")
+        return 0
+
+    root = repo_root(Path.cwd())
+    config = LintConfig(
+        root=root, select=tuple(args.select.split(",")) if args.select else ()
+    )
+    paths = args.paths or [str(root / "src")]
+    findings = lint_paths(paths, config)
+
+    baseline_path = Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
+    if args.write_baseline:
+        write_baseline(baseline_path, findings)
+        print(f"wrote {len(findings)} finding(s) to {baseline_path}")
+        return 0
+
+    baseline = load_baseline(baseline_path) if not args.no_baseline else None
+    grandfathered: list = []
+    if baseline:
+        findings, grandfathered = apply_baseline(findings, baseline)
+    sys.stdout.write(format_findings(findings, args.format))
+    if grandfathered and args.format == "text":
+        print(f"({len(grandfathered)} grandfathered finding(s) in {baseline_path.name})")
+    return 1 if findings else 0
+
+
+def add_lint_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "lint",
+        help="static-analysis pass for the repo's determinism contracts",
+        description="Check the REP001..REP007 contracts "
+        "(see docs/STATIC_ANALYSIS.md).",
+    )
+    p.add_argument(
+        "paths", nargs="*", help="files/directories to lint (default: src/)"
+    )
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE})",
+    )
+    p.add_argument(
+        "--no-baseline", action="store_true", help="ignore any baseline file"
+    )
+    p.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings as the baseline and exit 0",
+    )
+    p.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    p.set_defaults(fn=cmd_lint)

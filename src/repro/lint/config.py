@@ -1,0 +1,77 @@
+"""Lint configuration: which modules each contract covers.
+
+The scopes are dotted-path *prefixes* over the in-repo module path
+(``repro/core/engine.py`` — the part of the file path from the ``repro``
+package root).  Everything here has sensible repo defaults so ``repro
+lint src/`` needs no flags; tests inject overrides to lint fixture
+snippets without touching the real tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["LintConfig", "repo_root"]
+
+
+def repo_root(start: Path | None = None) -> Path:
+    """The repository root: the nearest ancestor holding ``src/repro``."""
+    here = (start or Path(__file__)).resolve()
+    for parent in (here, *here.parents):
+        if (parent / "src" / "repro").is_dir():
+            return parent
+    return Path.cwd()
+
+
+@dataclass(slots=True)
+class LintConfig:
+    """Knobs for one lint run.  Defaults describe this repository."""
+
+    #: Repository root; source of the registry files below.
+    root: Path = field(default_factory=repo_root)
+
+    #: Module-path prefixes whose code feeds job output, counters or
+    #: traces — the determinism scope for REP001/REP006.
+    deterministic_scopes: tuple[str, ...] = (
+        "repro/core/",
+        "repro/mapreduce/",
+        "repro/exec/",
+        "repro/io/",
+        "repro/hdfs/",
+        "repro/obs/",
+        "repro/workloads/",
+        "repro/simulator/",
+    )
+
+    #: Where kernels are registered (REP002/REP003 read this module).
+    kernel_module: str = "src/repro/exec/kernels.py"
+
+    #: Counter registry (REP004 reads ``class C`` from this module).
+    counters_module: str = "src/repro/mapreduce/counters.py"
+
+    #: Span/event name registry (REP005 reads SPAN_NAMES/EVENT_NAMES).
+    names_module: str = "src/repro/obs/names.py"
+
+    #: Doc whose marked list names the hot-path modules (REP007).
+    performance_doc: str = "docs/PERFORMANCE.md"
+
+    #: Receiver names treated as tracers by REP005 (plus any
+    #: ``<expr>.tracer`` attribute).
+    tracer_names: tuple[str, ...] = ("tracer", "trc")
+
+    #: Coordinator-side singletons kernels must never touch (REP002).
+    coordinator_singletons: tuple[str, ...] = ("_FORK_CONTEXT", "_KERNELS")
+
+    #: Rule ids to run; empty means all.
+    select: tuple[str, ...] = ()
+
+    # -- test-injection overrides (bypass the registry files) -------------
+    counter_names_override: frozenset[str] | None = None
+    span_names_override: frozenset[str] | None = None
+    event_names_override: frozenset[str] | None = None
+    hot_path_modules_override: tuple[str, ...] | None = None
+    kernel_source_override: str | None = None
+
+    def in_deterministic_scope(self, modpath: str) -> bool:
+        return modpath.startswith(self.deterministic_scopes)

@@ -1,0 +1,393 @@
+"""Lint driver: module model, suppression comments, registries, runner.
+
+A :class:`LintModule` wraps one parsed source file with the derived
+facts every rule needs (parent links, import-alias resolution,
+per-line suppressions).  A :class:`LintContext` carries the run-wide
+registries — declared counter names, registered span/event names, the
+hot-path module list — parsed *statically* from their source files so
+linting never imports repository code.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.lint.config import LintConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.rules import Rule
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "LintModule",
+    "dotted_name",
+    "lint_paths",
+    "lint_source",
+    "module_path_for",
+]
+
+#: ``# reprolint: disable=REP001,REP006 -- why this is fine``
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable=(?P<rules>REP\d{3}(?:\s*,\s*REP\d{3})*)"
+    r"(?:\s*--\s*(?P<reason>.*))?"
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Baseline identity: stable across pure line-number drift."""
+        return (self.rule, self.path, self.message)
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def module_path_for(path: Path) -> str:
+    """The in-repo module path: ``.../src/repro/core/engine.py`` ->
+    ``repro/core/engine.py`` (fall back to the file name)."""
+    parts = path.as_posix().split("/")
+    for anchor in ("repro", "tests", "benchmarks"):
+        if anchor in parts:
+            return "/".join(parts[parts.index(anchor) :])
+    return path.name
+
+
+class LintModule:
+    """One parsed source file plus the derived facts rules share."""
+
+    __slots__ = ("path", "modpath", "source", "tree", "suppressions", "_parents", "_aliases")
+
+    def __init__(self, source: str, *, path: str, modpath: str | None = None) -> None:
+        self.path = path
+        self.modpath = modpath if modpath is not None else module_path_for(Path(path))
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        self.suppressions = _parse_suppressions(source)
+        self._parents: dict[ast.AST, ast.AST] | None = None
+        self._aliases: dict[str, str] | None = None
+
+    # -- derived facts ------------------------------------------------------
+
+    @property
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        """Child -> parent links for the whole tree (built lazily once)."""
+        if self._parents is None:
+            parents: dict[ast.AST, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[child] = node
+            self._parents = parents
+        return self._parents
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        parents = self.parents
+        while node in parents:
+            node = parents[node]
+            yield node
+
+    @property
+    def aliases(self) -> dict[str, str]:
+        """Bound name -> canonical dotted path, from the module's imports."""
+        if self._aliases is None:
+            aliases: dict[str, str] = {}
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        if alias.asname:
+                            aliases[alias.asname] = alias.name
+                        else:
+                            root = alias.name.partition(".")[0]
+                            aliases.setdefault(root, root)
+                elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                    for alias in node.names:
+                        aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+            self._aliases = aliases
+        return self._aliases
+
+    def dotted(self, node: ast.AST) -> str | None:
+        """Canonical dotted path of a Name/Attribute chain, alias-resolved."""
+        return dotted_name(node, self.aliases)
+
+    # -- findings -----------------------------------------------------------
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule,
+            self.path,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0) + 1,
+            message,
+        )
+
+    def suppressed(self, finding: Finding) -> bool:
+        rules = self.suppressions.get(finding.line)
+        return bool(rules) and finding.rule in rules
+
+
+def _parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    out: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _SUPPRESS_RE.search(line)
+        if m:
+            out[lineno] = frozenset(r.strip() for r in m.group("rules").split(","))
+    return out
+
+
+def dotted_name(node: ast.AST, aliases: dict[str, str] | None = None) -> str | None:
+    """``np.random.default_rng`` -> ``numpy.random.default_rng`` (or None
+    when the chain is not a plain Name/Attribute path)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = node.id
+    if aliases:
+        root = aliases.get(root, root)
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+# -- run-wide registries ------------------------------------------------------
+
+
+class LintContext:
+    """Registries shared by every rule in one run, parsed statically."""
+
+    __slots__ = (
+        "config",
+        "_counter_names",
+        "_counter_values",
+        "_span_names",
+        "_event_names",
+        "_hot_modules",
+        "_kernel_source",
+        "_spec_names",
+    )
+
+    def __init__(self, config: LintConfig | None = None) -> None:
+        self.config = config or LintConfig()
+        self._counter_names: frozenset[str] | None = None
+        self._counter_values: list[str] | None = None
+        self._span_names: frozenset[str] | None = None
+        self._event_names: frozenset[str] | None = None
+        self._hot_modules: tuple[str, ...] | None = None
+        self._kernel_source: str | None = None
+        self._spec_names: frozenset[str] | None = None
+
+    def _read(self, relpath: str) -> str:
+        """Registry source, or "" when absent (rules then deactivate)."""
+        try:
+            return (self.config.root / relpath).read_text()
+        except OSError:
+            return ""
+
+    # -- REP004: counter registry ------------------------------------------
+
+    def _load_counters(self) -> None:
+        names: list[str] = []
+        values: list[str] = []
+        tree = ast.parse(self._read(self.config.counters_module))
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef) and node.name == "C":
+                for stmt in node.body:
+                    if isinstance(stmt, ast.Assign) and isinstance(
+                        stmt.targets[0], ast.Name
+                    ):
+                        names.append(stmt.targets[0].id)
+                        if isinstance(stmt.value, ast.Constant):
+                            values.append(str(stmt.value.value))
+        self._counter_names = frozenset(n for n in names if not n.startswith("__"))
+        self._counter_values = values
+
+    @property
+    def counter_names(self) -> frozenset[str]:
+        if self.config.counter_names_override is not None:
+            return self.config.counter_names_override
+        if self._counter_names is None:
+            self._load_counters()
+        assert self._counter_names is not None
+        return self._counter_names
+
+    @property
+    def counter_values(self) -> list[str]:
+        """Declared counter string values (for uniqueness checks)."""
+        if self._counter_values is None:
+            self._load_counters()
+        assert self._counter_values is not None
+        return self._counter_values
+
+    # -- REP005: span/event name registry ----------------------------------
+
+    def _load_names(self) -> None:
+        spans: frozenset[str] = frozenset()
+        events: frozenset[str] = frozenset()
+        tree = ast.parse(self._read(self.config.names_module))
+        for node in tree.body:
+            if isinstance(node, ast.Assign) and isinstance(node.targets[0], ast.Name):
+                target = node.targets[0].id
+                if target in ("SPAN_NAMES", "EVENT_NAMES"):
+                    literals = frozenset(
+                        n.value
+                        for n in ast.walk(node.value)
+                        if isinstance(n, ast.Constant) and isinstance(n.value, str)
+                    )
+                    if target == "SPAN_NAMES":
+                        spans = literals
+                    else:
+                        events = literals
+        self._span_names, self._event_names = spans, events
+
+    @property
+    def span_names(self) -> frozenset[str]:
+        if self.config.span_names_override is not None:
+            return self.config.span_names_override
+        if self._span_names is None:
+            self._load_names()
+        assert self._span_names is not None
+        return self._span_names
+
+    @property
+    def event_names(self) -> frozenset[str]:
+        if self.config.event_names_override is not None:
+            return self.config.event_names_override
+        if self._event_names is None:
+            self._load_names()
+        assert self._event_names is not None
+        return self._event_names
+
+    # -- REP007: hot-path module list --------------------------------------
+
+    @property
+    def hot_path_modules(self) -> tuple[str, ...]:
+        """Module paths required to use ``__slots__``, read from the marked
+        list in ``docs/PERFORMANCE.md`` (the doc is the source of truth)."""
+        if self.config.hot_path_modules_override is not None:
+            return self.config.hot_path_modules_override
+        if self._hot_modules is None:
+            try:
+                text = self._read(self.config.performance_doc)
+            except OSError:
+                self._hot_modules = ()
+            else:
+                m = re.search(
+                    r"<!--\s*reprolint:\s*hot-path-modules\s*-->(.*?)<!--\s*/reprolint\s*-->",
+                    text,
+                    re.S,
+                )
+                body = m.group(1) if m else ""
+                self._hot_modules = tuple(
+                    module_path_for(Path(p)) for p in re.findall(r"`([^`]+\.py)`", body)
+                )
+        return self._hot_modules
+
+    # -- REP002/REP003: kernel module --------------------------------------
+
+    @property
+    def kernel_source(self) -> str:
+        if self.config.kernel_source_override is not None:
+            return self.config.kernel_source_override
+        if self._kernel_source is None:
+            self._kernel_source = self._read(self.config.kernel_module)
+        return self._kernel_source
+
+    @property
+    def kernel_modpath(self) -> str:
+        return module_path_for(Path(self.config.kernel_module))
+
+    @property
+    def spec_class_names(self) -> frozenset[str]:
+        """Picklable task-spec classes defined in the kernel module."""
+        if self._spec_names is None:
+            tree = ast.parse(self.kernel_source)
+            self._spec_names = frozenset(
+                n.name
+                for n in ast.walk(tree)
+                if isinstance(n, ast.ClassDef) and n.name.endswith("Spec")
+            )
+        return self._spec_names
+
+
+# -- runner -------------------------------------------------------------------
+
+
+def _active_rules(config: LintConfig) -> list["Rule"]:
+    from repro.lint.rules import ALL_RULES
+
+    if not config.select:
+        return list(ALL_RULES)
+    return [r for r in ALL_RULES if r.id in config.select]
+
+
+def lint_module(module: LintModule, ctx: LintContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for rule in _active_rules(ctx.config):
+        findings.extend(f for f in rule.check(module, ctx) if not module.suppressed(f))
+    return findings
+
+
+def lint_source(
+    source: str,
+    *,
+    path: str = "<string>",
+    modpath: str | None = None,
+    config: LintConfig | None = None,
+    context: LintContext | None = None,
+) -> list[Finding]:
+    """Lint one source string (the fixture-test entry point)."""
+    ctx = context or LintContext(config)
+    return lint_module(LintModule(source, path=path, modpath=modpath), ctx)
+
+
+def iter_py_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(
+                p
+                for p in path.rglob("*.py")
+                if "__pycache__" not in p.parts and ".egg-info" not in p.as_posix()
+            )
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(
+    paths: Iterable[Path | str], config: LintConfig | None = None
+) -> list[Finding]:
+    """Lint files/directories; findings sorted by (path, line, rule)."""
+    ctx = LintContext(config)
+    findings: list[Finding] = []
+    for path in iter_py_files(Path(p) for p in paths):
+        try:
+            module = LintModule(path.read_text(), path=_display_path(path, ctx))
+        except SyntaxError as exc:
+            findings.append(
+                Finding("REP000", _display_path(path, ctx), exc.lineno or 1, 1,
+                        f"syntax error: {exc.msg}")
+            )
+            continue
+        findings.extend(lint_module(module, ctx))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def _display_path(path: Path, ctx: LintContext) -> str:
+    try:
+        return path.resolve().relative_to(ctx.config.root).as_posix()
+    except ValueError:
+        return path.as_posix()

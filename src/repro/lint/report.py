@@ -1,0 +1,48 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.lint.core import Finding
+
+__all__ = ["format_findings", "to_json", "to_text"]
+
+
+def to_text(findings: Iterable[Finding]) -> str:
+    findings = list(findings)
+    lines = [str(f) for f in findings]
+    by_rule: dict[str, int] = {}
+    for f in findings:
+        by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+    if findings:
+        summary = ", ".join(f"{rule}: {n}" for rule, n in sorted(by_rule.items()))
+        lines.append(f"{len(findings)} finding(s) ({summary})")
+    else:
+        lines.append("clean: no findings")
+    return "\n".join(lines) + "\n"
+
+
+def to_json(findings: Iterable[Finding]) -> str:
+    payload = {
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+            }
+            for f in findings
+        ]
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def format_findings(findings: Iterable[Finding], fmt: str = "text") -> str:
+    if fmt == "json":
+        return to_json(findings)
+    if fmt == "text":
+        return to_text(findings)
+    raise ValueError(f"unknown lint report format {fmt!r}")

@@ -1,0 +1,760 @@
+"""The REP001..REP007 rule implementations.
+
+Each rule encodes one contract the determinism/performance story rests
+on; ``docs/STATIC_ANALYSIS.md`` documents the *why* behind every one.
+Rules are pure AST analyses — linting never imports repository code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Finding, LintContext, LintModule
+
+__all__ = ["ALL_RULES", "Rule", "counter_uses", "rule_by_id"]
+
+
+class Rule:
+    """Base class: one checker with a stable id."""
+
+    id = "REP000"
+    title = ""
+
+    def check(self, module: LintModule, ctx: LintContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+# -- REP001: wall-clock / nondeterministic calls ------------------------------
+
+#: Dotted call paths that read the wall clock or an OS entropy source.
+_NONDETERMINISTIC_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "time.strftime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "uuid.getnode",
+    }
+)
+
+#: The one deterministic entry point on the stdlib ``random`` module.
+_SEEDED_RANDOM = frozenset({"random.Random"})
+
+
+class NoNondeterministicCalls(Rule):
+    """REP001: engine/kernel/core code may not read wall clocks or OS
+    entropy; randomness must flow through an explicitly seeded generator.
+
+    ``time.perf_counter``/``time.process_time`` stay legal: they feed the
+    advisory ``time.*`` timers that are excluded from determinism
+    comparisons (see ``docs/OBSERVABILITY.md``).
+    """
+
+    id = "REP001"
+    title = "no wall-clock or unseeded-randomness calls in deterministic code"
+
+    def check(self, module: LintModule, ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.config.in_deterministic_scope(module.modpath):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = module.dotted(node.func)
+            if dotted is None:
+                continue
+            if dotted in _NONDETERMINISTIC_CALLS:
+                yield module.finding(
+                    self.id, node, f"nondeterministic call {dotted}()"
+                )
+            elif dotted.startswith("random.") and dotted not in _SEEDED_RANDOM:
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"{dotted}() uses the global unseeded RNG; "
+                    "use random.Random(seed)",
+                )
+            elif dotted.startswith("secrets."):
+                yield module.finding(
+                    self.id, node, f"{dotted}() draws OS entropy"
+                )
+            elif dotted.endswith(".random.default_rng") and not (
+                node.args or node.keywords
+            ):
+                yield module.finding(
+                    self.id,
+                    node,
+                    "default_rng() without a seed is nondeterministic",
+                )
+            elif dotted.startswith("numpy.random.") and not dotted.endswith(
+                ".default_rng"
+            ):
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"{dotted}() uses numpy's global RNG; "
+                    "use np.random.default_rng(seed)",
+                )
+
+
+# -- REP002: kernel purity ----------------------------------------------------
+
+#: Call roots kernels may never reach: real filesystem, network,
+#: processes, and ambient-state modules.  Task I/O goes through the
+#: shadow ``LocalDisk`` the coordinator absorbs.
+_IMPURE_ROOTS = frozenset(
+    {
+        "os",
+        "io",
+        "socket",
+        "subprocess",
+        "shutil",
+        "tempfile",
+        "pathlib",
+        "urllib",
+        "http",
+        "requests",
+    }
+)
+
+_IMPURE_BUILTINS = frozenset({"open", "print", "input", "exec", "eval", "globals"})
+
+#: Method names that mutate a container in place.
+_MUTATORS = frozenset(
+    {
+        "append",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "clear",
+        "extend",
+        "remove",
+        "discard",
+        "insert",
+        "write",
+    }
+)
+
+
+def _attr_root(node: ast.AST) -> ast.AST:
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node
+
+
+def _local_bindings(fn: ast.FunctionDef) -> set[str]:
+    names = {a.arg for a in fn.args.args + fn.args.posonlyargs + fn.args.kwonlyargs}
+    for extra in (fn.args.vararg, fn.args.kwarg):
+        if extra is not None:
+            names.add(extra.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.partition(".")[0])
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+    return names
+
+
+class KernelPurity(Rule):
+    """REP002: functions registered as task kernels must be pure.
+
+    A kernel runs in a forked worker; anything it does outside
+    ``(context, spec) -> result`` — touching coordinator singletons,
+    mutating module globals, opening real files or sockets — silently
+    diverges between the Serial/Thread/MP executors.
+    """
+
+    id = "REP002"
+    title = "task kernels must be pure (shadow-disk I/O only)"
+
+    def check(self, module: LintModule, ctx: LintContext) -> Iterator[Finding]:
+        if module.modpath != ctx.kernel_modpath:
+            return
+        tree = module.tree
+        defs = {
+            n.name: n
+            for n in tree.body
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        module_names = _module_level_names(tree)
+        kernels = _registered_kernels(tree)
+        # Close over module-local helpers the kernels call.
+        reachable: dict[str, ast.FunctionDef] = {}
+        frontier = [name for name in kernels if name in defs]
+        while frontier:
+            name = frontier.pop()
+            if name in reachable:
+                continue
+            reachable[name] = defs[name]
+            for node in ast.walk(defs[name]):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in defs
+                ):
+                    frontier.append(node.func.id)
+        singletons = frozenset(ctx.config.coordinator_singletons)
+        for fn in reachable.values():
+            yield from self._check_function(module, fn, module_names, singletons)
+
+    def _check_function(
+        self,
+        module: LintModule,
+        fn: ast.FunctionDef,
+        module_names: set[str],
+        singletons: frozenset[str],
+    ) -> Iterator[Finding]:
+        local = _local_bindings(fn)
+        where = f"kernel {fn.name!r}"
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Global):
+                yield module.finding(
+                    self.id, node, f"{where} declares global {', '.join(node.names)}"
+                )
+            elif isinstance(node, ast.Name):
+                if node.id in singletons:
+                    yield module.finding(
+                        self.id,
+                        node,
+                        f"{where} touches coordinator singleton {node.id}",
+                    )
+            elif isinstance(node, ast.Call):
+                dotted = module.dotted(node.func)
+                if dotted is not None:
+                    root, _, _rest = dotted.partition(".")
+                    if root in _IMPURE_ROOTS and root not in local:
+                        yield module.finding(
+                            self.id, node, f"{where} calls impure API {dotted}()"
+                        )
+                    elif dotted in _IMPURE_BUILTINS and dotted not in local:
+                        yield module.finding(
+                            self.id, node, f"{where} calls builtin {dotted}()"
+                        )
+                # Mutating a module-level container through a method call.
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _MUTATORS
+                ):
+                    root_node = _attr_root(node.func.value)
+                    if (
+                        isinstance(root_node, ast.Name)
+                        and root_node.id in module_names
+                        and root_node.id not in local
+                    ):
+                        yield module.finding(
+                            self.id,
+                            node,
+                            f"{where} mutates module global {root_node.id!r} "
+                            f"via .{node.func.attr}()",
+                        )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        root_node = _attr_root(target)
+                        if (
+                            isinstance(root_node, ast.Name)
+                            and root_node.id in module_names
+                            and root_node.id not in local
+                        ):
+                            yield module.finding(
+                                self.id,
+                                node,
+                                f"{where} writes module global {root_node.id!r}",
+                            )
+
+
+def _module_level_names(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.partition(".")[0])
+    return names
+
+
+def _registered_kernels(tree: ast.Module) -> list[str]:
+    """Function names passed to module-level ``register_kernel(...)``."""
+    out = []
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Expr)
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Name)
+            and node.value.func.id == "register_kernel"
+            and len(node.value.args) >= 2
+            and isinstance(node.value.args[1], ast.Name)
+        ):
+            out.append(node.value.args[1].id)
+    return out
+
+
+# -- REP003: no unpicklable values on task-spec fields ------------------------
+
+
+class PicklableSpecs(Rule):
+    """REP003: task specs cross process boundaries; lambdas, closures
+    and local classes do not pickle.  Anything callable a kernel needs
+    belongs in the fork-inherited job *context*, not the spec.
+    """
+
+    id = "REP003"
+    title = "no lambdas/closures/local classes on picklable task specs"
+
+    def check(self, module: LintModule, ctx: LintContext) -> Iterator[Finding]:
+        spec_names = ctx.spec_class_names
+        if module.modpath == ctx.kernel_modpath:
+            yield from self._check_spec_defaults(module, spec_names)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _terminal_name(node.func)
+            if name not in spec_names:
+                continue
+            local_defs = _enclosing_local_defs(module, node)
+            for value in [*node.args, *(kw.value for kw in node.keywords)]:
+                if isinstance(value, ast.Lambda):
+                    yield module.finding(
+                        self.id,
+                        value,
+                        f"lambda passed to picklable spec {name}; "
+                        "move the callable into the job context",
+                    )
+                elif isinstance(value, ast.Name) and value.id in local_defs:
+                    yield module.finding(
+                        self.id,
+                        value,
+                        f"local {local_defs[value.id]} {value.id!r} passed to "
+                        f"picklable spec {name}; it will not pickle",
+                    )
+
+    def _check_spec_defaults(
+        self, module: LintModule, spec_names: frozenset[str]
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and node.name in spec_names:
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Lambda):
+                        yield module.finding(
+                            self.id,
+                            sub,
+                            f"lambda default on spec {node.name} will not pickle",
+                        )
+
+
+def _terminal_name(func: ast.AST) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _enclosing_local_defs(module: LintModule, node: ast.AST) -> dict[str, str]:
+    """Names of defs/classes local to the functions enclosing ``node``."""
+    out: dict[str, str] = {}
+    for ancestor in module.ancestors(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for sub in ast.walk(ancestor):
+                if sub is ancestor:
+                    continue
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    out.setdefault(sub.name, "function")
+                elif isinstance(sub, ast.ClassDef):
+                    out.setdefault(sub.name, "class")
+    return out
+
+
+# -- REP004: counter names must be declared -----------------------------------
+
+_COUNTER_CLASS = "repro.mapreduce.counters.C"
+
+
+def counter_uses(module: LintModule) -> dict[str, list[ast.Attribute]]:
+    """All ``C.<name>`` accesses in a module, alias-resolved."""
+    uses: dict[str, list[ast.Attribute]] = {}
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Attribute):
+            dotted = module.dotted(node)
+            if dotted and dotted.startswith(_COUNTER_CLASS + "."):
+                attr = dotted[len(_COUNTER_CLASS) + 1 :]
+                if "." not in attr:
+                    uses.setdefault(attr, []).append(node)
+    return uses
+
+
+class DeclaredCounters(Rule):
+    """REP004: every counter referenced anywhere must be declared on the
+    registry class ``C``.  A typo'd counter name raises only on the code
+    path that touches it — possibly a rarely-exercised fault path.
+    """
+
+    id = "REP004"
+    title = "counter names must be declared in the counter registry"
+
+    def check(self, module: LintModule, ctx: LintContext) -> Iterator[Finding]:
+        declared = ctx.counter_names
+        for attr, nodes in sorted(counter_uses(module).items()):
+            if attr not in declared:
+                for node in nodes:
+                    yield module.finding(
+                        self.id,
+                        node,
+                        f"counter C.{attr} is not declared in the counter registry",
+                    )
+
+
+# -- REP005: tracer discipline ------------------------------------------------
+
+
+class TracerDiscipline(Rule):
+    """REP005: spans must be context-managed and span/event names must
+    come from the registry (``repro/obs/names.py``).
+
+    A span handle left unclosed on an exception path corrupts the
+    logical clock for the rest of the trace; an unregistered name breaks
+    every exporter/consumer keyed on the known vocabulary.
+    """
+
+    id = "REP005"
+    title = "spans context-managed; span/event names from the registry"
+
+    def check(self, module: LintModule, ctx: LintContext) -> Iterator[Finding]:
+        tracer_names = frozenset(ctx.config.tracer_names)
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("span", "event", "add_span")
+            ):
+                continue
+            if not _is_tracer_receiver(node.func.value, tracer_names):
+                continue
+            method = node.func.attr
+            if method == "span" and not isinstance(
+                module.parents.get(node), ast.withitem
+            ):
+                yield module.finding(
+                    self.id,
+                    node,
+                    "span() outside a with-statement; the handle must be "
+                    "closed on all paths (use `with tracer.span(...)`)",
+                )
+            if not node.args:
+                continue
+            name_arg = node.args[0]
+            if not (
+                isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str)
+            ):
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"{method}() name must be a registered string literal",
+                )
+                continue
+            registry = ctx.event_names if method == "event" else ctx.span_names
+            kind = "event" if method == "event" else "span"
+            if name_arg.value not in registry:
+                yield module.finding(
+                    self.id,
+                    name_arg,
+                    f"{kind} name {name_arg.value!r} is not registered in "
+                    "repro/obs/names.py",
+                )
+
+
+def _is_tracer_receiver(node: ast.AST, tracer_names: frozenset[str]) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in tracer_names
+    if isinstance(node, ast.Attribute):
+        return node.attr in tracer_names
+    return False
+
+
+# -- REP006: unordered set iteration ------------------------------------------
+
+#: Wrapping calls for which element order cannot matter.
+_ORDER_FREE_CALLS = frozenset(
+    {"sorted", "set", "frozenset", "sum", "min", "max", "len", "any", "all"}
+)
+
+#: Set methods whose result is itself a set.
+_SET_PRODUCING_METHODS = frozenset(
+    {"difference", "union", "intersection", "symmetric_difference", "copy"}
+)
+
+_SET_BINOPS = (ast.Sub, ast.BitOr, ast.BitAnd, ast.BitXor)
+
+
+class NoUnorderedIteration(Rule):
+    """REP006: iterating a set/frozenset without ``sorted(...)`` in
+    output- or trace-affecting code.  Set iteration order depends on the
+    per-process hash seed, so it silently varies across runs.
+    """
+
+    id = "REP006"
+    title = "no unordered set iteration in deterministic code"
+
+    def check(self, module: LintModule, ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.config.in_deterministic_scope(module.modpath):
+            return
+        set_attrs = _class_set_attrs(module)
+        for scope in _scopes(module.tree):
+            set_locals = _scope_set_locals(scope)
+            for site, iter_expr in _iteration_sites(scope):
+                if not self._is_set_like(module, iter_expr, set_locals, set_attrs):
+                    continue
+                if self._order_free_context(module, site):
+                    continue
+                yield module.finding(
+                    self.id,
+                    iter_expr,
+                    "iteration over a set has hash-seed-dependent order; "
+                    "wrap it in sorted(...)",
+                )
+
+    def _is_set_like(
+        self,
+        module: LintModule,
+        node: ast.AST,
+        set_locals: set[str],
+        set_attrs: dict[ast.ClassDef, set[str]],
+    ) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            fname = _terminal_name(node.func)
+            if isinstance(node.func, ast.Name) and fname in ("set", "frozenset"):
+                return True
+            if (
+                isinstance(node.func, ast.Attribute)
+                and fname in _SET_PRODUCING_METHODS
+                and self._is_set_like(module, node.func.value, set_locals, set_attrs)
+            ):
+                return True
+            return False
+        if isinstance(node, ast.Name):
+            return node.id in set_locals
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            for ancestor in module.ancestors(node):
+                if isinstance(ancestor, ast.ClassDef):
+                    return node.attr in set_attrs.get(ancestor, set())
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+            return self._is_set_like(
+                module, node.left, set_locals, set_attrs
+            ) or self._is_set_like(module, node.right, set_locals, set_attrs)
+        return False
+
+    def _order_free_context(self, module: LintModule, site: ast.AST) -> bool:
+        """True when the iteration's result cannot depend on order."""
+        if isinstance(site, ast.SetComp):
+            return True
+        node = site
+        for ancestor in module.ancestors(node):
+            if isinstance(ancestor, ast.Call):
+                fname = _terminal_name(ancestor.func)
+                if fname in _ORDER_FREE_CALLS or fname in _SET_PRODUCING_METHODS:
+                    return True
+            if isinstance(ancestor, ast.SetComp):
+                return True
+            if isinstance(ancestor, ast.stmt):
+                return False
+        return False
+
+
+def _scopes(tree: ast.Module) -> Iterator[ast.Module | ast.FunctionDef]:
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _scope_walk(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk a scope without descending into nested function/class scopes."""
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    return isinstance(node, (ast.Set, ast.SetComp)) or (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+def _is_set_annotation(node: ast.AST | None) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, ast.Name):
+        return node.id in ("set", "frozenset")
+    if isinstance(node, ast.Subscript):
+        return _is_set_annotation(node.value)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.partition("[")[0].strip() in ("set", "frozenset")
+    return False
+
+
+def _scope_set_locals(scope: ast.AST) -> set[str]:
+    names: set[str] = set()
+    for node in _scope_walk(scope):
+        if isinstance(node, ast.Assign) and _is_set_expr(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if _is_set_annotation(node.annotation) or (
+                node.value is not None and _is_set_expr(node.value)
+            ):
+                names.add(node.target.id)
+    return names
+
+
+def _class_set_attrs(module: LintModule) -> dict[ast.ClassDef, set[str]]:
+    out: dict[ast.ClassDef, set[str]] = {}
+    for cls in ast.walk(module.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        attrs: set[str] = set()
+        for node in ast.walk(cls):
+            target = None
+            if isinstance(node, ast.Assign) and _is_set_expr(node.value):
+                target = node.targets[0]
+            elif isinstance(node, ast.AnnAssign) and (
+                _is_set_annotation(node.annotation)
+                or (node.value is not None and _is_set_expr(node.value))
+            ):
+                target = node.target
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                attrs.add(target.attr)
+        if attrs:
+            out[cls] = attrs
+    return out
+
+
+def _iteration_sites(scope: ast.AST) -> Iterator[tuple[ast.AST, ast.AST]]:
+    """(site, iterated-expression) pairs within one scope."""
+    for node in _scope_walk(scope):
+        if isinstance(node, ast.For):
+            yield node, node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for gen in node.generators:
+                yield node, gen.iter
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("list", "tuple", "enumerate", "iter")
+            and len(node.args) == 1
+        ):
+            yield node, node.args[0]
+
+
+# -- REP007: __slots__ on hot-path classes ------------------------------------
+
+
+class SlotsOnHotPaths(Rule):
+    """REP007: classes in the hot-path modules named by
+    ``docs/PERFORMANCE.md`` must declare ``__slots__`` (directly or via
+    ``@dataclass(slots=True)``) — per-instance dicts cost measurable
+    memory and attribute-lookup time on these paths.
+    """
+
+    id = "REP007"
+    title = "__slots__ required on hot-path classes"
+
+    _EXEMPT_BASES = frozenset({"Protocol", "Exception", "BaseException", "Enum"})
+
+    def check(self, module: LintModule, ctx: LintContext) -> Iterator[Finding]:
+        if module.modpath not in ctx.hot_path_modules:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and not self._has_slots(node):
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"hot-path class {node.name} has no __slots__ "
+                    "(add __slots__ or @dataclass(slots=True))",
+                )
+
+    def _has_slots(self, cls: ast.ClassDef) -> bool:
+        for base in cls.bases:
+            name = _terminal_name(base)
+            if name in self._EXEMPT_BASES or (
+                name and name.endswith(("Error", "Exception", "Warning"))
+            ):
+                return True
+        for deco in cls.decorator_list:
+            if isinstance(deco, ast.Call) and _terminal_name(deco.func) == "dataclass":
+                for kw in deco.keywords:
+                    if (
+                        kw.arg == "slots"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is True
+                    ):
+                        return True
+        for stmt in cls.body:
+            if isinstance(stmt, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__slots__" for t in stmt.targets
+            ):
+                return True
+            if (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.target.id == "__slots__"
+            ):
+                return True
+        return False
+
+
+ALL_RULES: tuple[Rule, ...] = (
+    NoNondeterministicCalls(),
+    KernelPurity(),
+    PicklableSpecs(),
+    DeclaredCounters(),
+    TracerDiscipline(),
+    NoUnorderedIteration(),
+    SlotsOnHotPaths(),
+)
+
+
+def rule_by_id(rule_id: str) -> Rule:
+    for rule in ALL_RULES:
+        if rule.id == rule_id:
+            return rule
+    raise KeyError(f"unknown rule {rule_id!r}")

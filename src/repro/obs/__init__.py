@@ -13,6 +13,7 @@ from repro.obs.export import (
     write_trace,
 )
 from repro.obs.log import get_logger, set_level
+from repro.obs.names import EVENT_NAMES, SPAN_NAMES
 from repro.obs.series import bytes_rate, span_activity
 from repro.obs.timeline import phase_table, phase_totals, recovery_timeline
 from repro.obs.tracer import (
@@ -31,6 +32,8 @@ __all__ = [
     "NULL_TRACER",
     "Span",
     "TraceEvent",
+    "SPAN_NAMES",
+    "EVENT_NAMES",
     "byte_cost",
     "task_tracer",
     "chrome_trace",

@@ -1,0 +1,52 @@
+"""The span/event name registry: the tracing vocabulary, in one place.
+
+Every span or event an engine records must use a name declared here —
+the REP005 lint rule enforces it.  Exporters, the phase tables and the
+CI trace-validation job all key on this vocabulary; an unregistered
+name would silently fall out of every downstream view.
+
+When instrumenting a new site, add its name here first (and to the
+span-model table in ``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+__all__ = ["EVENT_NAMES", "SPAN_NAMES"]
+
+#: Closed-interval work attribution (``tracer.span``/``tracer.add_span``).
+SPAN_NAMES = frozenset(
+    {
+        # per-task phases
+        "map",
+        "sort",
+        "combine",
+        "spill",
+        "merge",
+        "shuffle",
+        "fetch",
+        "push",
+        "reduce",
+        "snapshot",
+        "checkpoint",
+        "replay",
+        # whole-phase envelopes (recorded via ``add_span``)
+        "map-phase",
+        "reduce-phase",
+    }
+)
+
+#: Instantaneous occurrences (``tracer.event``).
+EVENT_NAMES = frozenset(
+    {
+        "node.crash",
+        "task.killed",
+        "map.rerun",
+        "hash.spill",
+        "shuffle.fetch_failed",
+        "checkpoint.saved",
+        "checkpoint.restored",
+        "speculative.launched",
+        "speculative.win",
+        "speculative.lost",
+    }
+)

@@ -142,6 +142,8 @@ _NULL_SPAN = _NullSpan()
 class Tracer:
     """Records spans and events on one logical clock."""
 
+    __slots__ = ("spans", "events", "_clock")
+
     enabled = True
 
     def __init__(self) -> None:
@@ -242,6 +244,8 @@ class Tracer:
 
 class NullTracer:
     """The zero-overhead default: every operation is a no-op."""
+
+    __slots__ = ()
 
     enabled = False
     spans: tuple = ()

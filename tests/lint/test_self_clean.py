@@ -1,0 +1,90 @@
+"""The repository must satisfy its own lint pass.
+
+``repro lint src/`` gates CI, so these tests pin the gate's semantics:
+the tree is clean modulo the committed baseline, the baseline stays
+empty-or-justified, and seeding a synthetic violation (a wall-clock
+call in the kernel module) makes the pass fail — which is exactly what
+would break the CI ``lint`` job.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint import LintConfig, lint_paths, lint_source
+from repro.lint.baseline import apply_baseline, load_baseline
+
+ROOT = Path(__file__).resolve().parents[2]
+SRC = ROOT / "src"
+
+
+def test_src_is_clean_modulo_baseline():
+    findings = lint_paths([SRC], LintConfig(root=ROOT))
+    baseline = load_baseline(ROOT / "lint-baseline.json")
+    new, _old = apply_baseline(findings, baseline)
+    assert not new, "new lint findings:\n" + "\n".join(map(str, new))
+
+
+def test_committed_baseline_is_empty():
+    # The repo's policy: fix violations or justify them inline with
+    # `# reprolint: disable=REPxxx -- reason`; don't grandfather them.
+    baseline = load_baseline(ROOT / "lint-baseline.json")
+    assert not baseline, f"baseline should stay empty, has {sum(baseline.values())}"
+
+
+def test_synthetic_violation_in_kernels_fails_the_pass():
+    kernels = ROOT / "src/repro/exec/kernels.py"
+    seeded = kernels.read_text().replace(
+        "def hadoop_map_kernel(ctx: dict[str, Any], spec: HadoopMapSpec) -> HadoopMapResult:\n"
+        '    """One sort-spill map task over one block, against a shadow disk."""\n',
+        "def hadoop_map_kernel(ctx: dict[str, Any], spec: HadoopMapSpec) -> HadoopMapResult:\n"
+        '    """One sort-spill map task over one block, against a shadow disk."""\n'
+        "    started_at = time.time()\n",
+    )
+    assert seeded != kernels.read_text(), "seeding anchor not found in kernels.py"
+    findings = lint_source(
+        seeded, modpath="repro/exec/kernels.py", config=LintConfig(root=ROOT)
+    )
+    assert any(
+        f.rule == "REP001" and "time.time" in f.message for f in findings
+    ), findings
+
+
+def test_cli_exit_codes_and_json(tmp_path):
+    env_src = str(SRC)
+    clean = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", str(SRC), "--format", "json"],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+        env={"PYTHONPATH": env_src, "PATH": "/usr/bin:/bin"},
+    )
+    assert clean.returncode == 0, clean.stdout + clean.stderr
+    assert json.loads(clean.stdout) == {"findings": []}
+
+    bad = tmp_path / "src" / "repro" / "core"
+    bad.mkdir(parents=True)
+    (bad / "fx.py").write_text("import time\nx = time.time()\n")
+    dirty = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", str(bad / "fx.py")],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+        env={"PYTHONPATH": env_src, "PATH": "/usr/bin:/bin"},
+    )
+    assert dirty.returncode == 1, dirty.stdout + dirty.stderr
+    assert "REP001" in dirty.stdout
+
+
+def test_list_rules_names_all_seven():
+    out = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "--list-rules"],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+    )
+    assert out.returncode == 0
+    for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007"):
+        assert rule_id in out.stdout

@@ -1,67 +1,45 @@
-"""Every ``C.<NAME>`` used anywhere in ``src/`` must be declared on ``C``.
+"""Counter-registry discipline, enforced through the REP004 lint rule.
 
-A typo in a counter name (``C.MAP_INPUT_RECORD``) would raise only on the
-code path that touches it — possibly a rarely-exercised fault path.  This
-walks the ASTs of every module under ``src/`` and checks each attribute
-access on the counter-registry class against the declared names, so a bad
-name fails fast here instead of in production-path-of-the-week.
+The AST sweep that used to live here (walk every module, collect
+``C.<NAME>`` accesses, compare against the declared registry) is now the
+``REP004`` checker in :mod:`repro.lint.rules`; these tests run that rule
+so the logic lives in exactly one place.
 """
 
-import ast
 from pathlib import Path
 
+from repro.lint import LintConfig, LintContext, LintModule
+from repro.lint.core import lint_paths
+from repro.lint.rules import counter_uses
 from repro.mapreduce.counters import C
 
-SRC = Path(__file__).resolve().parents[2] / "src"
-
-
-def declared_counter_attrs() -> set[str]:
-    return {name for name in vars(C) if not name.startswith("_")}
-
-
-def counter_attr_uses(tree: ast.AST) -> set[str]:
-    """Names accessed as ``C.<name>`` in modules that import C by that name."""
-    imports_c = any(
-        isinstance(node, ast.ImportFrom)
-        and node.module == "repro.mapreduce.counters"
-        and any(alias.name == "C" and alias.asname is None for alias in node.names)
-        for node in ast.walk(tree)
-    )
-    if not imports_c:
-        return set()
-    return {
-        node.attr
-        for node in ast.walk(tree)
-        if isinstance(node, ast.Attribute)
-        and isinstance(node.value, ast.Name)
-        and node.value.id == "C"
-    }
+ROOT = Path(__file__).resolve().parents[2]
+SRC = ROOT / "src"
 
 
 def test_all_counter_names_used_in_src_are_declared():
-    declared = declared_counter_attrs()
-    undeclared: dict[str, set[str]] = {}
-    files = sorted(SRC.rglob("*.py"))
-    assert files, f"no sources under {SRC}"
-    for path in files:
-        tree = ast.parse(path.read_text(), filename=str(path))
-        missing = counter_attr_uses(tree) - declared
-        if missing:
-            undeclared[str(path.relative_to(SRC))] = missing
-    assert not undeclared, f"counter names used but not declared on C: {undeclared}"
+    findings = lint_paths([SRC], LintConfig(root=ROOT, select=("REP004",)))
+    assert not findings, "undeclared counter names:\n" + "\n".join(map(str, findings))
 
 
 def test_sweep_actually_sees_counter_uses():
     # Guard against the checker silently matching nothing (e.g. after an
     # import-style change): the known-instrumented modules must register.
-    seen = set()
+    seen: set[str] = set()
     for path in SRC.rglob("*.py"):
-        seen |= counter_attr_uses(ast.parse(path.read_text(), filename=str(path)))
+        module = LintModule(path.read_text(), path=str(path))
+        seen |= set(counter_uses(module))
     assert "MAP_INPUT_RECORDS" in seen
     assert "REDUCE_OUTPUT_RECORDS" in seen
     assert len(seen) >= 30
 
 
 def test_declared_counter_values_are_unique():
-    values = [getattr(C, name) for name in declared_counter_attrs()]
+    values = LintContext(LintConfig(root=ROOT)).counter_values
+    assert len(values) >= 30
     assert len(values) == len(set(values)), "duplicate counter string values on C"
+    # The static parse agrees with the live class.
+    live = {
+        getattr(C, name) for name in vars(C) if not name.startswith("_")
+    }
+    assert set(values) == live
