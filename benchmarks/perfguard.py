@@ -135,7 +135,7 @@ def kernel_tracer_noop() -> None:
         with trc.span("map", "map", node="n0", task="map:00000", cost=1) as h:
             h.set_cost(i + 1)
             h.set(records=i)
-        trc.event("e", "recovery", node="n0")
+        trc.event("node.crash", "recovery", node="n0")
         trc.add_span("map-phase", "phase", 0, 1)
     assert hits == 0 and trc.export() is None
 

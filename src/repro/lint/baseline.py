@@ -32,9 +32,12 @@ def load_baseline(path: Path) -> Counter:
 
 
 def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    # Sort by the fingerprint itself, not by line: the file must be a pure
+    # function of the fingerprint multiset or findings that merely *move*
+    # within a file would reorder (churn) the committed baseline.
     entries = [
         {"rule": f.rule, "path": f.path, "message": f.message}
-        for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+        for f in sorted(findings, key=lambda f: (f.path, f.rule, f.message))
     ]
     path.write_text(
         json.dumps({"version": 1, "findings": entries}, indent=2, sort_keys=True) + "\n"

@@ -2,8 +2,9 @@
 
 Examples::
 
-    python -m repro lint src/
+    python -m repro lint                           # default scope
     python -m repro lint src/ --format json
+    python -m repro lint --changed-only            # git-diff-aware
     python -m repro lint src/ --write-baseline     # grandfather findings
     python -m repro lint --list-rules
 """
@@ -11,6 +12,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 
@@ -20,9 +22,42 @@ from repro.lint.core import lint_paths
 from repro.lint.report import format_findings
 from repro.lint.rules import ALL_RULES
 
-__all__ = ["add_lint_parser", "cmd_lint"]
+__all__ = ["add_lint_parser", "changed_py_files", "cmd_lint", "default_lint_paths"]
 
 DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def default_lint_paths(root: Path) -> list[str]:
+    """The default lint scope: src plus the satellite trees that feed
+    published numbers (benchmarks, examples, the shared test fixtures)."""
+    out = [str(root / "src")]
+    for extra in ("benchmarks", "examples", "tests/conftest.py"):
+        candidate = root / extra
+        if candidate.exists():
+            out.append(str(candidate))
+    return out
+
+
+def changed_py_files(root: Path, base_ref: str) -> list[str] | None:
+    """Python files changed vs ``base_ref`` (staged, unstaged and
+    committed), or None when git is unavailable."""
+    try:
+        proc = subprocess.run(
+            ["git", "diff", "--name-only", "--diff-filter=d", base_ref, "--"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=True,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    out = []
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if line.endswith(".py") and (root / line).is_file():
+            out.append(str(root / line))
+    return sorted(set(out))
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -33,9 +68,24 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
     root = repo_root(Path.cwd())
     config = LintConfig(
-        root=root, select=tuple(args.select.split(",")) if args.select else ()
+        root=root,
+        select=tuple(args.select.split(",")) if args.select else (),
+        use_cache=not args.no_cache,
     )
-    paths = args.paths or [str(root / "src")]
+
+    if args.changed_only:
+        changed = changed_py_files(root, args.base_ref)
+        if changed is None:
+            print("lint: --changed-only needs git; linting the full scope",
+                  file=sys.stderr)
+            paths = args.paths or default_lint_paths(root)
+        elif not changed:
+            sys.stdout.write(format_findings([], args.format))
+            return 0
+        else:
+            paths = changed
+    else:
+        paths = args.paths or default_lint_paths(root)
     findings = lint_paths(paths, config)
 
     baseline_path = Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
@@ -58,11 +108,14 @@ def add_lint_parser(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser(
         "lint",
         help="static-analysis pass for the repo's determinism contracts",
-        description="Check the REP001..REP007 contracts "
+        description="Check the REP001..REP007 and REP101..REP105 contracts "
         "(see docs/STATIC_ANALYSIS.md).",
     )
     p.add_argument(
-        "paths", nargs="*", help="files/directories to lint (default: src/)"
+        "paths",
+        nargs="*",
+        help="files/directories to lint "
+        "(default: src/ benchmarks/ examples/ tests/conftest.py)",
     )
     p.add_argument("--format", choices=("text", "json"), default="text")
     p.add_argument(
@@ -84,6 +137,22 @@ def add_lint_parser(sub: argparse._SubParsersAction) -> None:
         default=None,
         metavar="RULES",
         help="comma-separated rule ids to run (default: all)",
+    )
+    p.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="lint only .py files changed vs --base-ref (for pre-commit)",
+    )
+    p.add_argument(
+        "--base-ref",
+        default="HEAD",
+        metavar="REF",
+        help="git ref --changed-only diffs against (default: HEAD)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk dataflow summary cache",
     )
     p.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue and exit"

@@ -66,6 +66,23 @@ class LintConfig:
     #: Rule ids to run; empty means all.
     select: tuple[str, ...] = ()
 
+    # -- dataflow layer (REP101..REP105) ----------------------------------
+
+    #: Paths (relative to root) whose modules form the whole-program
+    #: call graph the interprocedural rules resolve against.
+    program_scope: tuple[str, ...] = ("src/repro",)
+
+    #: Calls that acquire a resource needing close/with (REP103); bare
+    #: names match any terminal segment, dotted names match exactly.
+    resource_factories: tuple[str, ...] = ("open", "repro.io.runio.RunWriter")
+
+    #: Dataflow summary store (relative to root); None disables it.
+    cache_path: str | None = ".reprolint-cache.json"
+    use_cache: bool = True
+
+    #: Test injection: modpath -> source replacing the on-disk program.
+    program_modules_override: dict[str, str] | None = None
+
     # -- test-injection overrides (bypass the registry files) -------------
     counter_names_override: frozenset[str] | None = None
     span_names_override: frozenset[str] | None = None

@@ -60,7 +60,7 @@ def module_path_for(path: Path) -> str:
     """The in-repo module path: ``.../src/repro/core/engine.py`` ->
     ``repro/core/engine.py`` (fall back to the file name)."""
     parts = path.as_posix().split("/")
-    for anchor in ("repro", "tests", "benchmarks"):
+    for anchor in ("repro", "tests", "benchmarks", "examples"):
         if anchor in parts:
             return "/".join(parts[parts.index(anchor) :])
     return path.name
@@ -178,6 +178,8 @@ class LintContext:
         "_hot_modules",
         "_kernel_source",
         "_spec_names",
+        "_program",
+        "_summaries",
     )
 
     def __init__(self, config: LintConfig | None = None) -> None:
@@ -189,6 +191,8 @@ class LintContext:
         self._hot_modules: tuple[str, ...] | None = None
         self._kernel_source: str | None = None
         self._spec_names: frozenset[str] | None = None
+        self._program = None
+        self._summaries: dict[int, tuple] = {}
 
     def _read(self, relpath: str) -> str:
         """Registry source, or "" when absent (rules then deactivate)."""
@@ -321,6 +325,43 @@ class LintContext:
                 if isinstance(n, ast.ClassDef) and n.name.endswith("Spec")
             )
         return self._spec_names
+
+    # -- REP101..REP105: whole-program dataflow -----------------------------
+
+    @property
+    def program(self):
+        """The whole-program call-graph view (built lazily once per run)."""
+        if self._program is None:
+            from repro.lint.dataflow import build_program
+
+            self._program = build_program(self.config)
+        return self._program
+
+    def module_summary(self, module: LintModule):
+        """``(summary, digest)`` for one linted module, memoised per module."""
+        from repro.lint.dataflow.cache import content_digest
+        from repro.lint.dataflow.summary import SummaryOptions, summarize_module
+
+        key = id(module)
+        cached = self._summaries.get(key)
+        if cached is None:
+            digest = content_digest(module.source.encode("utf-8"))
+            summary = summarize_module(
+                module, SummaryOptions.from_config(self.config)
+            )
+            cached = (summary, digest)
+            self._summaries[key] = cached
+        return cached
+
+    def facts_for(self, module: LintModule):
+        """Program facts with ``module``'s current source spliced in.
+
+        When the module matches the on-disk program copy this is the
+        shared program facts; fixture sources and seeded-violation tests
+        get a spliced view with their edits visible to the fixpoint.
+        """
+        summary, digest = self.module_summary(module)
+        return self.program.facts_for(summary, digest)
 
 
 # -- runner -------------------------------------------------------------------

@@ -1,0 +1,89 @@
+"""The on-disk summary store: incremental whole-program analysis.
+
+Summaries are pure functions of (file content, analysis version,
+summary options), so they are cached keyed by the file's SHA-256.  A
+warm run — CI with an actions/cache hit, or a pre-commit hook — only
+re-parses modules whose content hash changed; everything else loads
+straight from JSON.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.lint.dataflow.summary import ModuleSummary
+
+__all__ = ["ANALYSIS_VERSION", "SummaryCache", "content_digest"]
+
+#: Bump when the summary format or the summarisation semantics change;
+#: a mismatched store is discarded wholesale.
+ANALYSIS_VERSION = 1
+
+
+def content_digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class SummaryCache:
+    """Content-hash keyed store of :class:`ModuleSummary` objects."""
+
+    __slots__ = ("path", "fingerprint", "hits", "misses", "_entries", "_dirty")
+
+    def __init__(self, path: Path, *, fingerprint: str = "") -> None:
+        self.path = path
+        self.fingerprint = f"v{ANALYSIS_VERSION}|{fingerprint}"
+        self.hits = 0
+        self.misses = 0
+        self._entries: dict[str, dict] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            data = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return
+        if data.get("fingerprint") != self.fingerprint:
+            return  # options or analysis version changed: start over
+        entries = data.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def get(self, modpath: str, digest: str) -> ModuleSummary | None:
+        entry = self._entries.get(modpath)
+        if entry is None or entry.get("digest") != digest:
+            self.misses += 1
+            return None
+        try:
+            summary = ModuleSummary.from_json(entry["summary"])
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summary
+
+    def put(self, modpath: str, digest: str, summary: ModuleSummary) -> None:
+        self._entries[modpath] = {"digest": digest, "summary": summary.to_json()}
+        self._dirty = True
+
+    def save(self) -> None:
+        """Write the store atomically (best effort: read-only FS is fine)."""
+        if not self._dirty:
+            return
+        payload = json.dumps(
+            {
+                "fingerprint": self.fingerprint,
+                "entries": {k: self._entries[k] for k in sorted(self._entries)},
+            },
+            sort_keys=True,
+        )
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            tmp.write_text(payload + "\n")
+            os.replace(tmp, self.path)
+        except OSError:
+            return
+        self._dirty = False

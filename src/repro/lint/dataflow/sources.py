@@ -1,0 +1,87 @@
+"""Taint-source vocabulary shared by REP001 and the dataflow layer.
+
+One classification function answers "does this call read a wall clock,
+an OS entropy source or the global RNG?" for both the per-file REP001
+rule and the interprocedural summaries, so the two can never drift.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+
+__all__ = [
+    "BUILTIN_NAMES",
+    "HASH_ORDER",
+    "ORDER_FREE_CALLS",
+    "nondet_call",
+]
+
+#: Dotted call paths that read the wall clock or an OS entropy source.
+NONDETERMINISTIC_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "time.strftime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "uuid.getnode",
+    }
+)
+
+#: The one deterministic entry point on the stdlib ``random`` module.
+SEEDED_RANDOM = frozenset({"random.Random"})
+
+#: The taint detail used for values whose *order* depends on the
+#: per-process hash seed (set iteration leaking into a sequence).
+HASH_ORDER = "hash-seed-dependent iteration order"
+
+#: Wrapping calls for which element order cannot matter — they absorb
+#: hash-order taint (``sorted`` canonicalises, the others reduce).
+ORDER_FREE_CALLS = frozenset(
+    {"sorted", "set", "frozenset", "sum", "min", "max", "len", "any", "all"}
+)
+
+#: Plain builtin names: calls to these are never project call-graph
+#: edges, so summaries skip recording them as callees.
+BUILTIN_NAMES = frozenset(dir(builtins))
+
+
+def nondet_call(dotted: str, node: ast.Call) -> tuple[str, str] | None:
+    """Classify one call as a nondeterminism source.
+
+    Returns ``(source, message)`` — ``source`` is the short taint detail
+    carried through summaries, ``message`` the REP001 finding text — or
+    ``None`` when the call is deterministic.
+    """
+    if dotted in NONDETERMINISTIC_CALLS:
+        return dotted, f"nondeterministic call {dotted}()"
+    if dotted.startswith("random.Random."):
+        return None  # method on an explicitly seeded RNG instance
+    if dotted.startswith("random.") and dotted not in SEEDED_RANDOM:
+        return (
+            dotted,
+            f"{dotted}() uses the global unseeded RNG; use random.Random(seed)",
+        )
+    if dotted.startswith("secrets."):
+        return dotted, f"{dotted}() draws OS entropy"
+    if dotted.endswith(".random.default_rng") and not (node.args or node.keywords):
+        return (
+            "unseeded default_rng",
+            "default_rng() without a seed is nondeterministic",
+        )
+    if dotted.startswith("numpy.random.") and not dotted.endswith(".default_rng"):
+        return (
+            dotted,
+            f"{dotted}() uses numpy's global RNG; use np.random.default_rng(seed)",
+        )
+    return None

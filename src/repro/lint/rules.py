@@ -11,6 +11,8 @@ import ast
 from typing import Iterator
 
 from repro.lint.core import Finding, LintContext, LintModule
+from repro.lint.dataflow.sources import HASH_ORDER, nondet_call
+from repro.lint.dataflow.taint import chain_display
 
 __all__ = ["ALL_RULES", "Rule", "counter_uses", "rule_by_id"]
 
@@ -27,30 +29,6 @@ class Rule:
 
 # -- REP001: wall-clock / nondeterministic calls ------------------------------
 
-#: Dotted call paths that read the wall clock or an OS entropy source.
-_NONDETERMINISTIC_CALLS = frozenset(
-    {
-        "time.time",
-        "time.time_ns",
-        "time.localtime",
-        "time.gmtime",
-        "time.ctime",
-        "time.strftime",
-        "datetime.datetime.now",
-        "datetime.datetime.utcnow",
-        "datetime.datetime.today",
-        "datetime.date.today",
-        "os.urandom",
-        "os.getrandom",
-        "uuid.uuid1",
-        "uuid.uuid4",
-        "uuid.getnode",
-    }
-)
-
-#: The one deterministic entry point on the stdlib ``random`` module.
-_SEEDED_RANDOM = frozenset({"random.Random"})
-
 
 class NoNondeterministicCalls(Rule):
     """REP001: engine/kernel/core code may not read wall clocks or OS
@@ -59,6 +37,9 @@ class NoNondeterministicCalls(Rule):
     ``time.perf_counter``/``time.process_time`` stay legal: they feed the
     advisory ``time.*`` timers that are excluded from determinism
     comparisons (see ``docs/OBSERVABILITY.md``).
+
+    The source classification lives in ``dataflow/sources.py`` so this
+    rule and the interprocedural REP101 can never drift.
     """
 
     id = "REP001"
@@ -73,38 +54,9 @@ class NoNondeterministicCalls(Rule):
             dotted = module.dotted(node.func)
             if dotted is None:
                 continue
-            if dotted in _NONDETERMINISTIC_CALLS:
-                yield module.finding(
-                    self.id, node, f"nondeterministic call {dotted}()"
-                )
-            elif dotted.startswith("random.") and dotted not in _SEEDED_RANDOM:
-                yield module.finding(
-                    self.id,
-                    node,
-                    f"{dotted}() uses the global unseeded RNG; "
-                    "use random.Random(seed)",
-                )
-            elif dotted.startswith("secrets."):
-                yield module.finding(
-                    self.id, node, f"{dotted}() draws OS entropy"
-                )
-            elif dotted.endswith(".random.default_rng") and not (
-                node.args or node.keywords
-            ):
-                yield module.finding(
-                    self.id,
-                    node,
-                    "default_rng() without a seed is nondeterministic",
-                )
-            elif dotted.startswith("numpy.random.") and not dotted.endswith(
-                ".default_rng"
-            ):
-                yield module.finding(
-                    self.id,
-                    node,
-                    f"{dotted}() uses numpy's global RNG; "
-                    "use np.random.default_rng(seed)",
-                )
+            classified = nondet_call(dotted, node)
+            if classified is not None:
+                yield module.finding(self.id, node, classified[1])
 
 
 # -- REP002: kernel purity ----------------------------------------------------
@@ -469,12 +421,7 @@ class TracerDiscipline(Rule):
             if not (
                 isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str)
             ):
-                yield module.finding(
-                    self.id,
-                    node,
-                    f"{method}() name must be a registered string literal",
-                )
-                continue
+                continue  # non-literal names: REP104 constant-folds them
             registry = ctx.event_names if method == "event" else ctx.span_names
             kind = "event" if method == "event" else "span"
             if name_arg.value not in registry:
@@ -524,17 +471,23 @@ class NoUnorderedIteration(Rule):
         set_attrs = _class_set_attrs(module)
         for scope in _scopes(module.tree):
             set_locals = _scope_set_locals(scope)
+            unordered_dicts = _scope_unordered_dicts(scope, set_locals)
             for site, iter_expr in _iteration_sites(scope):
-                if not self._is_set_like(module, iter_expr, set_locals, set_attrs):
+                if self._is_set_like(module, iter_expr, set_locals, set_attrs):
+                    message = (
+                        "iteration over a set has hash-seed-dependent order; "
+                        "wrap it in sorted(...)"
+                    )
+                elif _is_unordered_dict_view(iter_expr, unordered_dicts):
+                    message = (
+                        "iteration over a dict built from an unordered source "
+                        "has hash-seed-dependent order; wrap it in sorted(...)"
+                    )
+                else:
                     continue
                 if self._order_free_context(module, site):
                     continue
-                yield module.finding(
-                    self.id,
-                    iter_expr,
-                    "iteration over a set has hash-seed-dependent order; "
-                    "wrap it in sorted(...)",
-                )
+                yield module.finding(self.id, iter_expr, message)
 
     def _is_set_like(
         self,
@@ -642,6 +595,57 @@ def _scope_set_locals(scope: ast.AST) -> set[str]:
     return names
 
 
+def _is_dict_from_unordered(node: ast.AST, set_locals: set[str]) -> bool:
+    """``dict.fromkeys(<set>)``, ``dict(<set>)`` or a dict comprehension
+    over a set: the dict inherits hash-seed-dependent key order."""
+
+    def set_like(n: ast.AST) -> bool:
+        return _is_set_expr(n) or (isinstance(n, ast.Name) and n.id in set_locals)
+
+    if isinstance(node, ast.Call) and node.args:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "fromkeys"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "dict"
+        ):
+            return set_like(node.args[0])
+        if isinstance(func, ast.Name) and func.id == "dict":
+            return set_like(node.args[0])
+    if isinstance(node, ast.DictComp):
+        return any(set_like(gen.iter) for gen in node.generators)
+    return False
+
+
+def _scope_unordered_dicts(scope: ast.AST, set_locals: set[str]) -> set[str]:
+    names: set[str] = set()
+    for node in _scope_walk(scope):
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        else:
+            continue
+        if _is_dict_from_unordered(value, set_locals):
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _is_unordered_dict_view(node: ast.AST, unordered_dicts: set[str]) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in unordered_dicts
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("keys", "values", "items")
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id in unordered_dicts
+    )
+
+
 def _class_set_attrs(module: LintModule) -> dict[ast.ClassDef, set[str]]:
     out: dict[ast.ClassDef, set[str]] = {}
     for cls in ast.walk(module.tree):
@@ -742,6 +746,494 @@ class SlotsOnHotPaths(Rule):
         return False
 
 
+# -- REP101..REP105: interprocedural dataflow rules ---------------------------
+#
+# These consume the whole-program facts built by ``repro.lint.dataflow``:
+# a call graph over every module in the program scope, with per-function
+# taint summaries propagated to a fixpoint.  Each finding carries the
+# witness chain from the call site to the source.
+
+
+def _enclosing_class_name(module: LintModule, node: ast.AST) -> str | None:
+    for ancestor in module.ancestors(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(ancestor, ast.ClassDef):
+            return ancestor.name
+    return None
+
+
+def _call_dotted(module: LintModule, node: ast.Call) -> str | None:
+    """The symbolic call target a summary would record for this site."""
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "self"
+    ):
+        return f"self.{func.attr}"
+    return module.dotted(func)
+
+
+def _order_absorbed(module: LintModule, node: ast.AST) -> bool:
+    """True when the value at ``node`` flows into an order-free wrapper
+    (``sorted(...)`` etc.) before reaching any statement."""
+    for ancestor in module.ancestors(node):
+        if isinstance(ancestor, ast.Call):
+            if _terminal_name(ancestor.func) in _ORDER_FREE_CALLS:
+                return True
+        if isinstance(ancestor, ast.stmt):
+            return False
+    return False
+
+
+class TransitiveNondeterminism(Rule):
+    """REP101: a call whose target *transitively* returns a wall-clock,
+    unseeded-RNG or hash-order-dependent value.  REP001 catches the
+    direct read; this rule catches the helper two modules away that
+    launders it through a return value.
+    """
+
+    id = "REP101"
+    title = "no calls to transitively nondeterministic functions"
+
+    def check(self, module: LintModule, ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.config.in_deterministic_scope(module.modpath):
+            return
+        facts = ctx.facts_for(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _call_dotted(module, node)
+            if dotted is None:
+                continue
+            if nondet_call(dotted, node) is not None:
+                continue  # the direct source: REP001's finding
+            fid = facts.resolve(
+                module.modpath, dotted, _enclosing_class_name(module, node)
+            )
+            if fid is None:
+                continue
+            entry = facts.nondet.get(fid)
+            if entry is None:
+                continue
+            detail, _chain, _src = entry
+            if detail == HASH_ORDER and _order_absorbed(module, node):
+                continue
+            yield module.finding(
+                self.id,
+                node,
+                f"{dotted}() is transitively nondeterministic "
+                f"({detail}; path: {chain_display(fid, entry)})",
+            )
+
+
+class PickleReachability(Rule):
+    """REP102: unpicklable values reaching task specs through edges
+    REP003 cannot see — a call that returns a lambda, an attribute
+    assignment onto a constructed spec, or a helper that smuggles a
+    closure onto a caller-supplied spec parameter.
+    """
+
+    id = "REP102"
+    title = "no unpicklable values reaching task specs transitively"
+
+    def check(self, module: LintModule, ctx: LintContext) -> Iterator[Finding]:
+        spec_names = ctx.spec_class_names
+        if not spec_names:
+            return
+        facts = ctx.facts_for(module)
+        for scope in _scopes(module.tree):
+            spec_locals: dict[str, str] = {}
+            for node in _scope_walk(scope):
+                if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                    name = _terminal_name(node.value.func)
+                    if name in spec_names:
+                        for target in node.targets:
+                            if isinstance(target, ast.Name):
+                                spec_locals[target.id] = name
+            for node in _scope_walk(scope):
+                if isinstance(node, ast.Call):
+                    yield from self._check_call(
+                        module, ctx, facts, node, spec_names, spec_locals
+                    )
+                elif isinstance(node, ast.Assign):
+                    yield from self._check_attr_assign(
+                        module, facts, node, spec_locals
+                    )
+
+    def _check_call(
+        self,
+        module: LintModule,
+        ctx: LintContext,
+        facts,
+        node: ast.Call,
+        spec_names: frozenset[str],
+        spec_locals: dict[str, str],
+    ) -> Iterator[Finding]:
+        name = _terminal_name(node.func)
+        if name in spec_names:
+            # Spec constructor: arguments that are calls returning
+            # unpicklable values (direct lambdas are REP003's findings).
+            for value in [*node.args, *(kw.value for kw in node.keywords)]:
+                if not isinstance(value, ast.Call):
+                    continue
+                hit = self._unpicklable_call(module, facts, value)
+                if hit is not None:
+                    detail, path = hit
+                    yield module.finding(
+                        self.id,
+                        value,
+                        f"call passed to picklable spec {name} returns an "
+                        f"unpicklable value ({detail}; path: {path})",
+                    )
+            return
+        # Helper call that writes an unpicklable value onto a spec
+        # passed as an argument.
+        dotted = _call_dotted(module, node)
+        if dotted is None:
+            return
+        fid = facts.resolve(
+            module.modpath, dotted, _enclosing_class_name(module, node)
+        )
+        if fid is None:
+            return
+        for tidx, kind, detail, chain, _lineno in facts.spec_writes(fid):
+            if kind != "unpicklable" or tidx >= len(node.args):
+                continue
+            arg = node.args[tidx]
+            if isinstance(arg, ast.Name) and arg.id in spec_locals:
+                via = chain_display(fid, (detail, chain, 0))
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"{dotted}() stores an unpicklable value ({detail}) on "
+                    f"spec {spec_locals[arg.id]} argument {arg.id!r} "
+                    f"(path: {via})",
+                )
+
+    def _check_attr_assign(
+        self,
+        module: LintModule,
+        facts,
+        node: ast.Assign,
+        spec_locals: dict[str, str],
+    ) -> Iterator[Finding]:
+        for target in node.targets:
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in spec_locals
+            ):
+                continue
+            spec_cls = spec_locals[target.value.id]
+            value = node.value
+            if isinstance(value, ast.Lambda):
+                yield module.finding(
+                    self.id,
+                    value,
+                    f"lambda assigned to attribute {target.attr!r} of "
+                    f"picklable spec {spec_cls}; it will not pickle",
+                )
+            elif isinstance(value, ast.Name):
+                local_defs = _enclosing_local_defs(module, node)
+                if value.id in local_defs:
+                    yield module.finding(
+                        self.id,
+                        value,
+                        f"local {local_defs[value.id]} {value.id!r} assigned "
+                        f"to attribute {target.attr!r} of picklable spec "
+                        f"{spec_cls}; it will not pickle",
+                    )
+            elif isinstance(value, ast.Call):
+                hit = self._unpicklable_call(module, facts, value)
+                if hit is not None:
+                    detail, path = hit
+                    yield module.finding(
+                        self.id,
+                        value,
+                        f"call assigned to attribute {target.attr!r} of "
+                        f"picklable spec {spec_cls} returns an unpicklable "
+                        f"value ({detail}; path: {path})",
+                    )
+
+    def _unpicklable_call(
+        self, module: LintModule, facts, node: ast.Call
+    ) -> tuple[str, str] | None:
+        dotted = _call_dotted(module, node)
+        if dotted is None:
+            return None
+        fid = facts.resolve(
+            module.modpath, dotted, _enclosing_class_name(module, node)
+        )
+        entry = facts.unpicklable.get(fid) if fid is not None else None
+        if entry is None:
+            return None
+        return entry[0], chain_display(fid, entry)
+
+
+class InterproceduralResourceLeak(Rule):
+    """REP103: a local bound to a freshly acquired resource (open file,
+    run writer, tracer span — possibly acquired through a helper) must
+    be context-managed, closed in a ``finally``, or handed off.  A bare
+    ``x.close()`` leaks the handle on every exception path between
+    acquisition and close.
+    """
+
+    id = "REP103"
+    title = "acquired resources closed on all paths (with / try-finally)"
+
+    def check(self, module: LintModule, ctx: LintContext) -> Iterator[Finding]:
+        facts = ctx.facts_for(module)
+        for scope in _scopes(module.tree):
+            acquisitions: list[tuple[str, ast.Assign, str, str | None]] = []
+            for node in _scope_walk(scope):
+                if (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Call)
+                ):
+                    hit = self._acquires(module, ctx, facts, node.value)
+                    if hit is not None:
+                        acquisitions.append(
+                            (node.targets[0].id, node, hit[0], hit[1])
+                        )
+            for name, node, detail, path in acquisitions:
+                disposition = self._disposition(module, scope, name, node)
+                if disposition == "safe":
+                    continue
+                source = f"{detail}" + (f" (path: {path})" if path else "")
+                if disposition == "unsafe-close":
+                    yield module.finding(
+                        self.id,
+                        node,
+                        f"resource {name!r} from {source} is closed outside "
+                        "try/finally; an exception before close() leaks it "
+                        "(use `with` or move close() to a finally block)",
+                    )
+                else:
+                    yield module.finding(
+                        self.id,
+                        node,
+                        f"resource {name!r} from {source} is never closed "
+                        "in this scope (use `with` or close it in a finally "
+                        "block)",
+                    )
+
+    def _acquires(
+        self, module: LintModule, ctx: LintContext, facts, node: ast.Call
+    ) -> tuple[str, str | None] | None:
+        """(detail, witness path) when the call acquires a resource."""
+        dotted = _call_dotted(module, node)
+        if dotted is None:
+            return None
+        factories = ctx.config.resource_factories
+        terminal = dotted.rpartition(".")[2]
+        if dotted in factories or any(
+            "." not in f and f == terminal for f in factories
+        ):
+            return terminal, None
+        fid = facts.resolve(
+            module.modpath, dotted, _enclosing_class_name(module, node)
+        )
+        entry = facts.resource.get(fid) if fid is not None else None
+        if entry is None:
+            return None
+        return entry[0], chain_display(fid, entry)
+
+    def _disposition(
+        self, module: LintModule, scope: ast.AST, name: str, acquired: ast.Assign
+    ) -> str:
+        """"safe", "unsafe-close" or "leak" for one acquired local."""
+        finally_nodes: set[int] = set()
+        for node in _scope_walk(scope):
+            if isinstance(node, ast.Try):
+                for stmt in node.finalbody:
+                    for sub in ast.walk(stmt):
+                        finally_nodes.add(id(sub))
+        closed_in_finally = closed_elsewhere = False
+        for node in _scope_walk(scope):
+            if isinstance(node, ast.withitem):
+                expr = node.context_expr
+                if isinstance(expr, ast.Name) and expr.id == name:
+                    return "safe"  # `with x:` releases it
+                if (
+                    isinstance(expr, ast.Call)
+                    and any(
+                        isinstance(a, ast.Name) and a.id == name
+                        for a in expr.args
+                    )
+                ):
+                    return "safe"  # contextlib.closing(x) and friends
+            elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                value = node.value
+                if value is not None and any(
+                    isinstance(n, ast.Name) and n.id == name
+                    for n in ast.walk(value)
+                ):
+                    return "safe"  # ownership transferred to the caller
+            elif isinstance(node, ast.Assign) and node is not acquired:
+                if any(
+                    isinstance(t, (ast.Attribute, ast.Subscript))
+                    for t in node.targets
+                ) and any(
+                    isinstance(n, ast.Name) and n.id == name
+                    for n in ast.walk(node.value)
+                ):
+                    return "safe"  # stored into longer-lived state
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "close"
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == name
+                ):
+                    if id(node) in finally_nodes:
+                        closed_in_finally = True
+                    else:
+                        closed_elsewhere = True
+                elif any(
+                    isinstance(a, ast.Name) and a.id == name
+                    for a in (*node.args, *(kw.value for kw in node.keywords))
+                ):
+                    return "safe"  # handed to another owner
+        if closed_in_finally:
+            return "safe"
+        if closed_elsewhere:
+            return "unsafe-close"
+        return "leak"
+
+
+class RegistryNameFlow(Rule):
+    """REP104: span/event names built from f-strings, concatenation or
+    constant locals are constant-folded and checked against the
+    ``repro/obs/names.py`` registry; names that cannot be folded are
+    rejected outright (every exporter is keyed on the registry).
+    """
+
+    id = "REP104"
+    title = "computed span/event names must fold to registered constants"
+
+    def check(self, module: LintModule, ctx: LintContext) -> Iterator[Finding]:
+        tracer_names = frozenset(ctx.config.tracer_names)
+        for scope in _scopes(module.tree):
+            const_env = _const_str_locals(scope)
+            for node in _scope_walk(scope):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("span", "event", "add_span")
+                ):
+                    continue
+                if not _is_tracer_receiver(node.func.value, tracer_names):
+                    continue
+                if not node.args:
+                    continue
+                name_arg = node.args[0]
+                if isinstance(name_arg, ast.Constant):
+                    continue  # literal names: REP005's registry check
+                method = node.func.attr
+                kind = "event" if method == "event" else "span"
+                folded = _fold_constant_str(name_arg, const_env)
+                if folded is None:
+                    yield module.finding(
+                        self.id,
+                        node,
+                        f"{method}() name cannot be resolved statically; "
+                        "use a name that folds to a registered constant",
+                    )
+                    continue
+                registry = (
+                    ctx.event_names if method == "event" else ctx.span_names
+                )
+                if folded not in registry:
+                    yield module.finding(
+                        self.id,
+                        name_arg,
+                        f"{kind} name {folded!r} (constant-folded) is not "
+                        "registered in repro/obs/names.py",
+                    )
+
+
+def _const_str_locals(scope: ast.AST) -> dict[str, str]:
+    """Locals bound exactly once, to a string literal, in this scope."""
+    values: dict[str, str] = {}
+    stores: dict[str, int] = {}
+    for node in _scope_walk(scope):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            stores[node.id] = stores.get(node.id, 0) + 1
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if (
+                isinstance(target, ast.Name)
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)
+            ):
+                values[target.id] = node.value.value
+    return {k: v for k, v in values.items() if stores.get(k) == 1}
+
+
+def _fold_constant_str(node: ast.AST, env: dict[str, str]) -> str | None:
+    """Constant-fold a string expression; None when it cannot fold."""
+    if isinstance(node, ast.Constant):
+        return node.value if isinstance(node.value, str) else None
+    if isinstance(node, ast.Name):
+        return env.get(node.id)
+    if isinstance(node, ast.JoinedStr):
+        parts = []
+        for value in node.values:
+            if isinstance(value, ast.FormattedValue):
+                if value.format_spec is not None or value.conversion != -1:
+                    return None
+                part = _fold_constant_str(value.value, env)
+            else:
+                part = _fold_constant_str(value, env)
+            if part is None:
+                return None
+            parts.append(part)
+        return "".join(parts)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        left = _fold_constant_str(node.left, env)
+        right = _fold_constant_str(node.right, env)
+        if left is None or right is None:
+            return None
+        return left + right
+    return None
+
+
+class KernelStateEscape(Rule):
+    """REP105: a registered kernel transitively reaches coordinator
+    state — a module-global write or a coordinator-singleton read —
+    through its callees.  REP002 checks the kernel module itself; this
+    closes the cross-module hole.
+    """
+
+    id = "REP105"
+    title = "kernels must not transitively reach coordinator state"
+
+    def check(self, module: LintModule, ctx: LintContext) -> Iterator[Finding]:
+        if module.modpath != ctx.kernel_modpath:
+            return
+        facts = ctx.facts_for(module)
+        for name in _registered_kernels(module.tree):
+            fid = f"{module.modpath}::{name}"
+            entry = facts.state.get(fid)
+            if entry is None:
+                continue
+            detail, chain, lineno = entry
+            if not chain:
+                continue  # direct: REP002 reports it with full context
+            yield Finding(
+                self.id,
+                module.path,
+                lineno,
+                1,
+                f"kernel {name!r} transitively {detail} "
+                f"(path: {chain_display(fid, entry)})",
+            )
+
+
 ALL_RULES: tuple[Rule, ...] = (
     NoNondeterministicCalls(),
     KernelPurity(),
@@ -750,6 +1242,11 @@ ALL_RULES: tuple[Rule, ...] = (
     TracerDiscipline(),
     NoUnorderedIteration(),
     SlotsOnHotPaths(),
+    TransitiveNondeterminism(),
+    PickleReachability(),
+    InterproceduralResourceLeak(),
+    RegistryNameFlow(),
+    KernelStateEscape(),
 )
 
 

@@ -1,0 +1,722 @@
+"""The interprocedural layer: summaries, cache, fixpoint, REP101..REP105.
+
+Every REP10x rule is demonstrated with at least one true positive the
+per-file rules cannot catch (multi-hop flows) and at least one
+false-positive guard (seeded RNG, ``sorted(...)``, context managers,
+ownership transfer).  Fixture programs are injected hermetically via
+``LintConfig.program_modules_override`` so no test depends on the real
+tree's contents.
+"""
+
+import subprocess
+import textwrap
+
+from repro.lint import LintConfig, lint_source
+from repro.lint.core import LintContext, LintModule
+from repro.lint.dataflow import (
+    SummaryCache,
+    SummaryOptions,
+    build_program,
+    clear_program_memo,
+    summarize_module,
+)
+from repro.lint.dataflow.cache import content_digest
+
+ENGINE_MOD = "repro/core/fixture.py"
+KERNEL_MOD = "repro/exec/kernels.py"
+
+#: Helper module every fixture program shares.
+HELPER_MOD = "repro/core/helper.py"
+HELPER_SRC = textwrap.dedent(
+    """
+    import random
+    import time
+
+    def now():
+        return time.time()
+
+    def two_hop():
+        return now()
+
+    def seeded():
+        rng = random.Random(7)
+        return rng.random()
+
+    def keys_list(d):
+        return list(set(d))
+
+    def make_cb():
+        return lambda x: x + 1
+
+    def acquire(path):
+        return open(path)
+
+    def attach_cb(spec):
+        spec.cb = lambda x: x
+
+    def pure(x):
+        return x + 1
+    """
+)
+
+
+def lint(source, *, modpath=ENGINE_MOD, modules=None, **cfg_kw):
+    over = {HELPER_MOD: HELPER_SRC}
+    over.update(modules or {})
+    cfg_kw.setdefault("kernel_source_override", "class FakeSpec:\n    pass\n")
+    cfg_kw.setdefault("span_names_override", frozenset({"map", "reduce"}))
+    cfg_kw.setdefault("event_names_override", frozenset({"node.crash"}))
+    config = LintConfig(
+        use_cache=False, program_modules_override=over, **cfg_kw
+    )
+    return lint_source(textwrap.dedent(source), modpath=modpath, config=config)
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+# -- summaries ----------------------------------------------------------------
+
+
+def summarize(source, modpath=ENGINE_MOD):
+    module = LintModule(textwrap.dedent(source), path=modpath, modpath=modpath)
+    return summarize_module(module, SummaryOptions())
+
+
+class TestSummaries:
+    def test_return_taint_and_call_sites(self):
+        s = summarize(
+            """
+            import time
+            from repro.core import helper
+
+            def stamp():
+                return time.time()
+
+            def relay():
+                return helper.two_hop()
+            """
+        )
+        assert ("nondet", "time.time", 6) in s.functions["stamp"].return_taints
+        kinds = [t[0] for t in s.functions["relay"].return_taints]
+        assert kinds == ["call"]
+        assert any(
+            c[0] == "repro.core.helper.two_hop"
+            for c in s.functions["relay"].calls
+        )
+
+    def test_param_attr_write_records_lambda(self):
+        s = summarize(
+            """
+            def attach(spec):
+                spec.cb = lambda x: x
+            """
+        )
+        writes = s.functions["attach"].param_attr_writes
+        assert writes and writes[0][0] == 0 and writes[0][1] == "unpicklable"
+
+    def test_suppressed_source_not_summarised(self):
+        s = summarize(
+            """
+            import time
+
+            def stamp():
+                return time.time()  # reprolint: disable=REP001 -- test clock
+            """
+        )
+        assert s.functions["stamp"].return_taints == []
+
+    def test_with_managed_resource_not_tainted(self):
+        s = summarize(
+            """
+            def read(path):
+                with open(path) as f:
+                    return f.read()
+            """
+        )
+        kinds = {t[0] for t in s.functions["read"].return_taints}
+        assert "resource" not in kinds
+
+    def test_roundtrips_through_json(self):
+        s = summarize(HELPER_SRC, modpath=HELPER_MOD)
+        from repro.lint.dataflow.summary import ModuleSummary
+
+        assert ModuleSummary.from_json(s.to_json()) == s
+
+
+# -- the cache: incremental whole-program analysis ----------------------------
+
+
+def _write_tree(root, files):
+    for rel, src in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(src))
+
+
+class TestSummaryCacheIncremental:
+    FILES = {
+        "src/repro/core/a.py": """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+        "src/repro/core/b.py": """
+            from repro.core import a
+
+            def relay():
+                return a.stamp()
+            """,
+    }
+
+    def config(self, tmp_path):
+        return LintConfig(root=tmp_path, cache_path=".reprolint-cache.json")
+
+    def test_warm_run_does_not_reparse_unchanged_modules(self, tmp_path):
+        _write_tree(tmp_path, self.FILES)
+        clear_program_memo()
+        cold = build_program(self.config(tmp_path), use_memo=False)
+        assert cold.parsed_modules == 2 and cold.cached_modules == 0
+        warm = build_program(self.config(tmp_path), use_memo=False)
+        assert warm.parsed_modules == 0 and warm.cached_modules == 2
+        assert set(warm.facts.nondet) == set(cold.facts.nondet)
+
+    def test_changed_file_reparsed_alone(self, tmp_path):
+        _write_tree(tmp_path, self.FILES)
+        clear_program_memo()
+        build_program(self.config(tmp_path), use_memo=False)
+        (tmp_path / "src/repro/core/b.py").write_text(
+            "from repro.core import a\n\ndef relay():\n    return 1\n"
+        )
+        warm = build_program(self.config(tmp_path), use_memo=False)
+        assert warm.parsed_modules == 1 and warm.cached_modules == 1
+        assert "repro/core/b.py::relay" not in warm.facts.nondet
+
+    def test_fingerprint_change_discards_store(self, tmp_path):
+        path = tmp_path / "store.json"
+        cache = SummaryCache(path, fingerprint="opts-v1")
+        summary = summarize("def f():\n    return 1\n")
+        cache.put(ENGINE_MOD, "digest", summary)
+        cache.save()
+        reopened = SummaryCache(path, fingerprint="opts-v2")
+        assert reopened.get(ENGINE_MOD, "digest") is None
+
+    def test_facts_for_shares_program_facts_when_unchanged(self, tmp_path):
+        _write_tree(tmp_path, self.FILES)
+        clear_program_memo()
+        config = self.config(tmp_path)
+        ctx = LintContext(config)
+        source = (tmp_path / "src/repro/core/b.py").read_text()
+        module = LintModule(source, path="b.py", modpath="repro/core/b.py")
+        assert ctx.facts_for(module) is ctx.program.facts
+        edited = LintModule(
+            source + "\n\nX = 1\n", path="b.py", modpath="repro/core/b.py"
+        )
+        assert ctx.facts_for(edited) is not ctx.program.facts
+
+
+# -- REP101: transitive nondeterminism ----------------------------------------
+
+
+class TestREP101:
+    def test_two_hop_wall_clock_flagged(self):
+        findings = lint(
+            """
+            from repro.core import helper
+
+            def run():
+                return helper.two_hop()
+            """
+        )
+        assert rules_of(findings) == ["REP101"]
+        assert "time.time" in findings[0].message
+        assert "two_hop" in findings[0].message  # witness chain
+
+    def test_direct_source_left_to_rep001(self):
+        findings = lint(
+            """
+            import time
+
+            def run():
+                return time.time()
+            """
+        )
+        assert rules_of(findings) == ["REP001"]
+
+    def test_seeded_rng_helper_not_flagged(self):
+        findings = lint(
+            """
+            from repro.core import helper
+
+            def run():
+                return helper.seeded()
+            """
+        )
+        assert findings == []
+
+    def test_hash_order_return_flagged_but_sorted_absorbs(self):
+        flagged = lint(
+            """
+            from repro.core import helper
+
+            def run(d):
+                return helper.keys_list(d)
+            """
+        )
+        assert rules_of(flagged) == ["REP101"]
+        clean = lint(
+            """
+            from repro.core import helper
+
+            def run(d):
+                return sorted(helper.keys_list(d))
+            """
+        )
+        assert clean == []
+
+    def test_source_suppression_silences_transitive_finding(self):
+        helper = """
+        import time
+
+        def now():
+            return time.time()  # reprolint: disable=REP001 -- advisory stamp
+        """
+        findings = lint(
+            """
+            from repro.core import quiet
+
+            def run():
+                return quiet.now()
+            """,
+            modules={"repro/core/quiet.py": textwrap.dedent(helper)},
+        )
+        assert findings == []
+
+    def test_call_site_suppression(self):
+        findings = lint(
+            """
+            from repro.core import helper
+
+            def run():
+                return helper.two_hop()  # reprolint: disable=REP101 -- bench only
+            """
+        )
+        assert findings == []
+
+    def test_out_of_scope_module_ignored(self):
+        findings = lint(
+            """
+            from repro.core import helper
+
+            def run():
+                return helper.two_hop()
+            """,
+            modpath="repro/analysis/report.py",
+        )
+        assert findings == []
+
+
+# -- REP102: pickle-reachability ----------------------------------------------
+
+
+class TestREP102:
+    def test_ctor_arg_call_returning_lambda_flagged(self):
+        findings = lint(
+            """
+            from repro.core import helper
+            from repro.exec.kernels import FakeSpec
+
+            def build():
+                return FakeSpec(helper.make_cb())
+            """
+        )
+        assert rules_of(findings) == ["REP102"]
+        assert "make_cb" in findings[0].message
+
+    def test_attribute_assignment_flagged(self):
+        findings = lint(
+            """
+            from repro.exec.kernels import FakeSpec
+
+            def build():
+                spec = FakeSpec()
+                spec.cb = lambda x: x
+                return spec
+            """
+        )
+        assert rules_of(findings) == ["REP102"]
+        assert "will not pickle" in findings[0].message
+
+    def test_helper_smuggling_closure_onto_spec_flagged(self):
+        findings = lint(
+            """
+            from repro.core import helper
+            from repro.exec.kernels import FakeSpec
+
+            def build():
+                spec = FakeSpec()
+                helper.attach_cb(spec)
+                return spec
+            """
+        )
+        assert rules_of(findings) == ["REP102"]
+        assert "attach_cb" in findings[0].message
+
+    def test_plain_values_clean(self):
+        findings = lint(
+            """
+            from repro.core import helper
+            from repro.exec.kernels import FakeSpec
+
+            def build():
+                spec = FakeSpec(helper.pure(2))
+                spec.n = 3
+                return spec
+            """
+        )
+        assert findings == []
+
+    def test_suppressed(self):
+        findings = lint(
+            """
+            from repro.exec.kernels import FakeSpec
+
+            def build():
+                spec = FakeSpec()
+                spec.cb = lambda x: x  # reprolint: disable=REP102 -- local-only run
+                return spec
+            """
+        )
+        assert findings == []
+
+
+# -- REP103: resource leaks ---------------------------------------------------
+
+
+class TestREP103:
+    def test_interprocedural_acquisition_never_closed(self):
+        findings = lint(
+            """
+            from repro.core import helper
+
+            def read(path):
+                f = helper.acquire(path)
+                data = f.read()
+                return data
+            """
+        )
+        assert rules_of(findings) == ["REP103"]
+        assert "never closed" in findings[0].message
+        assert "acquire" in findings[0].message  # witness chain
+
+    def test_close_outside_finally_flagged(self):
+        findings = lint(
+            """
+            def read(path):
+                f = open(path)
+                data = f.read()
+                f.close()
+                return data
+            """
+        )
+        assert rules_of(findings) == ["REP103"]
+        assert "outside try/finally" in findings[0].message
+
+    def test_context_manager_clean(self):
+        findings = lint(
+            """
+            from repro.core import helper
+
+            def direct(path):
+                with open(path) as f:
+                    return f.read()
+
+            def named(path):
+                f = helper.acquire(path)
+                with f:
+                    return f.read()
+            """
+        )
+        assert findings == []
+
+    def test_close_in_finally_clean(self):
+        findings = lint(
+            """
+            def read(path):
+                f = open(path)
+                try:
+                    return f.read()
+                finally:
+                    f.close()
+            """
+        )
+        assert findings == []
+
+    def test_ownership_transfer_clean(self):
+        findings = lint(
+            """
+            class Sink:
+                def store(self, path, registry):
+                    w = open(path)
+                    registry["w"] = w
+
+            def make(path):
+                return open(path)
+
+            def handoff(path, owner):
+                f = open(path)
+                owner.adopt(f)
+            """
+        )
+        assert findings == []
+
+    def test_suppressed(self):
+        findings = lint(
+            """
+            def read(path):
+                f = open(path)  # reprolint: disable=REP103 -- process-lifetime handle
+                return f.read()
+            """
+        )
+        assert findings == []
+
+
+# -- REP104: registry name flow -----------------------------------------------
+
+
+class TestREP104:
+    def test_folded_unregistered_name_flagged(self):
+        findings = lint(
+            """
+            def run(tracer):
+                part = "re"
+                with tracer.span(f"{part}play"):
+                    pass
+            """
+        )
+        assert rules_of(findings) == ["REP104"]
+        assert "'replay'" in findings[0].message
+
+    def test_concatenation_folds_to_registered_name(self):
+        findings = lint(
+            """
+            def run(tracer):
+                part = "re"
+                with tracer.span(part + "duce"):
+                    pass
+            """
+        )
+        assert findings == []
+
+    def test_constant_local_name(self):
+        findings = lint(
+            """
+            def run(tracer):
+                name = "map"
+                with tracer.span(name):
+                    pass
+            """
+        )
+        assert findings == []
+
+    def test_unfoldable_name_rejected(self):
+        findings = lint(
+            """
+            def run(tracer, shard):
+                with tracer.span(f"shard-{shard}"):
+                    pass
+            """
+        )
+        assert rules_of(findings) == ["REP104"]
+        assert "cannot be resolved statically" in findings[0].message
+
+    def test_reassigned_local_does_not_fold(self):
+        findings = lint(
+            """
+            def run(tracer, flag):
+                name = "map"
+                if flag:
+                    name = "oops"
+                with tracer.span(name):
+                    pass
+            """
+        )
+        assert rules_of(findings) == ["REP104"]
+
+    def test_literal_names_left_to_rep005(self):
+        findings = lint(
+            """
+            def run(tracer):
+                with tracer.span("unregistered"):
+                    pass
+            """
+        )
+        assert rules_of(findings) == ["REP005"]
+
+    def test_suppressed(self):
+        findings = lint(
+            """
+            def run(tracer, shard):
+                with tracer.span(f"shard-{shard}"):  # reprolint: disable=REP104 -- debug build
+                    pass
+            """
+        )
+        assert findings == []
+
+
+# -- REP105: kernel state escape ----------------------------------------------
+
+_STATEFUL_HELPER = """
+_SEEN = []
+
+def bump(x):
+    _SEEN.append(x)
+    return x
+"""
+
+_SINGLETON_HELPER = """
+_KERNELS = {}
+
+def lookup(name):
+    return _KERNELS[name]
+"""
+
+
+class TestREP105:
+    def kernel(self, body, modules):
+        return lint(
+            body,
+            modpath=KERNEL_MOD,
+            modules=modules,
+            kernel_source_override="def k(context, spec): ...",
+        )
+
+    def test_transitive_global_write_flagged(self):
+        findings = self.kernel(
+            """
+            import repro.core.stateful as st
+
+            def my_kernel(context, spec):
+                return st.bump(spec)
+
+            register_kernel("k", my_kernel)
+            """,
+            {"repro/core/stateful.py": textwrap.dedent(_STATEFUL_HELPER)},
+        )
+        assert rules_of(findings) == ["REP105"]
+        assert "_SEEN" in findings[0].message
+        assert "bump" in findings[0].message  # witness chain
+
+    def test_transitive_singleton_read_flagged(self):
+        findings = self.kernel(
+            """
+            import repro.core.registry as reg
+
+            def my_kernel(context, spec):
+                return reg.lookup(spec)
+
+            register_kernel("k", my_kernel)
+            """,
+            {"repro/core/registry.py": textwrap.dedent(_SINGLETON_HELPER)},
+        )
+        assert rules_of(findings) == ["REP105"]
+        assert "_KERNELS" in findings[0].message
+
+    def test_pure_helper_clean(self):
+        findings = self.kernel(
+            """
+            from repro.core import helper
+
+            def my_kernel(context, spec):
+                return helper.pure(spec)
+
+            register_kernel("k", my_kernel)
+            """,
+            {},
+        )
+        assert findings == []
+
+    def test_unregistered_function_ignored(self):
+        findings = self.kernel(
+            """
+            import repro.core.stateful as st
+
+            def coordinator_only(x):
+                return st.bump(x)
+            """,
+            {"repro/core/stateful.py": textwrap.dedent(_STATEFUL_HELPER)},
+        )
+        assert findings == []
+
+
+# -- suppression x baseline interaction ---------------------------------------
+
+
+class TestSuppressionBaselineInteraction:
+    VIOLATION = """
+    import time
+
+    def stamp():
+        return time.time(){suffix}
+    """
+
+    def run(self, suffix=""):
+        return lint(textwrap.dedent(self.VIOLATION).format(suffix=suffix))
+
+    def test_suppressed_finding_not_double_counted(self, tmp_path):
+        from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+
+        baseline_path = tmp_path / "baseline.json"
+        original = self.run()
+        assert rules_of(original) == ["REP001"]
+        write_baseline(baseline_path, original)
+
+        suppressed = self.run("  # reprolint: disable=REP001 -- bench clock")
+        assert suppressed == []
+        new, old = apply_baseline(suppressed, load_baseline(baseline_path))
+        assert new == [] and old == []  # neither fresh nor grandfathered
+
+    def test_removing_suppression_resurfaces_same_fingerprint(self, tmp_path):
+        from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+
+        baseline_path = tmp_path / "baseline.json"
+        original = self.run()
+        write_baseline(baseline_path, original)
+
+        resurfaced = self.run()  # suppression removed again
+        new, old = apply_baseline(resurfaced, load_baseline(baseline_path))
+        assert new == [] and [f.fingerprint() for f in old] == [
+            f.fingerprint() for f in original
+        ]
+
+
+# -- the git-aware CLI helper -------------------------------------------------
+
+
+class TestChangedOnly:
+    def test_changed_py_files_lists_edits_vs_ref(self, tmp_path):
+        from repro.lint.cli import changed_py_files
+
+        def git(*argv):
+            subprocess.run(
+                ["git", *argv], cwd=tmp_path, check=True, capture_output=True
+            )
+
+        git("init", "-q")
+        git("config", "user.email", "t@example.com")
+        git("config", "user.name", "t")
+        (tmp_path / "a.py").write_text("x = 1\n")
+        (tmp_path / "b.txt").write_text("not python\n")
+        git("add", ".")
+        git("commit", "-q", "-m", "seed")
+        (tmp_path / "a.py").write_text("x = 2\n")
+        (tmp_path / "b.txt").write_text("still not python\n")
+        changed = changed_py_files(tmp_path, "HEAD")
+        assert changed == [str(tmp_path / "a.py")]
+
+    def test_missing_git_returns_none(self, tmp_path):
+        from repro.lint.cli import changed_py_files
+
+        assert changed_py_files(tmp_path, "HEAD") is None

@@ -105,6 +105,16 @@ def test_missing_baseline_is_empty(tmp_path):
     assert not load_baseline(tmp_path / "nope.json")
 
 
+def test_baseline_bytes_stable_under_line_drift(tmp_path):
+    """The written file is a pure function of the fingerprint multiset."""
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    findings = [make_finding(line=3, message="x"), make_finding(line=9, message="y")]
+    moved = [make_finding(line=90, message="x"), make_finding(line=2, message="y")]
+    write_baseline(a, findings)
+    write_baseline(b, reversed(moved))
+    assert a.read_text() == b.read_text()
+
+
 # -- reporters ----------------------------------------------------------------
 
 

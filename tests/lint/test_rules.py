@@ -347,7 +347,7 @@ class TestREP005:
         )
         assert rules_of(findings) == ["REP005"]
 
-    def test_dynamic_name_flagged(self):
+    def test_dynamic_name_deferred_to_rep104(self):
         findings = lint(
             """
             def run(tracer, phase):
@@ -356,8 +356,8 @@ class TestREP005:
             """,
             config=self.cfg(),
         )
-        assert rules_of(findings) == ["REP005"]
-        assert "string literal" in findings[0].message
+        assert rules_of(findings) == ["REP104"]
+        assert "cannot be resolved statically" in findings[0].message
 
     def test_clean_usage(self):
         findings = lint(
@@ -468,6 +468,84 @@ class TestREP006:
             def f(keys):
                 s = set(keys)
                 for k in s:  # reprolint: disable=REP006 -- feeds a commutative sum
+                    pass
+            """
+        )
+        assert findings == []
+
+
+class TestREP006UnorderedSources:
+    """The widened REP006 surface: frozenset, set-call locals, and dict
+    views on dicts built from unordered sources."""
+
+    def test_frozenset_iteration_flagged(self):
+        findings = lint(
+            """
+            def f(keys):
+                frozen = frozenset(keys)
+                for k in frozen:
+                    pass
+            """
+        )
+        assert rules_of(findings) == ["REP006"]
+
+    def test_set_call_local_flagged(self):
+        findings = lint(
+            """
+            def f(keys):
+                s = set(keys)
+                return [k for k in s]
+            """
+        )
+        assert rules_of(findings) == ["REP006"]
+
+    @pytest.mark.parametrize(
+        "view", ["d", "d.keys()", "d.values()", "d.items()"]
+    )
+    def test_dict_fromkeys_set_views_flagged(self, view):
+        findings = lint(
+            f"""
+            def f(keys):
+                d = dict.fromkeys({{k for k in keys}})
+                for item in {view}:
+                    pass
+            """
+        )
+        assert rules_of(findings) == ["REP006"]
+        assert "dict built from an unordered source" in findings[0].message
+
+    def test_dict_comprehension_over_set_flagged(self):
+        findings = lint(
+            """
+            def f(keys):
+                s = set(keys)
+                d = {k: 0 for k in sorted(s)}
+                e = {k: 0 for k in s}
+                for k in e.keys():
+                    pass
+            """
+        )
+        # the comprehension over the bare set AND the view iteration
+        assert rules_of(findings) == ["REP006", "REP006"]
+
+    def test_sorted_dict_views_clean(self):
+        findings = lint(
+            """
+            def f(keys):
+                d = dict.fromkeys(set(keys))
+                for k in sorted(d.keys()):
+                    pass
+                return sorted(d.items())
+            """
+        )
+        assert findings == []
+
+    def test_dict_from_ordered_source_clean(self):
+        findings = lint(
+            """
+            def f(pairs):
+                d = dict(pairs)
+                for k in d.keys():
                     pass
             """
         )
