@@ -140,12 +140,39 @@ def kernel_tracer_noop() -> None:
     assert hits == 0 and trc.export() is None
 
 
+def kernel_journal_append() -> None:
+    """Journal write path: frame + crc + pickle per coordinator decision.
+
+    Every commit an engine makes with ``--journal`` funnels through
+    :meth:`JobJournal.append`, so its per-record cost bounds the journal
+    overhead of a run.  Measures append throughput against tmpfs-backed
+    storage plus one finalize/reopen cycle (the resume-path parse).
+    """
+    import shutil
+    import tempfile
+
+    from repro.mapreduce.journal import K_MAP_COMMIT, K_TASK_GRANT, JobJournal
+
+    root = tempfile.mkdtemp(prefix="perfguard-journal-")
+    try:
+        journal = JobJournal(root)
+        for task in range(2_000):
+            journal.append(K_TASK_GRANT, task=task, node=f"node{task % 10:02d}")
+            journal.append(K_MAP_COMMIT, task=task, node=f"node{task % 10:02d}")
+        journal.finalize()
+        reopened = JobJournal(root)
+        assert len(reopened.records) == 4_000
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
 KERNELS = {
     "frames_roundtrip": kernel_frames_roundtrip,
     "partition_sort": kernel_partition_sort,
     "merge_streams": kernel_merge_streams,
     "incremental_update": kernel_incremental_update,
     "tracer_noop": kernel_tracer_noop,
+    "journal_append": kernel_journal_append,
 }
 
 

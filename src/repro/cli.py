@@ -96,6 +96,7 @@ def _run_real(
     nodes: int,
     executor: str | None = None,
     tracer: Any = None,
+    journal: Any = None,
 ) -> Any:
     from repro.core.engine import OnePassEngine
     from repro.mapreduce.hop import HOPEngine
@@ -105,16 +106,16 @@ def _run_real(
     cluster = LocalCluster(num_nodes=nodes, block_size=256 * 1024)
     cluster.hdfs.write_records("in", records_fn(records))
     if engine == "hadoop":
-        return HadoopEngine(cluster, executor=executor, tracer=tracer).run(
-            sm_job("in", "out")
-        )
+        return HadoopEngine(
+            cluster, executor=executor, tracer=tracer, journal=journal
+        ).run(sm_job("in", "out"))
     if engine == "hop":
-        return HOPEngine(cluster, executor=executor, tracer=tracer).run(
-            sm_job("in", "out")
-        )
-    return OnePassEngine(cluster, executor=executor, tracer=tracer).run(
-        op_job("in", "out")
-    )
+        return HOPEngine(
+            cluster, executor=executor, tracer=tracer, journal=journal
+        ).run(sm_job("in", "out"))
+    return OnePassEngine(
+        cluster, executor=executor, tracer=tracer, journal=journal
+    ).run(op_job("in", "out"))
 
 
 def _apply_log_level(args: argparse.Namespace) -> None:
@@ -141,16 +142,7 @@ def _maybe_write_trace(args: argparse.Namespace, result: Any) -> None:
     print(f"wrote {args.trace_format} trace to {args.trace}")
 
 
-def cmd_run(args: argparse.Namespace) -> int:
-    _apply_log_level(args)
-    tracer = None
-    if args.trace:
-        from repro.obs.tracer import Tracer
-
-        tracer = Tracer()
-    result = _run_real(
-        args.workload, args.engine, args.records, args.nodes, args.executor, tracer
-    )
+def _print_counters(result: Any, title: str) -> None:
     c = result.counters
     print(
         format_table(
@@ -166,11 +158,136 @@ def cmd_run(args: argparse.Namespace) -> int:
                 ("merge reads", human_bytes(c["merge.read.bytes"])),
                 ("output records", result.output_records),
             ],
-            title=f"{args.workload} on {args.engine} ({args.records} records)",
+            title=title,
         )
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    _apply_log_level(args)
+    tracer = None
+    if args.trace:
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer()
+    journal = None
+    if args.journal:
+        from repro.mapreduce.journal import K_RUN_CONFIG, JobJournal
+
+        journal = JobJournal(args.journal)
+        if journal.resume_state().run_config is None:
+            journal.append(
+                K_RUN_CONFIG,
+                workload=args.workload,
+                engine=args.engine,
+                records=args.records,
+                nodes=args.nodes,
+            )
+    result = _run_real(
+        args.workload,
+        args.engine,
+        args.records,
+        args.nodes,
+        args.executor,
+        tracer,
+        journal,
+    )
+    _print_counters(
+        result, f"{args.workload} on {args.engine} ({args.records} records)"
     )
     _maybe_write_trace(args, result)
     return 0
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    """Re-run a journalled job, skipping everything already committed."""
+    from repro.mapreduce.journal import JobJournal
+
+    _apply_log_level(args)
+    journal = JobJournal(args.journal)
+    cfg = journal.resume_state().run_config
+    if cfg is None:
+        raise SystemExit(
+            f"{args.journal}: no run-config record; create the journal with "
+            f"'repro run --journal {args.journal} ...'"
+        )
+    result = _run_real(
+        cfg["workload"], cfg["engine"], cfg["records"], cfg["nodes"], journal=journal
+    )
+    _print_counters(
+        result,
+        f"resumed {cfg['workload']} on {cfg['engine']} ({cfg['records']} records)",
+    )
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Crashpoint sweep: crash at journal-append sites, resume, verify."""
+    import os
+    import shutil
+    import tempfile
+
+    from repro.core.engine import OnePassEngine
+    from repro.mapreduce.hop import HOPEngine
+    from repro.mapreduce.runtime import HadoopEngine, LocalCluster
+    from repro.testing import ChaosTarget, CrashpointInvariantError, run_crashpoint_sweep
+
+    records_fn, sm_job, op_job = _build_jobs(args.workload)
+    data = records_fn(args.records)
+    job_fn = op_job if args.engine == "onepass" else sm_job
+    engine_cls = {"hadoop": HadoopEngine, "hop": HOPEngine, "onepass": OnePassEngine}[
+        args.engine
+    ]
+
+    def make_cluster() -> Any:
+        cluster = LocalCluster(num_nodes=args.nodes, block_size=256 * 1024)
+        cluster.hdfs.write_records("in", data)
+        return cluster
+
+    target = ChaosTarget(
+        name=f"{args.workload}/{args.engine}",
+        make_cluster=make_cluster,
+        make_engine=lambda cluster, journal: engine_cls(
+            cluster, executor=args.executor, journal=journal
+        ),
+        make_job=lambda: job_fn("in", "out"),
+    )
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-chaos-")
+    crash_modes = ("after", "torn") if args.crash_mode == "both" else (args.crash_mode,)
+    try:
+        report = run_crashpoint_sweep(
+            target,
+            workdir,
+            mode=args.mode,
+            samples=args.samples,
+            seed=args.seed,
+            crash_modes=crash_modes,
+        )
+    except CrashpointInvariantError as err:
+        if args.artifacts:
+            os.makedirs(args.artifacts, exist_ok=True)
+            shutil.copytree(
+                err.journal_dir,
+                os.path.join(args.artifacts, os.path.basename(err.journal_dir)),
+                dirs_exist_ok=True,
+            )
+            repro_path = os.path.join(args.artifacts, "repro.txt")
+            with open(repro_path, "w", encoding="utf-8") as fh:
+                fh.write(
+                    f"python -m repro chaos --workload {args.workload} "
+                    f"--engine {args.engine} --records {args.records} "
+                    f"--nodes {args.nodes} --mode {args.mode} "
+                    f"--samples {args.samples} --seed {args.seed} "
+                    f"--crash-mode {err.crash_mode}\n\n{err}\n"
+                )
+            print(f"saved failing journal and repro to {args.artifacts}", file=sys.stderr)
+        print(f"FAIL: {err}", file=sys.stderr)
+        return 1
+    else:
+        print(report.summary())
+        if not args.workdir:
+            shutil.rmtree(workdir, ignore_errors=True)
+        return 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -349,8 +466,71 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="task executor: serial (default), threads[:N], or processes[:N]",
     )
+    p_run.add_argument(
+        "--journal",
+        default=None,
+        metavar="DIR",
+        help="write a crash-consistent job journal to DIR (resumable with "
+        "'repro resume DIR')",
+    )
     add_trace_flags(p_run)
     p_run.set_defaults(fn=cmd_run)
+
+    p_resume = sub.add_parser(
+        "resume", help="resume a journalled run, skipping committed work"
+    )
+    p_resume.add_argument("journal", help="journal directory from 'run --journal'")
+    p_resume.add_argument(
+        "--log-level",
+        choices=("off", "error", "warn", "info", "debug"),
+        default=None,
+        help="structured logging to stderr (default: off)",
+    )
+    p_resume.set_defaults(fn=cmd_resume)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="systematic crash-and-resume sweep over journal sites"
+    )
+    p_chaos.add_argument("--workload", choices=WORKLOADS, required=True)
+    p_chaos.add_argument("--engine", choices=ENGINES, default="onepass")
+    p_chaos.add_argument("--records", type=int, default=2_000)
+    p_chaos.add_argument("--nodes", type=int, default=3)
+    p_chaos.add_argument(
+        "--executor",
+        default=None,
+        help="task executor: serial (default), threads[:N], or processes[:N]",
+    )
+    p_chaos.add_argument(
+        "--mode",
+        choices=("exhaustive", "sampled"),
+        default="exhaustive",
+        help="sweep every crash site or a seeded sample (default: exhaustive)",
+    )
+    p_chaos.add_argument(
+        "--samples", type=int, default=8, help="sites per sweep in sampled mode"
+    )
+    p_chaos.add_argument(
+        "--seed", type=int, default=0, help="site-sampling seed for --mode sampled"
+    )
+    p_chaos.add_argument(
+        "--crash-mode",
+        choices=("after", "torn", "both"),
+        default="both",
+        help="crash with the record durable, torn mid-write, or both (default)",
+    )
+    p_chaos.add_argument(
+        "--workdir",
+        default=None,
+        metavar="DIR",
+        help="keep per-site journals under DIR (default: temp dir, removed on pass)",
+    )
+    p_chaos.add_argument(
+        "--artifacts",
+        default=None,
+        metavar="DIR",
+        help="on failure, copy the offending journal and a repro command here",
+    )
+    p_chaos.set_defaults(fn=cmd_chaos)
 
     p_trace = sub.add_parser(
         "trace", help="run a workload with tracing on; print the timeline"

@@ -36,6 +36,19 @@ from repro.io.disk import LocalDisk
 from repro.mapreduce.api import ReduceFn
 from repro.mapreduce.counters import C, Counters
 from repro.mapreduce.faults import FaultPlan
+from repro.mapreduce.journal import (
+    K_CHECKPOINT,
+    K_JOB_SPEC,
+    K_MAP_COMMIT,
+    K_OUTPUT_COMMIT,
+    K_REDUCE_COMMIT,
+    K_SHUFFLE_COMMIT,
+    K_TASK_GRANT,
+    NULL_JOURNAL,
+    emit_committed_output,
+    job_fingerprint,
+    output_digest,
+)
 from repro.mapreduce.recovery import (
     CheckpointStore,
     PartitionLog,
@@ -147,6 +160,10 @@ class OnePassReduceTask:
         self.counters = Counters()
         self.tracer = tracer
         self._task = f"reduce:{partition:03d}"
+        #: Chunks 1..restored_through are already covered by a restored
+        #: journal checkpoint; :meth:`accept` drops them on re-delivery.
+        self.restored_through = 0
+        self._chunks_seen = 0
         cfg = job.config
         namespace = f"onepass/{partition:03d}"
         self._incremental: IncrementalHash | None = None
@@ -182,7 +199,11 @@ class OnePassReduceTask:
 
     # -- ingestion (push target) ----------------------------------------------
 
-    def accept(self, pairs: list[tuple[Any, Any]], nbytes: int) -> None:
+    def accept(self, pairs: list[tuple[Any, Any]], nbytes: int) -> bool:
+        """Absorb one pushed chunk; False when a restored checkpoint covers it."""
+        self._chunks_seen += 1
+        if self._chunks_seen <= self.restored_through:
+            return False
         counters = self.counters
         counters.inc(C.SHUFFLE_BYTES, nbytes)
         counters.inc(C.REDUCE_INPUT_RECORDS, len(pairs))
@@ -223,6 +244,7 @@ class OnePassReduceTask:
                     task=self._task,
                     bytes=spilled,
                 )
+        return True
 
     # -- early answers -----------------------------------------------------------
 
@@ -405,6 +427,7 @@ class OnePassEngine:
         speculation: SpeculationPolicy | None = None,
         executor: Any = None,
         tracer: Any = None,
+        journal: Any = None,
     ) -> None:
         if checkpoint_interval < 0:
             raise ValueError("checkpoint_interval must be >= 0")
@@ -415,6 +438,7 @@ class OnePassEngine:
         self.speculation = speculation
         self.executor = resolve_executor(executor)
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.journal = journal if journal is not None else NULL_JOURNAL
 
     def _read_block(self, split: InputSplit, node: str) -> tuple[bytes, bool]:
         hdfs = self.cluster.hdfs
@@ -442,6 +466,9 @@ class OnePassEngine:
         from repro.exec.kernels import OnePassMapSpec
 
         network_bytes = 0
+        self.journal.append(
+            K_TASK_GRANT, task=assignment.task_id, node=assignment.node
+        )
 
         def attempt(node: str) -> list[tuple[int, list, int]]:
             nonlocal network_bytes
@@ -460,7 +487,7 @@ class OnePassEngine:
             # nothing reached the reducers.
             staged.clear()
 
-        _node, staged = recovery.run_map_task(
+        node, staged = recovery.run_map_task(
             assignment.task_id,
             assignment.node,
             live,
@@ -471,6 +498,12 @@ class OnePassEngine:
         for partition, pairs, nbytes in staged:
             counters.inc(C.STAGED_OUTPUT_BYTES, nbytes)
             deliver(partition, pairs, nbytes)
+        self.journal.append(
+            K_MAP_COMMIT,
+            task=assignment.task_id,
+            node=node,
+            nbytes=sum(nbytes for _, _, nbytes in staged),
+        )
         return network_bytes
 
     # -- reduce-side durability -----------------------------------------------
@@ -493,6 +526,9 @@ class OnePassEngine:
         if payload is None:
             return False
         store.save(log.last_seq, payload)
+        self.journal.append(
+            K_CHECKPOINT, partition=rtask.partition, seq=log.last_seq, payload=payload
+        )
         self.tracer.event(
             "checkpoint.saved",
             "checkpoint",
@@ -617,6 +653,70 @@ class OnePassEngine:
         splits = hdfs.input_splits(job.input_path)
         assignments, sched_stats = self.scheduler.schedule(splits)
         reducer_nodes = self.scheduler.assign_reducers(cfg.num_reducers)
+
+        # ---- journal resume protocol ----
+        journal = self.journal
+        appends0, jbytes0 = journal.appends, journal.bytes_written
+        committed: dict[int, tuple[Any, ...]] = {}
+        journal_checkpoints: dict[int, tuple[int, bytes]] = {}
+        if journal.enabled:
+            state = journal.resume_state()
+            fingerprint = job_fingerprint(job, self.name)
+            state.check_spec(fingerprint)
+            if state.truncated_bytes:
+                self.tracer.event(
+                    "journal.truncated", "journal", bytes=state.truncated_bytes
+                )
+            done_commits = state.output_commits > 0
+            if done_commits or state.complete(cfg.num_reducers):
+                if not done_commits:
+                    journal.append(
+                        K_JOB_SPEC, spec=fingerprint, engine=self.name, job=job.name
+                    )
+                output_records = emit_committed_output(
+                    hdfs, job, reducer_nodes, state, counters, self.tracer
+                )
+                if not done_commits:
+                    journal.append(
+                        K_OUTPUT_COMMIT,
+                        path=job.output_path,
+                        records=output_records,
+                        digest=output_digest(hdfs, job.output_path),
+                    )
+                journal.finalize()
+                counters.inc(C.JOURNAL_APPENDS, journal.appends - appends0)
+                counters.inc(C.JOURNAL_BYTES, journal.bytes_written - jbytes0)
+                return JobResult(
+                    job_name=job.name,
+                    engine=self.name,
+                    output_path=job.output_path,
+                    counters=counters,
+                    wall_time=time.perf_counter() - t_start,
+                    phase_times={"map": 0.0, "reduce": 0.0},
+                    schedule=sched_stats,
+                    network_bytes=0,
+                    output_records=output_records,
+                    extras={
+                        "early_emitted": [],
+                        "approximate_results": [],
+                        "mode": cfg.mode,
+                    },
+                    trace=self.tracer if self.tracer.enabled else None,
+                )
+            journal.append(
+                K_JOB_SPEC, spec=fingerprint, engine=self.name, job=job.name
+            )
+            committed = dict(state.reduce_commits)
+            journal_checkpoints = dict(state.checkpoints)
+            if committed or journal_checkpoints:
+                counters.inc(C.JOURNAL_REPLAYED_COMMITS, len(committed))
+                self.tracer.event(
+                    "journal.resume",
+                    "journal",
+                    commits=len(committed),
+                    checkpoints=len(journal_checkpoints),
+                )
+
         reduce_tasks = {
             p: OnePassReduceTask(
                 job,
@@ -627,6 +727,27 @@ class OnePassEngine:
             )
             for p, node in reducer_nodes.items()
         }
+        for partition in sorted(journal_checkpoints):
+            # Restore journaled reduce state so only the post-checkpoint
+            # suffix of re-delivered chunks is absorbed.  Only the
+            # incremental backend is checkpointable; committed partitions
+            # never run at all.
+            if partition in committed:
+                continue
+            rtask = reduce_tasks[partition]
+            if rtask.checkpoint_payload() is None:
+                continue
+            seq, payload = journal_checkpoints[partition]
+            rtask.restore_payload(payload)
+            rtask.restored_through = seq
+            counters.inc(C.CHECKPOINT_RESTORES)
+            self.tracer.event(
+                "checkpoint.restored",
+                "recovery",
+                node=rtask.node,
+                task=f"reduce:{partition:03d}",
+                seq=seq,
+            )
         live = list(cluster.compute_node_names)
         recovery = RecoveryManager(
             self.fault_plan, counters, speculation=self.speculation, tracer=self.tracer
@@ -640,10 +761,17 @@ class OnePassEngine:
                 logs[p] = PartitionLog(p, replicas, counters)
                 checkpoints[p] = CheckpointStore(p, replicas, counters)
                 chunks_since_checkpoint[p] = 0
+            if self.fault_plan.has_disk_faults:
+                for name in sorted(cluster.compute_node_names):
+                    cluster.nodes[name].intermediate_disk.fault_injector = (
+                        self.fault_plan
+                    )
         network_bytes = 0
 
         def sink(partition: int, pairs: list[tuple[Any, Any]], nbytes: int) -> None:
             nonlocal network_bytes
+            if partition in committed:
+                return  # journaled output; the reducer never runs
             network_bytes += nbytes
             rtask = reduce_tasks[partition]
             with self.tracer.span(
@@ -657,8 +785,8 @@ class OnePassEngine:
             ):
                 if partition in logs:
                     logs[partition].append(pairs, nbytes)
-                rtask.accept(pairs, nbytes)
-            if self.checkpoint_interval and partition in checkpoints:
+                absorbed = rtask.accept(pairs, nbytes)
+            if absorbed and self.checkpoint_interval and partition in checkpoints:
                 chunks_since_checkpoint[partition] += 1
                 if chunks_since_checkpoint[partition] >= self.checkpoint_interval:
                     if self._save_checkpoint(
@@ -678,15 +806,22 @@ class OnePassEngine:
                     idx += len(batch)
                     specs = []
                     for a in batch:
+                        journal.append(K_TASK_GRANT, task=a.task_id, node=a.node)
                         data, local = self._read_block(a.split, a.node)
                         if not local:
                             network_bytes += len(data)
                         specs.append(OnePassMapSpec(a.task_id, a.node, data))
-                    for res in session.run_batch("onepass_map", specs):
+                    for a, res in zip(batch, session.run_batch("onepass_map", specs)):
                         counters.merge(res.counters)
                         self.tracer.absorb(res.trace)
                         for partition, pairs, nbytes in res.staged:
                             sink(partition, pairs, nbytes)
+                        journal.append(
+                            K_MAP_COMMIT,
+                            task=a.task_id,
+                            node=a.node,
+                            nbytes=sum(n for _, _, n in res.staged),
+                        )
             else:
                 completed_maps = 0
                 for assignment in assignments:
@@ -713,6 +848,9 @@ class OnePassEngine:
         get_logger("onepass").info(
             "map.phase.done", tasks=len(assignments), wall_ms=t_map * 1e3
         )
+        for partition in sorted(reduce_tasks):
+            if partition not in committed:
+                journal.append(K_SHUFFLE_COMMIT, partition=partition)
 
         c_reduce0 = self.tracer.clock
         t_reduce_start = time.perf_counter()
@@ -721,6 +859,14 @@ class OnePassEngine:
         early: list[tuple[Any, Any]] = []
         approx: list[ApproximateResult] = []
         for partition in sorted(reduce_tasks):
+            if partition in committed:
+                output = list(committed[partition])
+                output_records += len(output)
+                if output:
+                    hdfs.append_block(
+                        job.output_path, output, writer_node=reducer_nodes[partition]
+                    )
+                continue
 
             def attempt(
                 attempt_idx: int, partition: int = partition
@@ -748,6 +894,14 @@ class OnePassEngine:
                 return task_approx, task_output, list(rtask.early_emitted)
 
             approx_p, output, early_p = recovery.run_reduce_task(partition, attempt)
+            journal.append(K_REDUCE_COMMIT, partition=partition, records=tuple(output))
+            if journal.enabled:
+                self.tracer.event(
+                    "journal.commit",
+                    "journal",
+                    task=f"reduce:{partition:03d}",
+                    records=len(output),
+                )
             approx.extend(approx_p)
             early.extend(early_p)
             output_records += len(output)
@@ -772,6 +926,16 @@ class OnePassEngine:
             checkpoints[partition].cleanup()
 
         counters.inc(C.OUTPUT_BYTES, hdfs.file_bytes(job.output_path))
+        if journal.enabled:
+            journal.append(
+                K_OUTPUT_COMMIT,
+                path=job.output_path,
+                records=output_records,
+                digest=output_digest(hdfs, job.output_path),
+            )
+            journal.finalize()
+            counters.inc(C.JOURNAL_APPENDS, journal.appends - appends0)
+            counters.inc(C.JOURNAL_BYTES, journal.bytes_written - jbytes0)
         return JobResult(
             job_name=job.name,
             engine=self.name,

@@ -119,6 +119,10 @@ class LocalDisk:
         self.stats = DiskStats()
         self._files: dict[str, _FileEntry] = {}
         self._last_file: str | None = None
+        # Optional fault injector (a FaultPlan with torn_writes/short_reads);
+        # when attached, writes and reads pass through its filters so seeded
+        # disk corruption exercises the recovery layers' checksum paths.
+        self.fault_injector = None
 
     # -- introspection ----------------------------------------------------
 
@@ -168,6 +172,8 @@ class LocalDisk:
 
     def append(self, path: str, data: bytes) -> None:
         """Append ``data`` to ``path``, creating the file if needed."""
+        if self.fault_injector is not None:
+            data = self.fault_injector.filter_write(path, data)
         entry = self._files.setdefault(path, _FileEntry())
         if self.used() + len(data) > self.profile.capacity:
             raise DiskFullError(
@@ -188,6 +194,8 @@ class LocalDisk:
         """Read the full contents of ``path``."""
         data = bytes(self._entry(path).data)
         self._account(path, len(data), write=False)
+        if self.fault_injector is not None:
+            data = self.fault_injector.filter_read(path, data)
         return data
 
     def peek(self, path: str) -> bytes:
@@ -206,6 +214,8 @@ class LocalDisk:
             raise ValueError(f"offset {offset} out of range for {path}")
         chunk = bytes(data[offset : offset + length])
         self._account(path, len(chunk), write=False)
+        if self.fault_injector is not None:
+            chunk = self.fault_injector.filter_read(path, chunk)
         return chunk
 
     def stream(self, path: str, chunk_size: int = 1 << 20) -> Iterator[bytes]:

@@ -73,6 +73,13 @@ class C:
     CHECKPOINTS = "checkpoint.count"
     CHECKPOINT_BYTES = "checkpoint.bytes"
     CHECKPOINT_RESTORES = "checkpoint.restores"
+    CHECKPOINT_REJECTED = "checkpoint.rejected"
+    LOG_REPLICAS_REJECTED = "recovery.log.replicas.rejected"
+
+    # coordinator journal (durability subsystem)
+    JOURNAL_APPENDS = "journal.appends"
+    JOURNAL_BYTES = "journal.bytes"
+    JOURNAL_REPLAYED_COMMITS = "journal.commits.replayed"
 
     # CPU attribution (seconds)
     T_MAP_FN = "time.map_fn"

@@ -58,6 +58,14 @@ class FaultPlan:
     ``slow_nodes[node] = m`` multiplies the node's simulated task duration
     by ``m``; the engines' straggler detector launches speculative backup
     attempts against it (kill-the-loser semantics).
+
+    ``torn_writes[prefix] = n`` truncates the next ``n`` disk writes to
+    paths under ``prefix`` (a torn page: only the leading half of the
+    bytes lands); ``short_reads[prefix] = n`` cuts the next ``n`` reads
+    short the same way.  The engines attach the plan to the node disks
+    (:attr:`~repro.io.disk.LocalDisk.fault_injector`), so checkpoint and
+    partition-log corruption recovery runs under the same seeded-fault
+    contract as every other failure mode.
     """
 
     map_failures: dict[int, int] = field(default_factory=dict)
@@ -65,11 +73,17 @@ class FaultPlan:
     node_crashes: dict[str, int] = field(default_factory=dict)
     shuffle_failures: dict[tuple[int, int], int] = field(default_factory=dict)
     slow_nodes: dict[str, float] = field(default_factory=dict)
+    torn_writes: dict[str, int] = field(default_factory=dict)
+    short_reads: dict[str, int] = field(default_factory=dict)
     max_attempts: int = 4
     _attempts: dict[int, int] = field(default_factory=lambda: defaultdict(int))
     _reduce_attempts: dict[int, int] = field(default_factory=lambda: defaultdict(int))
     _fetch_faults_left: dict[tuple[int, int], int] = field(default_factory=dict)
     _crashed: set[str] = field(default_factory=set)
+    _torn_left: dict[str, int] = field(default_factory=dict)
+    _short_left: dict[str, int] = field(default_factory=dict)
+    torn_writes_injected: int = 0
+    short_reads_injected: int = 0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -91,7 +105,13 @@ class FaultPlan:
         for node, m in self.slow_nodes.items():
             if m < 1.0:
                 raise ValueError(f"slowdown for {node!r} must be >= 1.0")
+        for faults in (self.torn_writes, self.short_reads):
+            for prefix, n in faults.items():
+                if n < 0:
+                    raise ValueError(f"negative disk-fault count for {prefix!r}")
         self._fetch_faults_left = dict(self.shuffle_failures)
+        self._torn_left = dict(self.torn_writes)
+        self._short_left = dict(self.short_reads)
 
     # -- map / reduce attempts --------------------------------------------
 
@@ -156,6 +176,33 @@ class FaultPlan:
         self._fetch_faults_left[key] = left - 1
         return True
 
+    # -- disk faults (LocalDisk injection hooks) ----------------------------
+
+    @property
+    def has_disk_faults(self) -> bool:
+        return bool(self.torn_writes or self.short_reads)
+
+    def _take(self, budget: dict[str, int], path: str) -> bool:
+        for prefix in sorted(budget):
+            if path.startswith(prefix) and budget[prefix] > 0:
+                budget[prefix] -= 1
+                return True
+        return False
+
+    def filter_write(self, path: str, data: bytes) -> bytes:
+        """Tear the write if a fault is scheduled: only a prefix lands."""
+        if len(data) > 1 and self._take(self._torn_left, path):
+            self.torn_writes_injected += 1
+            return data[: len(data) // 2]
+        return data
+
+    def filter_read(self, path: str, data: bytes) -> bytes:
+        """Cut the read short if a fault is scheduled."""
+        if len(data) > 1 and self._take(self._short_left, path):
+            self.short_reads_injected += 1
+            return data[: len(data) // 2]
+        return data
+
     # -- speculation ---------------------------------------------------------
 
     def slowdown(self, node: str) -> float:
@@ -185,6 +232,8 @@ class FaultPlan:
         map_failure_rate: float = 0.25,
         reduce_failure_rate: float = 0.25,
         shuffle_failure_rate: float = 0.0,
+        torn_write_rate: float = 0.0,
+        short_read_rate: float = 0.0,
         crash_after: int | None = None,
         max_attempts: int = 6,
     ) -> "FaultPlan":
@@ -194,6 +243,11 @@ class FaultPlan:
         under test can be handed its own (stateful) instance.  At most one
         node crash is scheduled (``crash_after`` map completions, on a
         seed-chosen node) so that small test clusters keep a quorum.
+
+        ``torn_write_rate`` / ``short_read_rate`` schedule one or two disk
+        faults against the recovery layers' replicated files (checkpoint
+        and partition-log paths), which is where corrupted bytes must be
+        detected and survived rather than silently returned.
         """
         rng = random.Random(seed)
         map_failures = {
@@ -216,10 +270,18 @@ class FaultPlan:
         node_list = sorted(nodes)
         if crash_after is not None and node_list:
             node_crashes[rng.choice(node_list)] = crash_after
+        torn_writes: dict[str, int] = {}
+        if rng.random() < torn_write_rate:
+            torn_writes["faultchk/"] = rng.randint(1, 2)
+        short_reads: dict[str, int] = {}
+        if rng.random() < short_read_rate:
+            short_reads["faultlog/"] = rng.randint(1, 2)
         return cls(
             map_failures=map_failures,
             reduce_failures=reduce_failures,
             node_crashes=node_crashes,
             shuffle_failures=shuffle_failures,
+            torn_writes=torn_writes,
+            short_reads=short_reads,
             max_attempts=max_attempts,
         )

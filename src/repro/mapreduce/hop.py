@@ -33,6 +33,18 @@ from repro.io.runio import stream_run, write_run
 from repro.mapreduce.api import MapReduceJob
 from repro.mapreduce.counters import C, Counters
 from repro.mapreduce.faults import FaultPlan
+from repro.mapreduce.journal import (
+    K_JOB_SPEC,
+    K_MAP_COMMIT,
+    K_OUTPUT_COMMIT,
+    K_REDUCE_COMMIT,
+    K_SHUFFLE_COMMIT,
+    K_TASK_GRANT,
+    NULL_JOURNAL,
+    emit_committed_output,
+    job_fingerprint,
+    output_digest,
+)
 from repro.mapreduce.merge import MultiPassMerger, group_sorted, merge_sorted
 from repro.mapreduce.partition import Partitioner, hash_partitioner
 from repro.mapreduce.recovery import (
@@ -400,6 +412,7 @@ class HOPEngine:
         speculation: SpeculationPolicy | None = None,
         executor: Any = None,
         tracer: Any = None,
+        journal: Any = None,
     ) -> None:
         self.cluster = cluster
         self.hop = hop_config or HOPConfig()
@@ -408,6 +421,7 @@ class HOPEngine:
         self.speculation = speculation
         self.executor = resolve_executor(executor)
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.journal = journal if journal is not None else NULL_JOURNAL
 
     def _read_block(self, split: InputSplit, node: str) -> tuple[bytes, bool]:
         hdfs = self.cluster.hdfs
@@ -479,12 +493,16 @@ class HOPEngine:
         reduce_tasks: dict[int, PipelinedReduceTask],
         logs: dict[int, PartitionLog],
         counters: Counters,
+        committed: frozenset[int] = frozenset(),
     ) -> int:
         """Run one map task under a fault plan, buffering pushes until success."""
         from repro.exec.kernels import HopMapSpec
 
         cluster = self.cluster
         network_bytes = 0
+        self.journal.append(
+            K_TASK_GRANT, task=assignment.task_id, node=assignment.node
+        )
 
         def attempt(node: str) -> dict[int, list[tuple[list[tuple[Any, Any]], int]]]:
             nonlocal network_bytes
@@ -516,7 +534,7 @@ class HOPEngine:
             for chunks in by_partition.values():
                 chunks.clear()
 
-        _node, by_partition = recovery.run_map_task(
+        node, by_partition = recovery.run_map_task(
             assignment.task_id,
             assignment.node,
             live,
@@ -524,11 +542,18 @@ class HOPEngine:
             attempt,
             discard,
         )
+        delivered_bytes = 0
         for partition in sorted(by_partition):
+            if partition in committed:
+                continue  # journaled output; the reducer never runs
             for pairs, nbytes in by_partition[partition]:
                 counters.inc(C.STAGED_OUTPUT_BYTES, nbytes)
                 logs[partition].append(pairs, nbytes)
                 reduce_tasks[partition].accept_chunk(pairs, nbytes)
+                delivered_bytes += nbytes
+        self.journal.append(
+            K_MAP_COMMIT, task=assignment.task_id, node=node, nbytes=delivered_bytes
+        )
         return network_bytes
 
     def _rebuild_reduce_task(
@@ -619,6 +644,63 @@ class HOPEngine:
         splits = hdfs.input_splits(job.input_path)
         assignments, sched_stats = self.scheduler.schedule(splits)
         reducer_nodes = self.scheduler.assign_reducers(job.config.num_reducers)
+
+        # ---- journal resume protocol ----
+        journal = self.journal
+        appends0, jbytes0 = journal.appends, journal.bytes_written
+        committed: dict[int, tuple[Any, ...]] = {}
+        if journal.enabled:
+            state = journal.resume_state()
+            fingerprint = job_fingerprint(job, self.name)
+            state.check_spec(fingerprint)
+            if state.truncated_bytes:
+                self.tracer.event(
+                    "journal.truncated", "journal", bytes=state.truncated_bytes
+                )
+            done_commits = state.output_commits > 0
+            if done_commits or state.complete(job.config.num_reducers):
+                if not done_commits:
+                    journal.append(
+                        K_JOB_SPEC, spec=fingerprint, engine=self.name, job=job.name
+                    )
+                output_records = emit_committed_output(
+                    hdfs, job, reducer_nodes, state, counters, self.tracer
+                )
+                if not done_commits:
+                    journal.append(
+                        K_OUTPUT_COMMIT,
+                        path=job.output_path,
+                        records=output_records,
+                        digest=output_digest(hdfs, job.output_path),
+                    )
+                journal.finalize()
+                counters.inc(C.JOURNAL_APPENDS, journal.appends - appends0)
+                counters.inc(C.JOURNAL_BYTES, journal.bytes_written - jbytes0)
+                return JobResult(
+                    job_name=job.name,
+                    engine=self.name,
+                    output_path=job.output_path,
+                    counters=counters,
+                    wall_time=time.perf_counter() - t_start,
+                    phase_times={"map": 0.0, "reduce": 0.0},
+                    schedule=sched_stats,
+                    network_bytes=0,
+                    output_records=output_records,
+                    trace=self.tracer if self.tracer.enabled else None,
+                )
+            journal.append(
+                K_JOB_SPEC, spec=fingerprint, engine=self.name, job=job.name
+            )
+            committed = dict(state.reduce_commits)
+            if committed:
+                counters.inc(C.JOURNAL_REPLAYED_COMMITS, len(committed))
+                self.tracer.event(
+                    "journal.resume",
+                    "journal",
+                    commits=len(committed),
+                    checkpoints=len(state.checkpoints),
+                )
+
         reduce_tasks = {
             p: PipelinedReduceTask(
                 job,
@@ -638,6 +720,11 @@ class HOPEngine:
         if self.fault_plan is not None:
             for p, node in reducer_nodes.items():
                 logs[p] = PartitionLog(p, self._log_replicas(node), counters)
+            if self.fault_plan.has_disk_faults:
+                for name in sorted(cluster.compute_node_names):
+                    cluster.nodes[name].intermediate_disk.fault_injector = (
+                        self.fault_plan
+                    )
 
         network_bytes = 0
         snapshots: list[Snapshot] = []
@@ -676,6 +763,7 @@ class HOPEngine:
                     idx += len(batch)
                     specs = []
                     for a in batch:
+                        journal.append(K_TASK_GRANT, task=a.task_id, node=a.node)
                         data, local = self._read_block(a.split, a.node)
                         if not local:
                             network_bytes += len(data)
@@ -686,8 +774,15 @@ class HOPEngine:
                     for a, res in zip(batch, session.run_batch("hop_map", specs)):
                         counters.merge(res.counters)
                         self.tracer.absorb(res.trace)
+                        chunks = [c for c in res.chunks if c[0] not in committed]
                         self._deliver_live(
-                            a.task_id, a.node, res.chunks, reduce_tasks, counters
+                            a.task_id, a.node, chunks, reduce_tasks, counters
+                        )
+                        journal.append(
+                            K_MAP_COMMIT,
+                            task=a.task_id,
+                            node=a.node,
+                            nbytes=sum(c[2] for c in chunks),
                         )
                         done += 1
                         maybe_snapshot(done)
@@ -702,6 +797,7 @@ class HOPEngine:
                         reduce_tasks,
                         logs,
                         counters,
+                        frozenset(committed),
                     )
                     for crashed in self.fault_plan.crashes_due(done):
                         with counters.timer(C.T_RECOVERY):
@@ -725,12 +821,23 @@ class HOPEngine:
             snapshots=len(snapshots),
             wall_ms=t_map * 1e3,
         )
+        for partition in sorted(reduce_tasks):
+            if partition not in committed:
+                journal.append(K_SHUFFLE_COMMIT, partition=partition)
 
         c_reduce0 = self.tracer.clock
         t_reduce_start = time.perf_counter()
         hdfs.namenode.create_file(job.output_path, codec_name="binary")
         output_records = 0
         for partition in sorted(reduce_tasks):
+            if partition in committed:
+                output = list(committed[partition])
+                output_records += len(output)
+                if output:
+                    hdfs.append_block(
+                        job.output_path, output, writer_node=reducer_nodes[partition]
+                    )
+                continue
 
             def attempt(attempt_idx: int, partition: int = partition) -> list[Any]:
                 if attempt_idx > 0:
@@ -749,6 +856,14 @@ class HOPEngine:
 
             output = recovery.run_reduce_task(partition, attempt)
             counters.merge(reduce_tasks[partition].counters)
+            journal.append(K_REDUCE_COMMIT, partition=partition, records=tuple(output))
+            if journal.enabled:
+                self.tracer.event(
+                    "journal.commit",
+                    "journal",
+                    task=f"reduce:{partition:03d}",
+                    records=len(output),
+                )
             output_records += len(output)
             if output:
                 hdfs.append_block(
@@ -769,6 +884,16 @@ class HOPEngine:
             logs[partition].cleanup()
 
         counters.inc(C.OUTPUT_BYTES, hdfs.file_bytes(job.output_path))
+        if journal.enabled:
+            journal.append(
+                K_OUTPUT_COMMIT,
+                path=job.output_path,
+                records=output_records,
+                digest=output_digest(hdfs, job.output_path),
+            )
+            journal.finalize()
+            counters.inc(C.JOURNAL_APPENDS, journal.appends - appends0)
+            counters.inc(C.JOURNAL_BYTES, journal.bytes_written - jbytes0)
         network_bytes += int(counters[C.SHUFFLE_BYTES])
         return JobResult(
             job_name=job.name,

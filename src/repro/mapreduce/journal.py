@@ -1,0 +1,409 @@
+"""Crash-consistent coordinator journal: a write-ahead log of decisions.
+
+Every engine in this repository keeps its entire world — HDFS blocks,
+node disks, shuffle state — in process memory, so killing the
+coordinator loses the run.  :class:`JobJournal` is the one durable
+artefact: an append-only log on the *real* filesystem recording every
+coordinator decision (job-spec fingerprint, task grants, map/reduce
+commits, shuffle completions, checkpoint sequence numbers, the final
+output commit).  A resumed session rebuilds the deterministic in-memory
+world from the original inputs, then uses the journal to skip committed
+work: committed reduce partitions emit their journaled records without
+recomputation, and one-pass checkpoint records restore reduce state so
+only the post-checkpoint suffix of deliveries is re-absorbed.
+
+Record wire format (one segment file)::
+
+    <u32 payload length> <u32 crc32(payload)> <payload = pickle((kind, fields))>
+
+Segments are written as ``seg-NNNNN.open`` and atomically renamed to
+``seg-NNNNN.wal`` on :meth:`JobJournal.finalize` (flush + fsync +
+``os.replace``).  Opening a journal truncates any torn tail of a
+crashed session's ``.open`` segment at the last whole, checksum-valid
+record, then seals it — so a journal directory always converges to
+immutable ``.wal`` history plus at most one live segment.
+
+The :mod:`repro.testing.chaos` harness drives the ``crash_at`` hook:
+append site ``k`` raises :class:`CoordinatorCrash` either after the
+record is durable (``crash_mode="after"``) or mid-write with only a
+record prefix on disk (``crash_mode="torn"``), which is how the
+crashpoint sweep explores every commit boundary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.mapreduce.counters import C, Counters
+
+__all__ = [
+    "CoordinatorCrash",
+    "JournalCorruptError",
+    "JournalMismatchError",
+    "JournalRecord",
+    "JournalState",
+    "JobJournal",
+    "NullJournal",
+    "NULL_JOURNAL",
+    "job_fingerprint",
+    "output_digest",
+    "emit_committed_output",
+    "K_RUN_CONFIG",
+    "K_JOB_SPEC",
+    "K_TASK_GRANT",
+    "K_MAP_COMMIT",
+    "K_SHUFFLE_COMMIT",
+    "K_CHECKPOINT",
+    "K_REDUCE_COMMIT",
+    "K_OUTPUT_COMMIT",
+]
+
+_HEADER = struct.Struct("<II")  # (payload length, crc32 of payload)
+
+# Record kinds, in rough commit order within one run.
+K_RUN_CONFIG = "run-config"
+K_JOB_SPEC = "job-spec"
+K_TASK_GRANT = "task-grant"
+K_MAP_COMMIT = "map-commit"
+K_SHUFFLE_COMMIT = "shuffle-commit"
+K_CHECKPOINT = "checkpoint"
+K_REDUCE_COMMIT = "reduce-commit"
+K_OUTPUT_COMMIT = "output-commit"
+
+#: Commit kinds that must appear at most once per key across the whole
+#: journal (the chaos harness's exactly-once invariant).
+EXACTLY_ONCE_KINDS = (K_REDUCE_COMMIT, K_OUTPUT_COMMIT)
+
+
+class CoordinatorCrash(RuntimeError):
+    """Injected coordinator death at a journal crashpoint."""
+
+    def __init__(self, site: int, kind: str) -> None:
+        super().__init__(f"injected coordinator crash at append site {site} ({kind})")
+        self.site = site
+        self.kind = kind
+
+
+class JournalCorruptError(RuntimeError):
+    """A finalized (immutable) segment failed its checksum or framing."""
+
+
+class JournalMismatchError(RuntimeError):
+    """The journal belongs to a different job/engine than the one resuming."""
+
+
+@dataclass(frozen=True, slots=True)
+class JournalRecord:
+    """One durable coordinator decision: global ordinal, kind, payload."""
+
+    seq: int
+    kind: str
+    fields: dict[str, Any]
+
+
+@dataclass(slots=True)
+class JournalState:
+    """The replayable view of a journal: everything a resume must skip."""
+
+    run_config: dict[str, Any] | None = None
+    spec: str | None = None
+    engine: str | None = None
+    task_grants: dict[int, str] = field(default_factory=dict)
+    map_commits: dict[int, str] = field(default_factory=dict)
+    shuffle_commits: set[int] = field(default_factory=set)
+    #: partition -> (delivery-log seq covered, serialized reduce state)
+    checkpoints: dict[int, tuple[int, bytes]] = field(default_factory=dict)
+    #: partition -> committed output records (exactly-once)
+    reduce_commits: dict[int, tuple[Any, ...]] = field(default_factory=dict)
+    output_commits: int = 0
+    output_digest: str | None = None
+    counts: dict[str, int] = field(default_factory=dict)
+    truncated_bytes: int = 0
+
+    def complete(self, num_partitions: int) -> bool:
+        """True when every reduce partition has a committed output."""
+        return all(p in self.reduce_commits for p in range(num_partitions))
+
+    def check_spec(self, fingerprint: str) -> None:
+        """Refuse to resume a journal recorded for a different job."""
+        if self.spec is not None and self.spec != fingerprint:
+            raise JournalMismatchError(
+                f"journal was recorded for job spec {self.spec}, "
+                f"resuming job has spec {fingerprint}"
+            )
+
+
+def _parse_frames(data: bytes) -> tuple[list[tuple[str, dict[str, Any]]], int]:
+    """Decode whole, checksum-valid records; return them + the valid length."""
+    out: list[tuple[str, dict[str, Any]]] = []
+    offset = 0
+    n = len(data)
+    while True:
+        if offset + _HEADER.size > n:
+            break
+        length, crc = _HEADER.unpack_from(data, offset)
+        end = offset + _HEADER.size + length
+        if end > n:
+            break
+        payload = data[offset + _HEADER.size : end]
+        if zlib.crc32(payload) != crc:
+            break
+        kind, fields = pickle.loads(payload)
+        out.append((kind, fields))
+        offset = end
+    return out, offset
+
+
+class JobJournal:
+    """Append-only, CRC-checksummed journal over a real directory.
+
+    ``crash_at``/``crash_mode`` inject a deterministic coordinator death
+    at the Nth append of this session (see :class:`CoordinatorCrash`);
+    ``sync=True`` additionally fsyncs every append (finalize always
+    fsyncs before the atomic rename).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        *,
+        sync: bool = False,
+        crash_at: int | None = None,
+        crash_mode: str = "after",
+    ) -> None:
+        if crash_at is not None and crash_at < 1:
+            raise ValueError("crash_at is 1-based")
+        if crash_mode not in ("after", "torn"):
+            raise ValueError("crash_mode must be 'after' or 'torn'")
+        self.path = os.fspath(path)
+        self.sync = sync
+        self.crash_at = crash_at
+        self.crash_mode = crash_mode
+        self._records: list[JournalRecord] = []
+        self._fh: Any = None
+        self.appends = 0  # append sites visited by *this* session
+        self.bytes_written = 0
+        self.truncated_bytes = 0
+        os.makedirs(self.path, exist_ok=True)
+        self._segment_index = self._load_segments()
+
+    # -- recovery (open path) ---------------------------------------------
+
+    def _load_segments(self) -> int:
+        """Replay existing segments; seal torn ``.open`` tails; next index."""
+        max_index = -1
+        for fname in sorted(os.listdir(self.path)):
+            stem, dot, ext = fname.rpartition(".")
+            if ext not in ("wal", "open") or not stem.startswith("seg-"):
+                continue
+            index = int(stem[len("seg-") :])
+            max_index = max(max_index, index)
+            full = os.path.join(self.path, fname)
+            with open(full, "rb") as fh:
+                data = fh.read()
+            parsed, valid = _parse_frames(data)
+            if valid != len(data):
+                if ext == "wal":
+                    raise JournalCorruptError(
+                        f"finalized segment {fname} corrupt at byte {valid}"
+                    )
+                # Torn tail from a crashed session: drop the partial record.
+                self.truncated_bytes += len(data) - valid
+                os.truncate(full, valid)
+            for kind, fields in parsed:
+                self._records.append(
+                    JournalRecord(len(self._records) + 1, kind, fields)
+                )
+            if ext == "open":
+                # Seal the crashed session's segment: history is immutable.
+                os.replace(full, os.path.join(self.path, f"seg-{index:05d}.wal"))
+        return max_index + 1
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def records(self) -> tuple[JournalRecord, ...]:
+        return tuple(self._records)
+
+    def resume_state(self) -> JournalState:
+        state = JournalState(truncated_bytes=self.truncated_bytes)
+        for rec in self._records:
+            f = rec.fields
+            if rec.kind == K_RUN_CONFIG:
+                state.run_config = dict(f)
+            elif rec.kind == K_JOB_SPEC:
+                state.spec = f["spec"]
+                state.engine = f.get("engine")
+            elif rec.kind == K_TASK_GRANT:
+                state.task_grants[f["task"]] = f["node"]
+            elif rec.kind == K_MAP_COMMIT:
+                state.map_commits[f["task"]] = f["node"]
+            elif rec.kind == K_SHUFFLE_COMMIT:
+                state.shuffle_commits.add(f["partition"])
+            elif rec.kind == K_CHECKPOINT:
+                state.checkpoints[f["partition"]] = (f["seq"], f["payload"])
+            elif rec.kind == K_REDUCE_COMMIT:
+                state.reduce_commits[f["partition"]] = tuple(f["records"])
+            elif rec.kind == K_OUTPUT_COMMIT:
+                state.output_commits += 1
+                state.output_digest = f.get("digest")
+            state.counts[rec.kind] = state.counts.get(rec.kind, 0) + 1
+        return state
+
+    # -- writing --------------------------------------------------------------
+
+    def _open_segment_path(self) -> str:
+        return os.path.join(self.path, f"seg-{self._segment_index:05d}.open")
+
+    def _ensure_segment(self) -> Any:
+        if self._fh is None:
+            # Lazy: a session that appends nothing leaves the journal
+            # byte-identical, which is what makes double-replay idempotent.
+            self._fh = open(self._open_segment_path(), "ab")
+        return self._fh
+
+    def _drop_handle(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def append(self, kind: str, **fields: Any) -> int:
+        """Durably record one decision; returns its global sequence number.
+
+        This is the crashpoint: when ``crash_at`` names this append, the
+        session dies here — after the record is durable (``"after"``) or
+        with only a torn prefix on disk (``"torn"``).
+        """
+        payload = pickle.dumps((kind, dict(fields)), protocol=pickle.HIGHEST_PROTOCOL)
+        frame = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        self.appends += 1
+        crash = self.crash_at is not None and self.appends == self.crash_at
+        fh = self._ensure_segment()
+        if crash and self.crash_mode == "torn":
+            fh.write(frame[: max(1, len(frame) // 2)])
+            fh.flush()
+            self._drop_handle()
+            raise CoordinatorCrash(self.appends, kind)
+        fh.write(frame)
+        fh.flush()
+        if self.sync:
+            os.fsync(fh.fileno())
+        self.bytes_written += len(frame)
+        rec = JournalRecord(len(self._records) + 1, kind, dict(fields))
+        self._records.append(rec)
+        if crash:
+            self._drop_handle()
+            raise CoordinatorCrash(self.appends, kind)
+        return rec.seq
+
+    def finalize(self) -> None:
+        """Seal this session's segment: flush, fsync, atomic rename to .wal."""
+        if self._fh is None:
+            return
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._drop_handle()
+        final = os.path.join(self.path, f"seg-{self._segment_index:05d}.wal")
+        os.replace(self._open_segment_path(), final)
+        self._segment_index += 1
+
+    def close(self) -> None:
+        """Drop the handle without sealing (the crash-without-exception path)."""
+        self._drop_handle()
+
+
+class NullJournal:
+    """The journal-off path: every hook is a no-op with zero overhead."""
+
+    enabled = False
+    appends = 0
+    bytes_written = 0
+    truncated_bytes = 0
+
+    def append(self, kind: str, **fields: Any) -> int:
+        return 0
+
+    def resume_state(self) -> JournalState:
+        return JournalState()
+
+    def finalize(self) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+NULL_JOURNAL = NullJournal()
+
+
+def job_fingerprint(job: Any, engine: str) -> str:
+    """Stable identity of (engine, job shape, config) for resume safety.
+
+    Functions (map/reduce closures) cannot be hashed portably, so the
+    fingerprint covers the declarative surface: engine, job type and
+    name, input/output paths, and every config dataclass field.  Good
+    enough to refuse resuming a sessionization journal with an
+    inverted-index job, which is the failure mode that matters.
+    """
+    bits = [
+        engine,
+        type(job).__name__,
+        str(getattr(job, "name", "")),
+        str(getattr(job, "input_path", "")),
+        str(getattr(job, "output_path", "")),
+    ]
+    cfg = getattr(job, "config", None)
+    if cfg is not None and dataclasses.is_dataclass(cfg):
+        for f in dataclasses.fields(cfg):
+            bits.append(f"{f.name}={getattr(cfg, f.name)!r}")
+    return hashlib.sha256("|".join(bits).encode("utf-8")).hexdigest()[:16]
+
+
+def output_digest(hdfs: Any, path: str) -> str:
+    """SHA-256 over the output file's raw block bytes, in block order."""
+    h = hashlib.sha256()
+    for block in hdfs.namenode.blocks_of(path):
+        h.update(hdfs.read_block_bytes(block.block_id))
+    return h.hexdigest()
+
+
+def emit_committed_output(
+    hdfs: Any,
+    job: Any,
+    reducer_nodes: dict[int, str],
+    state: JournalState,
+    counters: Counters,
+    tracer: Any,
+) -> int:
+    """Rebuild the output file purely from journaled reduce commits.
+
+    Partitions are emitted in sorted order and empty outputs skipped —
+    the exact append pattern of a live run — so the rebuilt file is
+    byte-identical to the one the crashed run would have written.
+    """
+    hdfs.namenode.create_file(job.output_path, codec_name="binary")
+    output_records = 0
+    with tracer.span(
+        "journal-replay", "journal", task="output", partitions=len(state.reduce_commits)
+    ) as replay_span:
+        for partition in sorted(state.reduce_commits):
+            records = list(state.reduce_commits[partition])
+            output_records += len(records)
+            if records:
+                hdfs.append_block(
+                    job.output_path, records, writer_node=reducer_nodes[partition]
+                )
+        replay_span.set_cost(max(1, output_records))
+        replay_span.set(records=output_records)
+    counters.inc(C.JOURNAL_REPLAYED_COMMITS, len(state.reduce_commits))
+    counters.inc(C.OUTPUT_BYTES, hdfs.file_bytes(job.output_path))
+    return output_records

@@ -26,6 +26,8 @@ counters — are deterministic for a given fault plan.
 
 from __future__ import annotations
 
+import struct
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
@@ -396,16 +398,32 @@ class PartitionLog:
         for entry in self._entries:
             if entry.seq <= after_seq:
                 continue
-            disk = self._surviving_disk(entry.path)
-            pairs = list(stream_run(disk, entry.path))
-            yield entry.seq, pairs, entry.nbytes
+            yield entry.seq, self._read_entry(entry), entry.nbytes
 
-    def _surviving_disk(self, path: str) -> LocalDisk:
+    def _read_entry(self, entry: _LogEntry) -> list[tuple[Any, Any]]:
+        """Read one logged chunk, skipping lost *and corrupt* replicas.
+
+        A torn write leaves a truncated trailing frame; ``stream_run``
+        raises for it, and a replica whose record count disagrees with
+        the log's own bookkeeping is equally untrustworthy.  Either way
+        the next replica is tried; only when none is intact does the
+        entry count as lost.
+        """
         for _node, disk in self.replicas:
-            if disk.exists(path):
-                return disk
+            if not disk.exists(entry.path):
+                continue
+            try:
+                pairs = list(stream_run(disk, entry.path))
+            except ValueError:
+                self.counters.inc(C.LOG_REPLICAS_REJECTED)
+                continue
+            if len(pairs) != entry.records:
+                self.counters.inc(C.LOG_REPLICAS_REJECTED)
+                continue
+            return pairs
         raise FileNotFoundError(
-            f"all {len(self.replicas)} replicas of log entry {path} are gone"
+            f"all {len(self.replicas)} replicas of log entry {entry.path} "
+            f"are gone or corrupt"
         )
 
     def replace_replica(self, node: str, new_node: str, new_disk: LocalDisk) -> None:
@@ -445,21 +463,41 @@ class CheckpointStore:
         self.counters = counters
         self._saved: list[tuple[int, str]] = []
 
+    #: 4-byte CRC32 header guarding each checkpoint payload against torn
+    #: writes and bit rot; a replica that fails the check is rejected and
+    #: recovery falls back to another replica or an older checkpoint.
+    _CRC = struct.Struct("<I")
+
     def save(self, seq: int, payload: bytes) -> None:
         """Persist a state snapshot covering log entries ``<= seq``."""
         path = f"faultchk/p{self.partition:03d}/s{seq:06d}"
+        framed = self._CRC.pack(zlib.crc32(payload)) + payload
         for _node, disk in self.replicas:
-            disk.write(path, payload, overwrite=True)
+            disk.write(path, framed, overwrite=True)
             self.counters.inc(C.CHECKPOINT_BYTES, len(payload))
         self._saved.append((seq, path))
         self.counters.inc(C.CHECKPOINTS)
 
     def latest(self) -> tuple[int, bytes] | None:
-        """Newest surviving checkpoint as ``(seq, payload)``, if any."""
+        """Newest surviving *intact* checkpoint as ``(seq, payload)``.
+
+        Replicas failing the CRC check are rejected; if every replica of
+        the newest checkpoint is corrupt, the next-older one is tried.
+        """
         for seq, path in reversed(self._saved):
             for _node, disk in self.replicas:
-                if disk.exists(path):
-                    return seq, disk.read(path)
+                if not disk.exists(path):
+                    continue
+                framed = disk.read(path)
+                if len(framed) < self._CRC.size:
+                    self.counters.inc(C.CHECKPOINT_REJECTED)
+                    continue
+                (crc,) = self._CRC.unpack_from(framed)
+                payload = framed[self._CRC.size :]
+                if zlib.crc32(payload) != crc:
+                    self.counters.inc(C.CHECKPOINT_REJECTED)
+                    continue
+                return seq, payload
         return None
 
     def replace_replica(self, node: str, new_node: str, new_disk: LocalDisk) -> None:

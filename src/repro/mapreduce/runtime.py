@@ -28,6 +28,18 @@ from repro.io.disk import DiskStats, LocalDisk
 from repro.mapreduce.api import MapReduceJob
 from repro.mapreduce.counters import C, Counters
 from repro.mapreduce.faults import FaultPlan
+from repro.mapreduce.journal import (
+    K_JOB_SPEC,
+    K_MAP_COMMIT,
+    K_OUTPUT_COMMIT,
+    K_REDUCE_COMMIT,
+    K_SHUFFLE_COMMIT,
+    K_TASK_GRANT,
+    NULL_JOURNAL,
+    emit_committed_output,
+    job_fingerprint,
+    output_digest,
+)
 from repro.mapreduce.recovery import (
     FetchRetryPolicy,
     RecoveryManager,
@@ -241,6 +253,7 @@ class HadoopEngine:
         speculation: SpeculationPolicy | None = None,
         executor: Any = None,
         tracer: Any = None,
+        journal: Any = None,
     ) -> None:
         if fetch_interval < 1:
             raise ValueError("fetch_interval must be >= 1")
@@ -254,6 +267,7 @@ class HadoopEngine:
         self.speculation = speculation
         self.executor = resolve_executor(executor)
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.journal = journal if journal is not None else NULL_JOURNAL
 
     # -- input ------------------------------------------------------------
 
@@ -346,11 +360,15 @@ class HadoopEngine:
         split = splits_by_task[task_id]
         rescheduler = WaveScheduler(live, map_slots=self.scheduler.map_slots)
         preferred = rescheduler.schedule([split])[0][0].node
+        self.journal.append(K_TASK_GRANT, task=task_id, node=preferred)
         node, output, network_bytes = self._execute_map(
             job, recovery, session, task_id, split, preferred, live, counters
         )
         shuffle.register(output)
         lineage.record(task_id, node, output.total_bytes)
+        self.journal.append(
+            K_MAP_COMMIT, task=task_id, node=node, nbytes=output.total_bytes
+        )
         return network_bytes
 
     def _pull_partition(
@@ -496,6 +514,66 @@ class HadoopEngine:
         splits_by_task = {a.task_id: a.split for a in assignments}
         live = list(cluster.compute_node_names)
 
+        # ---- journal resume protocol ----
+        journal = self.journal
+        appends0, jbytes0 = journal.appends, journal.bytes_written
+        committed: dict[int, tuple[Any, ...]] = {}
+        if journal.enabled:
+            state = journal.resume_state()
+            fingerprint = job_fingerprint(job, self.name)
+            state.check_spec(fingerprint)
+            if state.truncated_bytes:
+                self.tracer.event(
+                    "journal.truncated", "journal", bytes=state.truncated_bytes
+                )
+            done = state.output_commits > 0
+            if done or state.complete(job.config.num_reducers):
+                # Every partition's output is journaled: rebuild the output
+                # file from commits alone, no recompute.  A journal that
+                # already holds the output commit gets zero new appends, so
+                # replaying it again is byte-identical (idempotent).
+                if not done:
+                    journal.append(
+                        K_JOB_SPEC, spec=fingerprint, engine=self.name, job=job.name
+                    )
+                output_records = emit_committed_output(
+                    hdfs, job, reducer_nodes, state, counters, self.tracer
+                )
+                if not done:
+                    journal.append(
+                        K_OUTPUT_COMMIT,
+                        path=job.output_path,
+                        records=output_records,
+                        digest=output_digest(hdfs, job.output_path),
+                    )
+                journal.finalize()
+                counters.inc(C.JOURNAL_APPENDS, journal.appends - appends0)
+                counters.inc(C.JOURNAL_BYTES, journal.bytes_written - jbytes0)
+                return JobResult(
+                    job_name=job.name,
+                    engine=self.name,
+                    output_path=job.output_path,
+                    counters=counters,
+                    wall_time=time.perf_counter() - t_start,
+                    phase_times={"map": 0.0, "reduce": 0.0},
+                    schedule=sched_stats,
+                    network_bytes=0,
+                    output_records=output_records,
+                    trace=self.tracer if self.tracer.enabled else None,
+                )
+            journal.append(
+                K_JOB_SPEC, spec=fingerprint, engine=self.name, job=job.name
+            )
+            committed = dict(state.reduce_commits)
+            if committed:
+                counters.inc(C.JOURNAL_REPLAYED_COMMITS, len(committed))
+                self.tracer.event(
+                    "journal.resume",
+                    "journal",
+                    commits=len(committed),
+                    checkpoints=len(state.checkpoints),
+                )
+
         shuffle = ShuffleService(
             cluster.intermediate_disks(),
             fault_plan=self.fault_plan,
@@ -517,6 +595,8 @@ class HadoopEngine:
         def drain() -> int:
             net = 0
             for partition in sorted(reduce_tasks):
+                if partition in committed:
+                    continue  # journaled output; nothing to pull
                 net += self._pull_partition(
                     partition,
                     reduce_tasks[partition],
@@ -546,6 +626,7 @@ class HadoopEngine:
                     ]
                     specs = []
                     for a in batch:
+                        journal.append(K_TASK_GRANT, task=a.task_id, node=a.node)
                         data, local = self._read_block(a.split, a.node)
                         if not local:
                             network_bytes += len(data)
@@ -561,6 +642,12 @@ class HadoopEngine:
                         self.tracer.absorb(res.trace)
                         shuffle.register(res.output)
                         lineage.record(a.task_id, a.node, res.output.total_bytes)
+                        journal.append(
+                            K_MAP_COMMIT,
+                            task=a.task_id,
+                            node=a.node,
+                            nbytes=res.output.total_bytes,
+                        )
                         completed_maps += 1
                         since_drain += 1
                         if since_drain >= self.fetch_interval:
@@ -571,12 +658,16 @@ class HadoopEngine:
             else:
                 while queue:
                     a = queue.popleft()
+                    journal.append(K_TASK_GRANT, task=a.task_id, node=a.node)
                     node, output, extra_net = self._execute_map(
                         job, recovery, session, a.task_id, a.split, a.node, live, counters
                     )
                     network_bytes += extra_net
                     shuffle.register(output)
                     lineage.record(a.task_id, node, output.total_bytes)
+                    journal.append(
+                        K_MAP_COMMIT, task=a.task_id, node=node, nbytes=output.total_bytes
+                    )
                     completed_maps += 1
                     since_drain += 1
                     for crashed in self.fault_plan.crashes_due(completed_maps):
@@ -603,6 +694,9 @@ class HadoopEngine:
             get_logger("hadoop").info(
                 "map.phase.done", tasks=completed_maps, wall_ms=t_map * 1e3
             )
+            for partition in sorted(reduce_tasks):
+                if partition not in committed:
+                    journal.append(K_SHUFFLE_COMMIT, partition=partition)
 
             # ---- reduce phase (blocking merge + reduce + output write) ----
             c_reduce0 = self.tracer.clock
@@ -614,8 +708,12 @@ class HadoopEngine:
                 # state (in-memory segments + on-disk runs) to the kernel
                 # and absorb the shadow disk's merge/output I/O back.
                 order = sorted(reduce_tasks)
+                pending = [p for p in order if p not in committed]
+                outputs: dict[int, list[Any]] = {
+                    p: list(committed[p]) for p in committed
+                }
                 specs = []
-                for partition in order:
+                for partition in pending:
                     rtask = reduce_tasks[partition]
                     disk = cluster.nodes[reducer_nodes[partition]].intermediate_disk
                     memory, memory_bytes, (runs, seq) = rtask.export_ingested()
@@ -633,22 +731,45 @@ class HadoopEngine:
                         )
                     )
                 for partition, res in zip(
-                    order, session.run_batch("hadoop_reduce", specs)
+                    pending, session.run_batch("hadoop_reduce", specs)
                 ):
                     disk = cluster.nodes[reducer_nodes[partition]].intermediate_disk
                     disk.absorb(res.disk)
                     counters.merge(reduce_tasks[partition].counters)
                     counters.merge(res.counters)
                     self.tracer.absorb(res.trace)
-                    output_records += len(res.output)
-                    if res.output:
+                    journal.append(
+                        K_REDUCE_COMMIT, partition=partition, records=tuple(res.output)
+                    )
+                    if journal.enabled:
+                        self.tracer.event(
+                            "journal.commit",
+                            "journal",
+                            task=f"reduce:{partition:03d}",
+                            records=len(res.output),
+                        )
+                    outputs[partition] = list(res.output)
+                for partition in order:
+                    output = outputs[partition]
+                    output_records += len(output)
+                    if output:
                         hdfs.append_block(
                             job.output_path,
-                            res.output,
+                            output,
                             writer_node=reducer_nodes[partition],
                         )
             else:
                 for partition in sorted(reduce_tasks):
+                    if partition in committed:
+                        output = list(committed[partition])
+                        output_records += len(output)
+                        if output:
+                            hdfs.append_block(
+                                job.output_path,
+                                output,
+                                writer_node=reducer_nodes[partition],
+                            )
+                        continue
 
                     def attempt(
                         attempt_idx: int, partition: int = partition
@@ -690,6 +811,16 @@ class HadoopEngine:
 
                     output = recovery.run_reduce_task(partition, attempt)
                     counters.merge(reduce_tasks[partition].counters)
+                    journal.append(
+                        K_REDUCE_COMMIT, partition=partition, records=tuple(output)
+                    )
+                    if journal.enabled:
+                        self.tracer.event(
+                            "journal.commit",
+                            "journal",
+                            task=f"reduce:{partition:03d}",
+                            records=len(output),
+                        )
                     output_records += len(output)
                     if output:
                         hdfs.append_block(
@@ -710,6 +841,16 @@ class HadoopEngine:
         shuffle.merge_stats(counters)
         network_bytes += shuffle.network_bytes
         counters.inc(C.OUTPUT_BYTES, hdfs.file_bytes(job.output_path))
+        if journal.enabled:
+            journal.append(
+                K_OUTPUT_COMMIT,
+                path=job.output_path,
+                records=output_records,
+                digest=output_digest(hdfs, job.output_path),
+            )
+            journal.finalize()
+            counters.inc(C.JOURNAL_APPENDS, journal.appends - appends0)
+            counters.inc(C.JOURNAL_BYTES, journal.bytes_written - jbytes0)
         wall = time.perf_counter() - t_start
         return JobResult(
             job_name=job.name,

@@ -29,6 +29,8 @@ SPAN_NAMES = frozenset(
         "snapshot",
         "checkpoint",
         "replay",
+        # journal resume: committed output re-emitted without recompute
+        "journal-replay",
         # whole-phase envelopes (recorded via ``add_span``)
         "map-phase",
         "reduce-phase",
@@ -48,5 +50,10 @@ EVENT_NAMES = frozenset(
         "speculative.launched",
         "speculative.win",
         "speculative.lost",
+        # coordinator journal / crashpoint chaos
+        "journal.resume",
+        "journal.commit",
+        "journal.truncated",
+        "chaos.crashpoint",
     }
 )

@@ -1,0 +1,21 @@
+"""Test harnesses that exercise the engines from the outside.
+
+Unlike :mod:`repro.mapreduce.faults` (which injects failures *into* a
+run), the tools here drive whole runs repeatedly — crash, resume, verify —
+so they live outside the deterministic-kernel lint scope and are free to
+use the filesystem and seeded randomness.
+"""
+
+from repro.testing.chaos import (
+    ChaosReport,
+    ChaosTarget,
+    CrashpointInvariantError,
+    run_crashpoint_sweep,
+)
+
+__all__ = [
+    "ChaosReport",
+    "ChaosTarget",
+    "CrashpointInvariantError",
+    "run_crashpoint_sweep",
+]

@@ -395,6 +395,40 @@ class TestREP005:
         assert findings == []
 
 
+class TestJournalNamesRegistered:
+    """The journal/chaos observability names are in the real registry.
+
+    Unlike :class:`TestREP005` these fixtures run against the actual
+    ``repro.obs.names`` registry (no override), so they fail if the
+    names the journal subsystem emits ever drop out of ``names.py``.
+    """
+
+    def test_journal_names_lint_clean(self):
+        findings = lint(
+            """
+            def run(self, tracer):
+                with tracer.span("journal-replay", "journal"):
+                    pass
+                tracer.event("journal.resume", "journal")
+                tracer.event("journal.commit", "journal")
+                tracer.event("journal.truncated", "journal")
+                tracer.event("chaos.crashpoint", "chaos")
+            """
+        )
+        assert findings == []
+
+    def test_near_miss_names_flagged(self):
+        findings = lint(
+            """
+            def run(tracer):
+                tracer.event("journal.resumed")
+                with tracer.span("journal-replayed"):
+                    pass
+            """
+        )
+        assert rules_of(findings) == ["REP005", "REP005"]
+
+
 # -- REP006: unordered set iteration ------------------------------------------
 
 

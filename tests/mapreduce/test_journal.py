@@ -1,0 +1,193 @@
+"""JobJournal: framing, crash injection, torn-tail recovery, fingerprints."""
+
+import os
+import zlib
+
+import pytest
+
+from repro.mapreduce.journal import (
+    K_MAP_COMMIT,
+    K_OUTPUT_COMMIT,
+    K_REDUCE_COMMIT,
+    K_TASK_GRANT,
+    NULL_JOURNAL,
+    CoordinatorCrash,
+    JobJournal,
+    JournalCorruptError,
+    JournalMismatchError,
+    job_fingerprint,
+)
+from repro.workloads import page_frequency_job, per_user_count_job
+
+
+class TestRoundtrip:
+    def test_append_reopen_replay(self, tmp_path):
+        j = JobJournal(tmp_path)
+        assert j.append(K_TASK_GRANT, task=0, node="node00") == 1
+        assert j.append(K_MAP_COMMIT, task=0, node="node00") == 2
+        j.finalize()
+
+        j2 = JobJournal(tmp_path)
+        kinds = [r.kind for r in j2.records]
+        assert kinds == [K_TASK_GRANT, K_MAP_COMMIT]
+        assert j2.records[0].fields == {"task": 0, "node": "node00"}
+        assert j2.truncated_bytes == 0
+
+    def test_resume_state_aggregates(self, tmp_path):
+        j = JobJournal(tmp_path)
+        j.append(K_REDUCE_COMMIT, partition=1, records=(("a", 2),))
+        j.append(K_REDUCE_COMMIT, partition=0, records=())
+        j.append(K_OUTPUT_COMMIT, path="out", records=1, digest="ff" * 8)
+        j.finalize()
+
+        state = JobJournal(tmp_path).resume_state()
+        assert state.reduce_commits == {1: (("a", 2),), 0: ()}
+        assert state.output_commits == 1
+        assert state.output_digest == "ff" * 8
+        assert state.complete(2)
+        assert not state.complete(3)
+
+    def test_segments_accumulate_across_sessions(self, tmp_path):
+        for task in range(3):
+            j = JobJournal(tmp_path)
+            j.append(K_MAP_COMMIT, task=task, node="node00")
+            j.finalize()
+        j = JobJournal(tmp_path)
+        assert [r.fields["task"] for r in j.records] == [0, 1, 2]
+        assert sorted(os.listdir(tmp_path)) == [
+            "seg-00000.wal",
+            "seg-00001.wal",
+            "seg-00002.wal",
+        ]
+
+    def test_no_append_session_leaves_directory_untouched(self, tmp_path):
+        j = JobJournal(tmp_path)
+        j.append(K_MAP_COMMIT, task=0, node="n")
+        j.finalize()
+        before = sorted(os.listdir(tmp_path))
+
+        j2 = JobJournal(tmp_path)
+        j2.finalize()  # nothing appended: must be a no-op
+        j2.close()
+        assert sorted(os.listdir(tmp_path)) == before
+
+
+class TestCrashInjection:
+    def test_crash_after_keeps_record(self, tmp_path):
+        j = JobJournal(tmp_path, crash_at=2)
+        j.append(K_TASK_GRANT, task=0, node="n")
+        with pytest.raises(CoordinatorCrash) as exc:
+            j.append(K_MAP_COMMIT, task=0, node="n")
+        assert exc.value.site == 2
+        assert exc.value.kind == K_MAP_COMMIT
+
+        recovered = JobJournal(tmp_path)
+        assert [r.kind for r in recovered.records] == [K_TASK_GRANT, K_MAP_COMMIT]
+        assert recovered.truncated_bytes == 0
+
+    def test_crash_torn_truncates_on_reopen(self, tmp_path):
+        j = JobJournal(tmp_path, crash_at=2, crash_mode="torn")
+        j.append(K_TASK_GRANT, task=0, node="n")
+        with pytest.raises(CoordinatorCrash):
+            j.append(K_MAP_COMMIT, task=0, node="n")
+
+        recovered = JobJournal(tmp_path)
+        assert [r.kind for r in recovered.records] == [K_TASK_GRANT]
+        assert recovered.truncated_bytes > 0
+        # The crashed session's segment was sealed after truncation.
+        assert all(f.endswith(".wal") for f in os.listdir(tmp_path))
+
+    def test_crash_params_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="1-based"):
+            JobJournal(tmp_path, crash_at=0)
+        with pytest.raises(ValueError, match="crash_mode"):
+            JobJournal(tmp_path, crash_mode="during")
+
+
+class TestCorruption:
+    def test_corrupt_finalized_segment_raises(self, tmp_path):
+        j = JobJournal(tmp_path)
+        j.append(K_MAP_COMMIT, task=0, node="n")
+        j.finalize()
+        seg = tmp_path / "seg-00000.wal"
+        data = bytearray(seg.read_bytes())
+        data[-1] ^= 0xFF  # flip a payload byte: crc must catch it
+        seg.write_bytes(bytes(data))
+
+        with pytest.raises(JournalCorruptError, match="seg-00000.wal"):
+            JobJournal(tmp_path)
+
+    def test_torn_open_tail_is_truncated_not_fatal(self, tmp_path):
+        j = JobJournal(tmp_path)
+        j.append(K_MAP_COMMIT, task=0, node="n")
+        j.close()  # crash without finalize: leaves seg-00000.open
+        (seg,) = [f for f in os.listdir(tmp_path) if f.endswith(".open")]
+        with open(tmp_path / seg, "ab") as fh:
+            fh.write(b"\x40\x00\x00\x00")  # header fragment of a torn record
+
+        recovered = JobJournal(tmp_path)
+        assert len(recovered.records) == 1
+        assert recovered.truncated_bytes == 4
+
+    def test_bad_crc_mid_segment_truncates_suffix(self, tmp_path):
+        j = JobJournal(tmp_path)
+        j.append(K_MAP_COMMIT, task=0, node="n")
+        size_after_first = os.path.getsize(j._open_segment_path())
+        j.append(K_MAP_COMMIT, task=1, node="n")
+        j.close()
+        (seg,) = os.listdir(tmp_path)
+        full = tmp_path / seg
+        data = bytearray(full.read_bytes())
+        data[size_after_first + 8] ^= 0xFF  # corrupt the second payload
+        full.write_bytes(bytes(data))
+
+        recovered = JobJournal(tmp_path)
+        assert [r.fields["task"] for r in recovered.records] == [0]
+        assert recovered.truncated_bytes == len(data) - size_after_first
+
+    def test_crc_actually_covers_payload(self, tmp_path):
+        j = JobJournal(tmp_path)
+        j.append(K_MAP_COMMIT, task=0, node="n")
+        j.finalize()
+        raw = (tmp_path / "seg-00000.wal").read_bytes()
+        length = int.from_bytes(raw[:4], "little")
+        crc = int.from_bytes(raw[4:8], "little")
+        assert length == len(raw) - 8
+        assert crc == zlib.crc32(raw[8:])
+
+
+class TestFingerprint:
+    def test_same_job_same_engine_stable(self):
+        a = job_fingerprint(per_user_count_job("in", "out"), "hadoop")
+        b = job_fingerprint(per_user_count_job("in", "out"), "hadoop")
+        assert a == b
+
+    def test_differs_by_job_engine_and_paths(self):
+        base = job_fingerprint(per_user_count_job("in", "out"), "hadoop")
+        assert job_fingerprint(page_frequency_job("in", "out"), "hadoop") != base
+        assert job_fingerprint(per_user_count_job("in", "out"), "hop") != base
+        assert job_fingerprint(per_user_count_job("in", "other"), "hadoop") != base
+
+    def test_mismatch_refused_on_resume(self, tmp_path):
+        from repro.mapreduce.journal import K_JOB_SPEC
+
+        j = JobJournal(tmp_path)
+        j.append(
+            K_JOB_SPEC,
+            spec=job_fingerprint(per_user_count_job("in", "out"), "hadoop"),
+            engine="hadoop",
+        )
+        j.finalize()
+        state = JobJournal(tmp_path).resume_state()
+        with pytest.raises(JournalMismatchError):
+            state.check_spec(job_fingerprint(page_frequency_job("in", "out"), "hadoop"))
+
+
+class TestNullJournal:
+    def test_null_journal_is_inert(self):
+        assert not NULL_JOURNAL.enabled
+        assert NULL_JOURNAL.append(K_MAP_COMMIT, task=0) == 0
+        assert NULL_JOURNAL.resume_state().reduce_commits == {}
+        NULL_JOURNAL.finalize()
+        NULL_JOURNAL.close()
+        assert NULL_JOURNAL.appends == 0
