@@ -1,19 +1,35 @@
 """Perf-regression guard for the serial hot-path kernels.
 
-Measures four micro-kernels that PR 2 optimised — frame codec round-trip,
-partition-key sorting, streaming run merge, incremental hash update — and
-normalises each timing by a fixed pure-Python calibration loop run on the
-same machine.  The resulting *scores* are dimensionless ("kernel costs
-3.1 calibration units"), so a baseline recorded on one machine is
-comparable on another: hardware speed cancels out, algorithmic
-regressions do not.
+Measures the serial micro-kernels the PR-2 and PR-7 optimisations target
+— frame codec round-trip, partition-key sorting, streaming run merge,
+incremental hash update, their columnar *batch* counterparts and the
+chained-job partition cache — and guards them two ways:
+
+* **Ratio guard** — each timing is normalised by a fixed pure-Python
+  calibration loop run on the same machine.  The resulting *scores* are
+  dimensionless ("kernel costs 3.1 calibration units"), so a baseline
+  recorded on one machine is comparable on another: hardware speed
+  cancels out, algorithmic regressions do not.
+* **Throughput floor** — each kernel also carries an absolute
+  records-per-second floor (recorded at baseline time divided by a 4x
+  headroom factor).  Ratios catch *relative* drift; floors catch the
+  case where the calibration loop and the kernel degrade together.
+
+The batch kernels must additionally *beat* their tuple twins: CI fails
+if ``batch_partition_sort`` or ``batch_merge_streams`` stops being at
+least 25% faster than ``partition_sort`` / ``merge_streams`` — that
+improvement is the point of the batch path.
 
 Usage::
 
-    python benchmarks/perfguard.py --write   # record baseline BENCH_PR2.json
-    python benchmarks/perfguard.py --check   # fail (exit 1) on >25% regression
+    python benchmarks/perfguard.py --write            # record baseline BENCH_PR7.json
+    python benchmarks/perfguard.py --check            # fail (exit 1) on >25% regression
+    python benchmarks/perfguard.py --update-baseline  # deterministic re-record of drifted entries
 
-CI runs ``--check`` against the committed baseline.
+``--update-baseline`` rewrites the committed baseline deterministically
+(sorted keys, 4-decimal scores, integer floors) and only touches entries
+that drifted outside the tolerance band, so baseline diffs stay
+reviewable.  CI runs ``--check`` against the committed baseline.
 """
 
 from __future__ import annotations
@@ -25,9 +41,16 @@ import sys
 import time
 from pathlib import Path
 
-BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_PR2.json"
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_PR7.json"
 TOLERANCE = 0.25  # fail when a kernel's score regresses by more than this
+FLOOR_HEADROOM = 4.0  # floor = baseline records/sec divided by this
 REPEATS = 7  # best-of-N to shave scheduler noise
+
+#: batch kernel -> (tuple twin, max allowed score ratio batch/tuple)
+BATCH_BEATS = {
+    "batch_partition_sort": ("partition_sort", 0.75),
+    "batch_merge_streams": ("merge_streams", 0.75),
+}
 
 
 def _time_once(fn) -> float:
@@ -36,19 +59,23 @@ def _time_once(fn) -> float:
     return time.perf_counter() - t0
 
 
-def _score(fn, repeats: int = REPEATS) -> float:
-    """Kernel time in calibration units, robust to CPU-frequency drift.
+def _score(fn, repeats: int = REPEATS) -> tuple[float, float]:
+    """(calibration-unit score, wall seconds), robust to CPU-frequency drift.
 
     Each repeat times the calibration loop immediately before the kernel
     and takes their ratio, so a machine-wide slowdown hits numerator and
     denominator alike; the minimum ratio across repeats is the cleanest
-    pairing (both measurements unperturbed).
+    pairing (both measurements unperturbed).  The minimum wall time feeds
+    the absolute records-per-second floor.
     """
-    best = float("inf")
+    best_ratio = float("inf")
+    best_wall = float("inf")
     for _ in range(repeats):
         calib = _time_once(calibration_loop)
-        best = min(best, _time_once(fn) / calib)
-    return best
+        wall = _time_once(fn)
+        best_ratio = min(best_ratio, wall / calib)
+        best_wall = min(best_wall, wall)
+    return best_ratio, best_wall
 
 
 def calibration_loop() -> None:
@@ -64,55 +91,171 @@ def calibration_loop() -> None:
 # -- kernels ------------------------------------------------------------------
 
 
-def _click_pairs(n: int) -> list[tuple[str, tuple[float, str]]]:
-    rng = random.Random(1729)
-    return [
-        (f"user{rng.randrange(500):04d}", (rng.random() * 3600.0, f"/page/{rng.randrange(200)}"))
-        for _ in range(n)
-    ]
+_DATASETS: dict[str, list] = {}
+
+
+def _dataset(name: str, build) -> list:
+    """Build a kernel's input once and reuse it across repeats.
+
+    Synthetic-data generation (rng draws plus f-string keys) used to be
+    timed inside several kernels and dominated them, which both diluted
+    the tuple-vs-batch comparisons and added run-to-run noise; the guards
+    should measure the kernel, not the generator.
+    """
+    data = _DATASETS.get(name)
+    if data is None:
+        data = _DATASETS[name] = build()
+    return data
+
+
+def _click_pairs() -> list[tuple[str, tuple[float, str]]]:
+    def build() -> list[tuple[str, tuple[float, str]]]:
+        rng = random.Random(1729)
+        return [
+            (
+                f"user{rng.randrange(500):04d}",
+                (rng.random() * 3600.0, f"/page/{rng.randrange(200)}"),
+            )
+            for _ in range(20_000)
+        ]
+
+    return _dataset("clicks", build)
 
 
 def kernel_frames_roundtrip() -> None:
     from repro.io.serialization import encode_frames, iter_frames
 
-    pairs = _click_pairs(20_000)
+    pairs = _click_pairs()
     data = encode_frames(pairs)
     assert sum(1 for _ in iter_frames(data)) == len(pairs)
+
+
+def _partition_rows() -> list[tuple[int, str, float]]:
+    def build() -> list[tuple[int, str, float]]:
+        rng = random.Random(4104)
+        return [
+            (rng.randrange(8), f"key{rng.randrange(4096):05d}", rng.random())
+            for _ in range(120_000)
+        ]
+
+    return _dataset("partition_rows", build)
 
 
 def kernel_partition_sort() -> None:
     from repro.mapreduce.sortmerge import _PARTITION_KEY
 
-    rng = random.Random(4104)
-    rows = [
-        (rng.randrange(8), f"key{rng.randrange(4096):05d}", rng.random())
-        for _ in range(120_000)
-    ]
+    rows = list(_partition_rows())
     rows.sort(key=_PARTITION_KEY)
     assert rows[0][0] == 0
+
+
+def kernel_batch_partition_sort() -> None:
+    """The batch path's equivalent of ``partition_sort``: same 120k rows
+    (seed 4104, 8 partitions), fanned out at add time and sorted per
+    bucket with the stable single-key sort — the fanout-at-add plus
+    ``sort_bucket`` shape the engines' ``--batch`` paths run.  Must beat
+    the global compound-key sort by 25% (see :data:`BATCH_BEATS`).
+    """
+    from repro.io.batch import sort_bucket
+
+    buckets: list[list[tuple[str, float]]] = [[] for _ in range(8)]
+    appends = [b.append for b in buckets]
+    for partition, key, value in _partition_rows():
+        appends[partition]((key, value))
+    total = 0
+    for bucket in buckets:
+        sort_bucket(bucket)
+        total += len(bucket)
+    assert total == 120_000
+
+
+def _merge_input() -> list[list[tuple[str, int]]]:
+    """Eight key-sorted 15k-record segments (tuple path pops them off a
+    heap record by record; the batch path concatenates and galloping-sorts)."""
+
+    def build() -> list[list[tuple[str, int]]]:
+        rng = random.Random(2718)
+        return [
+            sorted((f"k{rng.randrange(10_000):05d}", i) for _ in range(15_000))
+            for i in range(8)
+        ]
+
+    return _dataset("merge_segments", build)
 
 
 def kernel_merge_streams() -> None:
     from repro.mapreduce.merge import merge_sorted
 
-    rng = random.Random(2718)
-    streams = [
-        iter(sorted((f"k{rng.randrange(10_000):05d}", i) for _ in range(15_000)))
-        for i in range(8)
-    ]
+    streams = [iter(segment) for segment in _merge_input()]
     count = sum(1 for _ in merge_sorted(streams))
     assert count == 8 * 15_000
+
+
+def kernel_batch_merge_streams() -> None:
+    from repro.io.batch import merge_segments
+
+    merged = merge_segments(_merge_input())
+    assert len(merged) == 8 * 15_000
+
+
+def _hash_pairs() -> list[tuple[str, int]]:
+    def build() -> list[tuple[str, int]]:
+        rng = random.Random(5050)
+        return [(f"user{rng.randrange(2_000):04d}", 1) for _ in range(100_000)]
+
+    return _dataset("hash_pairs", build)
 
 
 def kernel_incremental_update() -> None:
     from repro.core.aggregates import SUM
     from repro.core.incremental import IncrementalHash
 
-    rng = random.Random(5050)
     table = IncrementalHash(SUM)
-    for _ in range(100_000):
-        table.update(f"user{rng.randrange(2_000):04d}", 1)
+    update = table.update
+    for key, value in _hash_pairs():
+        update(key, value)
     assert table.resident_keys == 2_000
+
+
+def kernel_batch_hash_update() -> None:
+    """Folding map-output chunks through ``IncrementalHash.update_batch``
+    (the fast path the one-pass engine's ``--batch`` mode takes), in
+    granularity-sized chunks as the engine produces them.
+    """
+    from repro.core.aggregates import SUM
+    from repro.core.incremental import IncrementalHash
+
+    pairs = _hash_pairs()
+    table = IncrementalHash(SUM)
+    for i in range(0, len(pairs), 4096):
+        table.update_batch(pairs[i : i + 4096])
+    assert table.resident_keys == 2_000
+
+
+def kernel_partition_cache_roundtrip() -> None:
+    """Chained-job cache hot loop: store every intermediate block, spill
+    FIFO past the byte budget, then serve every block back (memory hits
+    and unspill reads alike).  Bounds the coordinator-side overhead the
+    cache adds per intermediate block of a chain.
+    """
+    from repro.hdfs.blocks import BlockId
+    from repro.io.disk import LocalDisk
+    from repro.mapreduce.chain import PartitionCache
+
+    payload = bytes(range(256)) * 256  # one 64 KiB intermediate block
+    cache = PartitionCache(
+        capacity_bytes=48 * len(payload), spill_disk=LocalDisk(name="cachebench")
+    )
+    cache.register("bench/mid", "fp-bench")
+    for i in range(512):
+        cache.store(BlockId("bench/mid", i), payload)
+    served = 0
+    for i in range(512):
+        data = cache.get(BlockId("bench/mid", i))
+        assert data is not None
+        served += len(data)
+    assert served == 512 * len(payload)
+    assert cache.spilled_blocks > 0  # the FIFO pressure path ran
 
 
 def kernel_tracer_noop() -> None:
@@ -166,35 +309,146 @@ def kernel_journal_append() -> None:
         shutil.rmtree(root, ignore_errors=True)
 
 
+#: kernel name -> (callable, records processed per invocation).  The record
+#: count turns the wall time into the records/sec figure the floors guard.
 KERNELS = {
-    "frames_roundtrip": kernel_frames_roundtrip,
-    "partition_sort": kernel_partition_sort,
-    "merge_streams": kernel_merge_streams,
-    "incremental_update": kernel_incremental_update,
-    "tracer_noop": kernel_tracer_noop,
-    "journal_append": kernel_journal_append,
+    "frames_roundtrip": (kernel_frames_roundtrip, 20_000),
+    "partition_sort": (kernel_partition_sort, 120_000),
+    "batch_partition_sort": (kernel_batch_partition_sort, 120_000),
+    "merge_streams": (kernel_merge_streams, 120_000),
+    "batch_merge_streams": (kernel_batch_merge_streams, 120_000),
+    "incremental_update": (kernel_incremental_update, 100_000),
+    "batch_hash_update": (kernel_batch_hash_update, 100_000),
+    "partition_cache_roundtrip": (kernel_partition_cache_roundtrip, 1_024),
+    "tracer_noop": (kernel_tracer_noop, 300_000),
+    "journal_append": (kernel_journal_append, 4_000),
 }
 
 
-def measure() -> dict[str, float]:
+def measure() -> dict[str, dict[str, float]]:
+    """Per kernel: dimensionless ``score`` and absolute ``records_per_sec``."""
     calibration_loop()  # warm up allocator and interned small ints
-    return {name: round(_score(fn), 4) for name, fn in KERNELS.items()}
+    out: dict[str, dict[str, float]] = {}
+    for name, (fn, records) in KERNELS.items():
+        score, wall = _score(fn)
+        out[name] = {"score": score, "records_per_sec": records / wall}
+    return out
+
+
+def _conservative_measure() -> dict[str, dict[str, float]]:
+    """Two full passes folded pessimistically (max score, min throughput),
+    so a lucky fast pair at record time cannot turn into spurious CI
+    failures later."""
+    first, second = measure(), measure()
+    return {
+        name: {
+            "score": max(first[name]["score"], second[name]["score"]),
+            "records_per_sec": min(
+                first[name]["records_per_sec"], second[name]["records_per_sec"]
+            ),
+        }
+        for name in first
+    }
+
+
+def _dump_baseline(path: Path, payload: dict) -> None:
+    """The one serialisation point: sorted keys, fixed precision.
+
+    Scores carry 4 decimals, floors are integers — re-recording a
+    baseline produces a minimal, reviewable diff instead of a wall of
+    float noise.
+    """
+    payload["kernels"] = {k: round(v, 4) for k, v in payload["kernels"].items()}
+    payload["floors_records_per_sec"] = {
+        k: int(v) for k, v in payload["floors_records_per_sec"].items()
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def _load_baseline(path: Path) -> dict:
+    return json.loads(path.read_text())
 
 
 def cmd_write(path: Path) -> int:
-    # Two full passes, per-kernel max: a conservative baseline, so a lucky
-    # fast pair at record time cannot turn into spurious CI failures later.
-    first, second = measure(), measure()
-    scores = {name: max(first[name], second[name]) for name in first}
-    payload = {
-        "description": "perfguard baseline: kernel time / calibration-loop time",
-        "tolerance": TOLERANCE,
-        "kernels": scores,
-    }
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    measured = _conservative_measure()
+    payload = _load_baseline(path) if path.exists() else {}
+    payload.update(
+        {
+            "description": (
+                "perfguard baseline: kernel time / calibration-loop time, "
+                "plus absolute records/sec floors (baseline / headroom)"
+            ),
+            "tolerance": TOLERANCE,
+            "floor_headroom": FLOOR_HEADROOM,
+            "kernels": {name: m["score"] for name, m in measured.items()},
+            "floors_records_per_sec": {
+                name: m["records_per_sec"] / FLOOR_HEADROOM
+                for name, m in measured.items()
+            },
+        }
+    )
+    _dump_baseline(path, payload)
     print(f"wrote {path}")
-    for name, score in sorted(scores.items()):
-        print(f"  {name:24s} {score:8.4f}")
+    for name in sorted(measured):
+        m = measured[name]
+        print(
+            f"  {name:26s} score {m['score']:8.4f}   "
+            f"{m['records_per_sec']:12,.0f} rec/s"
+        )
+    for batch, (twin, bound) in sorted(BATCH_BEATS.items()):
+        ratio = measured[batch]["score"] / measured[twin]["score"]
+        print(f"  {batch} / {twin} = {ratio:.3f} (required <= {bound})")
+    return 0
+
+
+def cmd_update_baseline(path: Path) -> int:
+    """Re-record only the entries that drifted outside the tolerance band.
+
+    Entries still within tolerance keep their committed values, so the
+    rewrite is a no-op for them and the diff shows exactly which kernels
+    actually moved.  New kernels are added, removed kernels dropped, and
+    unrelated top-level keys (the chained-pipeline record) are preserved.
+    """
+    if not path.exists():
+        print(f"no baseline at {path}; run with --write first", file=sys.stderr)
+        return 2
+    baseline = _load_baseline(path)
+    tolerance = float(baseline.get("tolerance", TOLERANCE))
+    old_scores = baseline.get("kernels", {})
+    old_floors = baseline.get("floors_records_per_sec", {})
+    measured = _conservative_measure()
+
+    def keep_or_replace(old: float | None, new: float) -> tuple[float, bool]:
+        if old is not None and abs(new / old - 1.0) <= tolerance:
+            return old, False
+        return new, True
+
+    scores: dict[str, float] = {}
+    floors: dict[str, float] = {}
+    changed: list[str] = []
+    for name, m in measured.items():
+        score, score_moved = keep_or_replace(old_scores.get(name), m["score"])
+        floor, floor_moved = keep_or_replace(
+            old_floors.get(name), m["records_per_sec"] / FLOOR_HEADROOM
+        )
+        scores[name] = score
+        floors[name] = floor
+        if score_moved or floor_moved:
+            changed.append(name)
+    dropped = sorted(set(old_scores) - set(measured))
+    baseline.update(
+        {
+            "tolerance": tolerance,
+            "floor_headroom": FLOOR_HEADROOM,
+            "kernels": scores,
+            "floors_records_per_sec": floors,
+        }
+    )
+    _dump_baseline(path, baseline)
+    print(f"updated {path}")
+    print(f"  re-recorded: {', '.join(sorted(changed)) or '(none — all in band)'}")
+    if dropped:
+        print(f"  dropped stale kernels: {', '.join(dropped)}")
     return 0
 
 
@@ -202,26 +456,50 @@ def cmd_check(path: Path) -> int:
     if not path.exists():
         print(f"no baseline at {path}; run with --write first", file=sys.stderr)
         return 2
-    baseline = json.loads(path.read_text())
+    baseline = _load_baseline(path)
     tolerance = float(baseline.get("tolerance", TOLERANCE))
-    scores = measure()
+    floors = baseline.get("floors_records_per_sec", {})
+    measured = measure()
     failed = False
-    print(f"{'kernel':24s} {'baseline':>10s} {'current':>10s} {'ratio':>8s}")
+    print(
+        f"{'kernel':26s} {'baseline':>10s} {'current':>10s} {'ratio':>8s} "
+        f"{'rec/s':>14s} {'floor':>12s}"
+    )
     for name, base in sorted(baseline["kernels"].items()):
-        current = scores.get(name)
-        if current is None:
-            print(f"{name:24s} {base:10.4f} {'MISSING':>10s}")
+        m = measured.get(name)
+        if m is None:
+            print(f"{name:26s} {base:10.4f} {'MISSING':>10s}")
             failed = True
             continue
-        ratio = current / base
-        verdict = "FAIL" if ratio > 1 + tolerance else "ok"
-        if verdict == "FAIL":
+        ratio = m["score"] / base
+        floor = floors.get(name, 0.0)
+        ok = ratio <= 1 + tolerance and m["records_per_sec"] >= floor
+        if not ok:
             failed = True
-        print(f"{name:24s} {base:10.4f} {current:10.4f} {ratio:7.2f}x  {verdict}")
+        print(
+            f"{name:26s} {base:10.4f} {m['score']:10.4f} {ratio:7.2f}x "
+            f"{m['records_per_sec']:14,.0f} {floor:12,.0f}  "
+            f"{'ok' if ok else 'FAIL'}"
+        )
+    for batch, (twin, bound) in sorted(BATCH_BEATS.items()):
+        if batch not in measured or twin not in measured:
+            continue
+        ratio = measured[batch]["score"] / measured[twin]["score"]
+        ok = ratio <= bound
+        if not ok:
+            failed = True
+        print(
+            f"{batch:26s} vs {twin}: {ratio:.3f} "
+            f"(required <= {bound})  {'ok' if ok else 'FAIL'}"
+        )
     if failed:
-        print(f"\nperfguard: regression beyond {tolerance:.0%} tolerance", file=sys.stderr)
+        print(
+            f"\nperfguard: regression beyond {tolerance:.0%} tolerance "
+            f"or throughput floor breached",
+            file=sys.stderr,
+        )
         return 1
-    print(f"\nperfguard: all kernels within {tolerance:.0%} of baseline")
+    print(f"\nperfguard: all kernels within {tolerance:.0%} of baseline and above floors")
     return 0
 
 
@@ -230,9 +508,18 @@ def main(argv=None) -> int:
     mode = parser.add_mutually_exclusive_group(required=True)
     mode.add_argument("--write", action="store_true", help="record a new baseline")
     mode.add_argument("--check", action="store_true", help="compare against baseline")
+    mode.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="deterministically re-record entries that drifted out of band",
+    )
     parser.add_argument("--baseline", type=Path, default=BASELINE_PATH)
     args = parser.parse_args(argv)
-    return cmd_write(args.baseline) if args.write else cmd_check(args.baseline)
+    if args.write:
+        return cmd_write(args.baseline)
+    if args.update_baseline:
+        return cmd_update_baseline(args.baseline)
+    return cmd_check(args.baseline)
 
 
 if __name__ == "__main__":

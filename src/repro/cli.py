@@ -97,7 +97,10 @@ def _run_real(
     executor: str | None = None,
     tracer: Any = None,
     journal: Any = None,
+    batch: bool = False,
 ) -> Any:
+    import dataclasses
+
     from repro.core.engine import OnePassEngine
     from repro.mapreduce.hop import HOPEngine
     from repro.mapreduce.runtime import HadoopEngine, LocalCluster
@@ -105,17 +108,22 @@ def _run_real(
     records_fn, sm_job, op_job = _build_jobs(workload)
     cluster = LocalCluster(num_nodes=nodes, block_size=256 * 1024)
     cluster.hdfs.write_records("in", records_fn(records))
-    if engine == "hadoop":
-        return HadoopEngine(
+    if engine in ("hadoop", "hop"):
+        job = sm_job("in", "out")
+        if batch:
+            job = job.with_config(batch=True)
+        engine_cls = HadoopEngine if engine == "hadoop" else HOPEngine
+        return engine_cls(
             cluster, executor=executor, tracer=tracer, journal=journal
-        ).run(sm_job("in", "out"))
-    if engine == "hop":
-        return HOPEngine(
-            cluster, executor=executor, tracer=tracer, journal=journal
-        ).run(sm_job("in", "out"))
+        ).run(job)
+    op = op_job("in", "out")
+    if batch:
+        op = dataclasses.replace(
+            op, config=dataclasses.replace(op.config, batch=True)
+        )
     return OnePassEngine(
         cluster, executor=executor, tracer=tracer, journal=journal
-    ).run(op_job("in", "out"))
+    ).run(op)
 
 
 def _apply_log_level(args: argparse.Namespace) -> None:
@@ -191,6 +199,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         args.executor,
         tracer,
         journal,
+        batch=args.batch,
     )
     _print_counters(
         result, f"{args.workload} on {args.engine} ({args.records} records)"
@@ -472,6 +481,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="write a crash-consistent job journal to DIR (resumable with "
         "'repro resume DIR')",
+    )
+    p_run.add_argument(
+        "--batch",
+        action="store_true",
+        help="use the columnar batch kernel path (byte-identical output; "
+        "see docs/PERFORMANCE.md)",
     )
     add_trace_flags(p_run)
     p_run.set_defaults(fn=cmd_run)

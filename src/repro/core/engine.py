@@ -85,6 +85,10 @@ class OnePassConfig:
     hotset_capacity: int = 1024
     spill_partitions: int = 8
     map_side_combine: bool = True
+    #: Batch kernel path: map output and pushed chunks are folded through
+    #: the hoisted ``add_batch``/``update_batch`` loops (see
+    #: docs/PERFORMANCE.md).  Byte-identical output; CPU cost only.
+    batch: bool = False
 
     def __post_init__(self) -> None:
         if self.num_reducers < 1:
@@ -211,19 +215,28 @@ class OnePassReduceTask:
         spill0 = counters[C.REDUCE_SPILL_BYTES] if trc.enabled else 0
         perf = time.perf_counter
         t0 = perf()
+        batch = self.job.config.batch
         if self._incremental is not None:
-            update = self._incremental.update
-            for key, value in pairs:
-                update(key, value)
+            if batch:
+                self._incremental.update_batch(pairs)
+            else:
+                update = self._incremental.update
+                for key, value in pairs:
+                    update(key, value)
         elif self._hotset is not None:
+            # Tuple fallback: hot-set cache admission/eviction decisions are
+            # inherently per-pair, so there is no batch variant to take.
             update = self._hotset.update
             for key, value in pairs:
                 update(key, value)
         else:
             assert self._grouper is not None
-            add = self._grouper.add
-            for key, value in pairs:
-                add(key, value)
+            if batch:
+                self._grouper.add_batch(pairs)
+            else:
+                add = self._grouper.add
+                for key, value in pairs:
+                    add(key, value)
         counters.inc(C.T_HASH, perf() - t0)
         if trc.enabled:
             spilled = counters[C.REDUCE_SPILL_BYTES] - spill0
@@ -369,6 +382,7 @@ def execute_onepass_map(
     t_map_fn = 0.0
     t_hash = 0.0
     n_in = 0
+    use_batch = cfg.batch
     with tracer.span(
         "map", "map", node=node, task=f"map:{task_id:05d}"
     ) as map_span:
@@ -377,8 +391,11 @@ def execute_onepass_map(
             t0 = perf()
             emitted = list(map_fn(record))
             t1 = perf()
-            for key, value in emitted:
-                buffer.add(key, value)
+            if use_batch:
+                buffer.add_batch(emitted)
+            else:
+                for key, value in emitted:
+                    buffer.add(key, value)
             t_hash += perf() - t1
             t_map_fn += t1 - t0
         t0 = perf()

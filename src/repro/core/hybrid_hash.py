@@ -140,6 +140,42 @@ class HybridHashGrouper:
             return
         self._spill(key, value)
 
+    def add_batch(self, pairs: list[tuple[Any, Any]]) -> None:
+        """Route many pairs; identical end state to per-pair :meth:`add`.
+
+        The hoisted loop runs only while the table is unfrozen, with the
+        budget check after every pair so the freeze lands on exactly the
+        same pair as the tuple path; frozen-path pairs (disk routing,
+        evictions) fall back to per-pair :meth:`add`.
+        """
+        if self._finished:
+            raise RuntimeError("grouper already finished")
+        i = 0
+        n = len(pairs)
+        if not self._frozen:
+            table = self._table
+            update = table.update
+            merge = table.merge_state
+            budget = self.memory_bytes
+            while i < n:
+                key, value = pairs[i]
+                i += 1
+                if isinstance(value, SpilledState):
+                    merge(key, value.state)
+                else:
+                    update(key, value)
+                if table.used_bytes > budget:
+                    self._frozen = True
+                    self.counters.set_max(
+                        C.HASH_STATE_BYTES_PEAK, table.used_bytes
+                    )
+                    break
+        add = self.add
+        while i < n:
+            key, value = pairs[i]
+            add(key, value)
+            i += 1
+
     def _absorb(self, key: Any, value: Any) -> None:
         if isinstance(value, SpilledState):
             self._table.merge_state(key, value.state)

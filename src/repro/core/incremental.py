@@ -148,6 +148,37 @@ class IncrementalHash:
         ):
             self._freeze()
 
+    def update_batch(self, pairs: list[tuple[Any, Any]]) -> None:
+        """Fold many pairs; identical end state to per-pair :meth:`update`.
+
+        The hoisted fast loop applies only when no per-pair side effects
+        can fire — unbounded memory, no emit policy, no overflow.  With
+        any of those active the batch falls back to per-pair updates so
+        freeze points and early emissions land on exactly the same pair.
+        """
+        if self._finished:
+            raise RuntimeError("incremental hash already finished")
+        if (
+            self.memory_bytes is None
+            and self.emit_policy is None
+            and self._overflow is None
+        ):
+            table = self._table
+            update = table.update
+            merge = table.merge_state
+            n = 0
+            for key, value in pairs:
+                n += 1
+                if isinstance(value, SpilledState):
+                    merge(key, value.state)
+                else:
+                    update(key, value)
+            self.updates += n
+            return
+        update_one = self.update
+        for key, value in pairs:
+            update_one(key, value)
+
     def merge_state(self, key: Any, state: AggregateState) -> None:
         """Fold a partial state (e.g. a pushed combiner output)."""
         self.update(key, SpilledState(state))

@@ -70,6 +70,31 @@ class ScanPartitionBuffer:
         if self._bytes[partition] >= self.buffer_bytes:
             self._flush(partition)
 
+    def add_batch(self, pairs: list[tuple[Any, Any]]) -> None:
+        """Partition many pairs; identical chunks to per-pair :meth:`add`.
+
+        The flush threshold is still checked after every pair, so chunk
+        boundaries (and hence pushed-chunk contents) match the tuple path
+        exactly — only the per-pair attribute lookups are hoisted.
+        """
+        partitioner = self.partitioner
+        num_partitions = self.num_partitions
+        buffers = self._buffers
+        sizes = self._bytes
+        budget = self.buffer_bytes
+        flush = self._flush
+        n = 0
+        for key, value in pairs:
+            n += 1
+            partition = partitioner(key, num_partitions)
+            buffers[partition].append((key, value))
+            sizes[partition] += (
+                estimate_size(key) + estimate_size(value) + _PAIR_OVERHEAD
+            )
+            if sizes[partition] >= budget:
+                flush(partition)
+        self.counters.inc(C.MAP_OUTPUT_RECORDS, n)
+
     def _flush(self, partition: int) -> None:
         pairs = self._buffers[partition]
         if not pairs:
@@ -125,6 +150,25 @@ class MapSideHashCombiner:
         self.counters.inc(C.MAP_OUTPUT_RECORDS)
         if self.used_bytes >= self.memory_bytes:
             self.flush()
+
+    def add_batch(self, pairs: list[tuple[Any, Any]]) -> None:
+        """Aggregate many pairs; identical flushes to per-pair :meth:`add`.
+
+        The shared-budget check still runs after every pair (a flush must
+        trigger at the same pair as the tuple path); the win is hoisting
+        the partitioner and table lookups out of the dispatch.
+        """
+        partitioner = self.partitioner
+        num_partitions = self.num_partitions
+        tables = self._tables
+        memory = self.memory_bytes
+        n = 0
+        for key, value in pairs:
+            n += 1
+            tables[partitioner(key, num_partitions)].update(key, value)
+            if self.used_bytes >= memory:
+                self.flush()
+        self.counters.inc(C.MAP_OUTPUT_RECORDS, n)
 
     def flush(self) -> None:
         """Emit every partition's partial states downstream and reset."""

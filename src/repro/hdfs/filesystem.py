@@ -60,6 +60,12 @@ class HDFS:
         self.namenode = NameNode(list(datanodes), replication=replication)
         self.block_size = block_size
         self._codecs: dict[str, RecordCodec] = {"binary": BinaryCodec()}
+        #: Optional chained-job block cache (duck-typed; see
+        #: :class:`repro.mapreduce.chain.PartitionCache`).  When set,
+        #: registered paths' block bytes bypass the DataNodes entirely:
+        #: placement metadata is still allocated (same cursor positions,
+        #: same locality hints), but the data lives in the cache.
+        self.block_cache: Any = None
 
     # -- codec registry -----------------------------------------------------
 
@@ -133,6 +139,10 @@ class HDFS:
         block = self.namenode.place_block(
             path, len(data), records, preferred=writer_node
         )
+        cache = self.block_cache
+        if cache is not None and cache.captures(path):
+            cache.store(block.block_id, data)
+            return block
         for node in block.replicas:
             self.datanodes[node].store_block(block.block_id, data)
         return block
@@ -174,6 +184,11 @@ class HDFS:
         HDFS clients do; only when every replica is gone does the read
         raise :class:`FileNotFoundError`.
         """
+        cache = self.block_cache
+        if cache is not None and cache.captures(block_id.path):
+            data = cache.get(block_id)
+            if data is not None:
+                return data
         replicas = self.namenode.locate(block_id)
         order = list(replicas)
         if from_node in replicas:
@@ -233,6 +248,12 @@ class HDFS:
             return report
         self.namenode.decommission(node)
         under, lost = self.namenode.drop_node_replicas(node)
+        cache = self.block_cache
+        if cache is not None:
+            # Cache-resident blocks never lived on the DataNodes: they are
+            # neither lost with the node nor in need of re-replication.
+            lost = [b for b in lost if not cache.holds(b)]
+            under = [b for b in under if not cache.holds(b.block_id)]
         report.lost_blocks = lost
         for block in under:
             target = self.namenode.choose_replacement(block)
@@ -249,6 +270,10 @@ class HDFS:
 
     def delete_file(self, path: str) -> None:
         info = self.namenode.delete_file(path)
+        cache = self.block_cache
+        if cache is not None and cache.captures(path):
+            cache.release(path)
+            return
         for block in info.blocks:
             for node in block.replicas:
                 self.datanodes[node].delete_block(block.block_id)

@@ -48,6 +48,11 @@ class JobConfig:
         hash partitions) to the reducer's local disk.
     combine_on_spill:
         Apply the combiner when spilling, as Hadoop does.
+    batch:
+        Use the columnar batch kernel path (per-batch partition fanout,
+        per-bucket sorts, concat-and-stable-sort merges; see
+        ``repro.io.batch`` and docs/PERFORMANCE.md).  Output is
+        byte-identical to the tuple path; only CPU cost changes.
     """
 
     num_reducers: int = 2
@@ -55,6 +60,7 @@ class JobConfig:
     merge_factor: int = 10
     reduce_buffer_bytes: int = 32 * 1024 * 1024
     combine_on_spill: bool = True
+    batch: bool = False
 
     def __post_init__(self) -> None:
         if self.num_reducers < 1:
@@ -101,6 +107,7 @@ class MapReduceJob:
             merge_factor=self.config.merge_factor,
             reduce_buffer_bytes=self.config.reduce_buffer_bytes,
             combine_on_spill=self.config.combine_on_spill,
+            batch=self.config.batch,
         )
         for key, value in overrides.items():
             if not hasattr(cfg, key):

@@ -103,6 +103,13 @@ class C:
     # sort detail
     SORT_RECORDS = "sort.records"
 
+    # chained-job partition cache (coordinator-level; repro.mapreduce.chain)
+    CACHE_HITS = "cache.hits"
+    CACHE_MISSES = "cache.misses"
+    CACHE_SPILLS = "cache.spills"
+    CACHE_SPILL_BYTES = "cache.spill.bytes"
+    CACHE_DEDUP_HITS = "cache.dedup.hits"
+
 
 class Counters:
     """A mergeable bag of named numeric counters and timers."""

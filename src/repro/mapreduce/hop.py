@@ -28,6 +28,7 @@ from operator import itemgetter
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.exec import resolve_executor
+from repro.io.batch import merge_segments, sort_bucket
 from repro.io.disk import LocalDisk
 from repro.io.runio import stream_run, write_run
 from repro.mapreduce.api import MapReduceJob
@@ -146,7 +147,10 @@ class PipelinedReduceTask:
             bytes=nbytes,
             segments=len(segments),
         ):
-            self._merger.add_run(merge_sorted([iter(s) for s in segments]))
+            if self.job.config.batch:
+                self._merger.add_run(merge_segments(segments))
+            else:
+                self._merger.add_run(merge_sorted([iter(s) for s in segments]))
 
     # -- snapshots -----------------------------------------------------------
 
@@ -161,14 +165,22 @@ class PipelinedReduceTask:
         with self.tracer.span(
             "snapshot", "snapshot", node=self.node, task=self._task, fraction=fraction
         ) as snap_span:
-            streams: list[Iterator[tuple[Any, Any]]] = [
-                iter(seg) for seg in self._memory
-            ]
-            for path, nbytes in self._merger.run_paths:
-                streams.append(stream_run(self.disk, path))
-                self.counters.inc(C.MERGE_READ_BYTES, nbytes)
-            with self.counters.timer(C.T_MERGE):
-                merged = list(merge_sorted(streams))
+            if self.job.config.batch:
+                segments: list[Iterable[tuple[Any, Any]]] = list(self._memory)
+                for path, nbytes in self._merger.run_paths:
+                    segments.append(list(stream_run(self.disk, path)))
+                    self.counters.inc(C.MERGE_READ_BYTES, nbytes)
+                with self.counters.timer(C.T_MERGE):
+                    merged = merge_segments(segments)
+            else:
+                streams: list[Iterator[tuple[Any, Any]]] = [
+                    iter(seg) for seg in self._memory
+                ]
+                for path, nbytes in self._merger.run_paths:
+                    streams.append(stream_run(self.disk, path))
+                    self.counters.inc(C.MERGE_READ_BYTES, nbytes)
+                with self.counters.timer(C.T_MERGE):
+                    merged = list(merge_sorted(streams))
             output: list[Any] = []
             with self.counters.timer(C.T_REDUCE_FN):
                 for key, values in group_sorted(iter(merged)):
@@ -185,9 +197,10 @@ class PipelinedReduceTask:
             "reduce", "reduce", node=self.node, task=self._task
         ) as reduce_span:
             if self._merger.run_count == 0:
-                stream: Iterator[tuple[Any, Any]] = merge_sorted(
-                    [iter(s) for s in self._memory]
-                )
+                if self.job.config.batch:
+                    stream: Iterable[tuple[Any, Any]] = merge_segments(self._memory)
+                else:
+                    stream = merge_sorted([iter(s) for s in self._memory])
             else:
                 self._spill_memory()
                 stream = self._merger.final_merge()
@@ -256,29 +269,74 @@ class _PipelinedMapTask:
         with self.tracer.span(
             "map", "map", node=self.node, task=self._task
         ) as map_span:
-            chunk: list[tuple[int, Any, Any]] = []
-            map_fn = self.job.map_fn
-            perf = time.perf_counter
-            t_map = 0.0
-            n_in = 0
-            num_partitions = self.job.config.num_reducers
-            for record in records:
-                n_in += 1
-                t0 = perf()
-                emitted = list(map_fn(record))
-                t_map += perf() - t0
-                for key, value in emitted:
-                    chunk.append((self.partitioner(key, num_partitions), key, value))
-                    counters.inc(C.MAP_OUTPUT_RECORDS)
-                if len(chunk) >= self.hop.granularity_records:
-                    self._emit_chunk(chunk)
-                    chunk = []
-            if chunk:
-                self._emit_chunk(chunk)
+            if self.job.config.batch:
+                n_in, t_map = self._run_batch(records)
+            else:
+                n_in, t_map = self._run_tuple(records)
             counters.inc(C.MAP_INPUT_RECORDS, n_in)
             counters.inc(C.T_MAP_FN, t_map)
             map_span.set_cost(max(1, n_in))
             map_span.set(records=n_in, bytes=input_bytes)
+
+    def _run_tuple(self, records: Iterable[Any]) -> tuple[int, float]:
+        counters = self.counters
+        chunk: list[tuple[int, Any, Any]] = []
+        map_fn = self.job.map_fn
+        perf = time.perf_counter
+        t_map = 0.0
+        n_in = 0
+        num_partitions = self.job.config.num_reducers
+        for record in records:
+            n_in += 1
+            t0 = perf()
+            emitted = list(map_fn(record))
+            t_map += perf() - t0
+            for key, value in emitted:
+                chunk.append((self.partitioner(key, num_partitions), key, value))
+                counters.inc(C.MAP_OUTPUT_RECORDS)
+            if len(chunk) >= self.hop.granularity_records:
+                self._emit_chunk(chunk)
+                chunk = []
+        if chunk:
+            self._emit_chunk(chunk)
+        return n_in, t_map
+
+    def _run_batch(self, records: Iterable[Any]) -> tuple[int, float]:
+        """Batch path: fan out at append time, per-bucket sorts per chunk.
+
+        Chunk boundaries match the tuple path exactly — the granularity
+        check runs after each input record, on the same pending-pair
+        count — so spill/emit points and combiner group boundaries are
+        identical.
+        """
+        counters = self.counters
+        map_fn = self.job.map_fn
+        partitioner = self.partitioner
+        perf = time.perf_counter
+        t_map = 0.0
+        n_in = 0
+        num_partitions = self.job.config.num_reducers
+        buckets: list[list[tuple[Any, Any]]] = [[] for _ in range(num_partitions)]
+        appends = [b.append for b in buckets]
+        pending = 0
+        granularity = self.hop.granularity_records
+        for record in records:
+            n_in += 1
+            t0 = perf()
+            emitted = list(map_fn(record))
+            t_map += perf() - t0
+            for key, value in emitted:
+                appends[partitioner(key, num_partitions)]((key, value))
+                counters.inc(C.MAP_OUTPUT_RECORDS)
+                pending += 1
+            if pending >= granularity:
+                self._emit_buckets(buckets, pending)
+                buckets = [[] for _ in range(num_partitions)]
+                appends = [b.append for b in buckets]
+                pending = 0
+        if pending:
+            self._emit_buckets(buckets, pending)
+        return n_in, t_map
 
     def _emit_chunk(self, chunk: list[tuple[int, Any, Any]]) -> None:
         """Sort one mini-chunk and emit its partition pieces in order."""
@@ -335,6 +393,73 @@ class _PipelinedMapTask:
                         self.counters.inc(C.COMBINE_OUTPUT_RECORDS)
             comb_span.set(records_in=len(chunk), records_out=len(out))
         return out
+
+    def _emit_buckets(
+        self, buckets: list[list[tuple[Any, Any]]], total: int
+    ) -> None:
+        """Batch twin of :meth:`_emit_chunk`: per-bucket sorts, same spans.
+
+        One "sort" span covers all bucket sorts (cost and record count
+        equal the tuple path's single chunk sort); emission walks buckets
+        in ascending partition order, which is the order the tuple path's
+        ``(partition, key)``-sorted chunk yields its partition slices.
+        """
+        with self.tracer.span(
+            "sort",
+            "sort",
+            node=self.node,
+            task=self._task,
+            cost=max(1, total),
+            records=total,
+        ):
+            with self.counters.timer(C.T_SORT):
+                for bucket in buckets:
+                    if bucket:
+                        sort_bucket(bucket)
+        self.counters.inc(C.SORT_RECORDS, total)
+
+        if self.job.has_combiner and self.job.config.combine_on_spill:
+            buckets = self._combine_buckets(buckets, total)
+
+        for partition, pairs in enumerate(buckets):
+            if not pairs:
+                continue
+            nbytes = 48 * len(pairs) + 64  # framed-size proxy for transport
+            self.emit(partition, pairs, nbytes)
+
+    def _combine_buckets(
+        self, buckets: list[list[tuple[Any, Any]]], total: int
+    ) -> list[list[tuple[Any, Any]]]:
+        combine_fn = self.job.combine_fn
+        assert combine_fn is not None
+        out_buckets: list[list[tuple[Any, Any]]] = []
+        total_out = 0
+        with self.tracer.span(
+            "combine",
+            "combine",
+            node=self.node,
+            task=self._task,
+            cost=max(1, total),
+        ) as comb_span:
+            with self.counters.timer(C.T_COMBINE):
+                for bucket in buckets:
+                    out: list[tuple[Any, Any]] = []
+                    i = 0
+                    n = len(bucket)
+                    while i < n:
+                        key = bucket[i][0]
+                        values = []
+                        while i < n and bucket[i][0] == key:
+                            values.append(bucket[i][1])
+                            i += 1
+                        self.counters.inc(C.COMBINE_INPUT_RECORDS, len(values))
+                        for k, v in combine_fn(key, iter(values)):
+                            out.append((k, v))
+                            self.counters.inc(C.COMBINE_OUTPUT_RECORDS)
+                    out_buckets.append(out)
+                    total_out += len(out)
+            comb_span.set(records_in=total, records_out=total_out)
+        return out_buckets
 
 class _FrozenStageRouter:
     """Fault-path emit router: buffer everything, stage by frozen backlogs.

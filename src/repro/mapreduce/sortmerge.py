@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from operator import itemgetter
 from typing import Any, Iterable, Iterator
 
+from repro.io.batch import merge_segments, sort_bucket
 from repro.io.disk import LocalDisk
 from repro.io.runio import stream_run, write_run
 from repro.io.serialization import estimate_size
@@ -242,6 +243,106 @@ class _SortSpillBuffer:
                 yield out
 
 
+class _BatchSortSpillBuffer(_SortSpillBuffer):
+    """The columnar batch path of the map-side buffer (``config.batch``).
+
+    Pairs fan out into one bucket per partition *at add time* — the
+    partition never needs to ride along as a tuple element or be compared
+    during sorting.  A spill stably sorts each bucket by key alone
+    (:func:`repro.io.batch.sort_bucket`); because the tuple path's
+    global ``(partition, key)`` sort is also stable, the concatenation of
+    sorted buckets in ascending partition order is the *same record
+    sequence*, so the spill files, counters and spans below are
+    byte-identical to the tuple path's.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._buckets: list[list[tuple[Any, Any]]] = [
+            [] for _ in range(self.job.config.num_reducers)
+        ]
+
+    def add(self, key: Any, value: Any) -> None:
+        partition = self.partitioner(key, self.job.config.num_reducers)
+        self._buckets[partition].append((key, value))
+        self._bytes += estimate_size(key) + estimate_size(value) + _RECORD_OVERHEAD
+        self.counters.inc(C.MAP_OUTPUT_RECORDS)
+        if self._bytes >= self.job.config.map_buffer_bytes:
+            self.spill()
+
+    def spill(self) -> None:
+        """Per-bucket sort + combine + write; one spill, same observables."""
+        total = sum(len(bucket) for bucket in self._buckets)
+        if not total:
+            return
+        buckets = self._buckets
+        self._buckets = [[] for _ in range(self.job.config.num_reducers)]
+        self._bytes = 0
+
+        with self.tracer.span(
+            "sort", "sort", node=self.node, task=self._task, cost=total
+        ) as sort_span:
+            sort_span.set(records=total)
+            with self.counters.timer(C.T_SORT):
+                for bucket in buckets:
+                    if bucket:
+                        sort_bucket(bucket)
+        self.counters.inc(C.SORT_RECORDS, total)
+
+        if self.job.has_combiner and self.job.config.combine_on_spill:
+            buckets = self._combine_buckets(buckets, total)
+
+        segments: dict[int, tuple[str, int, int]] = {}
+        spill_bytes = 0
+        with self.tracer.span(
+            "spill", "spill", node=self.node, task=self._task
+        ) as spill_span:
+            for partition, pairs in enumerate(buckets):
+                if not pairs:
+                    continue
+                path = f"mapspill/{self.task_id:05d}/s{self._spill_seq:03d}-p{partition:03d}"
+                nbytes = write_run(self.disk, path, pairs)
+                segments[partition] = (path, nbytes, len(pairs))
+                self.counters.inc(C.MAP_SPILL_BYTES, nbytes)
+                spill_bytes += nbytes
+            spill_span.set(bytes=spill_bytes, segments=len(segments))
+            spill_span.set_cost(byte_cost(spill_bytes))
+        self.spill_segments.append(segments)
+        self.counters.inc(C.MAP_SPILLS)
+        self._spill_seq += 1
+
+    def _combine_buckets(
+        self, buckets: list[list[tuple[Any, Any]]], total: int
+    ) -> list[list[tuple[Any, Any]]]:
+        """Combine each sorted bucket; one span over all, like the tuple path."""
+        combine_fn = self.job.combine_fn
+        assert combine_fn is not None
+        out_buckets: list[list[tuple[Any, Any]]] = []
+        total_out = 0
+        with self.tracer.span(
+            "combine", "combine", node=self.node, task=self._task, cost=total
+        ) as combine_span, self.counters.timer(C.T_COMBINE):
+            for pairs in buckets:
+                out: list[tuple[Any, Any]] = []
+                i = 0
+                n = len(pairs)
+                while i < n:
+                    key = pairs[i][0]
+                    j = i + 1
+                    while j < n and pairs[j][0] == key:
+                        j += 1
+                    values = [p[1] for p in pairs[i:j]]
+                    i = j
+                    self.counters.inc(C.COMBINE_INPUT_RECORDS, len(values))
+                    for out_pair in combine_fn(key, iter(values)):
+                        out.append(out_pair)
+                        self.counters.inc(C.COMBINE_OUTPUT_RECORDS)
+                out_buckets.append(out)
+                total_out += len(out)
+            combine_span.set(records_in=total, records_out=total_out)
+        return out_buckets
+
+
 class SortMergeMapTask:
     """Executes one map task over one input split (one HDFS block)."""
 
@@ -268,7 +369,10 @@ class SortMergeMapTask:
         counters = self.counters
         counters.inc(C.MAP_TASKS)
         counters.inc(C.MAP_INPUT_BYTES, input_bytes)
-        buffer = _SortSpillBuffer(
+        buffer_cls = (
+            _BatchSortSpillBuffer if self.job.config.batch else _SortSpillBuffer
+        )
+        buffer = buffer_cls(
             self.job,
             self.disk,
             self.task_id,
@@ -360,9 +464,12 @@ class SortMergeReduceTask:
             bytes=nbytes,
             segments=len(segments),
         ):
-            merged: Iterable[tuple[Any, Any]] = merge_sorted(
-                [iter(s) for s in segments]
-            )
+            if self.job.config.batch:
+                # Concat-in-stream-order + stable key sort: same sequence
+                # as the heap merge (both stable w.r.t. stream order).
+                merged: Iterable[tuple[Any, Any]] = merge_segments(segments)
+            else:
+                merged = merge_sorted([iter(s) for s in segments])
             if self.job.has_combiner and self.job.config.combine_on_spill:
                 merged = _combine_sorted_stream(self.job, merged, self.counters)
             self._merger.add_run(merged)
@@ -401,9 +508,10 @@ class SortMergeReduceTask:
         ) as reduce_span:
             if self._merger.run_count == 0:
                 # Everything fits in memory: final merge happens purely in RAM.
-                stream: Iterator[tuple[Any, Any]] = merge_sorted(
-                    [iter(s) for s in self._memory]
-                )
+                if self.job.config.batch:
+                    stream: Iterable[tuple[Any, Any]] = merge_segments(self._memory)
+                else:
+                    stream = merge_sorted([iter(s) for s in self._memory])
             else:
                 self._spill_memory()
                 stream = self._merger.final_merge()

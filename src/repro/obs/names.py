@@ -31,6 +31,8 @@ SPAN_NAMES = frozenset(
         "replay",
         # journal resume: committed output re-emitted without recompute
         "journal-replay",
+        # partition-cache spill: cached block bytes re-encoded to local disk
+        "batch.encode",
         # whole-phase envelopes (recorded via ``add_span``)
         "map-phase",
         "reduce-phase",
@@ -55,5 +57,8 @@ EVENT_NAMES = frozenset(
         "journal.commit",
         "journal.truncated",
         "chaos.crashpoint",
+        # chained-job partition cache
+        "cache.register",
+        "cache.spill",
     }
 )

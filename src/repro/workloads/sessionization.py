@@ -24,6 +24,12 @@ __all__ = [
     "sessionization_job",
     "sessionization_onepass_job",
     "reference_sessions",
+    "user_of_session",
+    "session_count_job",
+    "session_count_onepass_job",
+    "session_log_reduce",
+    "session_log_job",
+    "session_log_onepass_job",
 ]
 
 DEFAULT_GAP = 1800.0
@@ -109,6 +115,115 @@ def sessionization_onepass_job(
         config=cfg,
         input_path=input_path,
         output_path=output_path,
+    )
+
+
+def user_of_session(record: tuple[int, float, tuple[str, ...]]) -> int:
+    """Key extractor for chaining: the user of one session record."""
+    return record[0]
+
+
+def session_log_reduce(
+    user: int, clicks: Iterator[tuple[float, str]], *, gap: float = DEFAULT_GAP
+) -> Iterator[tuple[int, float, float, str]]:
+    """Emit the *reordered click log*: one record per click, session-tagged.
+
+    This is the paper's literal sessionization output ("reorders click
+    logs into individual user sessions"): the input click stream, grouped
+    by user and stamped with its session start — so the output is the
+    same cardinality as the input, which is what makes it the natural
+    stage one of a chained pipeline.
+    """
+    for session in _split_sessions(clicks, gap):
+        start = session[0][0]
+        for timestamp, url in session:
+            yield (user, start, timestamp, url)
+
+
+def session_log_job(
+    input_path: str,
+    output_path: str,
+    *,
+    gap: float = DEFAULT_GAP,
+    config: JobConfig | None = None,
+) -> MapReduceJob:
+    """Sort-merge form of the reordered-click-log variant."""
+
+    def reduce_fn(user: int, clicks: Iterator[tuple[float, str]]) -> Iterable[Any]:
+        return session_log_reduce(user, clicks, gap=gap)
+
+    return MapReduceJob(
+        name="session-log",
+        map_fn=session_map,
+        reduce_fn=reduce_fn,
+        combine_fn=None,
+        config=config or JobConfig(),
+        input_path=input_path,
+        output_path=output_path,
+    )
+
+
+def session_log_onepass_job(
+    input_path: str,
+    output_path: str,
+    *,
+    gap: float = DEFAULT_GAP,
+    config: OnePassConfig | None = None,
+) -> OnePassJob:
+    """One-pass form of the reordered-click-log variant (hybrid grouping)."""
+    cfg = config or OnePassConfig(mode="hybrid", map_side_combine=False)
+
+    def finalize(user: int, sessions: list[list[tuple[float, str]]]) -> Iterator[Any]:
+        for session in sessions:
+            start = session[0][0]
+            for timestamp, url in session:
+                yield (user, start, timestamp, url)
+
+    return OnePassJob(
+        name="session-log-onepass",
+        map_fn=session_map,
+        aggregator=sessionize(gap),
+        finalize=finalize,
+        config=cfg,
+        input_path=input_path,
+        output_path=output_path,
+    )
+
+
+def session_count_job(
+    input_path: str,
+    output_path: str,
+    *,
+    config: JobConfig | None = None,
+) -> MapReduceJob:
+    """Stage two of the chained pipeline: sessions per user (sort-merge).
+
+    Consumes the ``(user, session_start, urls)`` records stage one emits —
+    the canonical two-job chain the partition cache
+    (:mod:`repro.mapreduce.chain`) accelerates.
+    """
+    from repro.workloads.counting import counting_job
+
+    return counting_job(
+        "session-count", user_of_session, input_path, output_path, config=config
+    )
+
+
+def session_count_onepass_job(
+    input_path: str,
+    output_path: str,
+    *,
+    config: OnePassConfig | None = None,
+) -> OnePassJob:
+    """Stage two of the chained pipeline, one-pass form (SUM states)."""
+    from repro.workloads.counting import counting_onepass_job
+
+    return counting_onepass_job(
+        "session-count-onepass",
+        user_of_session,
+        input_path,
+        output_path,
+        config=config,
     )
 
 

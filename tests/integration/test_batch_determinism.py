@@ -1,0 +1,208 @@
+"""Tuple-vs-batch byte identity: the batch kernel path's contract.
+
+``--batch`` switches the hot kernels (partition fanout, sorting,
+combining, merging, hash aggregation) to the columnar batch-at-a-time
+implementations in :mod:`repro.io.batch` and the ``add_batch`` /
+``update_batch`` fast paths.  The contract is *byte identity*: every
+observable of a run — output records in order, HDFS file bytes, all
+counters except wall-clock timers — must be exactly what the tuple path
+produces, on every engine, under every executor, and under injected
+faults with a journal resume in the middle.  Anything less and the
+batch path would not be an optimisation but a different engine.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.engine import OnePassConfig, OnePassEngine
+from repro.mapreduce.api import JobConfig
+from repro.mapreduce.hop import HOPConfig, HOPEngine
+from repro.mapreduce.runtime import HadoopEngine, LocalCluster
+
+from tests.integration.test_engines_agree import (
+    _snapshot,
+    _workload_jobs,
+    fresh_cluster,
+)
+
+WORKLOADS = (
+    "page-frequency",
+    "per-user-count",
+    "sessionization",
+    "inverted-index",
+)
+ENGINE_CLASSES = {
+    "hadoop": HadoopEngine,
+    "hop": HOPEngine,
+    "onepass": OnePassEngine,
+}
+
+
+def _job_for(engine, workload, batch, config=None):
+    sm_job, op_job, _ = _workload_jobs(workload)
+    if engine == "onepass":
+        job = op_job("in", "out")
+        cfg = config if config is not None else job.config
+        if batch:
+            cfg = dataclasses.replace(cfg, batch=True)
+        return dataclasses.replace(job, config=cfg)
+    job = sm_job("in", "out")
+    if config is not None:
+        job = dataclasses.replace(job, config=config)
+    if batch:
+        job = job.with_config(batch=True)
+    return job
+
+
+class TestFourWorkloadsThreeEngines:
+    """The full matrix: every workload on every engine, tuple vs batch."""
+
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    @pytest.mark.parametrize("engine", sorted(ENGINE_CLASSES))
+    def test_batch_is_byte_identical(self, request, engine, workload):
+        records = request.getfixturevalue(_workload_jobs(workload)[2])
+
+        def run(batch):
+            cluster = fresh_cluster(records)
+            result = ENGINE_CLASSES[engine](cluster).run(
+                _job_for(engine, workload, batch)
+            )
+            return _snapshot(cluster, result)
+
+        assert run(True) == run(False), (engine, workload)
+
+
+class TestSpillPressure:
+    """Identity must survive the memory-pressure paths — spills, multipass
+    merges, hash freezes — where the batch code's trigger checks have to
+    fire on exactly the pair the tuple path fires on."""
+
+    @pytest.mark.parametrize("engine", ["hadoop", "hop"])
+    def test_sortmerge_spilling_config(self, clicks, engine):
+        config = JobConfig(reduce_buffer_bytes=8 * 1024, merge_factor=2)
+
+        def run(batch):
+            cluster = fresh_cluster(clicks)
+            kwargs = (
+                {"hop_config": HOPConfig(granularity_records=100)}
+                if engine == "hop"
+                else {}
+            )
+            result = ENGINE_CLASSES[engine](cluster, **kwargs).run(
+                _job_for(engine, "per-user-count", batch, config=config)
+            )
+            return _snapshot(cluster, result)
+
+        assert run(True) == run(False)
+
+    @pytest.mark.parametrize("mode", ["incremental", "hybrid", "hotset"])
+    def test_onepass_constrained_memory(self, clicks, mode):
+        config = OnePassConfig(
+            mode=mode,
+            map_memory_bytes=16 * 1024,
+            reduce_memory_bytes=32 * 1024,
+            map_side_combine=False,
+        )
+
+        def run(batch):
+            cluster = fresh_cluster(clicks)
+            result = OnePassEngine(cluster).run(
+                _job_for("onepass", "per-user-count", batch, config=config)
+            )
+            return _snapshot(cluster, result)
+
+        assert run(True) == run(False), mode
+
+
+class TestExecutors:
+    """Batch output must not depend on the executor either — and it must
+    equal the *serial tuple* run, closing the square."""
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("executor", [None, "threads:2", "processes:2"])
+    @pytest.mark.parametrize("engine", sorted(ENGINE_CLASSES))
+    def test_batch_across_executors(self, clicks, engine, executor):
+        def run(batch, executor):
+            cluster = fresh_cluster(clicks)
+            result = ENGINE_CLASSES[engine](cluster, executor=executor).run(
+                _job_for(engine, "per-user-count", batch)
+            )
+            return _snapshot(cluster, result)
+
+        assert run(True, executor) == run(False, None), (engine, executor)
+
+
+class TestUnderFaults:
+    @pytest.mark.slow
+    @pytest.mark.parametrize("engine", sorted(ENGINE_CLASSES))
+    def test_batch_under_seeded_fault_plan(self, clicks, engine):
+        """A seeded FaultPlan injects the same failures into both runs;
+        recovery reruns and reshuffles must not perturb batch output."""
+        from repro.mapreduce.faults import FaultPlan
+
+        def cluster():
+            c = LocalCluster(num_nodes=4, block_size=64 * 1024, replication=2)
+            c.hdfs.write_records("in", clicks)
+            return c
+
+        n_tasks = len(cluster().hdfs.input_splits("in"))
+
+        def run(batch):
+            c = cluster()
+            plan = FaultPlan.random(
+                seed=29,
+                num_map_tasks=n_tasks,
+                num_reducers=2,
+                nodes=c.nodes,
+                shuffle_failure_rate=0.05,
+                crash_after=3,
+            )
+            kwargs = {"fault_plan": plan}
+            if engine == "onepass":
+                kwargs["checkpoint_interval"] = 4
+            result = ENGINE_CLASSES[engine](cluster=c, **kwargs).run(
+                _job_for(engine, "per-user-count", batch)
+            )
+            return _snapshot(c, result)
+
+        assert run(True) == run(False), engine
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("engine", sorted(ENGINE_CLASSES))
+    def test_batch_survives_journal_resume(self, engine, tmp_path):
+        """Crash the coordinator mid-run and resume from the journal with
+        ``batch`` on: the sweep harness itself verifies the resumed run's
+        output is byte-identical to an uncrashed reference."""
+        from repro.testing import ChaosTarget, run_crashpoint_sweep
+        from repro.workloads.clickstream import ClickStreamConfig, generate_clicks
+
+        records = list(
+            generate_clicks(
+                ClickStreamConfig(num_clicks=900, num_users=40, num_urls=30)
+            )
+        )
+
+        def make_cluster():
+            c = LocalCluster(num_nodes=3, block_size=32 * 1024)
+            c.hdfs.write_records("in", records)
+            return c
+
+        target = ChaosTarget(
+            name=f"{engine}-batch",
+            make_cluster=make_cluster,
+            make_engine=lambda cluster, journal: ENGINE_CLASSES[engine](
+                cluster, journal=journal
+            ),
+            make_job=lambda: _job_for(engine, "per-user-count", batch=True),
+        )
+        report = run_crashpoint_sweep(
+            target,
+            str(tmp_path),
+            mode="sampled",
+            samples=2,
+            seed=7,
+            crash_modes=("after",),
+        )
+        assert report.crashes == report.resumes == 2
+        assert report.output_records > 0

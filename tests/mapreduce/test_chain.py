@@ -1,0 +1,257 @@
+"""PartitionCache and run_chain: in-memory intermediate reuse.
+
+The cache must be invisible in every observable except disk traffic —
+same chain output, same per-stage counters — while deduplicating
+re-stored blocks, spilling FIFO under byte pressure, surviving node
+loss without phantom re-replication, and cleaning up when intermediates
+are deleted.
+"""
+
+import pytest
+
+from repro.hdfs.blocks import BlockId
+from repro.io.disk import LocalDisk
+from repro.mapreduce.chain import ChainStage, PartitionCache, run_chain
+from repro.mapreduce.runtime import HadoopEngine, LocalCluster
+from repro.workloads.counting import counting_onepass_job
+from repro.workloads.sessionization import (
+    session_count_job,
+    session_log_job,
+    session_log_onepass_job,
+    user_of_session,
+)
+
+BLOCK = b"x" * 1000
+
+
+def make_cache(capacity=2500, disk=True):
+    return PartitionCache(
+        capacity_bytes=capacity,
+        spill_disk=LocalDisk(name="cachespill") if disk else None,
+    )
+
+
+class TestCacheBasics:
+    def test_store_and_get_roundtrip(self):
+        cache = make_cache()
+        cache.register("mid", "fp1")
+        assert cache.captures("mid") and not cache.captures("other")
+        block = BlockId("mid", 0)
+        cache.store(block, BLOCK)
+        assert cache.holds(block)
+        assert cache.get(block) == BLOCK
+        assert cache.counters["cache.hits"] == 1
+
+    def test_unknown_block_is_a_miss(self):
+        cache = make_cache()
+        cache.register("mid", "fp1")
+        assert cache.get(BlockId("mid", 9)) is None
+        assert cache.counters["cache.misses"] == 1
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            PartitionCache(capacity_bytes=0)
+
+
+class TestDedup:
+    def test_same_fingerprint_and_index_stored_once(self):
+        """A resumed or re-run stage re-produces identical blocks; the
+        cache must recognise them by (fingerprint, index) and not double
+        its footprint."""
+        cache = make_cache()
+        cache.register("mid", "fp1")
+        cache.store(BlockId("mid", 0), BLOCK)
+        used = cache.used_bytes
+        # Same stage output under a different path name (re-run).
+        cache.register("mid-rerun", "fp1")
+        cache.store(BlockId("mid-rerun", 0), BLOCK)
+        assert cache.used_bytes == used
+        assert cache.counters["cache.dedup.hits"] == 1
+        # Both block identities resolve to the one entry.
+        assert cache.get(BlockId("mid", 0)) == BLOCK
+        assert cache.get(BlockId("mid-rerun", 0)) == BLOCK
+
+    def test_distinct_indices_are_distinct_entries(self):
+        cache = make_cache(capacity=10_000)
+        cache.register("mid", "fp1")
+        cache.store(BlockId("mid", 0), BLOCK)
+        cache.store(BlockId("mid", 1), BLOCK)
+        assert cache.used_bytes == 2 * len(BLOCK)
+        assert cache.counters["cache.dedup.hits"] == 0
+
+
+class TestSpillPressure:
+    def test_fifo_spill_order_and_unspill(self):
+        cache = make_cache(capacity=2500)  # holds two 1000-byte blocks
+        cache.register("mid", "fp1")
+        for i in range(4):
+            cache.store(BlockId("mid", i), bytes([i]) * 1000)
+        # Insertion (FIFO) order: the two oldest blocks hit the disk.
+        assert cache.spilled_blocks == 2
+        assert cache.resident_blocks == 2
+        assert cache.used_bytes <= 2500
+        assert cache.counters["cache.spills"] == 2
+        assert cache.counters["cache.spill.bytes"] == 2000
+        spilled = cache.spill_disk.list_files("chaincache/")
+        assert spilled == ["chaincache/fp1/blk-000000", "chaincache/fp1/blk-000001"]
+        # Spilled entries still serve reads (unspill path), and count hits.
+        for i in range(4):
+            assert cache.get(BlockId("mid", i)) == bytes([i]) * 1000
+        assert cache.counters["cache.hits"] == 4
+
+    def test_over_capacity_without_spill_disk_raises(self):
+        cache = make_cache(capacity=1500, disk=False)
+        cache.register("mid", "fp1")
+        cache.store(BlockId("mid", 0), BLOCK)
+        with pytest.raises(RuntimeError, match="no spill disk"):
+            cache.store(BlockId("mid", 1), BLOCK)
+
+
+class TestRelease:
+    def test_release_drops_entries_and_spill_files(self):
+        cache = make_cache(capacity=2500)
+        cache.register("mid", "fp1")
+        for i in range(4):
+            cache.store(BlockId("mid", i), BLOCK)
+        assert cache.spilled_blocks == 2
+        cache.release("mid")
+        assert not cache.captures("mid")
+        assert cache.resident_blocks == cache.spilled_blocks == 0
+        assert cache.used_bytes == 0
+        assert cache.spill_disk.list_files("chaincache/") == []
+
+    def test_release_unknown_path_is_a_noop(self):
+        cache = make_cache()
+        cache.release("never-registered")
+
+
+class TestHdfsIntegration:
+    def _cluster_with_cached_file(self):
+        cluster = LocalCluster(num_nodes=3, block_size=2 * 1024)
+        cache = PartitionCache(
+            capacity_bytes=64 * 1024 * 1024,
+            spill_disk=cluster.nodes[cluster.compute_node_names[0]].intermediate_disk,
+        )
+        cluster.hdfs.block_cache = cache
+        cache.register("mid", "fp1")
+        records = [(f"k{i:04d}", i) for i in range(500)]
+        cluster.hdfs.write_records("mid", records)
+        return cluster, cache, records
+
+    def test_registered_path_bypasses_datanodes(self):
+        cluster, cache, records = self._cluster_with_cached_file()
+        assert cache.resident_blocks > 0
+        for node in cluster.hdfs.datanodes.values():
+            assert all("hdfs/mid/" not in name for name in node.block_names())
+        # Metadata (placement, splits) still exists as if stored normally.
+        assert len(cluster.hdfs.input_splits("mid")) == cache.resident_blocks
+        assert list(cluster.hdfs.read_records("mid")) == records
+
+    def test_node_loss_skips_cache_held_blocks(self):
+        cluster, cache, records = self._cluster_with_cached_file()
+        for node in list(cluster.hdfs.namenode.node_names)[:-1]:
+            report = cluster.hdfs.handle_node_loss(node)
+            assert all(b.path != "mid" for b in report.lost_blocks)
+        assert list(cluster.hdfs.read_records("mid")) == records
+
+    def test_delete_file_releases_cache(self):
+        cluster, cache, _ = self._cluster_with_cached_file()
+        cluster.hdfs.delete_file("mid")
+        assert not cache.captures("mid")
+        assert cache.resident_blocks == 0
+        with pytest.raises(FileNotFoundError):
+            cluster.hdfs.namenode.file_info("mid")
+
+
+class TestRunChain:
+    GAP = 5.0
+
+    def _clicks(self):
+        from repro.workloads.clickstream import ClickStreamConfig, generate_clicks
+
+        return list(
+            generate_clicks(
+                ClickStreamConfig(num_clicks=2_000, num_users=60, num_urls=40, seed=3)
+            )
+        )
+
+    def _stages(self):
+        return [
+            ChainStage(session_log_onepass_job("in", "mid", gap=self.GAP)),
+            ChainStage(
+                counting_onepass_job("chain-count", user_of_session, "mid", "out")
+            ),
+        ]
+
+    def test_chain_output_matches_uncached_run(self):
+        clicks = self._clicks()
+
+        uncached = LocalCluster(num_nodes=3, block_size=16 * 1024)
+        uncached.hdfs.write_records("in", clicks)
+        from repro.core.engine import OnePassEngine
+
+        for stage in self._stages():
+            OnePassEngine(uncached).run(stage.job)
+        expected = list(uncached.hdfs.read_records("out"))
+
+        cached = LocalCluster(num_nodes=3, block_size=16 * 1024)
+        cached.hdfs.write_records("in", clicks)
+        chain = run_chain(cached, self._stages())
+        assert list(cached.hdfs.read_records("out")) == expected
+        assert chain.counters["cache.hits"] > 0
+
+    def test_stage_counters_stay_cache_free(self):
+        """Per-job counters must be byte-identical cache on or off; the
+        cache's own traffic appears only in the merged chain counters."""
+        cached = LocalCluster(num_nodes=3, block_size=16 * 1024)
+        cached.hdfs.write_records("in", self._clicks())
+        chain = run_chain(cached, self._stages())
+        for result in chain.results:
+            for name in result.counters.as_dict():
+                assert not name.startswith("cache."), name
+        assert chain.counters["cache.hits"] > 0
+
+    def test_intermediates_deleted_unless_kept(self):
+        cached = LocalCluster(num_nodes=3, block_size=16 * 1024)
+        cached.hdfs.write_records("in", self._clicks())
+        chain = run_chain(cached, self._stages())
+        with pytest.raises(FileNotFoundError):
+            cached.hdfs.namenode.file_info("mid")
+        assert not chain.cache.captures("mid")
+
+        kept = LocalCluster(num_nodes=3, block_size=16 * 1024)
+        kept.hdfs.write_records("in", self._clicks())
+        chain = run_chain(kept, self._stages(), keep_intermediates=True)
+        assert kept.hdfs.namenode.file_info("mid").records > 0
+
+    def test_block_cache_detached_after_chain(self):
+        cluster = LocalCluster(num_nodes=3, block_size=16 * 1024)
+        cluster.hdfs.write_records("in", self._clicks())
+        assert cluster.hdfs.block_cache is None
+        run_chain(cluster, self._stages())
+        assert cluster.hdfs.block_cache is None
+
+    def test_mixed_engine_chain(self):
+        """A sort-merge stage feeding a sort-merge counter through the
+        cache — the engines need not match for the chain to work."""
+        clicks = self._clicks()
+        uncached = LocalCluster(num_nodes=3, block_size=16 * 1024)
+        uncached.hdfs.write_records("in", clicks)
+        HadoopEngine(uncached).run(session_log_job("in", "mid", gap=self.GAP))
+        HadoopEngine(uncached).run(session_count_job("mid", "out"))
+        expected = list(uncached.hdfs.read_records("out"))
+
+        cached = LocalCluster(num_nodes=3, block_size=16 * 1024)
+        cached.hdfs.write_records("in", clicks)
+        stages = [
+            ChainStage(session_log_job("in", "mid", gap=self.GAP), engine="hadoop"),
+            ChainStage(session_count_job("mid", "out"), engine="hadoop"),
+        ]
+        chain = run_chain(cached, stages)
+        assert list(cached.hdfs.read_records("out")) == expected
+        assert chain.counters["cache.hits"] > 0
+
+    def test_empty_chain_rejected(self):
+        cluster = LocalCluster(num_nodes=3)
+        with pytest.raises(ValueError, match="at least one stage"):
+            run_chain(cluster, [])
