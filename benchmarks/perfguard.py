@@ -52,6 +52,22 @@ BATCH_BEATS = {
     "batch_merge_streams": ("merge_streams", 0.75),
 }
 
+#: kernel -> pipeline phase it exercises.  When the gate fails, scores are
+#: aggregated by phase and diffed (repro.obs.analyze.diff) so the failure
+#: names *which phase* regressed, not just which micro-kernel.
+KERNEL_PHASES = {
+    "frames_roundtrip": "shuffle",
+    "partition_sort": "sort",
+    "batch_partition_sort": "sort",
+    "merge_streams": "merge",
+    "batch_merge_streams": "merge",
+    "incremental_update": "reduce",
+    "batch_hash_update": "reduce",
+    "partition_cache_roundtrip": "cache",
+    "tracer_noop": "observability",
+    "journal_append": "journal",
+}
+
 
 def _time_once(fn) -> float:
     t0 = time.perf_counter()
@@ -498,9 +514,47 @@ def cmd_check(path: Path) -> int:
             f"or throughput floor breached",
             file=sys.stderr,
         )
+        explain_regression(baseline["kernels"], measured)
         return 1
     print(f"\nperfguard: all kernels within {tolerance:.0%} of baseline and above floors")
     return 0
+
+
+def phase_scores(scores: dict[str, float]) -> dict[str, float]:
+    """Aggregate per-kernel scores into per-phase totals (KERNEL_PHASES)."""
+    out: dict[str, float] = {}
+    for name, score in scores.items():
+        phase = KERNEL_PHASES.get(name, "other")
+        out[phase] = round(out.get(phase, 0.0) + score, 4)
+    return out
+
+
+def explain_regression(
+    base_scores: dict[str, float], measured: dict[str, dict[str, float]]
+) -> None:
+    """Print the per-phase delta table and name the regressed phase."""
+    from repro.obs.analyze.diff import (
+        attribute_regression,
+        delta_rows,
+        render_delta_table,
+    )
+
+    base = phase_scores(base_scores)
+    current = phase_scores(
+        {name: m["score"] for name, m in measured.items() if name in base_scores}
+    )
+    print()
+    print(
+        render_delta_table(
+            delta_rows(base, current),
+            title="phase attribution (calibration-unit scores)",
+            unit="score",
+        ),
+        file=sys.stderr,
+    )
+    regressed = attribute_regression(base, current)
+    if regressed:
+        print(f"regressed phase: {regressed}", file=sys.stderr)
 
 
 def main(argv=None) -> int:

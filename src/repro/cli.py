@@ -13,7 +13,10 @@ A fourth command, ``trace``, runs a workload with the tracing subsystem
 on and prints (or writes) the span timeline; ``run`` and ``compare`` take
 the same ``--trace``/``--trace-format`` flags to capture traces alongside
 their normal output.  A fifth, ``lint``, runs the repo-specific static
-analysis (``docs/STATIC_ANALYSIS.md``) over the source tree.
+analysis (``docs/STATIC_ANALYSIS.md``) over the source tree.  A sixth,
+``analyze``, derives the performance report (critical path, barrier
+stalls, skew, metrics) from a saved trace file or journal directory;
+``run`` and ``compare`` take ``--analyze`` to print it inline.
 
 Examples::
 
@@ -25,6 +28,8 @@ Examples::
     python -m repro trace --workload sessionization --engine hadoop
     python -m repro run --workload sessionization --engine hadoop \
         --trace out.json --trace-format chrome
+    python -m repro analyze out.json --format terminal
+    python -m repro run --workload per-user-count --engine onepass --analyze
     python -m repro lint src/ --format json
 """
 
@@ -146,6 +151,7 @@ def _maybe_write_trace(args: argparse.Namespace, result: Any) -> None:
         tracer.spans,
         tracer.events,
         job_name=result.job_name,
+        metrics=tracer.metrics.as_report() if tracer.enabled else None,
     )
     print(f"wrote {args.trace_format} trace to {args.trace}")
 
@@ -171,10 +177,18 @@ def _print_counters(result: Any, title: str) -> None:
     )
 
 
+def _print_analysis(tracer: Any, job_name: str) -> None:
+    """Print the analyzer's terminal report for a live traced run."""
+    from repro.obs.analyze import analyze_tracer, render_text
+
+    print()
+    print(render_text(analyze_tracer(tracer, job_name=job_name)), end="")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     _apply_log_level(args)
     tracer = None
-    if args.trace:
+    if args.trace or args.analyze:
         from repro.obs.tracer import Tracer
 
         tracer = Tracer()
@@ -205,6 +219,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         result, f"{args.workload} on {args.engine} ({args.records} records)"
     )
     _maybe_write_trace(args, result)
+    if args.analyze:
+        _print_analysis(tracer, result.job_name)
     return 0
 
 
@@ -384,12 +400,14 @@ def cmd_compare(args: argparse.Namespace) -> int:
     data = records_fn(args.records)
     rows = []
     results = {}
+    tracers: dict[str, Any] = {}
     for engine in ("sort-merge", "one-pass"):
         tracer = None
-        if args.trace:
+        if args.trace or args.analyze:
             from repro.obs.tracer import Tracer
 
             tracer = Tracer()
+        tracers[engine] = tracer
         cluster = LocalCluster(num_nodes=args.nodes, block_size=256 * 1024)
         cluster.hdfs.write_records("in", data)
         t0 = time.process_time()
@@ -435,6 +453,74 @@ def cmd_compare(args: argparse.Namespace) -> int:
             f"\none-pass saves {1 - op_cpu / sm_cpu:.0%} CPU and "
             f"{1 - op.wall_time / sm.wall_time:.0%} wall time"
         )
+    if args.analyze:
+        from repro.obs.analyze import (
+            analyze_tracer,
+            diff_reports,
+            render_delta_table,
+            render_text,
+        )
+
+        reports = {
+            engine: analyze_tracer(tracers[engine], job_name=engine)
+            for engine in ("sort-merge", "one-pass")
+        }
+        for engine in ("sort-merge", "one-pass"):
+            print()
+            print(render_text(reports[engine]), end="")
+        diff = diff_reports(reports["sort-merge"], reports["one-pass"])
+        print()
+        print(
+            render_delta_table(
+                diff["phases"], title="per-phase delta: sort-merge -> one-pass"
+            )
+        )
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Derive the performance report from a trace file or journal dir."""
+    import os
+
+    from repro.obs.analyze import (
+        REPORT_FORMATS,
+        analyze_journal,
+        analyze_model,
+        diff_reports,
+        load_trace,
+        render_delta_table,
+        render_html,
+        render_json,
+        render_text,
+    )
+
+    if os.path.isdir(args.source):
+        report = analyze_journal(args.source, detail=args.detail)
+    else:
+        report = analyze_model(load_trace(args.source))
+
+    renderers = dict(zip(REPORT_FORMATS, (render_text, render_json, render_html)))
+    text = renderers[args.format](report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.format} report to {args.out}")
+    else:
+        print(text, end="")
+
+    if args.baseline:
+        import json
+
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            base = json.load(fh)
+        diff = diff_reports(base, report)
+        print()
+        print(render_delta_table(diff["phases"]))
+        regressed = diff["regressed_phase"]
+        if regressed:
+            print(f"\nregressed phase: {regressed}")
+        else:
+            print("\nno phase regressed vs baseline")
     return 0
 
 
@@ -463,6 +549,12 @@ def build_parser() -> argparse.ArgumentParser:
             choices=("off", "error", "warn", "info", "debug"),
             default=None,
             help="structured logging to stderr (default: off)",
+        )
+        p.add_argument(
+            "--analyze",
+            action="store_true",
+            help="print the trace-derived performance report (critical path, "
+            "barrier stalls, skew) after the run",
         )
 
     p_run = sub.add_parser("run", help="run a workload on a real engine")
@@ -575,6 +667,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="structured logging to stderr (default: off)",
     )
     p_trace.set_defaults(fn=cmd_trace)
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="performance report from a saved trace file or journal directory",
+    )
+    p_analyze.add_argument(
+        "source",
+        help="a jsonl/chrome trace file ('repro run --trace ...') or a "
+        "journal directory ('repro run --journal DIR')",
+    )
+    p_analyze.add_argument(
+        "--format",
+        choices=("terminal", "json", "html"),
+        default="terminal",
+        help="report rendering (default: terminal)",
+    )
+    p_analyze.add_argument(
+        "--out", default=None, metavar="PATH", help="write instead of printing"
+    )
+    p_analyze.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="a saved JSON report; print the per-phase delta table and name "
+        "the regressed phase",
+    )
+    p_analyze.add_argument(
+        "--detail",
+        action="store_true",
+        help="journal reports: include volatile session stats (grants, "
+        "checkpoints) that differ between crashed and clean runs",
+    )
+    p_analyze.set_defaults(fn=cmd_analyze)
 
     p_sim = sub.add_parser("simulate", help="simulate at paper scale")
     p_sim.add_argument("--workload", choices=WORKLOADS, required=True)

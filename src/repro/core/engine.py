@@ -212,7 +212,8 @@ class OnePassReduceTask:
         counters.inc(C.SHUFFLE_BYTES, nbytes)
         counters.inc(C.REDUCE_INPUT_RECORDS, len(pairs))
         trc = self.tracer
-        spill0 = counters[C.REDUCE_SPILL_BYTES] if trc.enabled else 0
+        backend = self._incremental or self._hotset or self._grouper
+        spill0 = backend.spilled_records if trc.enabled else 0
         perf = time.perf_counter
         t0 = perf()
         batch = self.job.config.batch
@@ -239,11 +240,13 @@ class OnePassReduceTask:
                     add(key, value)
         counters.inc(C.T_HASH, perf() - t0)
         if trc.enabled:
-            spilled = counters[C.REDUCE_SPILL_BYTES] - spill0
+            # Spill bytes settle only when writers close, so the live
+            # observable is the backends' spilled-pair count.
+            spilled = backend.spilled_records - spill0
             if spilled > 0:
-                # The hash backend spilled partitions to disk while
-                # absorbing this chunk — surface it as a spill span so
-                # hash-table spills line up with sort-merge ones.
+                # The hash backend spilled pairs to disk while absorbing
+                # this chunk — surface it as a spill span so hash-table
+                # spills line up with sort-merge ones.
                 c0 = trc.clock
                 trc.event(
                     "hash.spill", "spill", node=self.node, task=self._task
@@ -252,10 +255,10 @@ class OnePassReduceTask:
                     "spill",
                     "spill",
                     c0,
-                    c0 + byte_cost(spilled),
+                    c0 + spilled,
                     node=self.node,
                     task=self._task,
-                    bytes=spilled,
+                    records=spilled,
                 )
         return True
 
@@ -281,6 +284,11 @@ class OnePassReduceTask:
         job = self.job
         output: list[Any] = []
         groups = 0
+        backend = self._incremental or self._hotset
+        if backend is not None:
+            self.tracer.metrics.gauge("hash.resident.keys").record(
+                self.tracer.clock, backend.resident_keys
+            )
         with self.tracer.span(
             "reduce", "reduce", node=self.node, task=self._task
         ) as reduce_span:
@@ -514,7 +522,7 @@ class OnePassEngine:
         )
         for partition, pairs, nbytes in staged:
             counters.inc(C.STAGED_OUTPUT_BYTES, nbytes)
-            deliver(partition, pairs, nbytes)
+            deliver(partition, pairs, nbytes, assignment.task_id)
         self.journal.append(
             K_MAP_COMMIT,
             task=assignment.task_id,
@@ -785,12 +793,18 @@ class OnePassEngine:
                     )
         network_bytes = 0
 
-        def sink(partition: int, pairs: list[tuple[Any, Any]], nbytes: int) -> None:
+        def sink(
+            partition: int,
+            pairs: list[tuple[Any, Any]],
+            nbytes: int,
+            map_task: int,
+        ) -> None:
             nonlocal network_bytes
             if partition in committed:
                 return  # journaled output; the reducer never runs
             network_bytes += nbytes
             rtask = reduce_tasks[partition]
+            self.tracer.metrics.histogram("push.chunk.bytes").observe(nbytes)
             with self.tracer.span(
                 "push",
                 "shuffle",
@@ -799,6 +813,7 @@ class OnePassEngine:
                 cost=byte_cost(nbytes),
                 bytes=nbytes,
                 records=len(pairs),
+                map_task=map_task,
             ):
                 if partition in logs:
                     logs[partition].append(pairs, nbytes)
@@ -832,7 +847,7 @@ class OnePassEngine:
                         counters.merge(res.counters)
                         self.tracer.absorb(res.trace)
                         for partition, pairs, nbytes in res.staged:
-                            sink(partition, pairs, nbytes)
+                            sink(partition, pairs, nbytes, a.task_id)
                         journal.append(
                             K_MAP_COMMIT,
                             task=a.task_id,

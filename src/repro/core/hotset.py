@@ -103,6 +103,11 @@ class HotSetIncrementalHash:
     def spilled_bytes(self) -> int:
         return sum(w.bytes_written for w in self._writers if w is not None)
 
+    @property
+    def spilled_records(self) -> int:
+        """Pairs written cold so far (live; bytes settle only on flush)."""
+        return sum(w.records_written for w in self._writers if w is not None)
+
     def update(self, key: Any, value: Any) -> None:
         """Observe one pair: aggregate in memory if hot, else spill raw."""
         if self._finished:

@@ -127,6 +127,11 @@ class IncrementalHash:
     def used_bytes(self) -> int:
         return self._table.used_bytes
 
+    @property
+    def spilled_records(self) -> int:
+        """Pairs the overflow grouper has spilled to disk so far."""
+        return self._overflow.spilled_records if self._overflow is not None else 0
+
     def update(self, key: Any, value: Any) -> None:
         """Fold one pair; may trigger an early emission."""
         if self._finished:

@@ -50,7 +50,8 @@ class LintConfig:
     #: Counter registry (REP004 reads ``class C`` from this module).
     counters_module: str = "src/repro/mapreduce/counters.py"
 
-    #: Span/event name registry (REP005 reads SPAN_NAMES/EVENT_NAMES).
+    #: Span/event/metric name registry (REP005 reads SPAN_NAMES and
+    #: EVENT_NAMES; REP008 reads METRIC_NAMES).
     names_module: str = "src/repro/obs/names.py"
 
     #: Doc whose marked list names the hot-path modules (REP007).
@@ -87,6 +88,7 @@ class LintConfig:
     counter_names_override: frozenset[str] | None = None
     span_names_override: frozenset[str] | None = None
     event_names_override: frozenset[str] | None = None
+    metric_names_override: frozenset[str] | None = None
     hot_path_modules_override: tuple[str, ...] | None = None
     kernel_source_override: str | None = None
 

@@ -175,6 +175,7 @@ class LintContext:
         "_counter_values",
         "_span_names",
         "_event_names",
+        "_metric_names",
         "_hot_modules",
         "_kernel_source",
         "_spec_names",
@@ -188,6 +189,7 @@ class LintContext:
         self._counter_values: list[str] | None = None
         self._span_names: frozenset[str] | None = None
         self._event_names: frozenset[str] | None = None
+        self._metric_names: frozenset[str] | None = None
         self._hot_modules: tuple[str, ...] | None = None
         self._kernel_source: str | None = None
         self._spec_names: frozenset[str] | None = None
@@ -236,16 +238,17 @@ class LintContext:
         assert self._counter_values is not None
         return self._counter_values
 
-    # -- REP005: span/event name registry ----------------------------------
+    # -- REP005/REP008: span/event/metric name registries -------------------
 
     def _load_names(self) -> None:
         spans: frozenset[str] = frozenset()
         events: frozenset[str] = frozenset()
+        metrics: frozenset[str] = frozenset()
         tree = ast.parse(self._read(self.config.names_module))
         for node in tree.body:
             if isinstance(node, ast.Assign) and isinstance(node.targets[0], ast.Name):
                 target = node.targets[0].id
-                if target in ("SPAN_NAMES", "EVENT_NAMES"):
+                if target in ("SPAN_NAMES", "EVENT_NAMES", "METRIC_NAMES"):
                     literals = frozenset(
                         n.value
                         for n in ast.walk(node.value)
@@ -253,9 +256,13 @@ class LintContext:
                     )
                     if target == "SPAN_NAMES":
                         spans = literals
-                    else:
+                    elif target == "EVENT_NAMES":
                         events = literals
-        self._span_names, self._event_names = spans, events
+                    else:
+                        metrics = literals
+        self._span_names = spans
+        self._event_names = events
+        self._metric_names = metrics
 
     @property
     def span_names(self) -> frozenset[str]:
@@ -274,6 +281,15 @@ class LintContext:
             self._load_names()
         assert self._event_names is not None
         return self._event_names
+
+    @property
+    def metric_names(self) -> frozenset[str]:
+        if self.config.metric_names_override is not None:
+            return self.config.metric_names_override
+        if self._metric_names is None:
+            self._load_names()
+        assert self._metric_names is not None
+        return self._metric_names
 
     # -- REP007: hot-path module list --------------------------------------
 

@@ -1,4 +1,4 @@
-"""The REP001..REP007 rule implementations.
+"""The REP001..REP008 rule implementations.
 
 Each rule encodes one contract the determinism/performance story rests
 on; ``docs/STATIC_ANALYSIS.md`` documents the *why* behind every one.
@@ -746,6 +746,59 @@ class SlotsOnHotPaths(Rule):
         return False
 
 
+# -- REP008: metric discipline ------------------------------------------------
+
+
+class MetricDiscipline(Rule):
+    """REP008: metric names must come from the registry
+    (``METRIC_NAMES`` in ``repro/obs/names.py``).
+
+    Histograms and gauges merge worker -> coordinator by name, so an
+    unregistered or misspelled name silently forks a new series instead
+    of folding into the intended one — and the analyzer's metrics table
+    grows an orphan row no dashboard or test knows about.  ``Metrics``
+    raises on unregistered names at runtime; this catches the same
+    mistake statically, including on paths tests never execute.
+    """
+
+    id = "REP008"
+    title = "metric names from the registry"
+
+    def check(self, module: LintModule, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("histogram", "gauge")
+                and _is_metrics_receiver(node.func.value)
+            ):
+                continue
+            if not node.args:
+                continue
+            name_arg = node.args[0]
+            if not (
+                isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str)
+            ):
+                continue  # non-literal names surface at runtime (_check_name)
+            if name_arg.value not in ctx.metric_names:
+                yield module.finding(
+                    self.id,
+                    name_arg,
+                    f"metric name {name_arg.value!r} is not registered in "
+                    "repro/obs/names.py",
+                )
+
+
+def _is_metrics_receiver(node: ast.AST) -> bool:
+    """Matches ``metrics.histogram(...)`` and ``<expr>.metrics.gauge(...)``
+    (the ``Tracer.metrics`` / ``NullTracer.metrics`` access paths)."""
+    if isinstance(node, ast.Name):
+        return node.id == "metrics"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "metrics"
+    return False
+
+
 # -- REP101..REP105: interprocedural dataflow rules ---------------------------
 #
 # These consume the whole-program facts built by ``repro.lint.dataflow``:
@@ -1106,14 +1159,15 @@ class InterproceduralResourceLeak(Rule):
 
 
 class RegistryNameFlow(Rule):
-    """REP104: span/event names built from f-strings, concatenation or
-    constant locals are constant-folded and checked against the
-    ``repro/obs/names.py`` registry; names that cannot be folded are
-    rejected outright (every exporter is keyed on the registry).
+    """REP104: span/event/metric names built from f-strings,
+    concatenation or constant locals are constant-folded and checked
+    against the ``repro/obs/names.py`` registry; names that cannot be
+    folded are rejected outright (every exporter is keyed on the
+    registry).
     """
 
     id = "REP104"
-    title = "computed span/event names must fold to registered constants"
+    title = "computed span/event/metric names must fold to registered constants"
 
     def check(self, module: LintModule, ctx: LintContext) -> Iterator[Finding]:
         tracer_names = frozenset(ctx.config.tracer_names)
@@ -1123,18 +1177,28 @@ class RegistryNameFlow(Rule):
                 if not (
                     isinstance(node, ast.Call)
                     and isinstance(node.func, ast.Attribute)
-                    and node.func.attr in ("span", "event", "add_span")
                 ):
                     continue
-                if not _is_tracer_receiver(node.func.value, tracer_names):
+                method = node.func.attr
+                if method in ("span", "event", "add_span"):
+                    if not _is_tracer_receiver(node.func.value, tracer_names):
+                        continue
+                    kind = "event" if method == "event" else "span"
+                    registry = (
+                        ctx.event_names if method == "event" else ctx.span_names
+                    )
+                elif method in ("histogram", "gauge"):
+                    if not _is_metrics_receiver(node.func.value):
+                        continue
+                    kind = "metric"
+                    registry = ctx.metric_names
+                else:
                     continue
                 if not node.args:
                     continue
                 name_arg = node.args[0]
                 if isinstance(name_arg, ast.Constant):
-                    continue  # literal names: REP005's registry check
-                method = node.func.attr
-                kind = "event" if method == "event" else "span"
+                    continue  # literal names: REP005/REP008's registry check
                 folded = _fold_constant_str(name_arg, const_env)
                 if folded is None:
                     yield module.finding(
@@ -1144,9 +1208,6 @@ class RegistryNameFlow(Rule):
                         "use a name that folds to a registered constant",
                     )
                     continue
-                registry = (
-                    ctx.event_names if method == "event" else ctx.span_names
-                )
                 if folded not in registry:
                     yield module.finding(
                         self.id,
@@ -1242,6 +1303,7 @@ ALL_RULES: tuple[Rule, ...] = (
     TracerDiscipline(),
     NoUnorderedIteration(),
     SlotsOnHotPaths(),
+    MetricDiscipline(),
     TransitiveNondeterminism(),
     PickleReachability(),
     InterproceduralResourceLeak(),

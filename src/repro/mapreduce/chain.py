@@ -165,7 +165,7 @@ class PartitionCache:
             assert entry.data is not None
             with self.tracer.span(
                 "batch.encode",
-                "spill",
+                "cache",
                 cost=byte_cost(entry.nbytes),
                 bytes=entry.nbytes,
             ):
@@ -176,6 +176,9 @@ class PartitionCache:
             entry.spill_path = path
             entry.data = None
             self.used_bytes -= entry.nbytes
+            self.tracer.metrics.gauge("cache.resident.bytes").record(
+                self.tracer.clock, self.used_bytes
+            )
 
     # -- cleanup -------------------------------------------------------------
 

@@ -580,13 +580,19 @@ class HOPEngine:
         happens here, in deterministic task order.
         """
         disk = self.cluster.nodes[node].intermediate_disk
+        chunk_hist = self.tracer.metrics.histogram("push.chunk.bytes")
         with self.tracer.span(
-            "push", "shuffle", node=node, task=f"map:{task_id:05d}"
+            "push",
+            "shuffle",
+            node=node,
+            task=f"map:{task_id:05d}",
+            partitions=sorted({p for p, _, _ in chunks}),
         ) as push_span:
             staged: list[tuple[int, str, int]] = []
             seq = 0
             pushed_bytes = 0
             for partition, pairs, nbytes in chunks:
+                chunk_hist.observe(nbytes)
                 reducer = reduce_tasks[partition]
                 if reducer.backlog_bytes >= self.hop.backpressure_bytes:
                     path = f"hop-stage/{task_id:05d}/c{seq:05d}-p{partition:03d}"

@@ -281,7 +281,11 @@ class RecoveryManager:
             )
             backup_result = attempt_fn(backup_node)
             backup_ms = self.simulated_task_ms(input_bytes, backup_node)
-            if backup_ms < duration:
+            # The backup cannot start until the straggler is *detected*,
+            # which takes roughly one mean task duration — so it races the
+            # original's remaining time, not its full duration.  A mild
+            # straggler (slowdown just past the threshold) therefore loses.
+            if self._detector.mean_ms + backup_ms < duration:
                 # Backup finishes first: kill the original (the loser).
                 discard_fn(node, result)
                 self.counters.inc(C.SPECULATIVE_WINS)

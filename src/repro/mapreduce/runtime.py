@@ -419,6 +419,9 @@ class HadoopEngine:
                             counters,
                         )
                     continue
+                self.tracer.metrics.histogram("shuffle.segment.bytes").observe(
+                    seg.nbytes
+                )
                 with self.tracer.span(
                     "fetch",
                     "shuffle",

@@ -109,6 +109,7 @@ class _SortSpillBuffer:
         self._entries = []
         self._bytes = 0
 
+        self.tracer.metrics.histogram("map.sort.records").observe(len(entries))
         with self.tracer.span(
             "sort", "sort", node=self.node, task=self._task, cost=len(entries)
         ) as sort_span:

@@ -1,0 +1,100 @@
+"""Barrier-stall and pipelining metrics — the paper's Fig. 4 as a report.
+
+The paper's central comparison: sort-merge MapReduce serialises map,
+sort/merge and reduce behind a blocking barrier, while pipelined (HOP)
+and one-pass engines overlap them.  These quantities fall straight out
+of the span intervals:
+
+* **map/reduce overlap** — how much of the map-task window the
+  reduce-side tasks were also busy in;
+* **barrier stall** — ticks between the last map finishing and the
+  first application of the reduce function (the sort/merge/shuffle
+  wedge the one-pass engine deletes);
+* **sort-merge blocking** — total ticks spent in the ``sort``, ``spill``
+  and ``merge`` categories;
+* **pipelining efficiency** — the fraction of reduce-side work ticks
+  that land *inside* the map window.  The logical clock serialises all
+  work onto one axis, so "overlap" means interleaving: a pipelined
+  engine pushes/accepts reduce-side chunks between map tasks (high
+  efficiency), while a blocking barrier defers all reduce-side work
+  until the maps are done (low efficiency).
+
+Everything is integer interval arithmetic on the logical clock; ratios
+are rounded to four decimals at the edge, so reports stay byte-identical
+across executors.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.obs.tracer import Span
+
+__all__ = ["barrier_report", "interval_union", "union_length"]
+
+#: The framework overhead categories sort-merge pays and one-pass deletes.
+BLOCKING_CATS = ("sort", "spill", "merge")
+
+
+def interval_union(intervals: Iterable[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Merge possibly-overlapping ``(t0, t1)`` intervals (sorted, disjoint)."""
+    merged: list[tuple[int, int]] = []
+    for t0, t1 in sorted(intervals):
+        if merged and t0 <= merged[-1][1]:
+            last0, last1 = merged[-1]
+            merged[-1] = (last0, max(last1, t1))
+        else:
+            merged.append((t0, t1))
+    return merged
+
+
+def union_length(intervals: Iterable[tuple[int, int]]) -> int:
+    return sum(t1 - t0 for t0, t1 in interval_union(intervals))
+
+
+def _ratio(num: int, den: int) -> float:
+    return round(num / den, 4) if den else 0.0
+
+
+def barrier_report(spans: Sequence[Span]) -> dict[str, Any]:
+    """Barrier/pipelining quantities for one run, as a report fragment."""
+    work = [s for s in spans if s.cat != "phase"]
+    map_iv = [(s.t0, s.t1) for s in work if s.task.startswith("map:")]
+    red_iv = [(s.t0, s.t1) for s in work if s.task.startswith("reduce:")]
+    map_union = interval_union(map_iv)
+    red_union = interval_union(red_iv)
+    map_window = (map_union[0][0], map_union[-1][1]) if map_union else (0, 0)
+    red_window = (red_union[0][0], red_union[-1][1]) if red_union else (0, 0)
+
+    window_overlap = max(
+        0, min(map_window[1], red_window[1]) - max(map_window[0], red_window[0])
+    )
+    # Reduce-side work interleaved into the map window: the pipelining
+    # signature.  Clamp each reduce-side span to the map window and sum.
+    m0, m1 = map_window
+    pipelined = sum(
+        max(0, min(t1, m1) - max(t0, m0)) for t0, t1 in red_iv
+    )
+    reduce_work = sum(t1 - t0 for t0, t1 in red_iv)
+
+    reduce_fn_starts = [s.t0 for s in work if s.cat == "reduce"]
+    first_reduce = min(reduce_fn_starts) if reduce_fn_starts else 0
+    barrier_stall = max(0, first_reduce - map_window[1]) if reduce_fn_starts else 0
+
+    total_ticks = sum(s.t1 - s.t0 for s in work)
+    blocking = sum(s.t1 - s.t0 for s in work if s.cat in BLOCKING_CATS)
+
+    return {
+        "map_window": list(map_window),
+        "reduce_window": list(red_window),
+        "window_overlap_ticks": window_overlap,
+        "map_reduce_overlap": _ratio(
+            window_overlap, red_window[1] - red_window[0]
+        ),
+        "pipelined_reduce_ticks": pipelined,
+        "pipelining_efficiency": _ratio(pipelined, reduce_work),
+        "barrier_stall_ticks": barrier_stall,
+        "sort_merge_ticks": blocking,
+        "sort_merge_share": _ratio(blocking, total_ticks),
+        "work_ticks": total_ticks,
+    }

@@ -1,0 +1,199 @@
+"""Critical-path extraction over the span DAG.
+
+Spans form a dependency DAG:
+
+* **program order** within one task attempt — a task's spans execute
+  sequentially on its logical timeline, so each span depends on the
+  latest span of the same task that finished at or before its start;
+* **shuffle edges** across tasks — a Hadoop ``fetch`` span and a
+  one-pass ``push`` span carry the producing map task id in their
+  ``map_task`` arg; a HOP ``push`` span carries the reduce partitions
+  it fed in its ``partitions`` arg.  Both become edges from producer to
+  consumer;
+* **barrier edges** fall out of the above: the sort-merge reduce phase
+  depends on every map task through its fetch spans, so a blocking
+  barrier shows up as a critical path threading the slowest map.
+
+The critical path is the longest chain by logical ticks.  Every node
+also gets a **slack**: how many ticks its duration could grow before it
+lands on the critical path (zero for spans already on it).  All
+arithmetic is integer tick math over the deterministic logical clock;
+ties break on the smallest span index, so the result is byte-identical
+across executors.
+
+Phase-envelope spans (``cat == "phase"``) cover whole phases and would
+trivially dominate any chain, so they are excluded from the DAG.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.obs.tracer import Span
+
+__all__ = ["critical_path"]
+
+
+class _Node:
+    __slots__ = ("idx", "span", "preds", "succs", "finish", "tail", "best_pred")
+
+    def __init__(self, idx: int, span: Span) -> None:
+        self.idx = idx
+        self.span = span
+        self.preds: list[int] = []
+        self.succs: list[int] = []
+        self.finish = 0  # longest-chain ticks ending at (and including) this span
+        self.tail = 0  # longest-chain ticks starting at (and including) this span
+        self.best_pred: int | None = None
+
+    @property
+    def ticks(self) -> int:
+        return self.span.t1 - self.span.t0
+
+
+def _build_dag(spans: Sequence[Span]) -> list[_Node]:
+    nodes = [
+        _Node(i, s) for i, s in enumerate(spans) if s.cat != "phase"
+    ]
+    # Topological + deterministic: every edge u -> v satisfies
+    # u.t1 <= v.t0 and u.t0 < u.t1, hence u.t0 < v.t0 — sorting by
+    # (t0, t1, idx) is a valid processing order.
+    nodes.sort(key=lambda n: (n.span.t0, n.span.t1, n.idx))
+    order = {n.idx: pos for pos, n in enumerate(nodes)}
+
+    by_task: dict[str, list[_Node]] = {}
+    for n in nodes:
+        if n.span.task:
+            by_task.setdefault(n.span.task, []).append(n)
+
+    def link(u: _Node, v: _Node) -> None:
+        if u is v:
+            return
+        v.preds.append(order[u.idx])
+        u.succs.append(order[v.idx])
+
+    def latest_before(task: str, tick: int) -> _Node | None:
+        """The task's latest-finishing span with t1 <= tick (max t1, max idx)."""
+        best: _Node | None = None
+        for cand in by_task.get(task, ()):
+            if cand.span.t1 <= tick and (
+                best is None
+                or (cand.span.t1, cand.idx) > (best.span.t1, best.idx)
+            ):
+                best = cand
+        return best
+
+    for v in nodes:
+        span = v.span
+        # program order within the task attempt
+        if span.task:
+            pred = latest_before(span.task, span.t0)
+            if pred is not None:
+                link(pred, v)
+        # shuffle edge: consumer span names its producing map task
+        map_task = span.args.get("map_task")
+        if isinstance(map_task, int):
+            producer = latest_before(f"map:{map_task:05d}", span.t0)
+            if producer is not None:
+                link(producer, v)
+        # pipelined push edge: producer span names the partitions it fed
+        partitions = span.args.get("partitions")
+        if isinstance(partitions, (list, tuple)):
+            for p in partitions:
+                consumer = _first_after(by_task.get(f"reduce:{int(p):03d}", ()), span.t1)
+                if consumer is not None:
+                    link(v, consumer)
+    return nodes
+
+
+def _first_after(candidates: Sequence[_Node], tick: int) -> _Node | None:
+    """The earliest-starting span with t0 >= tick (min t0, min idx)."""
+    best: _Node | None = None
+    for cand in candidates:
+        if cand.span.t0 >= tick and (
+            best is None or (cand.span.t0, cand.idx) < (best.span.t0, best.idx)
+        ):
+            best = cand
+    return best
+
+
+def critical_path(spans: Sequence[Span], *, max_chain: int | None = None) -> dict[str, Any]:
+    """Longest dependency chain and per-span slack, as a report fragment.
+
+    Returns a plain-data dict (JSON-ready)::
+
+        {"total_ticks", "makespan", "share", "spans_on_path",
+         "by_cat": {cat: ticks on the path},
+         "chain": [{"name","cat","task","node","t0","t1","ticks"}...],
+         "slack": {"zero", "mean", "max"}}
+    """
+    nodes = _build_dag(spans)
+    if not nodes:
+        return {
+            "total_ticks": 0,
+            "makespan": 0,
+            "share": 0.0,
+            "spans_on_path": 0,
+            "by_cat": {},
+            "chain": [],
+            "slack": {"zero": 0, "mean": 0.0, "max": 0},
+        }
+
+    for pos, node in enumerate(nodes):
+        best = 0
+        best_pred: int | None = None
+        for ppos in node.preds:
+            pf = nodes[ppos].finish
+            if pf > best or (pf == best and best_pred is not None and ppos < best_pred):
+                best = pf
+                best_pred = ppos
+        node.finish = best + node.ticks
+        node.best_pred = best_pred
+    for node in reversed(nodes):
+        best = 0
+        for spos in node.succs:
+            best = max(best, nodes[spos].tail)
+        node.tail = best + node.ticks
+
+    total = max(n.finish for n in nodes)
+    end = min((n for n in nodes if n.finish == total), key=lambda n: n.idx)
+
+    chain: list[_Node] = []
+    cur: _Node | None = end
+    while cur is not None:
+        chain.append(cur)
+        cur = nodes[cur.best_pred] if cur.best_pred is not None else None
+    chain.reverse()
+
+    slacks = [total - (n.finish + n.tail - n.ticks) for n in nodes]
+    makespan = max(n.span.t1 for n in nodes)
+    by_cat: dict[str, int] = {}
+    for n in chain:
+        cat = n.span.cat or "other"
+        by_cat[cat] = by_cat.get(cat, 0) + n.ticks
+
+    steps = chain if max_chain is None else chain[:max_chain]
+    return {
+        "total_ticks": total,
+        "makespan": makespan,
+        "share": round(total / makespan, 4) if makespan else 0.0,
+        "spans_on_path": len(chain),
+        "by_cat": dict(sorted(by_cat.items())),
+        "chain": [
+            {
+                "name": n.span.name,
+                "cat": n.span.cat,
+                "task": n.span.task,
+                "node": n.span.node,
+                "t0": n.span.t0,
+                "t1": n.span.t1,
+                "ticks": n.ticks,
+            }
+            for n in steps
+        ],
+        "slack": {
+            "zero": sum(1 for s in slacks if s == 0),
+            "mean": round(sum(slacks) / len(slacks), 4),
+            "max": max(slacks),
+        },
+    }

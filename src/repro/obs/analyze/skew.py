@@ -1,0 +1,109 @@
+"""Skew and straggler attribution from spans and recovery events.
+
+Three independent views of imbalance:
+
+* **partition skew** — total logical ticks charged to each reduce
+  partition; the coefficient of variation (population stddev / mean)
+  summarises how lopsided the key distribution was, and partitions
+  beyond 1.5x the mean are flagged as stragglers;
+* **node imbalance** — busy ticks per simulated node (max / mean), the
+  cluster-level symptom partition skew causes;
+* **speculation accounting** — how many backup attempts launched and
+  how many actually won, from the recovery events the engines emit.
+
+Deterministic by construction: tick sums are integers, derived ratios
+round to four decimals, and all listings sort on stable keys.
+"""
+
+from __future__ import annotations
+
+from math import sqrt
+from typing import Any, Sequence
+
+from repro.obs.tracer import Span, TraceEvent
+
+__all__ = ["skew_report"]
+
+#: A partition is a straggler when its ticks exceed mean by this factor.
+STRAGGLER_FACTOR = 1.5
+
+
+def _cov(values: Sequence[int]) -> float:
+    """Population coefficient of variation, rounded for report stability."""
+    if not values:
+        return 0.0
+    mean = sum(values) / len(values)
+    if mean == 0:
+        return 0.0
+    var = sum((v - mean) ** 2 for v in values) / len(values)
+    return round(sqrt(var) / mean, 4)
+
+
+def skew_report(
+    spans: Sequence[Span], events: Sequence[TraceEvent] = ()
+) -> dict[str, Any]:
+    """Partition/node/speculation imbalance, as a report fragment."""
+    work = [s for s in spans if s.cat != "phase"]
+
+    partition_ticks: dict[str, int] = {}
+    partition_bytes: dict[str, int] = {}
+    for s in work:
+        if not s.task.startswith("reduce:"):
+            continue
+        partition_ticks[s.task] = partition_ticks.get(s.task, 0) + (s.t1 - s.t0)
+        nbytes = s.args.get("bytes")
+        if isinstance(nbytes, int):
+            partition_bytes[s.task] = partition_bytes.get(s.task, 0) + nbytes
+
+    node_ticks: dict[str, int] = {}
+    for s in work:
+        if s.node:
+            node_ticks[s.node] = node_ticks.get(s.node, 0) + (s.t1 - s.t0)
+
+    ticks = [partition_ticks[t] for t in sorted(partition_ticks)]
+    mean_ticks = sum(ticks) / len(ticks) if ticks else 0.0
+    stragglers = sorted(
+        task
+        for task, t in partition_ticks.items()
+        if mean_ticks and t > STRAGGLER_FACTOR * mean_ticks
+    )
+
+    node_values = [node_ticks[n] for n in sorted(node_ticks)]
+    node_imbalance = (
+        round(max(node_values) / (sum(node_values) / len(node_values)), 4)
+        if node_values and sum(node_values)
+        else 0.0
+    )
+
+    launched = sum(1 for e in events if e.name == "speculative.launched")
+    wins = [e for e in events if e.name == "speculative.win"]
+    losses = sum(1 for e in events if e.name == "speculative.lost")
+
+    recovery_events: dict[str, int] = {}
+    for e in events:
+        if e.cat == "recovery":
+            recovery_events[e.name] = recovery_events.get(e.name, 0) + 1
+
+    return {
+        "partitions": {
+            task: {
+                "ticks": partition_ticks[task],
+                "bytes": partition_bytes.get(task, 0),
+            }
+            for task in sorted(partition_ticks)
+        },
+        "partition_cov": _cov(ticks),
+        "partition_max_over_mean": (
+            round(max(ticks) / mean_ticks, 4) if mean_ticks else 0.0
+        ),
+        "stragglers": stragglers,
+        "nodes": {n: node_ticks[n] for n in sorted(node_ticks)},
+        "node_imbalance": node_imbalance,
+        "speculation": {
+            "launched": launched,
+            "wins": len(wins),
+            "losses": losses,
+            "winning_tasks": sorted({e.task for e in wins if e.task}),
+        },
+        "recovery_events": dict(sorted(recovery_events.items())),
+    }

@@ -57,6 +57,7 @@ def chrome_trace(
     events: Sequence[TraceEvent] = (),
     *,
     job_name: str = "",
+    metrics: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Render spans/events as a ``chrome://tracing``-loadable object."""
     pids = _pid_map(spans, events)
@@ -110,13 +111,16 @@ def chrome_trace(
                 "args": args,
             }
         )
+    other: dict[str, Any] = {
+        "job": job_name,
+        "clock": "logical (1 tick = 1 record-equivalent of work, shown as 1us)",
+    }
+    if metrics:
+        other["metrics"] = metrics
     return {
         "traceEvents": trace_events,
         "displayTimeUnit": "ms",
-        "otherData": {
-            "job": job_name,
-            "clock": "logical (1 tick = 1 record-equivalent of work, shown as 1us)",
-        },
+        "otherData": other,
     }
 
 
@@ -155,8 +159,20 @@ def validate_chrome(obj: Any) -> list[str]:
     return errors
 
 
-def to_jsonl(spans: Sequence[Span], events: Sequence[TraceEvent] = ()) -> str:
-    """One JSON object per line, ordered by logical start tick."""
+def to_jsonl(
+    spans: Sequence[Span],
+    events: Sequence[TraceEvent] = (),
+    *,
+    metrics: dict[str, Any] | None = None,
+    job_name: str = "",
+) -> str:
+    """One JSON object per line, ordered by logical start tick.
+
+    With ``metrics`` (a ``Metrics.as_report()`` mapping) and/or
+    ``job_name``, trailing ``metric``/leading ``meta`` records are
+    emitted so the file round-trips through ``repro analyze`` with the
+    full report intact.
+    """
     records: list[tuple[int, int, dict[str, Any]]] = []
     for i, s in enumerate(spans):
         records.append(
@@ -193,7 +209,17 @@ def to_jsonl(spans: Sequence[Span], events: Sequence[TraceEvent] = ()) -> str:
             )
         )
     records.sort(key=lambda r: (r[0], r[1]))
-    return "\n".join(json.dumps(r[2], sort_keys=True) for r in records) + "\n"
+    lines = [json.dumps(r[2], sort_keys=True) for r in records]
+    if job_name:
+        lines.insert(0, json.dumps({"type": "meta", "job": job_name}, sort_keys=True))
+    for name in sorted(metrics or ()):
+        lines.append(
+            json.dumps(
+                {"type": "metric", "name": name, "metric": metrics[name]},
+                sort_keys=True,
+            )
+        )
+    return "\n".join(lines) + "\n"
 
 
 def summary_text(
@@ -211,7 +237,7 @@ def summary_text(
     lines: list[str] = []
     title = f"trace summary: {job_name}" if job_name else "trace summary"
     lines.append(phase_table(spans, title=title))
-    cats = ("map", "sort", "spill", "merge", "shuffle", "reduce")
+    cats = ("map", "sort", "spill", "merge", "shuffle", "reduce", "cache")
     active = [c for c in cats if any(s.cat == c for s in spans)]
     if active:
         lines.append("")
@@ -233,13 +259,17 @@ def write_trace(
     events: Sequence[TraceEvent] = (),
     *,
     job_name: str = "",
+    metrics: dict[str, Any] | None = None,
 ) -> None:
     """Serialise a trace to ``path`` in the requested format."""
     if fmt == "chrome":
-        payload = json.dumps(chrome_trace(spans, events, job_name=job_name), sort_keys=True)
+        payload = json.dumps(
+            chrome_trace(spans, events, job_name=job_name, metrics=metrics),
+            sort_keys=True,
+        )
         text = payload + "\n"
     elif fmt == "jsonl":
-        text = to_jsonl(spans, events)
+        text = to_jsonl(spans, events, metrics=metrics, job_name=job_name)
     elif fmt == "summary":
         text = summary_text(spans, events, job_name=job_name)
     else:

@@ -1,0 +1,242 @@
+"""Deterministic metrics: fixed-bucket histograms and clock-keyed gauges.
+
+Counters answer "how much, in total"; spans answer "when, and for how
+long".  The metrics registry fills the gap between them: *distributions*
+(how large were the shuffle segments?) and *sampled levels* (how many
+keys were resident in the hash table when the partition finished?),
+recorded without ever touching wall time so the values are byte-stable
+across the Serial/Thread/MP executors.
+
+* :class:`Histogram` — fixed power-of-two bucket bounds shared by every
+  instance of a name, so worker-side and coordinator-side observations
+  merge by elementwise count addition.
+* :class:`Gauge` — ``(tick, value)`` samples keyed on the **logical
+  clock** of the owning tracer; absorbing a worker export rebases the
+  ticks exactly like span times.
+
+Metrics ride the tracer: every :class:`repro.obs.tracer.Tracer` owns a
+:class:`Metrics` instance, ships it inside ``tracer.export()`` and
+merges it in :meth:`Tracer.absorb` — the kernel split needs no extra
+plumbing.  Metric names are a closed vocabulary
+(:data:`repro.obs.names.METRIC_NAMES`), validated here at first use and
+statically by lint rule REP008, mirroring how REP004/REP005 guard
+counter and span names.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any
+
+from repro.obs.names import METRIC_NAMES
+
+__all__ = [
+    "DEFAULT_BOUNDS",
+    "Histogram",
+    "Gauge",
+    "Metrics",
+    "NullMetrics",
+    "NULL_METRICS",
+    "MetricsExport",
+]
+
+#: Shared histogram bucket upper bounds (powers of four up to ~1G), plus
+#: an implicit overflow bucket.  Fixed per process *and* per repository:
+#: merging requires identical bounds, and a committed trace must bucket
+#: the same way forever.
+DEFAULT_BOUNDS: tuple[int, ...] = tuple(4**i for i in range(16))
+
+#: The picklable wire form: ``(histograms, gauges)`` where histograms
+#: map name -> (bounds, counts, count, total) and gauges map
+#: name -> [(tick, value), ...].
+MetricsExport = tuple[dict[str, tuple], dict[str, list]]
+
+
+class Histogram:
+    """Fixed-bucket distribution of non-negative integer observations."""
+
+    __slots__ = ("name", "bounds", "counts", "count", "total")
+
+    def __init__(self, name: str, bounds: tuple[int, ...] = DEFAULT_BOUNDS) -> None:
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1: overflow bucket
+        self.count = 0
+        self.total = 0
+
+    def observe(self, value: int) -> None:
+        """Record one observation (records, bytes, ...)."""
+        value = int(value)
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+
+class Gauge:
+    """A level sampled at points on the logical clock."""
+
+    __slots__ = ("name", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.samples: list[tuple[int, int]] = []
+
+    def record(self, tick: int, value: int) -> None:
+        """Record the level ``value`` at logical time ``tick``."""
+        self.samples.append((int(tick), int(value)))
+
+
+class Metrics:
+    """Registry of named histograms and gauges on one tracer."""
+
+    __slots__ = ("_histograms", "_gauges")
+
+    def __init__(self) -> None:
+        self._histograms: dict[str, Histogram] = {}
+        self._gauges: dict[str, Gauge] = {}
+
+    @staticmethod
+    def _check_name(name: str) -> str:
+        if name not in METRIC_NAMES:
+            raise ValueError(
+                f"metric name {name!r} is not registered in repro/obs/names.py "
+                "(METRIC_NAMES); register it first — lint rule REP008 enforces "
+                "this statically"
+            )
+        return name
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered as ``name`` (created on first use)."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram(self._check_name(name))
+        return hist
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered as ``name`` (created on first use)."""
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(self._check_name(name))
+        return gauge
+
+    def __bool__(self) -> bool:
+        return bool(self._histograms or self._gauges)
+
+    # -- composition --------------------------------------------------------
+
+    def export(self) -> MetricsExport | None:
+        """The picklable wire form, or ``None`` when nothing was recorded."""
+        if not self:
+            return None
+        return (
+            {
+                name: (h.bounds, h.counts, h.count, h.total)
+                for name, h in self._histograms.items()
+            },
+            {name: g.samples for name, g in self._gauges.items()},
+        )
+
+    def absorb(self, export: MetricsExport | None, base: int = 0) -> None:
+        """Merge a task-local export; gauge ticks are rebased by ``base``.
+
+        Called (via :meth:`Tracer.absorb`) in deterministic task order,
+        exactly like spans — histogram counts add, gauge samples splice
+        in with their local ticks shifted onto the global clock.
+        """
+        if export is None:
+            return
+        histograms, gauges = export
+        for name, (bounds, counts, count, total) in histograms.items():
+            hist = self.histogram(name)
+            if tuple(bounds) != hist.bounds:
+                raise ValueError(
+                    f"histogram {name!r}: bucket bounds mismatch on merge"
+                )
+            for i, c in enumerate(counts):
+                hist.counts[i] += c
+            hist.count += count
+            hist.total += total
+        for name, samples in gauges.items():
+            gauge = self.gauge(name)
+            for tick, value in samples:
+                gauge.samples.append((tick + base, value))
+
+    def as_report(self) -> dict[str, dict[str, Any]]:
+        """Deterministic plain-data view for analyzer reports (sorted names).
+
+        Histogram buckets are reported sparsely (only non-empty ones) as
+        ``{"le": bound-or-"inf", "n": count}`` rows.
+        """
+        out: dict[str, dict[str, Any]] = {}
+        for name in sorted(self._histograms):
+            h = self._histograms[name]
+            buckets = [
+                {"le": h.bounds[i] if i < len(h.bounds) else "inf", "n": n}
+                for i, n in enumerate(h.counts)
+                if n
+            ]
+            out[name] = {
+                "type": "histogram",
+                "count": h.count,
+                "total": h.total,
+                "buckets": buckets,
+            }
+        for name in sorted(self._gauges):
+            g = self._gauges[name]
+            samples = g.samples
+            out[name] = {
+                "type": "gauge",
+                "count": len(samples),
+                "min": min(v for _, v in samples) if samples else 0,
+                "max": max(v for _, v in samples) if samples else 0,
+                "last": samples[-1][1] if samples else 0,
+                "samples": [[t, v] for t, v in samples],
+            }
+        return {name: out[name] for name in sorted(out)}
+
+
+class _NullHistogram:
+    """Shared do-nothing histogram handed out when tracing is off."""
+
+    __slots__ = ()
+
+    def observe(self, value: int) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def record(self, tick: int, value: int) -> None:
+        pass
+
+
+_NULL_HISTOGRAM = _NullHistogram()
+_NULL_GAUGE = _NullGauge()
+
+
+class NullMetrics:
+    """The zero-overhead default riding :data:`repro.obs.tracer.NULL_TRACER`."""
+
+    __slots__ = ()
+
+    def histogram(self, name: str) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def gauge(self, name: str) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def __bool__(self) -> bool:
+        return False
+
+    def export(self) -> None:
+        return None
+
+    def absorb(self, export: Any, base: int = 0) -> None:
+        pass
+
+    def as_report(self) -> dict[str, dict[str, Any]]:
+        return {}
+
+
+NULL_METRICS = NullMetrics()

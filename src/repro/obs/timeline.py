@@ -29,6 +29,7 @@ PHASE_ORDER = (
     "merge",
     "shuffle",
     "reduce",
+    "cache",
     "snapshot",
     "checkpoint",
     "recovery",

@@ -31,6 +31,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.obs.metrics import NULL_METRICS, Metrics
+
 __all__ = [
     "Span",
     "TraceEvent",
@@ -80,8 +82,10 @@ class TraceEvent:
     args: dict[str, Any] = field(default_factory=dict)
 
 
-#: The picklable wire form a worker-side tracer ships to the coordinator.
-TraceExport = tuple[list[Span], list[TraceEvent], int]
+#: The picklable wire form a worker-side tracer ships to the coordinator:
+#: ``(spans, events, clock, metrics_export)``.  :meth:`Tracer.absorb`
+#: also accepts the historical 3-tuple without the metrics element.
+TraceExport = tuple[list[Span], list[TraceEvent], int, Any]
 
 
 class _SpanHandle:
@@ -140,15 +144,16 @@ _NULL_SPAN = _NullSpan()
 
 
 class Tracer:
-    """Records spans and events on one logical clock."""
+    """Records spans, events and metrics on one logical clock."""
 
-    __slots__ = ("spans", "events", "_clock")
+    __slots__ = ("spans", "events", "metrics", "_clock")
 
     enabled = True
 
     def __init__(self) -> None:
         self.spans: list[Span] = []
         self.events: list[TraceEvent] = []
+        self.metrics = Metrics()
         self._clock = 0
 
     @property
@@ -211,8 +216,8 @@ class Tracer:
     # -- composition ----------------------------------------------------------
 
     def export(self) -> TraceExport:
-        """The picklable form: ``(spans, events, clock)``."""
-        return (self.spans, self.events, self._clock)
+        """The picklable form: ``(spans, events, clock, metrics)``."""
+        return (self.spans, self.events, self._clock, self.metrics.export())
 
     def absorb(self, trace: TraceExport | None, *, args: dict[str, Any] | None = None) -> None:
         """Splice a task-local export onto this clock, preserving order.
@@ -222,12 +227,15 @@ class Tracer:
         child's total.  Called in deterministic task order by the
         coordinator, this yields identical merged traces across
         executors.  ``args`` (e.g. ``{"attempt": 2}``) is merged into
-        every absorbed span and event.
+        every absorbed span and event.  Metric exports merge into
+        :attr:`metrics` with gauge ticks rebased the same way.
         """
         if not trace:
             return
-        spans, events, clock = trace
+        spans, events, clock, *rest = trace
         base = self._clock
+        if rest and rest[0] is not None:
+            self.metrics.absorb(rest[0], base)
         for s in spans:
             s.t0 += base
             s.t1 += base
@@ -251,6 +259,7 @@ class NullTracer:
     spans: tuple = ()
     events: tuple = ()
     clock = 0
+    metrics = NULL_METRICS
 
     def span(self, *args: Any, **kwargs: Any) -> _NullSpan:
         return _NULL_SPAN

@@ -170,6 +170,33 @@ class TestRecoveryManagerSpeculation:
         assert counters[C.SPECULATIVE_WINS] == 1
         assert counters[C.SPECULATIVE_WASTED_MS] > 0
 
+    def test_mild_straggler_backup_loses(self):
+        """A backup races the straggler's *remaining* time (it launches
+        one mean-duration late), so a mild straggler keeps its win."""
+        counters = Counters()
+        manager = RecoveryManager(
+            FaultPlan(slow_nodes={"slow": 2.0}),
+            counters,
+            speculation=SpeculationPolicy(min_completed=1),
+        )
+        manager.run_map_task(
+            0, "fast", ["fast", "slow"], 1024, lambda n: "x", lambda n, r: None
+        )
+        discarded = []
+        node, result = manager.run_map_task(
+            1,
+            "slow",
+            ["fast", "slow"],
+            1024,
+            attempt_fn=lambda n: f"out@{n}",
+            discard_fn=lambda n, r: discarded.append((n, r)),
+        )
+        assert (node, result) == ("slow", "out@slow")
+        assert discarded == [("fast", "out@fast")]
+        assert counters[C.SPECULATIVE_LAUNCHED] == 1
+        assert counters[C.SPECULATIVE_WINS] == 0
+        assert counters[C.SPECULATIVE_WASTED_MS] > 0
+
     def test_no_speculation_on_fast_node(self):
         counters = Counters()
         manager = self.warmed_manager(counters)

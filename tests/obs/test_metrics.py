@@ -1,0 +1,193 @@
+"""Deterministic metrics: bucketization, gauge sampling, merge semantics."""
+
+import pickle
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BOUNDS,
+    NULL_METRICS,
+    Gauge,
+    Histogram,
+    Metrics,
+    NullMetrics,
+)
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+H = "map.sort.records"  # registered histogram name
+G = "hash.resident.keys"  # registered gauge name
+
+
+class TestHistogram:
+    def test_bucketization_power_of_four(self):
+        h = Histogram(H)
+        for v in (0, 1, 2, 4, 5, 16, 17):
+            h.observe(v)
+        # bounds are 4**i: bucket index = bisect_left(bounds, v)
+        assert h.counts[0] == 2  # 0, 1
+        assert h.counts[1] == 2  # 2, 4
+        assert h.counts[2] == 2  # 5, 16
+        assert h.counts[3] == 1  # 17
+        assert h.count == 7
+        assert h.total == 0 + 1 + 2 + 4 + 5 + 16 + 17
+
+    def test_overflow_bucket(self):
+        h = Histogram(H)
+        h.observe(DEFAULT_BOUNDS[-1] + 1)
+        assert h.counts[-1] == 1
+        assert sum(h.counts[:-1]) == 0
+
+    def test_bounds_shape(self):
+        assert DEFAULT_BOUNDS == tuple(4**i for i in range(16))
+        assert len(Histogram(H).counts) == len(DEFAULT_BOUNDS) + 1
+
+
+class TestGauge:
+    def test_samples_keep_order_and_coerce_ints(self):
+        g = Gauge(G)
+        g.record(3, 10)
+        g.record(7.0, 2.0)
+        assert g.samples == [(3, 10), (7, 2)]
+
+
+class TestMetricsRegistry:
+    def test_same_name_same_instance(self):
+        m = Metrics()
+        assert m.histogram(H) is m.histogram(H)
+        assert m.gauge(G) is m.gauge(G)
+
+    def test_unregistered_name_rejected(self):
+        m = Metrics()
+        with pytest.raises(ValueError, match="REP008"):
+            m.histogram("map.sorted.records")
+        with pytest.raises(ValueError, match="not registered"):
+            m.gauge("hash.keys")
+
+    def test_truthiness_tracks_content(self):
+        m = Metrics()
+        assert not m
+        m.histogram(H)
+        assert m
+
+
+class TestExportAbsorb:
+    def test_empty_export_is_none(self):
+        assert Metrics().export() is None
+        Metrics().absorb(None)  # must be a no-op, not an error
+
+    def test_export_is_picklable(self):
+        m = Metrics()
+        m.histogram(H).observe(5)
+        m.gauge(G).record(1, 2)
+        export = pickle.loads(pickle.dumps(m.export()))
+        merged = Metrics()
+        merged.absorb(export)
+        assert merged.histogram(H).count == 1
+        assert merged.gauge(G).samples == [(1, 2)]
+
+    def test_histogram_counts_add_elementwise(self):
+        a, b = Metrics(), Metrics()
+        for v in (1, 100):
+            a.histogram(H).observe(v)
+        for v in (1, 5000):
+            b.histogram(H).observe(v)
+        a.absorb(b.export())
+        h = a.histogram(H)
+        assert h.count == 4
+        assert h.total == 1 + 100 + 1 + 5000
+        assert sum(h.counts) == 4
+
+    def test_gauge_ticks_rebase_on_base(self):
+        worker = Metrics()
+        worker.gauge(G).record(2, 40)
+        worker.gauge(G).record(5, 80)
+        coord = Metrics()
+        coord.gauge(G).record(1, 10)
+        coord.absorb(worker.export(), base=100)
+        assert coord.gauge(G).samples == [(1, 10), (102, 40), (105, 80)]
+
+    def test_bounds_mismatch_refused(self):
+        src = Metrics()
+        src.histogram(H).observe(1)
+        histograms, gauges = src.export()
+        bounds, counts, count, total = histograms[H]
+        doctored = ({H: ((1, 2, 3), counts, count, total)}, gauges)
+        with pytest.raises(ValueError, match="bounds mismatch"):
+            Metrics().absorb(doctored)
+
+
+class TestAsReport:
+    def test_histogram_report_sparse_buckets(self):
+        m = Metrics()
+        for v in (1, 1, 70000):
+            m.histogram(H).observe(v)
+        rep = m.as_report()[H]
+        assert rep["type"] == "histogram"
+        assert rep["count"] == 3
+        assert rep["total"] == 70002
+        assert rep["buckets"] == [{"le": 1, "n": 2}, {"le": 262144, "n": 1}]
+
+    def test_gauge_report_summary(self):
+        m = Metrics()
+        for tick, v in ((1, 5), (2, 9), (3, 4)):
+            m.gauge(G).record(tick, v)
+        rep = m.as_report()[G]
+        assert rep == {
+            "type": "gauge",
+            "count": 3,
+            "min": 4,
+            "max": 9,
+            "last": 4,
+            "samples": [[1, 5], [2, 9], [3, 4]],
+        }
+
+    def test_names_sorted(self):
+        m = Metrics()
+        m.gauge(G).record(1, 1)
+        m.histogram(H).observe(1)
+        m.histogram("shuffle.segment.bytes").observe(2)
+        assert list(m.as_report()) == sorted([G, H, "shuffle.segment.bytes"])
+
+
+class TestNullMetrics:
+    def test_inert_and_shared(self):
+        n = NullMetrics()
+        n.histogram("not.registered").observe(5)  # no validation, no effect
+        n.gauge("also.not").record(1, 2)
+        assert not n
+        assert n.export() is None
+        assert n.as_report() == {}
+        n.absorb(("bogus", "export"))
+        assert NULL_TRACER.metrics is NULL_METRICS
+
+
+class TestTracerIntegration:
+    def test_export_is_four_tuple_with_metrics(self):
+        t = Tracer()
+        t.metrics.histogram(H).observe(3)
+        spans, events, clock, metrics = t.export()
+        assert metrics is not None
+        assert metrics[0][H][2] == 1  # count
+
+    def test_absorb_merges_and_rebases_metrics(self):
+        coord = Tracer()
+        with coord.span("map", "map", cost=10):
+            pass
+        worker = Tracer()
+        with worker.span("sort", "sort", cost=4):
+            worker.metrics.histogram(H).observe(8)
+            worker.metrics.gauge(G).record(worker.clock, 7)
+        coord.absorb(worker.export())
+        assert coord.metrics.histogram(H).count == 1
+        # worker tick 1 rebased by the coordinator clock at absorb time (11)
+        assert coord.metrics.gauge(G).samples == [(12, 7)]
+
+    def test_absorb_accepts_historical_three_tuple(self):
+        coord = Tracer()
+        worker = Tracer()
+        with worker.span("sort", "sort"):
+            pass
+        spans, events, clock, _ = worker.export()
+        coord.absorb((spans, events, clock))
+        assert len(coord.spans) == 1
+        assert not coord.metrics

@@ -179,3 +179,136 @@ class TestJournalCommands:
         assert "all invariants held" in out
         # --workdir keeps the per-site journals around for inspection.
         assert any((tmp_path / "sweep").iterdir())
+
+
+class TestAnalyzeCommand:
+    def _trace(self, tmp_path, fmt):
+        path = str(tmp_path / f"trace.{fmt}")
+        rc = main(
+            [
+                "run",
+                "--workload",
+                "per-user-count",
+                "--engine",
+                "hadoop",
+                "--records",
+                "2000",
+                "--trace",
+                path,
+                "--trace-format",
+                fmt,
+            ]
+        )
+        assert rc == 0
+        return path
+
+    def test_run_analyze_inline(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--workload",
+                "per-user-count",
+                "--engine",
+                "onepass",
+                "--records",
+                "2000",
+                "--analyze",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "performance analysis" in out
+        assert "critical path" in out
+
+    def test_analyze_trace_file_terminal(self, capsys, tmp_path):
+        path = self._trace(tmp_path, "jsonl")
+        capsys.readouterr()
+        assert main(["analyze", path]) == 0
+        out = capsys.readouterr().out
+        assert "performance analysis" in out
+        assert "barriers & pipelining" in out
+
+    def test_analyze_json_identical_for_both_trace_formats(self, capsys, tmp_path):
+        """jsonl and chrome traces of the same run analyze identically."""
+        import json
+
+        from repro.obs.analyze import validate_report
+
+        reports = []
+        for fmt in ("jsonl", "chrome"):
+            path = self._trace(tmp_path, fmt)
+            capsys.readouterr()
+            assert main(["analyze", path, "--format", "json"]) == 0
+            reports.append(capsys.readouterr().out)
+        assert reports[0] == reports[1]
+        assert validate_report(json.loads(reports[0])) == []
+
+    def test_analyze_out_writes_html(self, capsys, tmp_path):
+        path = self._trace(tmp_path, "jsonl")
+        out_path = str(tmp_path / "report.html")
+        assert main(["analyze", path, "--format", "html", "--out", out_path]) == 0
+        assert "wrote html report" in capsys.readouterr().out
+        with open(out_path, encoding="utf-8") as fh:
+            assert fh.read().startswith("<!doctype html>")
+
+    def test_analyze_journal_directory(self, capsys, tmp_path):
+        journal_dir = str(tmp_path / "wal")
+        rc = main(
+            [
+                "run",
+                "--workload",
+                "per-user-count",
+                "--engine",
+                "onepass",
+                "--records",
+                "2000",
+                "--journal",
+                journal_dir,
+            ]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        assert main(["analyze", journal_dir]) == 0
+        out = capsys.readouterr().out
+        assert "journal committed state" in out
+        assert "task grants" not in out  # volatile stats need --detail
+        assert main(["analyze", journal_dir, "--detail"]) == 0
+        assert "task grants" in capsys.readouterr().out
+
+    def test_analyze_baseline_names_regressed_phase(self, capsys, tmp_path):
+        import json
+
+        path = self._trace(tmp_path, "jsonl")
+        base_path = str(tmp_path / "base.json")
+        assert main(["analyze", path, "--format", "json", "--out", base_path]) == 0
+        capsys.readouterr()
+
+        # Same trace vs itself: nothing regressed.
+        assert main(["analyze", path, "--baseline", base_path]) == 0
+        assert "no phase regressed" in capsys.readouterr().out
+
+        # Shrink the baseline's sort ticks: the current trace now reads
+        # as a sort regression, and the delta table names it.
+        with open(base_path, encoding="utf-8") as fh:
+            base = json.load(fh)
+        base["phases"]["sort"]["ticks"] //= 10
+        with open(base_path, "w", encoding="utf-8") as fh:
+            json.dump(base, fh)
+        assert main(["analyze", path, "--baseline", base_path]) == 0
+        assert "regressed phase: sort" in capsys.readouterr().out
+
+    def test_compare_analyze_prints_delta(self, capsys):
+        rc = main(
+            [
+                "compare",
+                "--workload",
+                "per-user-count",
+                "--records",
+                "4000",
+                "--analyze",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-phase delta: sort-merge -> one-pass" in out
+        assert out.count("performance analysis") == 2
