@@ -108,12 +108,14 @@ def _run_random_resident(stream, capacity, seed=5):
     disk = LocalDisk()
     writer = RunWriter(disk, "cold")
     states: dict[int, int] = {}
-    for key in stream:
-        if key in resident:
-            states[key] = states.get(key, 0) + 1
-        else:
-            writer.write((key, 1))
-    writer.close()
+    try:
+        for key in stream:
+            if key in resident:
+                states[key] = states.get(key, 0) + 1
+            else:
+                writer.write((key, 1))
+    finally:
+        writer.close()
     return writer.bytes_written
 
 

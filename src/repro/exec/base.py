@@ -34,7 +34,6 @@ __all__ = [
 Kernel = Callable[[Any, Any], Any]
 
 _KERNELS: dict[str, Kernel] = {}
-_BUILTINS_LOADED = False
 
 
 def register_kernel(name: str, fn: Kernel) -> None:
@@ -43,12 +42,15 @@ def register_kernel(name: str, fn: Kernel) -> None:
 
 
 def get_kernel(name: str) -> Kernel:
-    global _BUILTINS_LOADED
-    if name not in _KERNELS and not _BUILTINS_LOADED:
-        # Deferred registration keeps this module a leaf: the kernels
-        # module imports the engine task classes, which import this module.
-        _BUILTINS_LOADED = True
-        from repro.exec import kernels  # noqa: F401
+    try:
+        return _KERNELS[name]
+    except KeyError:
+        pass
+    # Deferred registration keeps this module a leaf: the kernels module
+    # imports the engine task classes, which import this module.  The
+    # import system's own once-only latch makes this thread-safe — no
+    # mutable module flag, which would race across kernel invocations.
+    from repro.exec import kernels  # noqa: F401
 
     try:
         return _KERNELS[name]

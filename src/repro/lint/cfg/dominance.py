@@ -1,0 +1,50 @@
+"""Dominator / post-dominator sets over a :class:`~.builder.CFG`.
+
+Straight iterative dataflow over block-index sets.  Functions in this
+codebase are small (tens of blocks), so the O(n^2) set formulation is
+simpler and fast enough; no Lengauer-Tarjan needed.
+
+Unreachable blocks (dead code after a return, loop-less ``after``
+blocks of ``while True``) keep the full set as their dominator set —
+callers filter on :meth:`CFG.live` when that matters.
+"""
+
+from __future__ import annotations
+
+from repro.lint.cfg.builder import CFG
+
+__all__ = ["dominators", "postdominators"]
+
+
+def _solve(cfg: CFG, root: int, *, forward: bool) -> list[set[int]]:
+    n = len(cfg.blocks)
+    full = set(range(n))
+    dom: list[set[int]] = [set(full) for _ in range(n)]
+    dom[root] = {root}
+    changed = True
+    while changed:
+        changed = False
+        for block in cfg.blocks:
+            if block.index == root:
+                continue
+            edges = block.preds if forward else block.succs
+            new = set(full)
+            for src, _kind in edges:
+                new &= dom[src]
+            new.add(block.index)
+            if not edges:
+                new = full | {block.index}
+            if new != dom[block.index]:
+                dom[block.index] = new
+                changed = True
+    return dom
+
+
+def dominators(cfg: CFG) -> list[set[int]]:
+    """``dominators(cfg)[b]`` = blocks on *every* entry->b path."""
+    return _solve(cfg, cfg.entry, forward=True)
+
+
+def postdominators(cfg: CFG) -> list[set[int]]:
+    """``postdominators(cfg)[b]`` = blocks on *every* b->exit path."""
+    return _solve(cfg, cfg.exit, forward=False)

@@ -1,0 +1,188 @@
+"""Per-block effect classification for the protocol rules.
+
+``journal_appends`` finds ``journal.append(K_REDUCE_COMMIT, ...)``-style
+calls and classifies the record kind; ``emit_sites`` finds committed-
+output emissions (``hdfs.append_block(job.output_path, ...)``); both
+feed REP204's commit-then-emit check.  ``releases`` is the per-block
+release predicate REP205's must-analysis evaluates, mirroring REP103's
+ownership semantics (close, ``with``, return/yield, hand-off).  The
+resource lattice maps fork-unsafe factory calls to the human-readable
+kind REP202 reports.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.cfg.builder import Block, block_exprs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.core import LintModule
+
+__all__ = [
+    "RESOURCE_KINDS",
+    "emit_sites",
+    "journal_appends",
+    "releases",
+    "resource_kind",
+]
+
+#: Journal record kinds that commit reduce output; emission of committed
+#: output must be preceded by one of these (K_OUTPUT_COMMIT legitimately
+#: *follows* emission — it seals the whole output file).
+_REDUCE_COMMIT_NAMES = frozenset({"K_REDUCE_COMMIT"})
+_REDUCE_COMMIT_VALUES = frozenset({"reduce-commit"})
+
+#: Fork-unsafe factory -> the OS-resource kind REP202 names in findings.
+#: Terminal-segment keys ("open") match bare builtins; dotted keys match
+#: the alias-resolved call target exactly.
+RESOURCE_KINDS: dict[str, str] = {
+    "open": "open file handle",
+    "tempfile.NamedTemporaryFile": "open file handle",
+    "tempfile.TemporaryFile": "open file handle",
+    "socket.socket": "socket",
+    "socket.create_connection": "socket",
+    "subprocess.Popen": "live process handle",
+    "threading.Lock": "thread lock",
+    "threading.RLock": "thread lock",
+    "threading.Condition": "condition variable",
+    "threading.Semaphore": "semaphore",
+    "threading.BoundedSemaphore": "semaphore",
+    "threading.Event": "thread event",
+}
+
+
+def resource_kind(dotted: str, factories: tuple[str, ...]) -> str | None:
+    """The REP202 resource kind of a call target, or None."""
+    if dotted not in factories:
+        terminal = dotted.rpartition(".")[2]
+        if not any("." not in f and f == terminal for f in factories):
+            return None
+    return RESOURCE_KINDS.get(
+        dotted, RESOURCE_KINDS.get(dotted.rpartition(".")[2], "OS resource")
+    )
+
+
+# -- REP204: journal commits and output emissions -----------------------------
+
+
+def _is_journal_receiver(node: ast.AST, receivers: tuple[str, ...]) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in receivers
+    if isinstance(node, ast.Attribute):
+        return node.attr in receivers  # self.journal, run.journal, ...
+    return False
+
+
+def _append_kind(call: ast.Call, module: "LintModule") -> str | None:
+    """"reduce-commit", "output-commit" or "other" for a journal append."""
+    if not call.args:
+        return "other"
+    arg = call.args[0]
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        if arg.value in _REDUCE_COMMIT_VALUES:
+            return "reduce-commit"
+        return "output-commit" if arg.value == "output-commit" else "other"
+    dotted = module.dotted(arg)
+    if dotted is None:
+        return "other"
+    terminal = dotted.rpartition(".")[2]
+    if terminal in _REDUCE_COMMIT_NAMES:
+        return "reduce-commit"
+    return "output-commit" if terminal == "K_OUTPUT_COMMIT" else "other"
+
+
+def journal_appends(
+    block: Block, module: "LintModule", receivers: tuple[str, ...]
+) -> Iterator[tuple[str, ast.Call]]:
+    """(kind, call) for every journal ``append`` call in the block."""
+    for node in block_exprs(block):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "append"
+            and _is_journal_receiver(node.func.value, receivers)
+        ):
+            kind = _append_kind(node, module)
+            if kind is not None:
+                yield kind, node
+
+
+def emit_sites(
+    block: Block,
+    emit_methods: tuple[str, ...],
+    path_attrs: tuple[str, ...],
+) -> Iterator[ast.Call]:
+    """Committed-output emissions: an ``append_block``-style call whose
+    arguments reference the job's ``output_path``."""
+    for node in block_exprs(block):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in emit_methods
+        ):
+            continue
+        args = (*node.args, *(kw.value for kw in node.keywords))
+        for arg in args:
+            if any(
+                isinstance(sub, ast.Attribute) and sub.attr in path_attrs
+                for sub in ast.walk(arg)
+            ):
+                yield node
+                break
+
+
+# -- REP205: the per-block release predicate ----------------------------------
+
+
+def releases(block: Block, name: str) -> bool:
+    """Does this block release/transfer ownership of local ``name``?
+
+    Mirrors REP103's ownership semantics: ``name.close()``, a ``with``
+    managing it, returning/yielding it, storing it into longer-lived
+    state, or passing it to another callable.
+    """
+    node = block.node
+    if node is None:
+        return False
+    if isinstance(node, (ast.With, ast.AsyncWith)):
+        for item in node.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Name) and expr.id == name:
+                return True
+            if isinstance(expr, ast.Call) and any(
+                isinstance(a, ast.Name) and a.id == name for a in expr.args
+            ):
+                return True  # contextlib.closing(name) and friends
+        return False
+    for sub in block_exprs(block):
+        if isinstance(sub, (ast.Return, ast.Yield, ast.YieldFrom)):
+            value = sub.value
+            if value is not None and any(
+                isinstance(n, ast.Name) and n.id == name for n in ast.walk(value)
+            ):
+                return True
+        elif isinstance(sub, ast.Call):
+            func = sub.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "close"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == name
+            ):
+                return True
+            if any(
+                isinstance(a, ast.Name) and a.id == name
+                for a in (*sub.args, *(kw.value for kw in sub.keywords))
+            ):
+                return True  # handed to another owner
+        elif isinstance(sub, ast.Assign):
+            if any(
+                isinstance(t, (ast.Attribute, ast.Subscript)) for t in sub.targets
+            ) and any(
+                isinstance(n, ast.Name) and n.id == name
+                for n in ast.walk(sub.value)
+            ):
+                return True  # stored into longer-lived state
+    return False

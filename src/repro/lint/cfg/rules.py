@@ -1,0 +1,606 @@
+"""REP201..REP206: concurrency and protocol-ordering rules.
+
+These rules sit on the CFG layer (``cfg/builder.py``) and the
+execution-context model (``cfg/context.py``), on top of the PR 5
+whole-program summaries.  ``docs/STATIC_ANALYSIS.md`` documents the
+contract behind each.
+
+Import note: this module is wired into ``ALL_RULES`` by a bottom-of-
+module import in :mod:`repro.lint.rules` and imports that module's
+shared AST helpers in return.  Always reach these rules through
+``repro.lint.rules`` (``ALL_RULES`` / ``rule_by_id``); importing this
+module first would trip the cycle.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.cfg.builder import CFG, Block, function_cfgs
+from repro.lint.cfg.context import chain_text
+from repro.lint.cfg.effects import (
+    RESOURCE_KINDS,
+    emit_sites,
+    journal_appends,
+    releases,
+    resource_kind,
+)
+from repro.lint.core import Finding, LintContext, LintModule
+from repro.lint.dataflow.summary import MODULE_BODY
+from repro.lint.dataflow.taint import chain_display
+from repro.lint.rules import (
+    InterproceduralResourceLeak,
+    Rule,
+    _call_dotted,
+    _enclosing_class_name,
+    _local_bindings,
+    _registered_kernels,
+    _scope_walk,
+    _scopes,
+    _terminal_name,
+)
+
+__all__ = ["CFG_RULES"]
+
+
+def _module_defs(
+    tree: ast.Module,
+) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """(qualname, def node) for module-level functions and methods —
+    the granularity the dataflow summaries use for function ids."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.name, node
+        elif isinstance(node, ast.ClassDef):
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield f"{node.name}.{sub.name}", sub
+
+
+# -- REP201: shared mutable state across execution contexts -------------------
+
+
+class SharedStateRace(Rule):
+    """REP201: a module global written from kernel scope (or written on
+    the coordinator and read from kernel scope) is a data race under the
+    thread executor and silently divergent state under the fork
+    executor.  State with a real ownership-transfer protocol is exempted
+    via ``ownership_transfer_globals`` or an inline suppression on the
+    write.
+    """
+
+    id = "REP201"
+    title = "no shared mutable module state across coordinator/kernel contexts"
+
+    def check(self, module: LintModule, ctx: LintContext) -> Iterator[Finding]:
+        summary, _digest = ctx.module_summary(module)
+        writers: dict[str, list[tuple[str, int]]] = {}
+        for qual, fs in summary.functions.items():
+            if qual == MODULE_BODY:
+                continue
+            for name, lineno in fs.global_writes:
+                writers.setdefault(name, []).append((qual, lineno))
+        if not writers:
+            return
+        exempt = set(ctx.config.coordinator_singletons) | set(
+            ctx.config.ownership_transfer_globals
+        )
+        facts = ctx.facts_for(module)
+        contexts = ctx.exec_contexts(facts)
+        reads = _global_reads(module.tree, frozenset(writers) - exempt)
+        for name in sorted(writers):
+            if name in exempt:
+                continue
+            classified = [
+                (qual, lineno, contexts.classify(f"{module.modpath}::{qual}"))
+                for qual, lineno in writers[name]
+            ]
+            kernel_writes = [
+                (q, l) for q, l, c in classified if c in ("kernel", "both")
+            ]
+            for qual, lineno in kernel_writes:
+                yield Finding(
+                    self.id,
+                    module.path,
+                    lineno,
+                    1,
+                    f"module global {name!r} is written in {qual!r}, which "
+                    "runs in kernel scope; concurrent kernel invocations "
+                    "race on it under the thread executor and diverge "
+                    "silently under fork",
+                )
+            if kernel_writes:
+                continue  # the write findings already cover this global
+            coord = [(q, l) for q, l, c in classified if c == "coordinator"]
+            if not coord:
+                continue
+            for qual, node in reads.get(name, ()):
+                if contexts.classify(f"{module.modpath}::{qual}") in (
+                    "kernel",
+                    "both",
+                ):
+                    yield module.finding(
+                        self.id,
+                        node,
+                        f"module global {name!r} is written in coordinator "
+                        f"scope ({coord[0][0]!r}) and read here in kernel "
+                        "scope with no ownership transfer; pass it through "
+                        "the task spec instead",
+                    )
+
+
+def _global_reads(
+    tree: ast.Module, names: frozenset[str]
+) -> dict[str, list[tuple[str, ast.Name]]]:
+    """name -> [(qualname, load site)] for unshadowed global loads."""
+    out: dict[str, list[tuple[str, ast.Name]]] = {}
+    if not names:
+        return out
+    for qual, fn in _module_defs(tree):
+        local = _local_bindings(fn)
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in names
+                and node.id not in local
+            ):
+                out.setdefault(node.id, []).append((qual, node))
+    return out
+
+
+# -- REP202: fork-unsafe captures ---------------------------------------------
+
+
+class ForkUnsafeCapture(Rule):
+    """REP202: OS resources (open files, sockets, locks, live process
+    handles, live generators) must never land on a picklable ``*Spec``
+    field or be captured by a registered kernel from module scope — the
+    fork/pickle transport cannot carry them, and under fork they alias
+    the coordinator's file descriptors.
+    """
+
+    id = "REP202"
+    title = "no fork-unsafe OS resources on specs or captured by kernels"
+
+    def check(self, module: LintModule, ctx: LintContext) -> Iterator[Finding]:
+        facts = ctx.facts_for(module)
+        factories = ctx.config.fork_unsafe_factories
+        spec_names = ctx.spec_class_names
+        gen_defs = frozenset(
+            qual
+            for qual, fn in _module_defs(module.tree)
+            if "." not in qual
+            and any(
+                isinstance(n, (ast.Yield, ast.YieldFrom)) for n in _scope_walk(fn)
+            )
+        )
+        module_resources = self._module_resources(
+            module, facts, factories, gen_defs
+        )
+
+        if module.modpath == ctx.kernel_modpath and module_resources:
+            registered = set(_registered_kernels(module.tree))
+            for qual, fn in _module_defs(module.tree):
+                if qual not in registered:
+                    continue
+                local = _local_bindings(fn)
+                for node in ast.walk(fn):
+                    if (
+                        isinstance(node, ast.Name)
+                        and isinstance(node.ctx, ast.Load)
+                        and node.id in module_resources
+                        and node.id not in local
+                    ):
+                        yield module.finding(
+                            self.id,
+                            node,
+                            f"kernel {qual!r} captures module-level "
+                            f"{module_resources[node.id]} {node.id!r}; OS "
+                            "resources do not survive the fork into worker "
+                            "processes",
+                        )
+
+        for scope in _scopes(module.tree):
+            lookup: dict[str, tuple[str, str | None]] = {}
+            spec_locals: set[str] = set()
+            for node in _scope_walk(scope):
+                if (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                ):
+                    name = node.targets[0].id
+                    hit = self._value_kind(
+                        module, facts, node.value, factories, gen_defs
+                    )
+                    if hit is not None:
+                        lookup[name] = hit
+                    elif (
+                        isinstance(node.value, ast.Call)
+                        and _terminal_name(node.value.func) in spec_names
+                    ):
+                        spec_locals.add(name)
+            if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                shadowed = _local_bindings(scope)
+                for gname, kind in module_resources.items():
+                    if gname not in shadowed:
+                        lookup.setdefault(gname, (kind, None))
+            for node in _scope_walk(scope):
+                if (
+                    isinstance(node, ast.Call)
+                    and _terminal_name(node.func) in spec_names
+                ):
+                    for arg in (*node.args, *(kw.value for kw in node.keywords)):
+                        hit = self._arg_kind(
+                            module, facts, arg, factories, gen_defs, lookup
+                        )
+                        if hit is not None:
+                            yield self._spec_finding(module, arg, hit, "argument")
+                elif (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Attribute)
+                    and isinstance(node.targets[0].value, ast.Name)
+                    and node.targets[0].value.id in spec_locals
+                ):
+                    hit = self._arg_kind(
+                        module, facts, node.value, factories, gen_defs, lookup
+                    )
+                    if hit is not None:
+                        yield self._spec_finding(
+                            module,
+                            node,
+                            hit,
+                            f"field {node.targets[0].attr!r}",
+                        )
+
+    def _spec_finding(
+        self,
+        module: LintModule,
+        node: ast.AST,
+        hit: tuple[str, str | None],
+        where: str,
+    ) -> Finding:
+        kind, witness = hit
+        suffix = f" (path: {witness})" if witness else ""
+        return module.finding(
+            self.id,
+            node,
+            f"picklable spec {where} receives a {kind}{suffix}; the "
+            "fork/pickle transport cannot carry OS resources — pass a "
+            "path or config value and open it inside the kernel",
+        )
+
+    def _module_resources(
+        self,
+        module: LintModule,
+        facts,
+        factories: tuple[str, ...],
+        gen_defs: frozenset[str],
+    ) -> dict[str, str]:
+        out: dict[str, str] = {}
+        for node in module.tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                hit = self._value_kind(
+                    module, facts, node.value, factories, gen_defs
+                )
+                if hit is not None:
+                    out[node.targets[0].id] = hit[0]
+        return out
+
+    def _arg_kind(
+        self,
+        module: LintModule,
+        facts,
+        value: ast.AST,
+        factories: tuple[str, ...],
+        gen_defs: frozenset[str],
+        lookup: dict[str, tuple[str, str | None]],
+    ) -> tuple[str, str | None] | None:
+        if isinstance(value, ast.Name) and value.id in lookup:
+            return lookup[value.id]
+        return self._value_kind(module, facts, value, factories, gen_defs)
+
+    def _value_kind(
+        self,
+        module: LintModule,
+        facts,
+        value: ast.AST,
+        factories: tuple[str, ...],
+        gen_defs: frozenset[str],
+    ) -> tuple[str, str | None] | None:
+        """(resource kind, witness chain) when the expression yields one."""
+        if isinstance(value, ast.GeneratorExp):
+            return "live generator", None
+        if not isinstance(value, ast.Call):
+            return None
+        dotted = _call_dotted(module, value)
+        if dotted is None:
+            return None
+        kind = resource_kind(dotted, factories)
+        if kind is not None:
+            return kind, None
+        if "." not in dotted and dotted in gen_defs:
+            return "live generator", None
+        fid = facts.resolve(
+            module.modpath, dotted, _enclosing_class_name(module, value)
+        )
+        entry = facts.resource.get(fid) if fid is not None else None
+        if entry is None:
+            return None
+        detail = entry[0]
+        return RESOURCE_KINDS.get(detail, detail), chain_display(fid, entry)
+
+
+# -- REP203: blocking calls in coordinator scope ------------------------------
+
+
+class CoordinatorBlockingCalls(Rule):
+    """REP203: the coordinator's scheduling loop must stay nonblocking —
+    ``time.sleep``, synchronous socket I/O, subprocess waits and
+    unbounded queue/thread joins stall every in-flight partition.
+
+    Each root cause is reported exactly once: direct blocking calls are
+    flagged where they appear inside coordinator-scope modules, while
+    blocking reached through helpers *outside* those modules (workload
+    closures, shared utilities) is flagged transitively at the boundary
+    call, with the witness chain.
+    """
+
+    id = "REP203"
+    title = "no blocking calls in coordinator-scope functions"
+
+    def check(self, module: LintModule, ctx: LintContext) -> Iterator[Finding]:
+        facts = ctx.facts_for(module)
+        contexts = ctx.exec_contexts(facts)
+        blocking = frozenset(ctx.config.blocking_calls)
+        index = ctx.blocking_facts(facts)
+        scopes = ctx.config.coordinator_scopes
+        summary, _digest = ctx.module_summary(module)
+        in_coordinator_module = module.modpath.startswith(scopes)
+        for qual in sorted(summary.functions):
+            if qual == MODULE_BODY:
+                continue
+            fid = f"{module.modpath}::{qual}"
+            scope = contexts.classify(fid)
+            if scope not in ("coordinator", "both"):
+                continue
+            where = (
+                "coordinator-scope"
+                if scope == "coordinator"
+                else "shared coordinator/kernel"
+            )
+            fs = summary.functions[qual]
+            for dotted, lineno, col in fs.calls:
+                if dotted in blocking:
+                    # Outside coordinator modules the call is charged to
+                    # the coordinator-side caller (transitively, below).
+                    if in_coordinator_module:
+                        yield Finding(
+                            self.id,
+                            module.path,
+                            lineno,
+                            col + 1,
+                            f"blocking call {dotted}() in {where} function "
+                            f"{qual!r}; the coordinator event loop must not "
+                            "stall (bound it with a timeout or move it to a "
+                            "worker)",
+                        )
+                    continue
+                target = facts.resolve(fs.modpath, dotted, fs.cls)
+                entry = index.get(target) if target is not None else None
+                if entry is None:
+                    continue
+                if target.partition("::")[0].startswith(scopes):
+                    continue  # reported at the callee's own site
+                yield Finding(
+                    self.id,
+                    module.path,
+                    lineno,
+                    col + 1,
+                    f"call from {where} function {qual!r} blocks "
+                    f"transitively on {entry[0]}() "
+                    f"(via {chain_text(target, entry[1])})",
+                )
+
+
+# -- REP204: commit-then-emit protocol ordering -------------------------------
+
+
+class CommitProtocolOrder(Rule):
+    """REP204: crash consistency requires the reduce-commit journal
+    record to happen-before the committed-output emission — a crash
+    between emit and append replays the reduce and duplicates output.
+    Functions that emit but never touch the journal are out of protocol
+    scope (helpers given a pre-committed path).
+    """
+
+    id = "REP204"
+    title = "reduce-commit journal append must precede output emission"
+
+    def check(self, module: LintModule, ctx: LintContext) -> Iterator[Finding]:
+        receivers = ctx.config.journal_receivers
+        emit_methods = ctx.config.emit_methods
+        path_attrs = ctx.config.emit_path_attrs
+        for qual, _fn, cfg in function_cfgs(module.tree):
+            live = cfg.live()
+            commits: set[int] = set()
+            journal_touched = False
+            emits: list[tuple[int, ast.Call]] = []
+            for block in cfg.blocks:
+                if block.index not in live:
+                    continue
+                for kind, _call in journal_appends(block, module, receivers):
+                    journal_touched = True
+                    if kind == "reduce-commit":
+                        commits.add(block.index)
+                for call in emit_sites(block, emit_methods, path_attrs):
+                    emits.append((block.index, call))
+            if not emits or not journal_touched:
+                continue
+            for idx, call in emits:
+                if not commits:
+                    yield module.finding(
+                        self.id,
+                        call,
+                        f"{qual!r} emits committed output but appends no "
+                        "reduce-commit journal record; append "
+                        "K_REDUCE_COMMIT before emitting so a crash "
+                        "replays instead of duplicating",
+                    )
+                    continue
+                ahead = cfg.reachable([idx], forward=True, include_back=False)
+                if ahead & commits:
+                    yield module.finding(
+                        self.id,
+                        call,
+                        f"{qual!r} emits committed output before its "
+                        "reduce-commit journal append on a control-flow "
+                        "path; the append must happen-before the emission",
+                    )
+                    continue
+                behind = cfg.reachable([idx], forward=False, include_back=True)
+                if not behind & commits:
+                    yield module.finding(
+                        self.id,
+                        call,
+                        f"no path through {qual!r} appends a reduce-commit "
+                        "journal record before this committed-output "
+                        "emission",
+                    )
+
+
+# -- REP205: path-sensitive resource release ----------------------------------
+
+
+class PathSensitiveResourceRelease(Rule):
+    """REP205: the release of an acquired resource must cover *every*
+    CFG path out of the acquisition — including exception edges.  This
+    upgrades REP103: a ``finally: x.close()`` satisfies REP103 even when
+    statements between the acquisition and the ``try`` can raise and
+    leak the handle; the CFG sees that window.
+    """
+
+    id = "REP205"
+    title = "resource release must post-dominate acquisition on all paths"
+
+    #: REP103's acquisition/ownership semantics, reused verbatim so the
+    #: two rules can never disagree about what acquires or releases.
+    _rep103 = InterproceduralResourceLeak()
+
+    def check(self, module: LintModule, ctx: LintContext) -> Iterator[Finding]:
+        facts = ctx.facts_for(module)
+        for _qual, fn, cfg in function_cfgs(module.tree):
+            live = cfg.live()
+            for block in cfg.blocks:
+                if block.index not in live:
+                    continue
+                node = block.node
+                if not (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Call)
+                ):
+                    continue
+                hit = self._rep103._acquires(module, ctx, facts, node.value)
+                if hit is None:
+                    continue
+                name = node.targets[0].id
+                if self._rep103._disposition(module, fn, name, node) != "safe":
+                    continue  # REP103 already reports the broken cases
+                if not self._released_on_all_paths(cfg, block, name):
+                    detail, path = hit
+                    source = detail + (f" (path: {path})" if path else "")
+                    yield module.finding(
+                        self.id,
+                        node,
+                        f"resource {name!r} from {source} escapes on an "
+                        "exception path before its release; the close/with "
+                        "must post-dominate the acquisition (no raising "
+                        "statements between acquire and the protected "
+                        "region)",
+                    )
+
+    @staticmethod
+    def _released_on_all_paths(cfg: CFG, acquire: Block, name: str) -> bool:
+        """Greatest-fixpoint must-analysis: a block is safe when it
+        releases ``name`` or every successor is safe; reaching function
+        exit without a release is unsafe.  The acquisition's own
+        exception edge is exempt (a failed acquire binds nothing)."""
+        rel = [releases(b, name) for b in cfg.blocks]
+        safe = [True] * len(cfg.blocks)
+        safe[cfg.exit] = False
+        changed = True
+        while changed:
+            changed = False
+            for b in cfg.blocks:
+                i = b.index
+                if i == cfg.exit or rel[i] or not safe[i]:
+                    continue
+                if b.succs and not all(safe[s] for s, _k in b.succs):
+                    safe[i] = False
+                    changed = True
+        return all(safe[s] for s, kind in acquire.succs if kind != "exc")
+
+
+# -- REP206: lock-ordering consistency ----------------------------------------
+
+
+class LockOrderConsistency(Rule):
+    """REP206: every pair of statically named locks must be acquired in
+    one global order across the whole call graph — a cycle in the
+    lock-order digraph (direct nesting or calls made while holding a
+    lock) is a deadlock waiting for the right interleaving.
+    """
+
+    id = "REP206"
+    title = "consistent lock acquisition order across the call graph"
+
+    def check(self, module: LintModule, ctx: LintContext) -> Iterator[Finding]:
+        facts = ctx.facts_for(module)
+        edges, cycles = ctx.lock_facts(facts)
+        if not cycles:
+            return
+        prefix = f"{module.modpath}::"
+        reported: set[tuple[str, str, str, int]] = set()
+        for cycle in cycles:
+            display = " -> ".join((*cycle, cycle[0]))
+            pairs = [
+                (cycle[i], cycle[(i + 1) % len(cycle)])
+                for i in range(len(cycle))
+            ]
+            for outer, inner in pairs:
+                for fid, lineno in edges.get((outer, inner), ()):
+                    if not fid.startswith(prefix):
+                        continue
+                    key = (outer, inner, fid, lineno)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    yield Finding(
+                        self.id,
+                        module.path,
+                        lineno,
+                        1,
+                        f"lock-order cycle {display}: this site acquires "
+                        f"{inner} while holding {outer}, and another path "
+                        "acquires them in the opposite order (deadlock "
+                        "risk); pick one global order",
+                    )
+
+
+CFG_RULES: tuple[Rule, ...] = (
+    SharedStateRace(),
+    ForkUnsafeCapture(),
+    CoordinatorBlockingCalls(),
+    CommitProtocolOrder(),
+    PathSensitiveResourceRelease(),
+    LockOrderConsistency(),
+)

@@ -81,6 +81,88 @@ class LintConfig:
     cache_path: str | None = ".reprolint-cache.json"
     use_cache: bool = True
 
+    # -- cfg layer (REP201..REP206) ----------------------------------------
+
+    #: Module-path prefixes whose functions seed the coordinator scope
+    #: (everything there not reachable from a worker entry point runs on
+    #: the coordinator).  Workloads are deliberately excluded: their
+    #: map/reduce closures execute inside kernels.
+    coordinator_scopes: tuple[str, ...] = (
+        "repro/core/",
+        "repro/mapreduce/",
+        "repro/exec/",
+        "repro/hdfs/",
+        "repro/io/",
+        "repro/obs/",
+        "repro/simulator/",
+    )
+
+    #: Where the Executor protocol lives; ``pool.submit(fn, ...)`` sites
+    #: here mark ``fn`` as a worker entry point.
+    executor_module: str = "src/repro/exec/base.py"
+    executor_source_override: str | None = None
+
+    #: Calls that block the calling thread (REP203 forbids them in
+    #: coordinator scope).  Exact dotted match after alias/constructor
+    #: resolution, so ``q = queue.Queue(); q.get()`` matches
+    #: ``queue.Queue.get`` while ``", ".join(...)`` never matches
+    #: ``threading.Thread.join``.
+    blocking_calls: tuple[str, ...] = (
+        "time.sleep",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "os.system",
+        "os.wait",
+        "os.waitpid",
+        "select.select",
+        "socket.create_connection",
+        "socket.socket.accept",
+        "socket.socket.connect",
+        "socket.socket.recv",
+        "socket.socket.sendall",
+        "queue.Queue.get",
+        "queue.Queue.put",
+        "queue.Queue.join",
+        "threading.Thread.join",
+        "threading.Event.wait",
+        "multiprocessing.Process.join",
+    )
+
+    #: Calls that produce fork-unsafe OS resources (REP202 forbids them
+    #: on picklable spec fields and in kernel closures).
+    fork_unsafe_factories: tuple[str, ...] = (
+        "open",
+        "tempfile.NamedTemporaryFile",
+        "tempfile.TemporaryFile",
+        "socket.socket",
+        "socket.create_connection",
+        "subprocess.Popen",
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+        "threading.Event",
+    )
+
+    #: Lock constructors the REP206 lock-order analysis tracks.
+    lock_factories: tuple[str, ...] = ("threading.Lock", "threading.RLock")
+
+    #: Receiver names treated as the job journal by REP204 (plus any
+    #: ``<expr>.journal`` attribute).
+    journal_receivers: tuple[str, ...] = ("journal",)
+
+    #: Output-emission vocabulary for REP204: methods that append
+    #: committed output, and the job attributes naming the output target.
+    emit_methods: tuple[str, ...] = ("append_block",)
+    emit_path_attrs: tuple[str, ...] = ("output_path",)
+
+    #: Module globals exempt from REP201 beyond ``coordinator_singletons``
+    #: (state with a documented ownership-transfer protocol).
+    ownership_transfer_globals: tuple[str, ...] = ()
+
     #: Test injection: modpath -> source replacing the on-disk program.
     program_modules_override: dict[str, str] | None = None
 

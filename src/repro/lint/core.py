@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import ast
 import re
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Iterator
@@ -181,6 +182,10 @@ class LintContext:
         "_spec_names",
         "_program",
         "_summaries",
+        "_executor_source",
+        "_exec_contexts",
+        "_blocking",
+        "_locks",
     )
 
     def __init__(self, config: LintConfig | None = None) -> None:
@@ -195,6 +200,10 @@ class LintContext:
         self._spec_names: frozenset[str] | None = None
         self._program = None
         self._summaries: dict[int, tuple] = {}
+        self._executor_source: str | None = None
+        self._exec_contexts: dict[int, object] = {}
+        self._blocking: dict[int, dict] = {}
+        self._locks: dict[int, tuple] = {}
 
     def _read(self, relpath: str) -> str:
         """Registry source, or "" when absent (rules then deactivate)."""
@@ -365,9 +374,12 @@ class LintContext:
             summary = summarize_module(
                 module, SummaryOptions.from_config(self.config)
             )
-            cached = (summary, digest)
+            # The module itself rides along in the entry: an id() key is
+            # only unique while the object is alive, and lint runs drop
+            # each module after linting it.
+            cached = (module, summary, digest)
             self._summaries[key] = cached
-        return cached
+        return cached[1], cached[2]
 
     def facts_for(self, module: LintModule):
         """Program facts with ``module``'s current source spliced in.
@@ -378,6 +390,63 @@ class LintContext:
         """
         summary, digest = self.module_summary(module)
         return self.program.facts_for(summary, digest)
+
+    # -- REP201..REP206: execution contexts and concurrency facts -----------
+
+    @property
+    def executor_source(self) -> str:
+        if self.config.executor_source_override is not None:
+            return self.config.executor_source_override
+        if self._executor_source is None:
+            self._executor_source = self._read(self.config.executor_module)
+        return self._executor_source
+
+    @property
+    def executor_modpath(self) -> str:
+        return module_path_for(Path(self.config.executor_module))
+
+    def exec_contexts(self, facts):
+        """Coordinator/kernel context classification, memoised per facts
+        object (the shared program facts plus any spliced fixture view)."""
+        key = id(facts)
+        cached = self._exec_contexts.get(key)
+        if cached is None:
+            from repro.lint.cfg.context import build_contexts
+
+            try:
+                executor_tree = ast.parse(self.executor_source)
+            except SyntaxError:
+                executor_tree = None
+            cached = build_contexts(
+                facts,
+                kernel_tree=ast.parse(self.kernel_source),
+                kernel_modpath=self.kernel_modpath,
+                executor_tree=executor_tree,
+                executor_modpath=self.executor_modpath,
+                coordinator_scopes=self.config.coordinator_scopes,
+            )
+            self._exec_contexts[key] = cached
+        return cached
+
+    def blocking_facts(self, facts):
+        key = id(facts)
+        cached = self._blocking.get(key)
+        if cached is None:
+            from repro.lint.cfg.context import blocking_facts
+
+            cached = blocking_facts(facts, self.config.blocking_calls)
+            self._blocking[key] = cached
+        return cached
+
+    def lock_facts(self, facts):
+        key = id(facts)
+        cached = self._locks.get(key)
+        if cached is None:
+            from repro.lint.cfg.context import lock_facts
+
+            cached = lock_facts(facts)
+            self._locks[key] = cached
+        return cached
 
 
 # -- runner -------------------------------------------------------------------
@@ -391,10 +460,19 @@ def _active_rules(config: LintConfig) -> list["Rule"]:
     return [r for r in ALL_RULES if r.id in config.select]
 
 
-def lint_module(module: LintModule, ctx: LintContext) -> list[Finding]:
+def lint_module(
+    module: LintModule,
+    ctx: LintContext,
+    timings: dict[str, float] | None = None,
+) -> list[Finding]:
     findings: list[Finding] = []
     for rule in _active_rules(ctx.config):
+        started = time.perf_counter() if timings is not None else 0.0
         findings.extend(f for f in rule.check(module, ctx) if not module.suppressed(f))
+        if timings is not None:
+            timings[rule.id] = (
+                timings.get(rule.id, 0.0) + time.perf_counter() - started
+            )
     return findings
 
 
@@ -424,9 +502,16 @@ def iter_py_files(paths: Iterable[Path]) -> Iterator[Path]:
 
 
 def lint_paths(
-    paths: Iterable[Path | str], config: LintConfig | None = None
+    paths: Iterable[Path | str],
+    config: LintConfig | None = None,
+    *,
+    timings: dict[str, float] | None = None,
 ) -> list[Finding]:
-    """Lint files/directories; findings sorted by (path, line, rule)."""
+    """Lint files/directories; findings sorted by (path, line, rule).
+
+    When ``timings`` is a dict, per-rule wall-time accumulates into it
+    (rule id -> seconds across all linted files).
+    """
     ctx = LintContext(config)
     findings: list[Finding] = []
     for path in iter_py_files(Path(p) for p in paths):
@@ -438,7 +523,7 @@ def lint_paths(
                         f"syntax error: {exc.msg}")
             )
             continue
-        findings.extend(lint_module(module, ctx))
+        findings.extend(lint_module(module, ctx, timings))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
 

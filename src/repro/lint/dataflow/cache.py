@@ -16,15 +16,36 @@ from pathlib import Path
 
 from repro.lint.dataflow.summary import ModuleSummary
 
-__all__ = ["ANALYSIS_VERSION", "SummaryCache", "content_digest"]
+__all__ = [
+    "ANALYSIS_VERSION",
+    "SummaryCache",
+    "content_digest",
+    "ruleset_fingerprint",
+]
 
 #: Bump when the summary format or the summarisation semantics change;
-#: a mismatched store is discarded wholesale.
-ANALYSIS_VERSION = 1
+#: a mismatched store is discarded wholesale.  (2: lock-order fields and
+#: the CFG-layer source suppressors.)
+ANALYSIS_VERSION = 2
 
 
 def content_digest(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
+
+
+def ruleset_fingerprint() -> str:
+    """A digest of the active rule vocabulary.
+
+    Folded into the cache fingerprint so a cached summary store
+    self-invalidates when rules are added, removed or retitled — the
+    suppression semantics baked into summaries (``_SOURCE_SUPPRESSORS``)
+    depend on the rule vocabulary, so stale stores would silently keep
+    pre-change analysis results alive.
+    """
+    from repro.lint.rules import ALL_RULES
+
+    blob = "|".join(f"{r.id}:{r.title}" for r in ALL_RULES)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:12]
 
 
 class SummaryCache:
@@ -34,7 +55,7 @@ class SummaryCache:
 
     def __init__(self, path: Path, *, fingerprint: str = "") -> None:
         self.path = path
-        self.fingerprint = f"v{ANALYSIS_VERSION}|{fingerprint}"
+        self.fingerprint = f"v{ANALYSIS_VERSION}|r{ruleset_fingerprint()}|{fingerprint}"
         self.hits = 0
         self.misses = 0
         self._entries: dict[str, dict] = {}

@@ -65,7 +65,8 @@ _SOURCE_SUPPRESSORS = {
     "nondet": frozenset({"REP001", "REP101"}),
     "unpicklable": frozenset({"REP003", "REP102"}),
     "resource": frozenset({"REP005", "REP103"}),
-    "state": frozenset({"REP002", "REP105"}),
+    "state": frozenset({"REP002", "REP105", "REP201"}),
+    "lock": frozenset({"REP206"}),
 }
 
 
@@ -76,6 +77,7 @@ class SummaryOptions:
     tracer_names: tuple[str, ...] = ("tracer", "trc")
     coordinator_singletons: tuple[str, ...] = ("_FORK_CONTEXT", "_KERNELS")
     resource_factories: tuple[str, ...] = ("open", "repro.io.runio.RunWriter")
+    lock_factories: tuple[str, ...] = ("threading.Lock", "threading.RLock")
 
     @classmethod
     def from_config(cls, config: Any) -> "SummaryOptions":
@@ -83,6 +85,7 @@ class SummaryOptions:
             tracer_names=tuple(config.tracer_names),
             coordinator_singletons=tuple(config.coordinator_singletons),
             resource_factories=tuple(config.resource_factories),
+            lock_factories=tuple(config.lock_factories),
         )
 
     def fingerprint(self) -> str:
@@ -91,6 +94,7 @@ class SummaryOptions:
                 ",".join(self.tracer_names),
                 ",".join(self.coordinator_singletons),
                 ",".join(self.resource_factories),
+                ",".join(self.lock_factories),
             )
         )
 
@@ -116,6 +120,12 @@ class FunctionSummary:
     global_writes: list[tuple[str, int]] = field(default_factory=list)
     #: Coordinator singleton names this function reads.
     singleton_reads: list[tuple[str, int]] = field(default_factory=list)
+    #: Statically named locks this function acquires: (canonical, lineno).
+    lock_acquires: list[tuple[str, int]] = field(default_factory=list)
+    #: Nested acquisitions: (outer lock, inner lock, inner lineno).
+    lock_orders: list[tuple[str, str, int]] = field(default_factory=list)
+    #: Calls made while holding a lock: (held lock, dotted target, lineno).
+    calls_under_lock: list[tuple[str, str, int]] = field(default_factory=list)
 
     def to_json(self) -> dict[str, Any]:
         return {
@@ -129,6 +139,9 @@ class FunctionSummary:
             "param_attr_writes": [list(w) for w in self.param_attr_writes],
             "global_writes": [list(g) for g in self.global_writes],
             "singleton_reads": [list(s) for s in self.singleton_reads],
+            "lock_acquires": [list(a) for a in self.lock_acquires],
+            "lock_orders": [list(o) for o in self.lock_orders],
+            "calls_under_lock": [list(c) for c in self.calls_under_lock],
         }
 
     @classmethod
@@ -144,6 +157,9 @@ class FunctionSummary:
             param_attr_writes=[tuple(w) for w in data["param_attr_writes"]],
             global_writes=[tuple(g) for g in data["global_writes"]],
             singleton_reads=[tuple(s) for s in data["singleton_reads"]],
+            lock_acquires=[tuple(a) for a in data["lock_acquires"]],
+            lock_orders=[tuple(o) for o in data["lock_orders"]],
+            calls_under_lock=[tuple(c) for c in data["calls_under_lock"]],
         )
 
 
@@ -182,25 +198,88 @@ def summarize_module(
     """Summarise one parsed module (every def, method and the body)."""
     opts = options or SummaryOptions()
     out = ModuleSummary(modpath=module.modpath)
+    locks = module_lock_names(module, opts.lock_factories)
     classes: list[str] = []
     body_stmts: list[ast.stmt] = []
     for node in module.tree.body:
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             out.functions[node.name] = _summarize_function(
-                module, node, node.name, None, opts
+                module, node, node.name, None, opts, locks
             )
         elif isinstance(node, ast.ClassDef):
             classes.append(node.name)
+            cls_locks = dict(locks)
+            cls_locks.update(_class_lock_attrs(module, node, opts.lock_factories))
             for sub in node.body:
                 if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
                     qual = f"{node.name}.{sub.name}"
                     out.functions[qual] = _summarize_function(
-                        module, sub, qual, node.name, opts
+                        module, sub, qual, node.name, opts, cls_locks
                     )
         else:
             body_stmts.append(node)
-    out.functions[MODULE_BODY] = _summarize_body(module, body_stmts, opts)
+    out.functions[MODULE_BODY] = _summarize_body(module, body_stmts, opts, locks)
     out.classes = tuple(classes)
+    return out
+
+
+def _dotted_module(modpath: str) -> str:
+    """``repro/exec/base.py`` -> ``repro.exec.base`` (lock name prefix)."""
+    stem = modpath[:-3] if modpath.endswith(".py") else modpath
+    dotted = stem.replace("/", ".")
+    return dotted[: -len(".__init__")] if dotted.endswith(".__init__") else dotted
+
+
+def _is_lock_factory(
+    module: "LintModule", node: ast.expr, lock_factories: tuple[str, ...]
+) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    dotted = module.dotted(node.func)
+    return dotted is not None and dotted in lock_factories
+
+
+def module_lock_names(
+    module: "LintModule", lock_factories: tuple[str, ...]
+) -> dict[str, str]:
+    """Module-level ``NAME = threading.Lock()`` bindings, keyed by the
+    local reference form, valued by the program-wide canonical name."""
+    prefix = _dotted_module(module.modpath)
+    out: dict[str, str] = {}
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign) and _is_lock_factory(
+            module, node.value, lock_factories
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    out[target.id] = f"{prefix}.{target.id}"
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and node.value is not None
+            and isinstance(node.target, ast.Name)
+            and _is_lock_factory(module, node.value, lock_factories)
+        ):
+            out[node.target.id] = f"{prefix}.{node.target.id}"
+    return out
+
+
+def _class_lock_attrs(
+    module: "LintModule", cls: ast.ClassDef, lock_factories: tuple[str, ...]
+) -> dict[str, str]:
+    """``self.X = threading.Lock()`` attributes of one class, keyed by
+    the in-method reference form ``self.X``.  Instances share one static
+    identity per (class, attr) — standard for lock-order analysis."""
+    prefix = f"{_dotted_module(module.modpath)}.{cls.name}"
+    out: dict[str, str] = {}
+    for node in ast.walk(cls):
+        if (
+            isinstance(node, ast.Assign)
+            and _is_lock_factory(module, node.value, lock_factories)
+            and isinstance(node.targets[0], ast.Attribute)
+            and isinstance(node.targets[0].value, ast.Name)
+            and node.targets[0].value.id == "self"
+        ):
+            out[f"self.{node.targets[0].attr}"] = f"{prefix}.{node.targets[0].attr}"
     return out
 
 
@@ -210,6 +289,7 @@ def _summarize_function(
     qualname: str,
     cls: str | None,
     opts: SummaryOptions,
+    locks: dict[str, str] | None = None,
 ) -> FunctionSummary:
     params = tuple(
         a.arg for a in (*fn.args.posonlyargs, *fn.args.args)
@@ -217,18 +297,21 @@ def _summarize_function(
     summary = FunctionSummary(
         name=qualname, modpath=module.modpath, lineno=fn.lineno, cls=cls, params=params
     )
-    _Analyzer(module, summary, params, opts).run(fn.body)
+    _Analyzer(module, summary, params, opts, locks=locks).run(fn.body)
     return summary
 
 
 def _summarize_body(
-    module: "LintModule", stmts: list[ast.stmt], opts: SummaryOptions
+    module: "LintModule",
+    stmts: list[ast.stmt],
+    opts: SummaryOptions,
+    locks: dict[str, str] | None = None,
 ) -> FunctionSummary:
     summary = FunctionSummary(name=MODULE_BODY, modpath=module.modpath, lineno=1)
     # The module body cannot write "its own" globals in the escape sense
     # (that is just definition), so global-write tracking is disabled by
     # passing an analyzer with no module-global set.
-    _Analyzer(module, summary, (), opts, track_globals=False).run(stmts)
+    _Analyzer(module, summary, (), opts, track_globals=False, locks=locks).run(stmts)
     return summary
 
 
@@ -261,6 +344,7 @@ class _Analyzer:
         opts: SummaryOptions,
         *,
         track_globals: bool = True,
+        locks: dict[str, str] | None = None,
     ) -> None:
         self.module = module
         self.summary = summary
@@ -274,6 +358,8 @@ class _Analyzer:
         self.module_names = (
             _module_level_names(module.tree) if track_globals else frozenset()
         )
+        self.lock_names = locks or {}
+        self.held: list[str] = []
         self._recorded: set[tuple] = set()
 
     # -- suppression-aware recording ----------------------------------------
@@ -293,6 +379,7 @@ class _Analyzer:
     def run(self, body: list[ast.stmt]) -> None:
         self._collect_bindings(body)
         for _ in range(2):  # second pass resolves loop-carried flows
+            self.held.clear()  # bare acquire() without release() resets
             for stmt in body:
                 self._exec(stmt)
         self.summary.calls.sort()
@@ -300,6 +387,9 @@ class _Analyzer:
         self.summary.param_attr_writes.sort()
         self.summary.global_writes.sort()
         self.summary.singleton_reads.sort()
+        self.summary.lock_acquires.sort()
+        self.summary.lock_orders.sort()
+        self.summary.calls_under_lock.sort()
 
     def _collect_bindings(self, body: list[ast.stmt]) -> None:
         for node in self._scope_walk(body):
@@ -402,6 +492,7 @@ class _Analyzer:
             for sub in (*stmt.body, *stmt.orelse):
                 self._exec(sub)
         elif isinstance(stmt, ast.With) or isinstance(stmt, ast.AsyncWith):
+            pushed = 0
             for item in stmt.items:
                 taints = self.taints(item.context_expr)
                 if isinstance(item.optional_vars, ast.Name):
@@ -409,8 +500,13 @@ class _Analyzer:
                     self.env[item.optional_vars.id] = frozenset(
                         t for t in taints if t[0] != "resource"
                     )
+                canon = self._lock_canonical(item.context_expr)
+                if canon is not None:
+                    self._acquire_lock(canon, item.context_expr.lineno)
+                    pushed += 1
             for sub in stmt.body:
                 self._exec(sub)
+            del self.held[len(self.held) - pushed :]
         elif isinstance(stmt, ast.Try):
             for sub in (*stmt.body, *stmt.orelse, *stmt.finalbody):
                 self._exec(sub)
@@ -477,6 +573,29 @@ class _Analyzer:
         for kind, detail, lineno in sorted(taints):
             self._record(self.summary.return_taints, (kind, detail, lineno))
 
+    # -- lock tracking (REP206) ---------------------------------------------
+
+    def _lock_canonical(self, node: ast.expr) -> str | None:
+        """Canonical name when ``node`` references a statically named lock."""
+        if isinstance(node, ast.Name) and node.id not in self.locals:
+            return self.lock_names.get(node.id)
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return self.lock_names.get(f"self.{node.attr}")
+        return None
+
+    def _acquire_lock(self, canon: str, lineno: int) -> None:
+        if self._suppressed("lock", lineno):
+            return
+        self._record(self.summary.lock_acquires, (canon, lineno))
+        for outer in self.held:
+            if outer != canon:
+                self._record(self.summary.lock_orders, (outer, canon, lineno))
+        self.held.append(canon)
+
     # -- expressions ---------------------------------------------------------
 
     def taints(self, node: ast.expr) -> frozenset[tuple[str, str, int]]:
@@ -533,6 +652,20 @@ class _Analyzer:
         dotted = self.call_target(node.func)
         lineno, col = node.lineno, node.col_offset
 
+        # Explicit lock.acquire() / lock.release() outside a with-block.
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "acquire",
+            "release",
+        ):
+            canon = self._lock_canonical(node.func.value)
+            if canon is not None:
+                if node.func.attr == "acquire":
+                    if canon not in self.held:
+                        self._acquire_lock(canon, lineno)
+                elif canon in self.held:
+                    self.held.remove(canon)
+                return frozenset(arg_taints)
+
         # Mutating a module-level container through a method call is a
         # module-global write (the REP105 escape source).
         if isinstance(node.func, ast.Attribute) and node.func.attr in _MUTATORS:
@@ -549,6 +682,10 @@ class _Analyzer:
             bare = "." not in dotted
             if not (bare and dotted in BUILTIN_NAMES):
                 self._record(self.summary.calls, (dotted, lineno, col))
+                for held in self.held:
+                    self._record(
+                        self.summary.calls_under_lock, (held, dotted, lineno)
+                    )
 
             classified = nondet_call(dotted, node)
             if classified is not None:

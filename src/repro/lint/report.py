@@ -1,4 +1,11 @@
-"""Finding reporters: human text and machine JSON."""
+"""Finding reporters: human text, machine JSON, and SARIF 2.1.0.
+
+The SARIF output is the GitHub code-scanning interchange shape: one run,
+one ``reprolint`` driver carrying the full rule catalogue (so the UI can
+show titles for rules with zero results), one result per finding with a
+physical location.  Paths are emitted exactly as linted (repo-relative
+in CI), which is what the upload action expects.
+"""
 
 from __future__ import annotations
 
@@ -7,7 +14,9 @@ from typing import Iterable
 
 from repro.lint.core import Finding
 
-__all__ = ["format_findings", "to_json", "to_text"]
+__all__ = ["format_findings", "format_timings", "to_json", "to_sarif", "to_text"]
+
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
 
 
 def to_text(findings: Iterable[Finding]) -> str:
@@ -24,8 +33,10 @@ def to_text(findings: Iterable[Finding]) -> str:
     return "\n".join(lines) + "\n"
 
 
-def to_json(findings: Iterable[Finding]) -> str:
-    payload = {
+def to_json(
+    findings: Iterable[Finding], timings: dict[str, float] | None = None
+) -> str:
+    payload: dict = {
         "findings": [
             {
                 "rule": f.rule,
@@ -37,12 +48,88 @@ def to_json(findings: Iterable[Finding]) -> str:
             for f in findings
         ]
     }
+    if timings is not None:
+        payload["timings"] = {
+            rule: round(seconds, 6) for rule, seconds in sorted(timings.items())
+        }
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
 
-def format_findings(findings: Iterable[Finding], fmt: str = "text") -> str:
+def to_sarif(findings: Iterable[Finding]) -> str:
+    from repro.lint.rules import ALL_RULES
+
+    rule_index = {rule.id: i for i, rule in enumerate(ALL_RULES)}
+    results = []
+    for f in findings:
+        result: dict = {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path.replace("\\", "/")},
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": max(f.col, 1),
+                        },
+                    }
+                }
+            ],
+        }
+        if f.rule in rule_index:
+            result["ruleIndex"] = rule_index[f.rule]
+        results.append(result)
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "rules": [
+                            {
+                                "id": rule.id,
+                                "name": type(rule).__name__,
+                                "shortDescription": {"text": rule.title},
+                                "defaultConfiguration": {"level": "error"},
+                            }
+                            for rule in ALL_RULES
+                        ],
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def format_timings(timings: dict[str, float]) -> str:
+    """A per-rule wall-time table (slowest first), for ``--stats``."""
+    if not timings:
+        return ""
+    width = max(len(rule) for rule in timings)
+    lines = ["rule timings (wall time across all linted files):"]
+    for rule, seconds in sorted(timings.items(), key=lambda kv: (-kv[1], kv[0])):
+        lines.append(f"  {rule:<{width}}  {seconds * 1000.0:8.1f} ms")
+    total = sum(timings.values())
+    lines.append(f"  {'total':<{width}}  {total * 1000.0:8.1f} ms")
+    return "\n".join(lines) + "\n"
+
+
+def format_findings(
+    findings: Iterable[Finding],
+    fmt: str = "text",
+    *,
+    timings: dict[str, float] | None = None,
+) -> str:
     if fmt == "json":
-        return to_json(findings)
+        return to_json(findings, timings)
+    if fmt == "sarif":
+        return to_sarif(findings)
     if fmt == "text":
         return to_text(findings)
     raise ValueError(f"unknown lint report format {fmt!r}")

@@ -1295,6 +1295,11 @@ class KernelStateEscape(Rule):
             )
 
 
+# The CFG-layer rules live in their own package but share this module's
+# AST helpers; the bottom-of-module import (all helper names are defined
+# by now) is the cycle-safe direction.  Reach them through ALL_RULES.
+from repro.lint.cfg.rules import CFG_RULES  # noqa: E402
+
 ALL_RULES: tuple[Rule, ...] = (
     NoNondeterministicCalls(),
     KernelPurity(),
@@ -1309,6 +1314,7 @@ ALL_RULES: tuple[Rule, ...] = (
     InterproceduralResourceLeak(),
     RegistryNameFlow(),
     KernelStateEscape(),
+    *CFG_RULES,
 )
 
 

@@ -1,0 +1,161 @@
+"""Reporter and cache-invalidation satellites: SARIF 2.1.0 output, the
+``--update-baseline`` drift report, ``--stats`` timings, and the summary
+store's rule-set fingerprint."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import repro.lint.rules as rules_mod
+from repro.lint.core import Finding
+from repro.lint.dataflow.cache import SummaryCache, ruleset_fingerprint
+from repro.lint.dataflow.summary import ModuleSummary
+from repro.lint.report import SARIF_SCHEMA, format_findings, to_sarif
+
+ROOT = Path(__file__).resolve().parents[2]
+SRC = ROOT / "src"
+ENV = {"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"}
+
+
+def run_cli(*argv, cwd=ROOT):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *argv],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env=ENV,
+    )
+
+
+FINDINGS = [
+    Finding("REP201", "src/repro/exec/base.py", 10, 5, "race on '_X'"),
+    Finding("REP999", "src/weird.py", 1, 0, "rule unknown to the catalogue"),
+]
+
+
+class TestSarif:
+    def test_document_shape(self):
+        doc = json.loads(to_sarif(FINDINGS))
+        assert doc["$schema"] == SARIF_SCHEMA
+        assert doc["version"] == "2.1.0"
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "reprolint"
+
+    def test_catalogue_covers_every_layer(self):
+        doc = json.loads(to_sarif([]))
+        rules = doc["runs"][0]["tool"]["driver"]["rules"]
+        ids = [r["id"] for r in rules]
+        assert ids == [r.id for r in rules_mod.ALL_RULES]
+        for r in rules:
+            assert r["shortDescription"]["text"]
+            assert r["defaultConfiguration"] == {"level": "error"}
+        assert {"REP201", "REP202", "REP203", "REP204", "REP205", "REP206"} <= set(ids)
+
+    def test_results_carry_locations_and_rule_index(self):
+        doc = json.loads(to_sarif(FINDINGS))
+        run = doc["runs"][0]
+        known, unknown = run["results"]
+        loc = known["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "src/repro/exec/base.py"
+        assert loc["region"] == {"startLine": 10, "startColumn": 5}
+        catalogue = run["tool"]["driver"]["rules"]
+        assert catalogue[known["ruleIndex"]]["id"] == "REP201"
+        # Unknown rules still serialise (no index), and col 0 clamps to 1.
+        assert "ruleIndex" not in unknown
+        assert unknown["locations"][0]["physicalLocation"]["region"][
+            "startColumn"
+        ] == 1
+
+    def test_cli_emits_sarif_for_a_violation(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "core"
+        bad.mkdir(parents=True)
+        (bad / "fx.py").write_text("import time\nx = time.time()\n")
+        proc = run_cli(str(bad / "fx.py"), "--format", "sarif", "--no-baseline")
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        doc = json.loads(proc.stdout)
+        results = doc["runs"][0]["results"]
+        assert any(r["ruleId"] == "REP001" for r in results)
+
+
+class TestBaselineUpdate:
+    def test_update_baseline_reports_drift(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "core"
+        bad.mkdir(parents=True)
+        target = bad / "fx.py"
+        target.write_text("import time\nx = time.time()\n")
+        baseline = tmp_path / "baseline.json"
+
+        first = run_cli(str(target), "--update-baseline", "--baseline", str(baseline))
+        assert first.returncode == 0, first.stdout + first.stderr
+        assert "1 finding(s)" in first.stdout
+        assert "(1 added, 0 removed)" in first.stdout
+
+        target.write_text("x = 1\n")
+        second = run_cli(str(target), "--update-baseline", "--baseline", str(baseline))
+        assert second.returncode == 0
+        assert "(0 added, 1 removed)" in second.stdout
+        assert json.loads(baseline.read_text())["findings"] == []
+
+    def test_update_is_deterministic(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "core"
+        bad.mkdir(parents=True)
+        target = bad / "fx.py"
+        target.write_text("import time\na = time.time()\nb = time.time()\n")
+        baseline = tmp_path / "baseline.json"
+        run_cli(str(target), "--update-baseline", "--baseline", str(baseline))
+        once = baseline.read_text()
+        run_cli(str(target), "--update-baseline", "--baseline", str(baseline))
+        assert baseline.read_text() == once
+
+
+class TestStats:
+    def test_json_timings_key_is_opt_in(self):
+        assert "timings" not in json.loads(format_findings([], "json"))
+        payload = json.loads(format_findings([], "json", timings={"REP001": 0.25}))
+        assert payload["timings"] == {"REP001": 0.25}
+
+    def test_cli_stats_lists_every_rule(self, tmp_path):
+        mod = tmp_path / "src" / "repro" / "core"
+        mod.mkdir(parents=True)
+        (mod / "fx.py").write_text("x = 1\n")
+        proc = run_cli(
+            str(mod / "fx.py"), "--stats", "--format", "json", "--no-cache"
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        timings = json.loads(proc.stdout)["timings"]
+        assert set(timings) == {r.id for r in rules_mod.ALL_RULES}
+        assert all(t >= 0 for t in timings.values())
+
+
+class TestCacheFingerprint:
+    def test_rule_change_busts_the_store(self, tmp_path, monkeypatch):
+        store = tmp_path / "cache.json"
+        cache = SummaryCache(store)
+        cache.put("repro/core/x.py", "d" * 64, ModuleSummary("repro/core/x.py"))
+        cache.save()
+        assert store.exists()
+
+        # Same rule set: the entry survives a reload.
+        warm = SummaryCache(store)
+        assert warm.get("repro/core/x.py", "d" * 64) is not None
+
+        class FakeRule:
+            id = "REP998"
+            title = "synthetic rule for fingerprint test"
+
+        before = ruleset_fingerprint()
+        monkeypatch.setattr(
+            rules_mod, "ALL_RULES", (*rules_mod.ALL_RULES, FakeRule())
+        )
+        assert ruleset_fingerprint() != before
+
+        # Changed rule set: the on-disk entries are discarded wholesale.
+        busted = SummaryCache(store)
+        assert busted.get("repro/core/x.py", "d" * 64) is None
+
+    def test_digest_mismatch_is_a_miss(self, tmp_path):
+        cache = SummaryCache(tmp_path / "cache.json")
+        cache.put("repro/core/x.py", "d" * 64, ModuleSummary("repro/core/x.py"))
+        assert cache.get("repro/core/x.py", "e" * 64) is None
+        assert cache.misses == 1

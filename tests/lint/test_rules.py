@@ -110,7 +110,9 @@ class TestREP002:
         """
         findings = lint(src, modpath=KERNEL_MOD, config=kernel_config(src))
         messages = " ".join(f.message for f in findings)
-        assert set(rules_of(findings)) == {"REP002"}
+        # The kernel-scope global write also trips the CFG layer's
+        # shared-state race rule; both reports are correct.
+        assert set(rules_of(findings)) == {"REP002", "REP201"}
         assert "declares global" in messages
         assert "_SEEN" in messages
         assert "os.remove" in messages

@@ -77,7 +77,7 @@ def test_cli_exit_codes_and_json(tmp_path):
     assert "REP001" in dirty.stdout
 
 
-def test_list_rules_names_all_seven():
+def test_list_rules_names_all_layers():
     out = subprocess.run(
         [sys.executable, "-m", "repro", "lint", "--list-rules"],
         capture_output=True,
@@ -86,5 +86,10 @@ def test_list_rules_names_all_seven():
         env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
     )
     assert out.returncode == 0
-    for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007"):
+    for rule_id in (
+        "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007",
+        "REP008",
+        "REP101", "REP102", "REP103", "REP104", "REP105",
+        "REP201", "REP202", "REP203", "REP204", "REP205", "REP206",
+    ):
         assert rule_id in out.stdout
