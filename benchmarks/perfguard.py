@@ -52,6 +52,17 @@ BATCH_BEATS = {
     "batch_merge_streams": ("merge_streams", 0.75),
 }
 
+#: overhead kernel -> (reference kernel, max wall ratio).  Unlike the
+#: BATCH_BEATS bounds (25%+ margins), a 2% differential sits below the
+#: noise floor of independently scored kernels, so these pairs are timed
+#: interleaved (``paired_ratio``): both sides face the same heap, cache
+#: and scheduler state, and the min-of-N ratio is stable to well under 2%.
+#: reprosan only instruments once installed — with the sanitizer merely
+#: importable/constructed, executor dispatch must cost the same.
+PAIRED_OVERHEAD = {
+    "san_overhead": ("exec_dispatch", 1.02),
+}
+
 #: kernel -> pipeline phase it exercises.  When the gate fails, scores are
 #: aggregated by phase and diffed (repro.obs.analyze.diff) so the failure
 #: names *which phase* regressed, not just which micro-kernel.
@@ -67,6 +78,8 @@ KERNEL_PHASES = {
     "tracer_noop": "observability",
     "journal_append": "journal",
     "lint_warm_run": "lint",
+    "exec_dispatch": "executor",
+    "san_overhead": "sanitizer",
 }
 
 
@@ -357,6 +370,53 @@ def kernel_lint_warm_run() -> None:
     assert findings == [], findings
 
 
+def _perfguard_noop(ctx, spec):
+    return spec["part"]
+
+
+def _dispatch_loop() -> None:
+    from repro.exec.base import SerialExecutor, register_kernel
+
+    register_kernel("perfguard.noop", _perfguard_noop)
+    specs = _dataset(
+        "dispatch_specs", lambda: [{"part": i, "key": ("k", i)} for i in range(100_000)]
+    )
+    with SerialExecutor().session(context=None) as session:
+        out = session.run_batch("perfguard.noop", specs)
+    assert len(out) == len(specs)
+
+
+def kernel_exec_dispatch() -> None:
+    """Bare executor dispatch: per-spec cost of the serial session path.
+
+    The twin of ``san_overhead`` — the same loop without reprosan in the
+    process.  Its score is the denominator of the sanitizer-off overhead
+    gate.
+    """
+    _dispatch_loop()
+
+
+_SAN_STATE: dict = {}
+
+
+def kernel_san_overhead() -> None:
+    """Sanitizer-off dispatch: reprosan imported and constructed, never
+    installed.
+
+    reprosan instruments by patching at ``install()`` time, so merely
+    shipping it must leave the dispatch hot path untouched: the
+    BATCH_BEATS pairing gates this kernel to within 2% of
+    ``exec_dispatch``.  If an always-on hook ever creeps into the
+    executor (an ``active_sanitizer()`` probe per batch, an import-time
+    wrapper), this ratio blows past its bound and CI fails.
+    """
+    if not _SAN_STATE:
+        from repro.san import Sanitizer
+
+        _SAN_STATE["san"] = Sanitizer()  # constructed, deliberately not installed
+    _dispatch_loop()
+
+
 #: kernel name -> (callable, records processed per invocation).  The record
 #: count turns the wall time into the records/sec figure the floors guard.
 KERNELS = {
@@ -371,11 +431,27 @@ KERNELS = {
     "tracer_noop": (kernel_tracer_noop, 300_000),
     "journal_append": (kernel_journal_append, 4_000),
     "lint_warm_run": (kernel_lint_warm_run, 136),
+    "exec_dispatch": (kernel_exec_dispatch, 100_000),
+    "san_overhead": (kernel_san_overhead, 100_000),
 }
 
 #: kernels too heavy for best-of-7: fewer repeats keep the guard's wall
 #: time bounded while min-of-N still shaves the worst scheduler noise.
 KERNEL_REPEATS = {"lint_warm_run": 3}
+
+
+def paired_ratio(overhead_fn, reference_fn, repeats: int = 21) -> float:
+    """min-of-N wall ratio of two kernels timed interleaved.
+
+    Alternating the two bodies within one loop means heap growth, cache
+    state and scheduler interference hit both sides alike — the only
+    thing the ratio can see is a real per-invocation cost difference.
+    """
+    over = ref = float("inf")
+    for _ in range(repeats):
+        ref = min(ref, _time_once(reference_fn))
+        over = min(over, _time_once(overhead_fn))
+    return over / ref
 
 
 def measure() -> dict[str, dict[str, float]]:
@@ -451,6 +527,9 @@ def cmd_write(path: Path) -> int:
     for batch, (twin, bound) in sorted(BATCH_BEATS.items()):
         ratio = measured[batch]["score"] / measured[twin]["score"]
         print(f"  {batch} / {twin} = {ratio:.3f} (required <= {bound})")
+    for name, (ref, bound) in sorted(PAIRED_OVERHEAD.items()):
+        ratio = paired_ratio(KERNELS[name][0], KERNELS[ref][0])
+        print(f"  {name} / {ref} = {ratio:.3f} interleaved (required <= {bound})")
     return 0
 
 
@@ -543,6 +622,15 @@ def cmd_check(path: Path) -> int:
             failed = True
         print(
             f"{batch:26s} vs {twin}: {ratio:.3f} "
+            f"(required <= {bound})  {'ok' if ok else 'FAIL'}"
+        )
+    for name, (ref, bound) in sorted(PAIRED_OVERHEAD.items()):
+        ratio = paired_ratio(KERNELS[name][0], KERNELS[ref][0])
+        ok = ratio <= bound
+        if not ok:
+            failed = True
+        print(
+            f"{name:26s} vs {ref}: {ratio:.3f} interleaved "
             f"(required <= {bound})  {'ok' if ok else 'FAIL'}"
         )
     if failed:

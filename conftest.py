@@ -1,0 +1,13 @@
+"""Root conftest: load the reprosan pytest plugin.
+
+``pytest_plugins`` may only be declared in the rootdir conftest, and the
+plugin must be importable before tests/conftest.py runs, so the src
+layout is put on sys.path here.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))
+
+pytest_plugins = ("repro.san.pytest_plugin",)

@@ -724,6 +724,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_lint_parser(sub)
 
+    from repro.san.cli import add_sanitize_parser
+
+    add_sanitize_parser(sub)
+
     return parser
 
 

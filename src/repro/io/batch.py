@@ -65,7 +65,9 @@ class RecordBatch:
     partitions allocates 8 small offset arrays and zero value bytes.
     """
 
-    __slots__ = ("keys", "_values", "_offsets", "_lengths")
+    # __weakref__ lets the reprosan lifetime tracker observe batch
+    # liveness without strong references (and without a __dict__).
+    __slots__ = ("keys", "_values", "_offsets", "_lengths", "__weakref__")
 
     def __init__(
         self,

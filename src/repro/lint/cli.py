@@ -44,10 +44,26 @@ def default_lint_paths(root: Path) -> list[str]:
 
 def changed_py_files(root: Path, base_ref: str) -> list[str] | None:
     """Python files changed vs ``base_ref`` (staged, unstaged and
-    committed), or None when git is unavailable."""
+    committed), or None when git is unavailable.
+
+    Runs the diff with ``--find-renames`` and parses ``--name-status``
+    output so a renamed module is always re-linted under its *new* path,
+    regardless of the host's ``diff.renames`` configuration (with rename
+    detection off a rename degrades to a delete plus an add; with it on,
+    the ``R<score>\\told\\tnew`` line names both sides — either way the
+    destination must land in the lint scope, never the stale old path).
+    """
     try:
         proc = subprocess.run(
-            ["git", "diff", "--name-only", "--diff-filter=d", base_ref, "--"],
+            [
+                "git",
+                "diff",
+                "--name-status",
+                "--find-renames",
+                "--diff-filter=d",
+                base_ref,
+                "--",
+            ],
             cwd=root,
             capture_output=True,
             text=True,
@@ -58,9 +74,14 @@ def changed_py_files(root: Path, base_ref: str) -> list[str] | None:
         return None
     out = []
     for line in proc.stdout.splitlines():
-        line = line.strip()
-        if line.endswith(".py") and (root / line).is_file():
-            out.append(str(root / line))
+        parts = line.rstrip("\n").split("\t")
+        if len(parts) < 2:
+            continue
+        # Renames/copies report "R100<TAB>old<TAB>new": lint the new
+        # path.  Plain statuses report "status<TAB>path".
+        path = parts[-1]
+        if path.endswith(".py") and (root / path).is_file():
+            out.append(str(root / path))
     return sorted(set(out))
 
 

@@ -4,7 +4,9 @@ The SARIF output is the GitHub code-scanning interchange shape: one run,
 one ``reprolint`` driver carrying the full rule catalogue (so the UI can
 show titles for rules with zero results), one result per finding with a
 physical location.  Paths are emitted exactly as linted (repo-relative
-in CI), which is what the upload action expects.
+in CI), which is what the upload action expects.  The document itself is
+built by :mod:`repro.lint.sarif`, shared with the reprosan runtime
+sanitizer so both uploads carry the same shape.
 """
 
 from __future__ import annotations
@@ -13,10 +15,16 @@ import json
 from typing import Iterable
 
 from repro.lint.core import Finding
+from repro.lint.sarif import SARIF_SCHEMA
 
-__all__ = ["format_findings", "format_timings", "to_json", "to_sarif", "to_text"]
-
-SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+__all__ = [
+    "SARIF_SCHEMA",
+    "format_findings",
+    "format_timings",
+    "to_json",
+    "to_sarif",
+    "to_text",
+]
 
 
 def to_text(findings: Iterable[Finding]) -> str:
@@ -56,55 +64,27 @@ def to_json(
 
 
 def to_sarif(findings: Iterable[Finding]) -> str:
-    from repro.lint.rules import ALL_RULES
+    from repro.lint.sarif import (
+        rule_catalogue,
+        sarif_document,
+        sarif_result,
+        to_sarif_json,
+    )
 
-    rule_index = {rule.id: i for i, rule in enumerate(ALL_RULES)}
-    results = []
-    for f in findings:
-        result: dict = {
-            "ruleId": f.rule,
-            "level": "error",
-            "message": {"text": f.message},
-            "locations": [
-                {
-                    "physicalLocation": {
-                        "artifactLocation": {"uri": f.path.replace("\\", "/")},
-                        "region": {
-                            "startLine": f.line,
-                            "startColumn": max(f.col, 1),
-                        },
-                    }
-                }
-            ],
-        }
-        if f.rule in rule_index:
-            result["ruleIndex"] = rule_index[f.rule]
-        results.append(result)
-    payload = {
-        "$schema": SARIF_SCHEMA,
-        "version": "2.1.0",
-        "runs": [
-            {
-                "tool": {
-                    "driver": {
-                        "name": "reprolint",
-                        "rules": [
-                            {
-                                "id": rule.id,
-                                "name": type(rule).__name__,
-                                "shortDescription": {"text": rule.title},
-                                "defaultConfiguration": {"level": "error"},
-                            }
-                            for rule in ALL_RULES
-                        ],
-                    }
-                },
-                "columnKind": "utf16CodeUnits",
-                "results": results,
-            }
-        ],
-    }
-    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    rules = rule_catalogue()
+    rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
+    results = [
+        sarif_result(
+            f.rule,
+            f.message,
+            f.path,
+            f.line,
+            max(f.col, 1),
+            rule_index=rule_index.get(f.rule),
+        )
+        for f in findings
+    ]
+    return to_sarif_json(sarif_document("reprolint", rules, results))
 
 
 def format_timings(timings: dict[str, float]) -> str:

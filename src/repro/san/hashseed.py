@@ -1,0 +1,103 @@
+"""Hash-order nondeterminism detection via PYTHONHASHSEED double runs.
+
+Set/dict-view iteration order leaking into output (REP006's target)
+cannot be observed in-process: by the time the sanitizer runs, the hash
+seed is fixed.  The dynamic check therefore re-executes a command under
+two different ``PYTHONHASHSEED`` values and byte-compares stdout — any
+divergence is, by construction, hash-seed-dependent output order
+(SAN006).
+
+The command is typically ``python -m repro.san.workload_digest ...``,
+which prints a canonical digest of one workload leg's output, but the
+battery also uses it on tiny inline scripts to prove the detector fires.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+from repro.san.report import Violation
+
+__all__ = ["DEFAULT_SEEDS", "double_run"]
+
+DEFAULT_SEEDS = (101, 202)
+
+
+def double_run(
+    argv: list[str],
+    *,
+    seeds: tuple[int, int] = DEFAULT_SEEDS,
+    label: str = "",
+    timeout: float = 300.0,
+) -> tuple[Violation | None, list[str]]:
+    """Run ``argv`` once per hash seed; compare stdout byte-for-byte.
+
+    Returns ``(violation_or_none, outputs)``.  A non-zero exit from
+    either leg is reported as a SAN006 violation too — a run that only
+    crashes under one hash seed is the same contract failure.
+    """
+    outputs: list[str] = []
+    statuses: list[int] = []
+    env_base = dict(os.environ)
+    env_base.setdefault("PYTHONPATH", "")
+    for seed in seeds:
+        env = dict(env_base)
+        env["PYTHONHASHSEED"] = str(seed)
+        proc = subprocess.run(
+            argv,
+            capture_output=True,
+            text=True,
+            timeout=timeout,
+            env=env,
+        )
+        outputs.append(proc.stdout)
+        statuses.append(proc.returncode)
+    what = label or " ".join(argv)
+    if statuses[0] != statuses[1]:
+        return (
+            Violation(
+                id="SAN006",
+                message=f"exit status diverges across hash seeds for {what}",
+                witness=(
+                    (f"seed {seeds[0]}", f"exit {statuses[0]}"),
+                    (f"seed {seeds[1]}", f"exit {statuses[1]}"),
+                ),
+            ),
+            outputs,
+        )
+    if outputs[0] != outputs[1]:
+        return (
+            Violation(
+                id="SAN006",
+                message=f"output diverges across hash seeds for {what}",
+                witness=(
+                    (f"seed {seeds[0]}", _head(outputs[0])),
+                    (f"seed {seeds[1]}", _head(outputs[1])),
+                ),
+            ),
+            outputs,
+        )
+    return None, outputs
+
+
+def _head(text: str, limit: int = 120) -> str:
+    first = text.splitlines()[0] if text.splitlines() else ""
+    return first[:limit]
+
+
+def workload_argv(
+    workload: str, engine: str, executor: str, records: int, nodes: int
+) -> list[str]:
+    """The subprocess command for one workload leg's canonical digest."""
+    return [
+        sys.executable,
+        "-m",
+        "repro.san.workload_digest",
+        workload,
+        engine,
+        executor,
+        str(records),
+        str(nodes),
+    ]

@@ -1,0 +1,168 @@
+"""Vector-clock happens-before graph for the race detector.
+
+The sanitizer models each executor batch as a fork/join region: the
+coordinator thread forks one logical task per spec, each task runs its
+kernel, and the coordinator joins them all before the next batch (the
+engines' tracer ``absorb`` calls happen exactly at the join, which is
+why the sanitizer ticks its logical clock there).  Accesses to
+registered shared objects are recorded against the accessing task's
+vector clock; two accesses race when neither clock ≤ the other and at
+least one side is a write.
+
+This is deliberately the textbook DJIT-style formulation, specialised
+to the repo's structure: tasks never nest, every task joins its forking
+coordinator, and object identity is a stable string (module-global
+dotted path, ``spec#<n>.field``, cache key).  That keeps witnesses
+readable — a race report names both tasks, both clocks and both sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = ["Access", "HBGraph", "Race", "VectorClock"]
+
+
+class VectorClock:
+    """A sparse vector clock keyed by task name."""
+
+    __slots__ = ("_c",)
+
+    def __init__(self, clocks: dict[str, int] | None = None) -> None:
+        self._c: dict[str, int] = dict(clocks) if clocks else {}
+
+    def tick(self, task: str) -> None:
+        self._c[task] = self._c.get(task, 0) + 1
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._c)
+
+    def join(self, other: "VectorClock") -> None:
+        for task, n in other._c.items():
+            if n > self._c.get(task, 0):
+                self._c[task] = n
+
+    def leq(self, other: "VectorClock") -> bool:
+        return all(n <= other._c.get(task, 0) for task, n in self._c.items())
+
+    def concurrent(self, other: "VectorClock") -> bool:
+        return not self.leq(other) and not other.leq(self)
+
+    def as_tuple(self) -> tuple[tuple[str, int], ...]:
+        return tuple(sorted(self._c.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(f"{t}:{n}" for t, n in self.as_tuple())
+        return f"VC({inner})"
+
+
+@dataclass(frozen=True)
+class Access:
+    """One recorded access to a shared object."""
+
+    obj: str
+    task: str
+    kind: str  # "read" | "write"
+    clock: tuple[tuple[str, int], ...]
+    site: str
+    seq: int
+
+
+@dataclass(frozen=True)
+class Race:
+    obj: str
+    kind: str  # "write/write" | "write/read"
+    first: Access
+    second: Access
+
+
+@dataclass
+class _ObjectState:
+    last_write: Access | None = None
+    reads: list[Access] = field(default_factory=list)
+
+
+class HBGraph:
+    """Happens-before tracking for one sanitized run.
+
+    The coordinator task is implicit ("coordinator"); ``fork`` hands a
+    child task a copy of the coordinator clock, ``join`` merges it back.
+    """
+
+    COORD = "coordinator"
+
+    def __init__(self) -> None:
+        self._coord = VectorClock()
+        self._coord.tick(self.COORD)
+        self._tasks: dict[str, VectorClock] = {}
+        self._objects: dict[str, _ObjectState] = {}
+        self._seq = 0
+        self.races: list[Race] = []
+
+    # -- structure -----------------------------------------------------
+
+    def fork(self, task: str) -> None:
+        child = self._coord.copy()
+        child.tick(task)
+        self._tasks[task] = child
+
+    def join(self, task: str) -> None:
+        child = self._tasks.pop(task, None)
+        if child is not None:
+            self._coord.join(child)
+        self._coord.tick(self.COORD)
+
+    def tick_coordinator(self) -> None:
+        self._coord.tick(self.COORD)
+
+    def clock_of(self, task: str) -> VectorClock:
+        if task == self.COORD:
+            return self._coord
+        return self._tasks.setdefault(task, self._coord.copy())
+
+    # -- accesses ------------------------------------------------------
+
+    def _record(self, obj: str, task: str, kind: str, site: str) -> Access:
+        clock = self.clock_of(task)
+        clock.tick(task)
+        self._seq += 1
+        return Access(
+            obj=obj,
+            task=task,
+            kind=kind,
+            clock=clock.as_tuple(),
+            site=site,
+            seq=self._seq,
+        )
+
+    def read(self, obj: str, task: str, site: str = "") -> None:
+        access = self._record(obj, task, "read", site)
+        state = self._objects.setdefault(obj, _ObjectState())
+        last = state.last_write
+        if last is not None and self._unordered(last, access):
+            self.races.append(Race(obj, "write/read", last, access))
+        state.reads.append(access)
+
+    def write(self, obj: str, task: str, site: str = "") -> None:
+        access = self._record(obj, task, "write", site)
+        state = self._objects.setdefault(obj, _ObjectState())
+        last = state.last_write
+        if last is not None and self._unordered(last, access):
+            self.races.append(Race(obj, "write/write", last, access))
+        for prior in state.reads:
+            if self._unordered(prior, access):
+                self.races.append(Race(obj, "write/read", prior, access))
+        state.last_write = access
+        state.reads = []
+
+    def _unordered(self, a: Access, b: Access) -> bool:
+        if a.task == b.task:
+            return False
+        return VectorClock(dict(a.clock)).concurrent(VectorClock(dict(b.clock)))
+
+    # -- results -------------------------------------------------------
+
+    def drain_races(self) -> Iterable[Race]:
+        races, self.races = self.races, []
+        return races

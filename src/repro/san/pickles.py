@@ -1,0 +1,147 @@
+"""Pickle-boundary checks for executor specs.
+
+Every ``*Spec`` handed to an executor session is (a) scanned for
+fork-unsafe OS resources — open files, locks, sockets, generators —
+reachable from its fields (dynamic REP202), and (b) round-tripped
+through pickle and structurally compared against the original (dynamic
+REP102).  The serial executor never pickles, which is exactly why the
+dynamic check round-trips anyway: a spec that only works because the
+serial path skipped the boundary is a latent MP bug.
+
+The structural comparison is shape-based, not identity-based: two specs
+compare equal when their field trees match by type and value, with
+memoryviews/arrays compared by content.  ``__reduce__`` tricks that
+survive pickling but alter values are caught; benign identity changes
+(new list objects, re-interned strings) are not.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import socket
+import threading
+from dataclasses import fields, is_dataclass
+from types import GeneratorType
+
+__all__ = ["check_spec", "fork_unsafe_member", "structural_diff"]
+
+_LOCK_TYPES = (
+    type(threading.Lock()),
+    type(threading.RLock()),
+    threading.Condition,
+    threading.Event,
+    threading.Semaphore,
+)
+
+_MAX_DEPTH = 6
+
+
+def fork_unsafe_member(obj: object, path: str = "spec", depth: int = 0) -> str | None:
+    """The dotted path of the first fork-unsafe object reachable from
+    ``obj``, or None.  Mirrors REP202's static reachability walk."""
+    if depth > _MAX_DEPTH:
+        return None
+    if isinstance(obj, io.IOBase):
+        return f"{path} is an open file handle ({type(obj).__name__})"
+    if isinstance(obj, _LOCK_TYPES):
+        return f"{path} is a thread-synchronisation primitive ({type(obj).__name__})"
+    if isinstance(obj, socket.socket):
+        return f"{path} is a socket"
+    if isinstance(obj, GeneratorType):
+        return f"{path} is a live generator"
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            hit = fork_unsafe_member(value, f"{path}[{key!r}]", depth + 1)
+            if hit:
+                return hit
+        return None
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        for i, value in enumerate(obj):
+            hit = fork_unsafe_member(value, f"{path}[{i}]", depth + 1)
+            if hit:
+                return hit
+        return None
+    if is_dataclass(obj) and not isinstance(obj, type):
+        for f in fields(obj):
+            hit = fork_unsafe_member(
+                getattr(obj, f.name), f"{path}.{f.name}", depth + 1
+            )
+            if hit:
+                return hit
+        return None
+    return None
+
+
+def structural_diff(a: object, b: object, path: str = "spec", depth: int = 0) -> str | None:
+    """First structural difference between ``a`` and ``b``, or None."""
+    if depth > _MAX_DEPTH:
+        return None
+    if type(a) is not type(b):
+        # memoryview pickles to bytes; compare content across the pair.
+        if isinstance(a, (bytes, memoryview)) and isinstance(b, (bytes, memoryview)):
+            if bytes(a) != bytes(b):
+                return f"{path}: buffer content differs after round-trip"
+            return None
+        return (
+            f"{path}: type changed {type(a).__name__} -> {type(b).__name__} "
+            "after round-trip"
+        )
+    if isinstance(a, dict):
+        if sorted(map(repr, a)) != sorted(map(repr, b)):
+            return f"{path}: dict keys differ after round-trip"
+        for key in a:
+            diff = structural_diff(a[key], b[key], f"{path}[{key!r}]", depth + 1)
+            if diff:
+                return diff
+        return None
+    if isinstance(a, (list, tuple)):
+        if len(a) != len(b):
+            return f"{path}: length {len(a)} -> {len(b)} after round-trip"
+        for i, (x, y) in enumerate(zip(a, b)):
+            diff = structural_diff(x, y, f"{path}[{i}]", depth + 1)
+            if diff:
+                return diff
+        return None
+    if isinstance(a, (set, frozenset)):
+        if sorted(map(repr, a)) != sorted(map(repr, b)):
+            return f"{path}: set content differs after round-trip"
+        return None
+    if is_dataclass(a) and not isinstance(a, type):
+        for f in fields(a):
+            diff = structural_diff(
+                getattr(a, f.name), getattr(b, f.name), f"{path}.{f.name}", depth + 1
+            )
+            if diff:
+                return diff
+        return None
+    if isinstance(a, (int, float, str, bytes, bool, complex)) or a is None:
+        if a != b:
+            return f"{path}: value {a!r} -> {b!r} after round-trip"
+        return None
+    # Opaque object: pickling succeeded, accept it.
+    return None
+
+
+def check_spec(spec: object) -> tuple[str, str] | None:
+    """Run both boundary checks on one spec.
+
+    Returns ``(violation_id, message)`` — SAN202 for a fork-unsafe
+    member, SAN102 for a failed or lossy round-trip — or None.
+    """
+    unsafe = fork_unsafe_member(spec)
+    if unsafe:
+        return "SAN202", f"fork-unsafe OS resource on spec: {unsafe}"
+    try:
+        payload = pickle.dumps(spec)
+        clone = pickle.loads(payload)
+    except Exception as exc:
+        return (
+            "SAN102",
+            f"spec does not pickle across the executor boundary: "
+            f"{type(exc).__name__}: {exc}",
+        )
+    diff = structural_diff(spec, clone)
+    if diff:
+        return "SAN102", f"spec altered by pickle round-trip: {diff}"
+    return None

@@ -1,0 +1,36 @@
+"""Print one workload leg's canonical output digest (for double runs).
+
+``python -m repro.san.workload_digest <workload> <engine> <executor>
+<records> <nodes>`` runs the leg and prints the sha256 of its output
+records — exactly the digest the clean matrix pins in
+``san-baseline.json``.  The hashseed detector (:mod:`repro.san.hashseed`)
+re-executes this module under two ``PYTHONHASHSEED`` values and
+byte-compares the printed line: any divergence is hash-order
+nondeterminism escaping into engine output (SAN006 / REP006).
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 5:
+        print(
+            "usage: python -m repro.san.workload_digest "
+            "<workload> <engine> <executor> <records> <nodes>",
+            file=sys.stderr,
+        )
+        return 2
+    workload, engine, executor = argv[0], argv[1], argv[2]
+    records, nodes = int(argv[3]), int(argv[4])
+
+    from repro.san.matrix import _leg_digest
+
+    print(_leg_digest(workload, engine, executor, records, nodes))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -128,3 +128,74 @@ class TestHarnessGuards:
             run_crashpoint_sweep(
                 target_for("hadoop"), str(tmp_path), crash_modes=("during",)
             )
+
+
+@pytest.mark.no_reprosan  # each test installs its own sanitizer
+class TestSanitizerInterplay:
+    """Sanitizer x FaultPlan x crashpoint interplay (reprosan).
+
+    Injected faults and simulated coordinator crashes are *modelled*
+    failures: the sanitizer must neither report their unwound resources
+    as leaks nor perturb the recovered output.
+    """
+
+    @pytest.mark.parametrize("engine", sorted(ENGINES))
+    def test_crashpoint_sweep_is_sanitizer_clean(self, engine, tmp_path):
+        from repro.san import Sanitizer
+
+        with Sanitizer() as san:
+            report = run_crashpoint_sweep(
+                target_for(engine),
+                str(tmp_path),
+                mode="sampled",
+                samples=3,
+                seed=11,
+            )
+        assert report.output_records > 0
+        assert san.report.clean, san.report.to_text()
+
+    @pytest.mark.parametrize("engine", sorted(ENGINES))
+    def test_faulted_sweep_under_all_detectors(self, engine, tmp_path):
+        from repro.san import Sanitizer
+
+        kwargs = {"checkpoint_interval": 3} if engine == "onepass" else {}
+        with Sanitizer() as san:
+            report = run_crashpoint_sweep(
+                target_for(engine, fault_seed=23, **kwargs),
+                str(tmp_path),
+                mode="sampled",
+                samples=3,
+                seed=11,
+            )
+        # Both crash modes at each sampled site.
+        assert report.crashes == report.resumes == 2 * 3
+        assert san.report.clean, san.report.to_text()
+
+    def test_faulted_run_output_unperturbed_by_sanitizer(self, tmp_path):
+        # Same seeded faults with and without the sanitizer installed:
+        # recovered output must be byte-identical.
+        from repro.san import Sanitizer
+
+        def run_once():
+            cluster = make_cluster()
+            engine_cls, job_fn = ENGINES["hadoop"]
+            engine = engine_cls(
+                cluster,
+                fault_plan=FaultPlan.random(
+                    23,
+                    num_map_tasks=8,
+                    num_reducers=3,
+                    map_failure_rate=0.3,
+                    reduce_failure_rate=0.3,
+                    torn_write_rate=1.0,
+                    short_read_rate=1.0,
+                ),
+            )
+            engine.run(job_fn("in", "out"))
+            return repr(list(cluster.hdfs.read_records("out")))
+
+        plain = run_once()
+        with Sanitizer() as san:
+            sanitized = run_once()
+        assert san.report.clean, san.report.to_text()
+        assert sanitized == plain

@@ -159,3 +159,121 @@ class TestCacheFingerprint:
         cache.put("repro/core/x.py", "d" * 64, ModuleSummary("repro/core/x.py"))
         assert cache.get("repro/core/x.py", "e" * 64) is None
         assert cache.misses == 1
+
+
+class TestChangedOnlyRenames:
+    """``--changed-only`` must follow git renames to the *new* path."""
+
+    def _git(self, *argv, cwd):
+        subprocess.run(
+            ["git", *argv],
+            cwd=cwd,
+            check=True,
+            capture_output=True,
+            env={
+                "PATH": "/usr/bin:/bin",
+                "GIT_AUTHOR_NAME": "t",
+                "GIT_AUTHOR_EMAIL": "t@t",
+                "GIT_COMMITTER_NAME": "t",
+                "GIT_COMMITTER_EMAIL": "t@t",
+                "HOME": str(cwd),
+            },
+        )
+
+    def test_renamed_file_resolves_to_destination(self, tmp_path):
+        from repro.lint.cli import changed_py_files
+
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "mod_a.py").write_text("x = 1\n" * 30)
+        self._git("init", "-q", cwd=tmp_path)
+        self._git("add", ".", cwd=tmp_path)
+        self._git("commit", "-q", "-m", "seed", cwd=tmp_path)
+        self._git("mv", "pkg/mod_a.py", "pkg/mod_b.py", cwd=tmp_path)
+        self._git("commit", "-q", "-m", "rename", cwd=tmp_path)
+
+        changed = changed_py_files(tmp_path, "HEAD~1")
+        assert changed == [str(pkg / "mod_b.py")]
+
+    def test_rename_with_edit_and_plain_edit(self, tmp_path):
+        from repro.lint.cli import changed_py_files
+
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "mod_a.py").write_text("x = 1\n" * 30)
+        (pkg / "other.py").write_text("y = 2\n")
+        self._git("init", "-q", cwd=tmp_path)
+        self._git("add", ".", cwd=tmp_path)
+        self._git("commit", "-q", "-m", "seed", cwd=tmp_path)
+        # Rename + small edit (an R<similarity> status, not A/D)
+        self._git("mv", "pkg/mod_a.py", "pkg/mod_b.py", cwd=tmp_path)
+        (pkg / "mod_b.py").write_text("x = 1\n" * 30 + "z = 3\n")
+        (pkg / "other.py").write_text("y = 4\n")
+        self._git("add", ".", cwd=tmp_path)
+        self._git("commit", "-q", "-m", "rename+edit", cwd=tmp_path)
+
+        changed = changed_py_files(tmp_path, "HEAD~1")
+        assert changed == [str(pkg / "mod_b.py"), str(pkg / "other.py")]
+
+    def test_deleted_file_not_reported(self, tmp_path):
+        from repro.lint.cli import changed_py_files
+
+        (tmp_path / "gone.py").write_text("x = 1\n")
+        (tmp_path / "kept.py").write_text("y = 1\n")
+        self._git("init", "-q", cwd=tmp_path)
+        self._git("add", ".", cwd=tmp_path)
+        self._git("commit", "-q", "-m", "seed", cwd=tmp_path)
+        (tmp_path / "gone.py").unlink()
+        (tmp_path / "kept.py").write_text("y = 2\n")
+        self._git("add", ".", cwd=tmp_path)
+        self._git("commit", "-q", "-m", "delete", cwd=tmp_path)
+
+        changed = changed_py_files(tmp_path, "HEAD~1")
+        assert changed == [str(tmp_path / "kept.py")]
+
+
+class TestSharedCatalogue:
+    """The SARIF writer is shared by reprolint and reprosan."""
+
+    def test_full_catalogue_extends_the_lint_catalogue(self):
+        from repro.lint.sarif import full_catalogue, rule_catalogue
+        from repro.san.report import DETECTORS
+
+        full = full_catalogue()
+        ids = [r["id"] for r in full]
+        assert len(set(ids)) == len(ids)
+        # Every dynamic detector, then every static rule.
+        assert set(ids) == {d.id for d in DETECTORS} | {
+            r.id for r in rules_mod.ALL_RULES
+        }
+        assert ids[len(DETECTORS):] == [r["id"] for r in rule_catalogue()]
+
+    def test_detector_entries_name_their_static_rules(self):
+        from repro.lint.sarif import full_catalogue
+        from repro.san.report import DETECTORS
+
+        by_id = {r["id"]: r for r in full_catalogue()}
+        for d in DETECTORS:
+            entry = by_id[d.id]
+            assert entry["properties"]["staticRules"] == list(d.static_rules)
+            assert entry["title"] == d.title
+
+    def test_shared_document_schema(self):
+        from repro.lint.sarif import sarif_document, sarif_result, to_sarif_json
+
+        doc = json.loads(
+            to_sarif_json(
+                sarif_document(
+                    "anytool",
+                    [{"id": "X1", "name": "XRule", "title": "t"}],
+                    [sarif_result("X1", "m", "a.py", 3, rule_index=0)],
+                )
+            )
+        )
+        assert doc["$schema"] == SARIF_SCHEMA
+        assert doc["version"] == "2.1.0"
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "anytool"
+        assert run["columnKind"] == "utf16CodeUnits"
+        (result,) = run["results"]
+        assert result["ruleIndex"] == 0

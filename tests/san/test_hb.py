@@ -1,0 +1,111 @@
+"""Unit tests for the vector-clock happens-before graph."""
+
+from repro.san.hb import HBGraph, VectorClock
+
+
+class TestVectorClock:
+    def test_tick_and_as_tuple(self):
+        vc = VectorClock()
+        vc.tick("a")
+        vc.tick("a")
+        vc.tick("b")
+        assert vc.as_tuple() == (("a", 2), ("b", 1))
+
+    def test_copy_is_independent(self):
+        vc = VectorClock()
+        vc.tick("a")
+        other = vc.copy()
+        other.tick("a")
+        assert vc.as_tuple() == (("a", 1),)
+        assert other.as_tuple() == (("a", 2),)
+
+    def test_join_takes_componentwise_max(self):
+        a = VectorClock({"x": 3, "y": 1})
+        b = VectorClock({"y": 4, "z": 2})
+        a.join(b)
+        assert a.as_tuple() == (("x", 3), ("y", 4), ("z", 2))
+
+    def test_leq_and_concurrent(self):
+        lo = VectorClock({"x": 1})
+        hi = VectorClock({"x": 2, "y": 1})
+        assert lo.leq(hi)
+        assert not hi.leq(lo)
+        assert not lo.concurrent(hi)
+        left = VectorClock({"x": 2})
+        right = VectorClock({"y": 2})
+        assert left.concurrent(right)
+        assert right.concurrent(left)
+
+    def test_empty_clock_leq_everything(self):
+        assert VectorClock().leq(VectorClock({"a": 1}))
+        assert VectorClock().leq(VectorClock())
+
+
+class TestHBGraph:
+    def test_sequential_fork_join_never_races(self):
+        hb = HBGraph()
+        hb.fork("t1")
+        hb.write("obj", "t1")
+        hb.join("t1")
+        hb.fork("t2")
+        hb.write("obj", "t2")
+        hb.join("t2")
+        assert list(hb.drain_races()) == []
+
+    def test_concurrent_writes_race(self):
+        hb = HBGraph()
+        hb.fork("t1")
+        hb.fork("t2")
+        hb.write("obj", "t1")
+        hb.write("obj", "t2")
+        races = list(hb.drain_races())
+        assert len(races) == 1
+        assert races[0].kind == "write/write"
+        assert {races[0].first.task, races[0].second.task} == {"t1", "t2"}
+
+    def test_concurrent_write_after_read_races(self):
+        hb = HBGraph()
+        hb.fork("t1")
+        hb.fork("t2")
+        hb.read("obj", "t1")
+        hb.write("obj", "t2")
+        races = list(hb.drain_races())
+        assert len(races) == 1
+        assert races[0].kind == "write/read"
+
+    def test_coordinator_read_after_join_is_ordered(self):
+        hb = HBGraph()
+        hb.fork("t1")
+        hb.write("obj", "t1")
+        hb.join("t1")
+        hb.read("obj", HBGraph.COORD)
+        assert list(hb.drain_races()) == []
+
+    def test_same_task_never_races_with_itself(self):
+        hb = HBGraph()
+        hb.fork("t1")
+        hb.write("obj", "t1")
+        hb.write("obj", "t1")
+        hb.read("obj", "t1")
+        assert list(hb.drain_races()) == []
+
+    def test_drain_races_empties_the_list(self):
+        hb = HBGraph()
+        hb.fork("t1")
+        hb.fork("t2")
+        hb.write("obj", "t1")
+        hb.write("obj", "t2")
+        assert len(list(hb.drain_races())) == 1
+        assert list(hb.drain_races()) == []
+
+    def test_witness_carries_site_and_clock(self):
+        hb = HBGraph()
+        hb.fork("t1")
+        hb.fork("t2")
+        hb.write("obj", "t1", site="kernel a")
+        hb.write("obj", "t2", site="kernel b")
+        (race,) = hb.drain_races()
+        assert race.obj == "obj"
+        assert race.first.site == "kernel a"
+        assert race.second.site == "kernel b"
+        assert race.first.clock and race.second.clock

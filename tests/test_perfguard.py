@@ -60,8 +60,17 @@ class TestPhaseScores:
 class TestCheckGate:
     def test_passes_at_baseline(self, monkeypatch, capsys):
         monkeypatch.setattr(perfguard, "measure", _synthetic_measure)
+        # the interleaved pair gate times real kernels; stub it here
+        monkeypatch.setattr(perfguard, "paired_ratio", lambda *a, **k: 1.0)
         assert perfguard.cmd_check(perfguard.BASELINE_PATH) == 0
         assert "all kernels within" in capsys.readouterr().out
+
+    def test_paired_overhead_breach_fails_the_gate(self, monkeypatch, capsys):
+        monkeypatch.setattr(perfguard, "measure", _synthetic_measure)
+        monkeypatch.setattr(perfguard, "paired_ratio", lambda *a, **k: 1.5)
+        assert perfguard.cmd_check(perfguard.BASELINE_PATH) == 1
+        out = capsys.readouterr().out
+        assert "san_overhead" in out and "interleaved" in out and "FAIL" in out
 
     def test_forced_regression_names_the_phase(self, monkeypatch, capsys):
         """The acceptance check: a sort-kernel blowup fails the gate AND
@@ -71,6 +80,7 @@ class TestCheckGate:
             "measure",
             lambda: _synthetic_measure(scale_phase="sort", factor=10.0),
         )
+        monkeypatch.setattr(perfguard, "paired_ratio", lambda *a, **k: 1.0)
         assert perfguard.cmd_check(perfguard.BASELINE_PATH) == 1
         captured = capsys.readouterr()
         assert "FAIL" in captured.out
